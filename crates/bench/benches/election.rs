@@ -1,0 +1,63 @@
+//! Criterion wall-clock benches: one bench per Table 1 row, measuring the
+//! simulator cost of a full election on a fixed mid-size workload. These
+//! complement the `table1` binary (which measures *model* cost — rounds
+//! and messages); criterion here tracks the implementation itself.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use ule_core::Algorithm;
+use ule_graph::gen;
+
+fn election_benches(c: &mut Criterion) {
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(17);
+    let g = gen::random_connected(128, 512, &mut rng).expect("valid parameters");
+
+    let mut group = c.benchmark_group("election/random-128-512");
+    for alg in Algorithm::ALL {
+        // Pre-derive the config once: benches measure the run, not the
+        // diameter computation in config_for.
+        let cfg = alg.config_for(&g, 1);
+        group.bench_function(BenchmarkId::from_parameter(alg.spec().name), |b| {
+            b.iter(|| black_box(alg.run_with(&g, &cfg)));
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("election/torus-400");
+    let torus = gen::torus(20, 20).expect("valid torus");
+    for alg in [
+        Algorithm::LeastElAll,
+        Algorithm::LeastElConstant,
+        Algorithm::Clustering,
+        Algorithm::KingdomKnownD,
+    ] {
+        let cfg = alg.config_for(&torus, 1);
+        group.bench_function(BenchmarkId::from_parameter(alg.spec().name), |b| {
+            b.iter(|| black_box(alg.run_with(&torus, &cfg)));
+        });
+    }
+    group.finish();
+
+    // Corollary 4.2 spanner election on a dense graph.
+    let mut group = c.benchmark_group("election/dense-128");
+    let dense = gen::random_dense(128, 0.5, &mut rng).expect("valid parameters");
+    let sc = ule_spanner::SpannerConfig::for_epsilon(0.5);
+    let sim = ule_sim::SimConfig::seeded(1)
+        .with_knowledge(ule_sim::Knowledge::n(dense.len()));
+    group.bench_function("spanner(4.2)", |b| {
+        b.iter(|| black_box(ule_spanner::elect(&dense, &sim, &sc)));
+    });
+    let cfg = Algorithm::LeastElAll.config_for(&dense, 1);
+    group.bench_function("least-el(n)", |b| {
+        b.iter(|| black_box(Algorithm::LeastElAll.run_with(&dense, &cfg)));
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = election_benches
+}
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Regenerates **Table 1** of the paper: every upper-bound row, measured.
+//!
+//! ```text
+//! cargo run --release -p ule-bench --bin table1 [-- --quick]
+//! ```
+//!
+//! For each algorithm the harness sweeps four graph families at several
+//! sizes and reports mean rounds/messages plus the *normalized ratios*
+//! (measured ÷ claimed shape). The paper's claims hold if the ratios stay
+//! flat (bounded by a constant) as `n` grows — absolute values depend on
+//! implementation constants, the *shape* is what Table 1 asserts.
+//!
+//! The spanner row (Corollary 4.2) is included via `ule-spanner` on dense
+//! workloads only (its claim is conditional on `m > n^{1+ε}`).
+
+use ule_bench::{measure, print_rows, standard_workloads};
+use ule_core::Algorithm;
+use ule_graph::analysis;
+use ule_sim::harness::{parallel_trials, Summary};
+use ule_sim::{Knowledge, SimConfig};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let sizes: &[usize] = if quick { &[48, 96] } else { &[48, 96, 192] };
+    let trials: u64 = if quick { 3 } else { 5 };
+    let workloads = standard_workloads(sizes);
+
+    println!("# Table 1 — universal leader election algorithms, measured\n");
+    println!("sizes: {sizes:?}, trials per cell: {trials}\n");
+
+    for alg in Algorithm::ALL {
+        let rows = measure(alg, &workloads, trials);
+        print_rows(alg, &rows);
+    }
+
+    // Corollary 4.2 (spanner) on the dense workloads only.
+    println!("### spanner (4.2) — Cor 4.2 | claimed: time O(D), messages O(m) for m > n^(1+ε), success whp");
+    println!(
+        "{:<16} {:>6} {:>7} {:>5} {:>9} {:>11} {:>8} {:>9} {:>9}",
+        "workload", "n", "m", "D", "rounds", "messages", "ok", "t/shape", "msg/shape"
+    );
+    let sc = ule_spanner::SpannerConfig::for_epsilon(0.5);
+    for (label, g) in workloads.iter().filter(|(l, _)| l.starts_with("dense")) {
+        let d = analysis::diameter_exact(g).expect("connected") as usize;
+        let outs = parallel_trials(trials, |t| {
+            let sim = SimConfig::seeded(t).with_knowledge(Knowledge::n(g.len()));
+            ule_spanner::elect(g, &sim, &sc)
+        });
+        let s = Summary::from_outcomes(&outs);
+        println!(
+            "{:<16} {:>6} {:>7} {:>5} {:>9.1} {:>11.1} {:>7.0}% {:>9.2} {:>9.2}",
+            label,
+            g.len(),
+            g.edge_count(),
+            d,
+            s.mean_rounds,
+            s.mean_messages,
+            100.0 * s.success_rate(),
+            s.mean_rounds / d.max(1) as f64,
+            s.mean_messages / g.edge_count() as f64
+        );
+    }
+    println!();
+    println!(
+        "reading guide: `t/shape` and `msg/shape` are measured cost divided by\n\
+         the claimed bound's shape (e.g. m·min(log n, D) for least-el(n)).\n\
+         Flat columns across sizes ⇒ the Table 1 claim's shape holds."
+    );
+}

@@ -1,0 +1,170 @@
+//! # `ule-bench` — the experiment harness
+//!
+//! Regenerates every table and figure of the paper's results section:
+//!
+//! | Binary | Reproduces |
+//! |---|---|
+//! | `table1` | Table 1 — every algorithm's time/message bounds, measured and normalized against the claimed shape |
+//! | `fig_msg_lb` | Theorem 3.1 — bridge-crossing costs on dumbbell graphs + the Lemma 3.5 edge-order experiment |
+//! | `fig_time_lb` | Theorem 3.13 / Figure 1 — success-vs-truncation on the clique-cycle, and rounds vs `D` |
+//! | `fig_broadcast_lb` | Corollary 3.12 — majority-broadcast costs on dumbbells |
+//! | `fig_tradeoff` | §1.1.2 — the message/time trade-off frontier across all algorithms |
+//! | `fig_success_prob` | Theorem 4.4 — success probability as a function of `f(n)`, plus the §1 coin-flip example |
+//!
+//! Criterion benches (`benches/`) measure simulator wall-clock per
+//! algorithm and substrate throughput.
+
+#![warn(missing_docs)]
+
+use ule_core::Algorithm;
+use ule_graph::{analysis, gen, Graph};
+use ule_sim::harness::{parallel_trials, Summary};
+
+/// The graph families × sizes used by the Table 1 sweep.
+pub fn standard_workloads(sizes: &[usize]) -> Vec<(String, Graph)> {
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(20130722);
+    let mut out = Vec::new();
+    for &n in sizes {
+        for fam in [
+            gen::Family::Cycle,
+            gen::Family::Torus,
+            gen::Family::SparseRandom,
+            gen::Family::DenseRandom,
+        ] {
+            let g = fam.build(n, &mut rng).expect("family builds");
+            out.push((format!("{fam}/{}", g.len()), g));
+        }
+    }
+    out
+}
+
+/// The claimed asymptotic *shape* of an algorithm's cost, evaluated on a
+/// concrete instance — measured cost divided by this should be a flat
+/// constant across the sweep if the claim's shape holds.
+pub fn claimed_shapes(alg: Algorithm, n: usize, m: usize, d: usize) -> (f64, f64) {
+    let n_f = n as f64;
+    let m_f = m as f64;
+    let d_f = d.max(1) as f64;
+    let ln_n = n_f.max(2.0).ln();
+    let lnln_n = ln_n.max(1.0).ln().max(1.0);
+    match alg {
+        Algorithm::LeastElAll | Algorithm::SizeEstimate => (d_f, m_f * ln_n.min(d_f)),
+        Algorithm::LeastElWhp => (d_f, m_f * lnln_n.min(d_f)),
+        Algorithm::LeastElConstant | Algorithm::LasVegas => (d_f, m_f),
+        Algorithm::Clustering => (d_f * ln_n, m_f + n_f * ln_n),
+        // Sequential identifiers: the minimum is 1, time ≈ 4m·2.
+        Algorithm::DfsAgent => (8.0 * m_f, m_f),
+        Algorithm::KingdomKnownD => (d_f * ln_n, m_f * ln_n),
+        Algorithm::KingdomDoubling => (n_f + d_f * ln_n, m_f * ln_n),
+        Algorithm::FloodMax => (d_f, m_f * d_f),
+        Algorithm::Tole => (d_f, m_f * d_f.min(n_f)),
+        Algorithm::CoinFlip => (1.0, 1.0),
+    }
+}
+
+/// One measured Table 1 row on one workload.
+#[derive(Debug, Clone)]
+pub struct TableRow {
+    /// Workload label (`family/n`).
+    pub workload: String,
+    /// Nodes.
+    pub n: usize,
+    /// Edges.
+    pub m: usize,
+    /// Diameter.
+    pub d: usize,
+    /// Aggregated outcomes.
+    pub summary: Summary,
+    /// Mean rounds divided by the claimed time shape.
+    pub time_ratio: f64,
+    /// Mean messages divided by the claimed message shape.
+    pub msg_ratio: f64,
+}
+
+/// Runs `alg` over the workloads, `trials` seeded runs each.
+pub fn measure(alg: Algorithm, workloads: &[(String, Graph)], trials: u64) -> Vec<TableRow> {
+    workloads
+        .iter()
+        .map(|(label, g)| {
+            let d = analysis::diameter_exact(g).expect("connected") as usize;
+            let outs = parallel_trials(trials, |t| alg.run(g, t));
+            let summary = Summary::from_outcomes(&outs);
+            let (ts, ms) = claimed_shapes(alg, g.len(), g.edge_count(), d);
+            TableRow {
+                workload: label.clone(),
+                n: g.len(),
+                m: g.edge_count(),
+                d,
+                time_ratio: summary.mean_rounds / ts,
+                msg_ratio: summary.mean_messages / ms,
+                summary,
+            }
+        })
+        .collect()
+}
+
+/// Prints a Table 1 block for one algorithm.
+pub fn print_rows(alg: Algorithm, rows: &[TableRow]) {
+    let spec = alg.spec();
+    println!(
+        "### {} — {} | claimed: time {}, messages {}, success {}",
+        spec.name, spec.reference, spec.time, spec.messages, spec.success
+    );
+    println!(
+        "{:<16} {:>6} {:>7} {:>5} {:>9} {:>11} {:>8} {:>9} {:>9}",
+        "workload", "n", "m", "D", "rounds", "messages", "ok", "t/shape", "msg/shape"
+    );
+    for r in rows {
+        println!(
+            "{:<16} {:>6} {:>7} {:>5} {:>9.1} {:>11.1} {:>7.0}% {:>9.2} {:>9.2}",
+            r.workload,
+            r.n,
+            r.m,
+            r.d,
+            r.summary.mean_rounds,
+            r.summary.mean_messages,
+            100.0 * r.summary.success_rate(),
+            r.time_ratio,
+            r.msg_ratio
+        );
+    }
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workloads_build() {
+        let w = standard_workloads(&[32]);
+        assert_eq!(w.len(), 4);
+        assert!(w.iter().all(|(_, g)| g.is_connected()));
+    }
+
+    #[test]
+    fn shapes_are_positive() {
+        for alg in Algorithm::ALL {
+            let (t, m) = claimed_shapes(alg, 100, 400, 10);
+            assert!(t > 0.0 && m > 0.0, "{alg}");
+        }
+    }
+
+    #[test]
+    fn measure_produces_flat_ratios_for_least_el() {
+        // The core "shape holds" check in miniature: the normalized ratio
+        // must not grow with n (allow generous slack for constants).
+        let w = standard_workloads(&[32, 128]);
+        let rows = measure(Algorithm::LeastElAll, &w, 3);
+        for pair in rows.chunks(4) {
+            assert!(pair.iter().all(|r| r.summary.success_rate() > 0.9));
+        }
+        let small: f64 = rows[..4].iter().map(|r| r.msg_ratio).sum::<f64>() / 4.0;
+        let large: f64 = rows[4..].iter().map(|r| r.msg_ratio).sum::<f64>() / 4.0;
+        assert!(
+            large < 3.0 * small + 1.0,
+            "message ratio must stay flat: {small} → {large}"
+        );
+    }
+}

@@ -1,0 +1,464 @@
+//! The deterministic `O(m)`-message DFS-agent election — Theorem 4.1.
+//!
+//! The paper's generalization of Frederickson–Lynch [8] to arbitrary
+//! graphs: every node launches an *annexing agent* carrying its identifier;
+//! an agent walks the graph in DFS order, but an agent with identifier `i`
+//! takes one step only every `2^i` rounds. Smaller identifiers destroy
+//! larger ones on contact: an agent entering a node previously visited (or
+//! currently hosting an agent) with a smaller identifier dies. The smallest
+//! agent completes a full DFS (≈ `2m` traversals) and declares its origin
+//! leader; the `k`-th smallest agent moves at most `2^{i_1 − i_k}` times as
+//! often, so total messages telescope to `≤ 4m + O(n)` — **O(m), for any
+//! identifier assignment** — while running time is `Θ(m · 2^{i_1})`,
+//! exponential in the smallest identifier. This is the algorithm that
+//! shows the Ω(m) bound of Theorem 3.1 is tight when time is unbounded.
+//!
+//! Under adversarial wakeup a preliminary flooding *wakeup phase* (2m
+//! messages, ≤ D rounds, exactly as in the paper) rouses every node; the
+//! extra agent steps taken before the last node wakes add only `O(D)`
+//! messages (the paper's `2D` term).
+//!
+//! The simulator's idle fast-forwarding makes the exponential schedule
+//! simulable: engine work is proportional to agent *moves*, not rounds.
+
+use std::collections::HashMap;
+use ule_graph::{Graph, Id};
+use ule_sim::message::{id_bits, Message, TAG_BITS};
+use ule_sim::{Context, PortOutbox, Protocol, RunOutcome, SimConfig, Status};
+
+/// Cap on the throttling exponent so tick arithmetic stays in `u64`.
+/// Identifiers at or above the cap share one rate; the 4m message bound is
+/// guaranteed for assignments whose identifiers stay below it (experiment
+/// configs do), correctness holds regardless.
+const RATE_EXPONENT_CAP: u64 = 40;
+
+/// Messages of the DFS-agent algorithm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DfsMsg {
+    /// Wakeup flood (adversarial-wakeup runs only).
+    Wakeup,
+    /// The agent steps forward into a node.
+    Visit {
+        /// The walking agent (= its origin's identifier).
+        agent: Id,
+    },
+    /// The agent steps back to the node it came from (subtree finished or
+    /// the target was already visited).
+    Retreat {
+        /// The walking agent.
+        agent: Id,
+    },
+}
+
+impl Message for DfsMsg {
+    fn size_bits(&self) -> u64 {
+        match self {
+            DfsMsg::Wakeup => TAG_BITS,
+            DfsMsg::Visit { agent } | DfsMsg::Retreat { agent } => TAG_BITS + id_bits(*agent),
+        }
+    }
+}
+
+/// Per-agent DFS bookkeeping left at a node ("the ID of each agent who has
+/// ever passed any node w is left in w").
+#[derive(Debug)]
+struct AgentEntry {
+    parent: Option<usize>,
+    next_port: usize,
+    /// Ports known to lead to nodes this agent already visited (marked when
+    /// the agent's `Visit` arrives from there) — the classic DFS marking
+    /// that keeps the walk at ≈ 2m steps.
+    skip: Vec<bool>,
+}
+
+/// What a hosted (waiting) agent will do at its next throttle tick.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Pending {
+    /// Continue exploring from this node.
+    Explore,
+    /// Step back through the given port.
+    RetreatVia(usize),
+}
+
+/// Per-node protocol state for Theorem 4.1.
+#[derive(Debug)]
+pub struct DfsAgent {
+    send_wakeup: bool,
+    own: Id,
+    min_seen: Id,
+    entries: HashMap<Id, AgentEntry>,
+    hosted: HashMap<Id, (Pending, u64)>,
+    out: PortOutbox<DfsMsg>,
+    status: Status,
+}
+
+impl DfsAgent {
+    /// A node instance. `send_wakeup` enables the wakeup-phase flood and
+    /// should match the run's wakeup mode (required under adversarial
+    /// wakeup, pure overhead under simultaneous wakeup).
+    pub fn new(own: Id, degree: usize, send_wakeup: bool) -> Self {
+        DfsAgent {
+            send_wakeup,
+            own,
+            min_seen: Id::MAX,
+            entries: HashMap::new(),
+            hosted: HashMap::new(),
+            out: PortOutbox::new(degree),
+            status: Status::Undecided,
+        }
+    }
+
+    fn rate(agent: Id) -> u64 {
+        1u64 << agent.min(RATE_EXPONENT_CAP)
+    }
+
+    /// The next throttle tick for `agent` strictly after `round`.
+    fn next_tick(agent: Id, round: u64) -> u64 {
+        let r = Self::rate(agent);
+        (round / r + 1) * r
+    }
+
+    fn note_agent(&mut self, agent: Id) {
+        if agent < self.min_seen {
+            self.min_seen = agent;
+            // Destroy every waiting agent with a larger identifier.
+            self.hosted.retain(|&id, _| id <= agent);
+            if self.own > agent {
+                self.status = Status::NonLeader;
+            }
+        }
+    }
+
+    /// One DFS move of a hosted agent; returns the message to send, or
+    /// `None` when the agent completed at its origin (leader!).
+    fn explore_step(
+        &mut self,
+        agent: Id,
+        degree: usize,
+    ) -> Option<(usize, DfsMsg)> {
+        let entry = self.entries.get_mut(&agent).expect("exploring unknown agent");
+        loop {
+            let p = entry.next_port;
+            if p >= degree {
+                return match entry.parent {
+                    Some(pp) => Some((pp, DfsMsg::Retreat { agent })),
+                    None => {
+                        // Full DFS complete at the origin.
+                        self.status = Status::Leader;
+                        None
+                    }
+                };
+            }
+            entry.next_port += 1;
+            if Some(p) == entry.parent || entry.skip[p] {
+                continue;
+            }
+            return Some((p, DfsMsg::Visit { agent }));
+        }
+    }
+}
+
+impl Protocol for DfsAgent {
+    type Msg = DfsMsg;
+
+    fn on_round(&mut self, ctx: &mut Context<'_, DfsMsg>, inbox: &[(usize, DfsMsg)]) {
+        let degree = ctx.degree();
+        let round = ctx.round();
+
+        if ctx.first_activation() {
+            if self.send_wakeup {
+                self.out.push_all(DfsMsg::Wakeup);
+            }
+            self.min_seen = self.own;
+            self.entries.insert(
+                self.own,
+                AgentEntry {
+                    parent: None,
+                    next_port: 0,
+                    skip: vec![false; degree],
+                },
+            );
+            self.hosted
+                .insert(self.own, (Pending::Explore, Self::next_tick(self.own, round)));
+        }
+
+        // Smaller agents first, so a bigger agent arriving in the same
+        // round is already doomed when processed.
+        let mut arrivals: Vec<(usize, DfsMsg)> = inbox
+            .iter()
+            .filter(|(_, m)| !matches!(m, DfsMsg::Wakeup))
+            .cloned()
+            .collect();
+        arrivals.sort_by_key(|(_, m)| match m {
+            DfsMsg::Visit { agent } | DfsMsg::Retreat { agent } => *agent,
+            DfsMsg::Wakeup => unreachable!(),
+        });
+
+        for (port, msg) in arrivals {
+            match msg {
+                DfsMsg::Visit { agent } => {
+                    if agent > self.min_seen {
+                        continue; // destroyed on arrival
+                    }
+                    self.note_agent(agent);
+                    match self.entries.get_mut(&agent) {
+                        Some(entry) => {
+                            // Already visited: the sender's port leads to
+                            // explored territory — mark it and retreat.
+                            entry.skip[port] = true;
+                            self.hosted.insert(
+                                agent,
+                                (Pending::RetreatVia(port), Self::next_tick(agent, round)),
+                            );
+                        }
+                        None => {
+                            self.entries.insert(
+                                agent,
+                                AgentEntry {
+                                    parent: Some(port),
+                                    next_port: 0,
+                                    skip: vec![false; degree],
+                                },
+                            );
+                            self.hosted
+                                .insert(agent, (Pending::Explore, Self::next_tick(agent, round)));
+                        }
+                    }
+                }
+                DfsMsg::Retreat { agent } => {
+                    if agent > self.min_seen {
+                        continue;
+                    }
+                    self.note_agent(agent);
+                    debug_assert!(
+                        self.entries.contains_key(&agent),
+                        "retreat for an agent that never passed here"
+                    );
+                    self.hosted
+                        .insert(agent, (Pending::Explore, Self::next_tick(agent, round)));
+                }
+                DfsMsg::Wakeup => {}
+            }
+        }
+
+        // Fire all due moves (ticks <= round), smallest agent first.
+        let mut due: Vec<Id> = self
+            .hosted
+            .iter()
+            .filter(|(_, &(_, tick))| tick <= round)
+            .map(|(&id, _)| id)
+            .collect();
+        due.sort_unstable();
+        for agent in due {
+            let (pending, _) = self.hosted.remove(&agent).expect("due agent vanished");
+            if agent > self.min_seen {
+                continue; // killed while waiting
+            }
+            match pending {
+                Pending::RetreatVia(p) => self.out.push(p, DfsMsg::Retreat { agent }),
+                Pending::Explore => {
+                    if let Some((p, msg)) = self.explore_step(agent, degree) {
+                        self.out.push(p, msg);
+                    }
+                }
+            }
+        }
+
+        // Keep the earliest remaining tick scheduled.
+        if let Some(&tick) = self.hosted.values().map(|(_, t)| t).min() {
+            ctx.wake_at(tick.max(round + 1));
+        }
+        self.out.flush(ctx);
+    }
+
+    fn status(&self) -> Status {
+        self.status
+    }
+}
+
+/// Runs the Theorem 4.1 election. `sim` must carry explicit identifiers;
+/// no knowledge of `n`, `m`, `D` is needed. Set `send_wakeup` when `sim`
+/// uses adversarial wakeup. The round cap in `sim` must accommodate
+/// `Θ(m · 2^{min id})` rounds — prefer small identifiers (the *time* is the
+/// algorithm's admitted weakness; the *messages* stay `O(m)` regardless).
+///
+/// # Examples
+///
+/// ```
+/// use ule_core::dfs_agent::elect;
+/// use ule_sim::SimConfig;
+/// use ule_graph::{gen, IdAssignment};
+///
+/// let g = gen::cycle(8)?;
+/// let cfg = SimConfig::seeded(0)
+///     .with_ids(IdAssignment::sequential(8))
+///     .with_max_rounds(u64::MAX / 4);
+/// let out = elect(&g, &cfg, false);
+/// assert!(out.election_succeeded());
+/// // The minimum identifier (1, at node 0) wins.
+/// assert_eq!(out.leader(), Some(0));
+/// // Theorem 4.1: no more than ~4m messages.
+/// assert!(out.messages <= 4 * g.edge_count() as u64 + 2 * 8);
+/// # Ok::<(), ule_graph::GraphError>(())
+/// ```
+pub fn elect(graph: &Graph, sim: &SimConfig, send_wakeup: bool) -> RunOutcome {
+    ule_sim::run(graph, sim, |_, setup, _| {
+        DfsAgent::new(
+            setup.id.expect("DFS agents require unique identifiers"),
+            setup.degree,
+            send_wakeup,
+        )
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ule_graph::{gen, Graph, IdAssignment};
+    use ule_sim::{Termination, Wakeup};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn cfg(n: usize, seed: u64) -> SimConfig {
+        SimConfig::seeded(seed)
+            .with_ids(IdAssignment::sequential(n))
+            .with_max_rounds(u64::MAX / 4)
+    }
+
+    #[test]
+    fn elects_min_id_on_every_family() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for fam in gen::Family::ALL {
+            let g = fam.build(20, &mut rng).unwrap();
+            let out = elect(&g, &cfg(g.len(), 0), false);
+            assert!(out.election_succeeded(), "family {fam}");
+            assert_eq!(out.leader(), Some(0), "family {fam}: min id must win");
+            assert_eq!(out.termination, Termination::Quiescent);
+        }
+    }
+
+    #[test]
+    fn message_bound_four_m_on_every_family() {
+        // The deterministic Theorem 4.1 bound, as a hard assertion.
+        let mut rng = StdRng::seed_from_u64(2);
+        for fam in gen::Family::ALL {
+            let g = fam.build(24, &mut rng).unwrap();
+            let out = elect(&g, &cfg(g.len(), 0), false);
+            let bound = 4 * g.edge_count() as u64 + 2 * g.len() as u64;
+            assert!(
+                out.messages <= bound,
+                "family {fam}: {} messages > {bound}",
+                out.messages
+            );
+        }
+    }
+
+    #[test]
+    fn time_exponential_in_min_id() {
+        // Shifting all identifiers up by k multiplies the time by ~2^k but
+        // leaves the message count identical (same walk, slower clock).
+        let g = gen::cycle(10).unwrap();
+        let lo = ule_sim::run(
+            &g,
+            &SimConfig::seeded(0)
+                .with_ids(IdAssignment::sequential_from(1, 10))
+                .with_max_rounds(u64::MAX / 4),
+            |_, setup, _| DfsAgent::new(setup.id.unwrap(), setup.degree, false),
+        );
+        let hi = ule_sim::run(
+            &g,
+            &SimConfig::seeded(0)
+                .with_ids(IdAssignment::sequential_from(5, 10))
+                .with_max_rounds(u64::MAX / 4),
+            |_, setup, _| DfsAgent::new(setup.id.unwrap(), setup.degree, false),
+        );
+        assert!(lo.election_succeeded() && hi.election_succeeded());
+        assert_eq!(lo.messages, hi.messages, "same walk, different clock");
+        assert!(
+            hi.rounds > 8 * lo.rounds,
+            "expected ≈16× slowdown, got {} vs {}",
+            hi.rounds,
+            lo.rounds
+        );
+    }
+
+    #[test]
+    fn min_id_placement_is_irrelevant_to_messages() {
+        // Adversarial placement of the minimum at the far end of a path.
+        let g = gen::path(16).unwrap();
+        let mut ids: Vec<u64> = (2..=16).collect();
+        ids.push(1); // node 15 holds the minimum
+        let out = ule_sim::run(
+            &g,
+            &SimConfig::seeded(0)
+                .with_ids(IdAssignment::new(ids))
+                .with_max_rounds(u64::MAX / 4),
+            |_, setup, _| DfsAgent::new(setup.id.unwrap(), setup.degree, false),
+        );
+        assert!(out.election_succeeded());
+        assert_eq!(out.leader(), Some(15));
+        assert!(out.messages <= 4 * g.edge_count() as u64 + 2 * g.len() as u64);
+    }
+
+    #[test]
+    fn adversarial_wakeup_with_wakeup_phase() {
+        let g = gen::grid(4, 4).unwrap();
+        let cfg = SimConfig::seeded(3)
+            .with_ids(IdAssignment::sequential(16))
+            .with_wakeup(Wakeup::Adversarial(vec![7]))
+            .with_max_rounds(u64::MAX / 4);
+        let out = elect(&g, &cfg, true);
+        assert!(out.election_succeeded());
+        assert_eq!(out.leader(), Some(0));
+        // Wakeup flood adds 2m; agents stay within the paper's 2D slack.
+        let m = g.edge_count() as u64;
+        assert!(out.messages <= 6 * m + 2 * 16 + 12);
+    }
+
+    #[test]
+    fn single_node_is_leader_immediately() {
+        let g = Graph::from_edges(1, &[]).unwrap();
+        let out = elect(&g, &cfg(1, 0), false);
+        assert!(out.election_succeeded());
+        assert_eq!(out.messages, 0);
+    }
+
+    #[test]
+    fn two_nodes() {
+        let g = Graph::from_edges(2, &[(0, 1)]).unwrap();
+        let out = elect(&g, &cfg(2, 0), false);
+        assert!(out.election_succeeded());
+        assert_eq!(out.leader(), Some(0));
+    }
+
+    #[test]
+    fn election_time_matches_2m_times_rate() {
+        // Leader decides at ≈ 2m·2^{min id} rounds (the paper's bound).
+        let g = gen::cycle(12).unwrap();
+        let out = elect(&g, &cfg(12, 0), false);
+        let m = g.edge_count() as u64;
+        let decided = out.last_status_change.unwrap();
+        assert!(
+            decided <= 2 * (2 * m) * 2 + 8,
+            "decided at {decided}, expected ≲ 4m·2^1"
+        );
+    }
+
+    #[test]
+    fn deterministic_regardless_of_seed() {
+        // A deterministic algorithm: different seeds, identical outcome.
+        let g = gen::torus(3, 3).unwrap();
+        let a = elect(&g, &cfg(9, 1), false);
+        let b = elect(&g, &cfg(9, 99), false);
+        assert_eq!(a.messages, b.messages);
+        assert_eq!(a.rounds, b.rounds);
+        assert_eq!(a.statuses, b.statuses);
+    }
+
+    #[test]
+    fn congest_compliant() {
+        let g = gen::complete(10).unwrap();
+        let out = elect(&g, &cfg(10, 0), false);
+        assert_eq!(out.congest_violations, 0);
+    }
+}

@@ -1,0 +1,54 @@
+//! # `ule-core` — universal leader election algorithms
+//!
+//! The primary contribution of *Kutten, Pandurangan, Peleg, Robinson,
+//! Trehan: "On the Complexity of Universal Leader Election"* (PODC 2013 /
+//! JACM 2015), implemented as distributed protocols over
+//! [`ule_sim`]'s synchronous CONGEST simulator:
+//!
+//! | Module | Paper result | Time | Messages | Knowledge |
+//! |---|---|---|---|---|
+//! | [`least_el`] | Thm 4.4 (+A, B) | `O(D)` | `O(m·min(log f(n), D))` | `n` |
+//! | [`size_estimate`] | Cor 4.5 | `O(D)` | `O(m·min(log n, D))` whp | — |
+//! | [`las_vegas`] | Cor 4.6 | exp. `O(D)` | exp. `O(m)` | `n, D` |
+//! | [`clustering`] | Thm 4.7 / Alg 1 | `O(D log n)` whp | `O(m + n log n)` whp | `n` |
+//! | [`dfs_agent`] | Thm 4.1 | unbounded | `O(m)` | — |
+//! | [`kingdom`] | Thm 4.10 / Alg 2 | `O(D log n)` | `O(m log n)` | (`D` variant) |
+//! | [`baseline`] | FloodMax; [20]-style `tole`; §1 coin flip | `O(D)` / `O(D)` / 1 | `O(mD)` / `O(m·min(n,D))` / 0 | `D` / — / `n` |
+//! | [`broadcast`] | Cor 3.12 workload | `O(D)` | `Θ(m)` | — |
+//! | [`explicit`] | explicit variant (footnote 1) | `+O(D)` | `+O(m)` | `n` |
+//!
+//! The spanner-based election matching both lower bounds on dense graphs
+//! (Corollary 4.2) lives in the `ule-spanner` crate; the lower-bound
+//! experiment harnesses live in `ule-lowerbound`.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use ule_core::least_el::{elect, LeastElConfig};
+//! use ule_sim::{Knowledge, SimConfig};
+//! use ule_graph::gen;
+//!
+//! let g = gen::hypercube(5)?;
+//! let sim = SimConfig::seeded(42).with_knowledge(Knowledge::n(g.len()));
+//! let out = elect(&g, &sim, &LeastElConfig::whp());
+//! assert!(out.election_succeeded());
+//! println!("leader {:?} in {} rounds, {} messages",
+//!          out.leader(), out.rounds, out.messages);
+//! # Ok::<(), ule_graph::GraphError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod baseline;
+pub mod broadcast;
+pub mod clustering;
+pub mod dfs_agent;
+pub mod explicit;
+pub mod kingdom;
+pub mod las_vegas;
+pub mod least_el;
+pub mod registry;
+pub mod size_estimate;
+pub mod wave;
+
+pub use registry::{Algorithm, AlgorithmSpec};

@@ -1,0 +1,547 @@
+//! The wave/echo engine shared by the Least-El family of algorithms.
+//!
+//! The paper's Least-El list election ([11], Section 4.2) floods candidate
+//! *ranks* and uses *echo* messages for termination detection. We realize
+//! each candidate's flood as a diffusing computation: a node adopts a wave
+//! iff its key beats everything seen so far, forwards it once to its other
+//! neighbours, and answers **every** received wave message exactly once —
+//! immediately (a *reject* echo) or when its subtree completes (a
+//! *complete* echo). Echoes carry a `clean` flag: `true` iff the whole
+//! subtree still considered this wave its best when echoing.
+//!
+//! **Exactly the minimum-key candidate's wave completes clean.** Its wave
+//! is never beaten, so every node either adopts it (and never changes best
+//! afterwards) or sees a duplicate (best == key ⇒ clean reject). Any other
+//! wave either reaches a node whose best is strictly smaller — an unclean
+//! reject — or would have to be adopted cleanly by *every* node, including
+//! the smaller candidate's origin, a contradiction. The origin of the
+//! minimum wave therefore self-elects on a clean completion, and everybody
+//! else learns they lost; this is the paper's echo-based termination
+//! without any knowledge of `D`.
+//!
+//! Per-node work matches Lemma 4.3: a node adopts one wave per strict
+//! improvement of its minimum — `O(min(log f(n), D))` adoptions in
+//! expectation for `f(n)` random-rank candidates — and each adoption costs
+//! one message per incident edge plus the echoes.
+//!
+//! The engine is topology-agnostic and supports *port masks* so the same
+//! code runs on the full graph, on a spanner subgraph (Corollary 4.2), or
+//! on the clustering overlay (Theorem 4.7).
+
+use std::collections::HashMap;
+use ule_sim::message::{id_bits, Message, TAG_BITS};
+use ule_sim::PortOutbox;
+use ule_graph::Port;
+
+/// The paper's rank space `[1, n⁴]`, saturating at `u64::MAX`.
+///
+/// Ranks drawn from a space of polynomial size are unique w.h.p. and fit
+/// in `O(log n)` bits — both facts the analysis of Section 4.2 uses.
+pub fn rank_space(n: usize) -> u64 {
+    let n = n as u128;
+    let sq = n.saturating_mul(n);
+    sq.saturating_mul(sq).min(u64::MAX as u128).max(2) as u64
+}
+
+/// A wave key: candidates flood the smallest. Ordered by `(rank, tie)`.
+///
+/// Ranks are drawn uniformly from `[1, n⁴]`; the tie is the node identifier
+/// when available (probability-1 uniqueness, as in Corollary 4.5) or an
+/// independent random draw in anonymous networks (unique w.h.p.).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Key {
+    /// Random rank, the primary comparison field.
+    pub rank: u64,
+    /// Tie breaker (identifier or random).
+    pub tie: u64,
+}
+
+/// Messages exchanged by the wave engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WaveMsg {
+    /// A candidate's flood, carrying its key.
+    Wave(Key),
+    /// The answer to one `Wave` message: `clean` is `true` iff the entire
+    /// answering subtree still held this wave as its best.
+    Echo {
+        /// Key of the wave being answered.
+        key: Key,
+        /// Whether the subtree stayed loyal to this wave.
+        clean: bool,
+    },
+}
+
+impl Message for WaveMsg {
+    fn size_bits(&self) -> u64 {
+        match self {
+            WaveMsg::Wave(k) => TAG_BITS + id_bits(k.rank) + id_bits(k.tie),
+            WaveMsg::Echo { key, .. } => TAG_BITS + id_bits(key.rank) + id_bits(key.tie) + 1,
+        }
+    }
+}
+
+/// Whether waves compete for the smallest or the largest key.
+///
+/// Minimization is the paper's Least-El convention; maximization lets
+/// identifier-valued keys stay `O(log n)` bits when the *largest*
+/// identifier should win (the Peleg-style time-optimal election), instead
+/// of wrapping them through an order-reversing constant that would inflate
+/// the wire size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Objective {
+    /// Smallest `(rank, tie)` wins (Least-El).
+    #[default]
+    Minimize,
+    /// Largest `(rank, tie)` wins.
+    Maximize,
+}
+
+/// Resolution of a candidate's own wave.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WaveOutcome {
+    /// Own wave completed with every echo clean: this node is the unique
+    /// minimum and elects itself.
+    Won,
+    /// Own wave was beaten (a smaller key was seen) or completed unclean,
+    /// or was suppressed at start because a smaller key was already known.
+    Lost,
+}
+
+#[derive(Debug)]
+struct WaveState {
+    parent: Option<Port>,
+    pending: usize,
+    clean: bool,
+}
+
+/// Per-node state of the wave/echo discipline.
+#[derive(Debug)]
+pub struct WaveCore {
+    allowed: Vec<bool>,
+    objective: Objective,
+    best: Option<Key>,
+    own: Option<Key>,
+    waves: HashMap<Key, WaveState>,
+    outcome: Option<WaveOutcome>,
+    adoptions: usize,
+}
+
+impl WaveCore {
+    /// An engine using all `degree` ports, minimizing.
+    pub fn new(degree: usize) -> Self {
+        Self::with_allowed(vec![true; degree])
+    }
+
+    /// An engine restricted to the ports marked `true` (the overlay /
+    /// spanner case). Messages arriving on masked ports panic — the
+    /// surrounding protocol must not feed them in.
+    pub fn with_allowed(allowed: Vec<bool>) -> Self {
+        WaveCore {
+            allowed,
+            objective: Objective::Minimize,
+            best: None,
+            own: None,
+            waves: HashMap::new(),
+            outcome: None,
+            adoptions: 0,
+        }
+    }
+
+    /// Builder-style: switch the competition objective.
+    pub fn with_objective(mut self, objective: Objective) -> Self {
+        self.objective = objective;
+        self
+    }
+
+    /// Whether `a` strictly beats `b` under the objective.
+    fn beats(&self, a: Key, b: Key) -> bool {
+        match self.objective {
+            Objective::Minimize => a < b,
+            Objective::Maximize => a > b,
+        }
+    }
+
+    fn allowed_degree(&self) -> usize {
+        self.allowed.iter().filter(|&&a| a).count()
+    }
+
+    /// The smallest key seen so far (own key included once started).
+    pub fn best(&self) -> Option<Key> {
+        self.best
+    }
+
+    /// This node's own key, if it started a wave.
+    pub fn own(&self) -> Option<Key> {
+        self.own
+    }
+
+    /// Resolution of the own wave, once known.
+    pub fn outcome(&self) -> Option<WaveOutcome> {
+        self.outcome
+    }
+
+    /// Number of waves this node adopted (for Lemma 4.3 instrumentation).
+    pub fn adoptions(&self) -> usize {
+        self.adoptions
+    }
+
+    /// Starts this node's own wave with `key`.
+    ///
+    /// If a strictly smaller key is already known the wave is suppressed
+    /// and the outcome is immediately [`WaveOutcome::Lost`]; the smaller
+    /// candidate's flood already dominates this region, so flooding a loser
+    /// would only waste messages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called twice.
+    pub fn start(&mut self, key: Key, out: &mut PortOutbox<WaveMsg>) {
+        assert!(self.own.is_none(), "wave already started");
+        self.own = Some(key);
+        if self.best.is_some_and(|b| !self.beats(key, b)) {
+            self.outcome = Some(WaveOutcome::Lost);
+            return;
+        }
+        self.best = Some(key);
+        self.adoptions += 1;
+        let fanout = self.allowed_degree();
+        self.waves.insert(
+            key,
+            WaveState {
+                parent: None,
+                pending: fanout,
+                clean: true,
+            },
+        );
+        if fanout == 0 {
+            // Single-node network: the wave trivially completes clean.
+            self.outcome = Some(WaveOutcome::Won);
+            return;
+        }
+        for (p, &ok) in self.allowed.iter().enumerate() {
+            if ok {
+                out.push(p, WaveMsg::Wave(key));
+            }
+        }
+    }
+
+    /// Feeds one round's inbox. Waves are processed smallest-first so a
+    /// round delivering several waves adopts only the best of them.
+    pub fn on_inbox(&mut self, inbox: &[(Port, WaveMsg)], out: &mut PortOutbox<WaveMsg>) {
+        let mut waves: Vec<(Port, Key)> = Vec::new();
+        for (port, msg) in inbox {
+            match msg {
+                WaveMsg::Wave(k) => waves.push((*port, *k)),
+                WaveMsg::Echo { key, clean } => self.on_echo(*key, *clean, out),
+            }
+        }
+        waves.sort_by_key(|&(_, k)| k);
+        if self.objective == Objective::Maximize {
+            waves.reverse();
+        }
+        for (port, key) in waves {
+            self.on_wave(port, key, out);
+        }
+    }
+
+    fn on_wave(&mut self, port: Port, key: Key, out: &mut PortOutbox<WaveMsg>) {
+        assert!(self.allowed[port], "wave arrived on masked port {port}");
+        match self.best {
+            Some(b) if !self.beats(key, b) => {
+                // Reject. Clean iff this is a duplicate of our current best
+                // (harmless), unclean iff we know something strictly
+                // smaller.
+                out.push(
+                    port,
+                    WaveMsg::Echo {
+                        key,
+                        clean: self.best == Some(key),
+                    },
+                );
+            }
+            _ => {
+                // Adopt.
+                self.best = Some(key);
+                self.adoptions += 1;
+                if self.own.is_some() && self.outcome.is_none() {
+                    self.outcome = Some(WaveOutcome::Lost);
+                }
+                let fanout = self.allowed_degree() - 1;
+                self.waves.insert(
+                    key,
+                    WaveState {
+                        parent: Some(port),
+                        pending: fanout,
+                        clean: true,
+                    },
+                );
+                if fanout == 0 {
+                    out.push(port, WaveMsg::Echo { key, clean: true });
+                } else {
+                    for (p, &ok) in self.allowed.iter().enumerate() {
+                        if ok && p != port {
+                            out.push(p, WaveMsg::Wave(key));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn on_echo(&mut self, key: Key, clean: bool, out: &mut PortOutbox<WaveMsg>) {
+        let finished = {
+            let st = self
+                .waves
+                .get_mut(&key)
+                .expect("echo for a wave we never forwarded");
+            debug_assert!(st.pending > 0, "more echoes than forwards");
+            st.pending -= 1;
+            st.clean &= clean;
+            st.pending == 0
+        };
+        if !finished {
+            return;
+        }
+        let st = &self.waves[&key];
+        let final_clean = st.clean && self.best == Some(key);
+        match st.parent {
+            None => {
+                // Our own wave completed.
+                self.outcome = Some(if final_clean {
+                    WaveOutcome::Won
+                } else {
+                    WaveOutcome::Lost
+                });
+            }
+            Some(parent) => out.push(
+                parent,
+                WaveMsg::Echo {
+                    key,
+                    clean: final_clean,
+                },
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(rank: u64, tie: u64) -> Key {
+        Key { rank, tie }
+    }
+
+    fn drain(out: &mut PortOutbox<WaveMsg>, degree: usize) -> Vec<(Port, WaveMsg)> {
+        let mut msgs = Vec::new();
+        loop {
+            let mut any = false;
+            for p in 0..degree {
+                if let Some(m) = out.pop(p) {
+                    msgs.push((p, m));
+                    any = true;
+                }
+            }
+            if !any {
+                break;
+            }
+        }
+        msgs
+    }
+
+    #[test]
+    fn key_ordering_is_lexicographic() {
+        assert!(key(1, 9) < key(2, 0));
+        assert!(key(1, 1) < key(1, 2));
+        assert_eq!(key(3, 3), key(3, 3));
+    }
+
+    #[test]
+    fn message_sizes() {
+        let w = WaveMsg::Wave(key(255, 3));
+        assert_eq!(w.size_bits(), 4 + 8 + 2);
+        let e = WaveMsg::Echo {
+            key: key(1, 1),
+            clean: true,
+        };
+        assert_eq!(e.size_bits(), 4 + 1 + 1 + 1);
+    }
+
+    #[test]
+    fn isolated_candidate_wins_immediately() {
+        let mut core = WaveCore::new(0);
+        let mut out = PortOutbox::new(0);
+        core.start(key(5, 5), &mut out);
+        assert_eq!(core.outcome(), Some(WaveOutcome::Won));
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn start_floods_all_allowed_ports() {
+        let mut core = WaveCore::new(3);
+        let mut out = PortOutbox::new(3);
+        core.start(key(5, 5), &mut out);
+        assert_eq!(out.len(), 3);
+        assert_eq!(core.best(), Some(key(5, 5)));
+        assert_eq!(core.outcome(), None);
+        assert_eq!(core.adoptions(), 1);
+    }
+
+    #[test]
+    fn masked_ports_excluded() {
+        let mut core = WaveCore::with_allowed(vec![true, false, true]);
+        let mut out = PortOutbox::new(3);
+        core.start(key(5, 5), &mut out);
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn suppressed_start_loses() {
+        let mut core = WaveCore::new(2);
+        let mut out = PortOutbox::new(2);
+        core.on_inbox(&[(0, WaveMsg::Wave(key(1, 1)))], &mut out);
+        core.start(key(9, 9), &mut out);
+        assert_eq!(core.outcome(), Some(WaveOutcome::Lost));
+        // Only the adopted wave's forward went out (port 1), nothing for
+        // the suppressed own wave.
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn degree_one_adoption_echoes_immediately() {
+        let mut core = WaveCore::new(1);
+        let mut out = PortOutbox::new(1);
+        core.on_inbox(&[(0, WaveMsg::Wave(key(2, 2)))], &mut out);
+        assert_eq!(out.len(), 1, "leaf answers its only wave at once");
+        assert_eq!(core.best(), Some(key(2, 2)));
+    }
+
+    #[test]
+    fn duplicate_of_best_rejected_clean() {
+        let mut core = WaveCore::new(2);
+        let mut out = PortOutbox::new(2);
+        core.on_inbox(&[(0, WaveMsg::Wave(key(2, 2)))], &mut out);
+        // Same key arrives from the other side: clean reject, the wave is
+        // still this node's best.
+        let mut out2 = PortOutbox::new(2);
+        core.on_inbox(&[(1, WaveMsg::Wave(key(2, 2)))], &mut out2);
+        let msgs = drain(&mut out2, 2);
+        assert_eq!(
+            msgs,
+            vec![(1, WaveMsg::Echo { key: key(2, 2), clean: true })]
+        );
+        // A strictly larger wave instead gets an unclean reject.
+        let mut out3 = PortOutbox::new(2);
+        core.on_inbox(&[(1, WaveMsg::Wave(key(8, 8)))], &mut out3);
+        let msgs = drain(&mut out3, 2);
+        assert_eq!(
+            msgs,
+            vec![(1, WaveMsg::Echo { key: key(8, 8), clean: false })]
+        );
+    }
+
+    #[test]
+    fn own_wave_completes_clean_and_wins() {
+        // Degree-2 candidate; both neighbours echo clean.
+        let mut core = WaveCore::new(2);
+        let mut out = PortOutbox::new(2);
+        core.start(key(1, 1), &mut out);
+        core.on_inbox(
+            &[
+                (0, WaveMsg::Echo { key: key(1, 1), clean: true }),
+                (1, WaveMsg::Echo { key: key(1, 1), clean: true }),
+            ],
+            &mut out,
+        );
+        assert_eq!(core.outcome(), Some(WaveOutcome::Won));
+    }
+
+    #[test]
+    fn unclean_echo_loses() {
+        let mut core = WaveCore::new(2);
+        let mut out = PortOutbox::new(2);
+        core.start(key(5, 5), &mut out);
+        core.on_inbox(
+            &[
+                (0, WaveMsg::Echo { key: key(5, 5), clean: false }),
+                (1, WaveMsg::Echo { key: key(5, 5), clean: true }),
+            ],
+            &mut out,
+        );
+        assert_eq!(core.outcome(), Some(WaveOutcome::Lost));
+    }
+
+    #[test]
+    fn beaten_candidate_loses_immediately_and_relays() {
+        let mut core = WaveCore::new(2);
+        let mut out = PortOutbox::new(2);
+        core.start(key(7, 7), &mut out);
+        core.on_inbox(&[(0, WaveMsg::Wave(key(3, 3)))], &mut out);
+        assert_eq!(core.outcome(), Some(WaveOutcome::Lost));
+        assert_eq!(core.best(), Some(key(3, 3)));
+        assert_eq!(core.adoptions(), 2);
+    }
+
+    #[test]
+    fn completion_with_changed_best_is_unclean_upstream() {
+        // Node adopts wave 5 from port 0, forwards to port 1; then adopts
+        // wave 3; when wave 5's subtree echo returns (even clean), the
+        // upstream echo for wave 5 must be unclean: this node defected.
+        let mut core = WaveCore::new(2);
+        let mut out = PortOutbox::new(2);
+        core.on_inbox(&[(0, WaveMsg::Wave(key(5, 5)))], &mut out);
+        core.on_inbox(&[(1, WaveMsg::Wave(key(3, 3)))], &mut out);
+        assert_eq!(core.best(), Some(key(3, 3)));
+        let _ = drain(&mut out, 2);
+        core.on_inbox(
+            &[(1, WaveMsg::Echo { key: key(5, 5), clean: true })],
+            &mut out,
+        );
+        let msgs = drain(&mut out, 2);
+        assert!(
+            msgs.contains(&(0, WaveMsg::Echo { key: key(5, 5), clean: false })),
+            "expected unclean completion echo to parent, got {msgs:?}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "wave already started")]
+    fn double_start_panics() {
+        let mut core = WaveCore::new(1);
+        let mut out = PortOutbox::new(1);
+        core.start(key(1, 1), &mut out);
+        core.start(key(2, 2), &mut out);
+    }
+
+    #[test]
+    #[should_panic(expected = "never forwarded")]
+    fn echo_for_unknown_wave_panics() {
+        let mut core = WaveCore::new(1);
+        let mut out = PortOutbox::new(1);
+        core.on_inbox(
+            &[(0, WaveMsg::Echo { key: key(9, 9), clean: true })],
+            &mut out,
+        );
+    }
+
+    #[test]
+    fn smallest_first_processing_saves_messages() {
+        // Two waves arrive in one round; the node must adopt only the
+        // smaller and reject the larger, not flood both.
+        let mut core = WaveCore::new(3);
+        let mut out = PortOutbox::new(3);
+        core.on_inbox(
+            &[(0, WaveMsg::Wave(key(9, 9))), (1, WaveMsg::Wave(key(2, 2)))],
+            &mut out,
+        );
+        assert_eq!(core.best(), Some(key(2, 2)));
+        assert_eq!(core.adoptions(), 1);
+        // Forward of key(2,2) to ports 0 and 2, reject echo of key(9,9) to
+        // port 0 → 3 messages.
+        let msgs = drain(&mut out, 3);
+        assert_eq!(msgs.len(), 3);
+        assert!(msgs.contains(&(0, WaveMsg::Wave(key(2, 2)))));
+        assert!(msgs.contains(&(2, WaveMsg::Wave(key(2, 2)))));
+        assert!(msgs.contains(&(0, WaveMsg::Echo { key: key(9, 9), clean: false })));
+    }
+}

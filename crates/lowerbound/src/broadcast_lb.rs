@@ -1,0 +1,123 @@
+//! Broadcast message lower bound — Corollary 3.12, empirically.
+//!
+//! Majority broadcast on a dumbbell forces a bridge crossing: the source's
+//! half holds exactly half the nodes, so reaching a strict majority
+//! requires informing somebody across a bridge. Flooding (the natural
+//! algorithm) pays `Θ(m)` messages; the experiment records both the
+//! messages spent before the crossing and the messages spent when a
+//! majority is first reached, as `m` grows.
+
+use ule_core::broadcast::{flood_broadcast, majority_informed};
+use ule_graph::dumbbell::{clique_path_base, BridgeOrientation, Dumbbell};
+use ule_sim::SimConfig;
+
+/// One dumbbell broadcast measurement.
+#[derive(Debug, Clone)]
+pub struct BroadcastRow {
+    /// Nodes per half.
+    pub half_n: usize,
+    /// Requested edges per half.
+    pub half_m: usize,
+    /// Actual dumbbell edge count.
+    pub m_actual: usize,
+    /// Messages sent through the first bridge-crossing round.
+    pub messages_through_crossing: u64,
+    /// Messages sent by the time a majority was informed.
+    pub messages_at_majority: u64,
+    /// Total messages of the full broadcast.
+    pub total_messages: u64,
+}
+
+/// Runs flooding broadcast from a clique node of the left half and
+/// measures crossing and majority costs.
+///
+/// The majority cost is found by re-running with growing truncation
+/// budgets until a strict majority is informed (the engine's truncation
+/// snapshot makes this exact).
+///
+/// # Panics
+///
+/// Panics if `(n, m)` violate the dumbbell preconditions.
+pub fn broadcast_run(n: usize, m: usize, e_idx: usize, seed: u64) -> BroadcastRow {
+    let (g0, openable) = clique_path_base(n, m).expect("valid (n, m)");
+    let e = openable[e_idx % openable.len()];
+    let d = Dumbbell::build(&g0, e, &g0, e, BridgeOrientation::Straight)
+        .expect("openable edges are never cut edges");
+    // The far end of the left half's path: maximally distant from the
+    // bridges, the honest "source must work to reach the majority" case.
+    let source = n - 1;
+
+    let full_cfg = SimConfig::seeded(seed).watching(&d.bridges);
+    let full = flood_broadcast(&d.graph, &full_cfg, source);
+    assert!(majority_informed(&full), "full flood must reach a majority");
+    let crossing_round = full
+        .watch_hits
+        .iter()
+        .flatten()
+        .map(|h| h.round)
+        .min()
+        .expect("flood must cross a bridge");
+    let crossing = full.messages_through(crossing_round);
+
+    let mut messages_at_majority = full.messages;
+    for t in 1.. {
+        let cfg = SimConfig::seeded(seed).with_max_rounds(t);
+        let out = flood_broadcast(&d.graph, &cfg, source);
+        if majority_informed(&out) {
+            messages_at_majority = out.messages;
+            break;
+        }
+        if t > full.rounds + 2 {
+            unreachable!("majority must be reached within the full run's rounds");
+        }
+    }
+
+    BroadcastRow {
+        half_n: n,
+        half_m: m,
+        m_actual: d.graph.edge_count(),
+        messages_through_crossing: crossing,
+        messages_at_majority,
+        total_messages: full.messages,
+    }
+}
+
+/// Sweeps dumbbell densities.
+pub fn broadcast_sweep(sizes: &[(usize, usize)], seed: u64) -> Vec<BroadcastRow> {
+    sizes
+        .iter()
+        .enumerate()
+        .map(|(i, &(n, m))| broadcast_run(n, m, i, seed + i as u64))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn majority_needs_crossing_level_messages() {
+        let row = broadcast_run(14, 40, 0, 1);
+        assert!(row.messages_through_crossing > 0);
+        assert!(row.messages_at_majority >= row.messages_through_crossing / 2);
+        assert!(row.total_messages >= row.messages_at_majority);
+    }
+
+    #[test]
+    fn majority_cost_grows_with_m() {
+        let rows = broadcast_sweep(&[(14, 20), (14, 60), (14, 90)], 3);
+        assert!(
+            rows[0].messages_at_majority < rows[2].messages_at_majority,
+            "majority cost must grow with m: {rows:?}"
+        );
+        // Shape: Ω(m) with a small constant.
+        for r in &rows {
+            assert!(
+                r.messages_at_majority as f64 >= r.half_m as f64 / 4.0,
+                "m={}: cost {}",
+                r.half_m,
+                r.messages_at_majority
+            );
+        }
+    }
+}

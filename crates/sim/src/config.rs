@@ -1,0 +1,186 @@
+//! Run configuration: communication model, identifiers, knowledge, wakeup.
+
+use crate::protocol::Knowledge;
+use ule_graph::{IdAssignment, NodeId};
+
+/// The communication model of a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Model {
+    /// CONGEST: one message of `O(log n)` bits per edge per round. The
+    /// per-message budget is `factor × ⌈log₂(n+1)⌉` bits; oversized
+    /// messages are delivered but counted as violations
+    /// ([`crate::engine::RunOutcome::congest_violations`]).
+    Congest {
+        /// Multiplier on `⌈log₂(n+1)⌉`; the paper's identifiers come from
+        /// `[1, n⁴]` (4 log n bits), so budgets below 4 are unusable. The
+        /// default is 16, roomy enough for a few fields per message.
+        factor: u64,
+    },
+    /// LOCAL: unbounded message size (the lower bounds hold even here).
+    Local,
+}
+
+impl Default for Model {
+    fn default() -> Self {
+        Model::Congest { factor: 16 }
+    }
+}
+
+impl Model {
+    /// The per-message bit budget on a graph of `n` nodes
+    /// (`u64::MAX` for LOCAL).
+    pub fn bit_budget(&self, n: usize) -> u64 {
+        match *self {
+            Model::Congest { factor } => {
+                let log_n = (usize::BITS - n.leading_zeros()) as u64;
+                factor * log_n.max(1)
+            }
+            Model::Local => u64::MAX,
+        }
+    }
+}
+
+/// Identifier mode of a run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IdMode {
+    /// Every node starts in the same state (no identifiers). The paper's
+    /// randomized algorithms run here too.
+    Anonymous,
+    /// Unique identifiers chosen (adversarially or at random) before the
+    /// run.
+    Explicit(IdAssignment),
+}
+
+/// Wakeup discipline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Wakeup {
+    /// All nodes wake at round 0 (the lower bounds hold even here).
+    Simultaneous,
+    /// Only the listed nodes wake at round 0; everyone else wakes on first
+    /// message receipt. The list must be non-empty.
+    Adversarial(Vec<NodeId>),
+}
+
+impl Default for Wakeup {
+    fn default() -> Self {
+        Wakeup::Simultaneous
+    }
+}
+
+/// Full configuration of one simulated execution.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Communication model (default CONGEST with factor 16).
+    pub model: Model,
+    /// What the nodes know (default: nothing).
+    pub knowledge: Knowledge,
+    /// Identifiers (default: anonymous).
+    pub ids: IdMode,
+    /// Wakeup discipline (default: simultaneous).
+    pub wakeup: Wakeup,
+    /// Seed for all node RNG streams; two runs with equal seeds and
+    /// configs are identical.
+    pub seed: u64,
+    /// Hard cap on simulated rounds; used both as a safety net and to
+    /// truncate runs for the Theorem 3.13 experiment.
+    pub max_rounds: u64,
+    /// Undirected edges to watch for first crossing (the dumbbell bridges
+    /// in the bridge-crossing experiments).
+    pub watch_edges: Vec<(NodeId, NodeId)>,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            model: Model::default(),
+            knowledge: Knowledge::NONE,
+            ids: IdMode::Anonymous,
+            wakeup: Wakeup::Simultaneous,
+            seed: 0,
+            max_rounds: 1_000_000,
+            watch_edges: Vec::new(),
+        }
+    }
+}
+
+impl SimConfig {
+    /// Default config with the given seed.
+    pub fn seeded(seed: u64) -> Self {
+        SimConfig {
+            seed,
+            ..SimConfig::default()
+        }
+    }
+
+    /// Builder-style: set knowledge.
+    pub fn with_knowledge(mut self, k: Knowledge) -> Self {
+        self.knowledge = k;
+        self
+    }
+
+    /// Builder-style: set identifiers.
+    pub fn with_ids(mut self, ids: IdAssignment) -> Self {
+        self.ids = IdMode::Explicit(ids);
+        self
+    }
+
+    /// Builder-style: set the round cap.
+    pub fn with_max_rounds(mut self, max_rounds: u64) -> Self {
+        self.max_rounds = max_rounds;
+        self
+    }
+
+    /// Builder-style: set the model.
+    pub fn with_model(mut self, model: Model) -> Self {
+        self.model = model;
+        self
+    }
+
+    /// Builder-style: set wakeup.
+    pub fn with_wakeup(mut self, wakeup: Wakeup) -> Self {
+        self.wakeup = wakeup;
+        self
+    }
+
+    /// Builder-style: watch an edge for first crossing.
+    pub fn watching(mut self, edges: &[(NodeId, NodeId)]) -> Self {
+        self.watch_edges.extend_from_slice(edges);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bit_budget_scales_with_n() {
+        let m = Model::Congest { factor: 16 };
+        assert_eq!(m.bit_budget(15), 16 * 4);
+        assert_eq!(m.bit_budget(16), 16 * 5);
+        assert_eq!(Model::Local.bit_budget(10), u64::MAX);
+    }
+
+    #[test]
+    fn builder_chain() {
+        let cfg = SimConfig::seeded(9)
+            .with_knowledge(Knowledge::n(4))
+            .with_max_rounds(10)
+            .with_model(Model::Local)
+            .with_wakeup(Wakeup::Adversarial(vec![0]))
+            .watching(&[(0, 1)]);
+        assert_eq!(cfg.seed, 9);
+        assert_eq!(cfg.knowledge.n, Some(4));
+        assert_eq!(cfg.max_rounds, 10);
+        assert_eq!(cfg.model, Model::Local);
+        assert_eq!(cfg.watch_edges, vec![(0, 1)]);
+    }
+
+    #[test]
+    fn defaults_are_sane() {
+        let cfg = SimConfig::default();
+        assert!(matches!(cfg.model, Model::Congest { factor: 16 }));
+        assert!(matches!(cfg.wakeup, Wakeup::Simultaneous));
+        assert!(matches!(cfg.ids, IdMode::Anonymous));
+    }
+}

@@ -1,0 +1,654 @@
+//! The synchronous round engine.
+//!
+//! Executes a [`Protocol`] at every node of a graph under a [`SimConfig`]:
+//! messages sent in round `r` arrive at the start of round `r+1`; nodes are
+//! activated when messages arrive or when they scheduled a wakeup; idle
+//! stretches are fast-forwarded (crucial for the Theorem 4.1 agents, which
+//! sleep exponentially long between moves); the run ends at quiescence or
+//! at the round cap (the truncation mechanism of the Theorem 3.13
+//! experiment).
+
+use crate::config::{IdMode, SimConfig, Wakeup};
+use crate::message::Message;
+use crate::protocol::{Context, NodeSetup, Protocol, Status};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use ule_graph::{Graph, NodeId, Port};
+
+/// Why the run stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Termination {
+    /// No messages in flight and no scheduled wakeups — the execution is
+    /// over for good.
+    Quiescent,
+    /// The round cap was reached; statuses are a truncation snapshot.
+    RoundLimit,
+}
+
+/// First crossing of a watched edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WatchHit {
+    /// Round in which the first message crossed the edge.
+    pub round: u64,
+    /// Number of messages sent anywhere in the network strictly before
+    /// that message — the "cost until bridge crossing" of Theorem 3.1.
+    pub messages_before: u64,
+}
+
+/// Everything measured during one execution.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// Number of rounds with activity (the last active round + 1).
+    pub rounds: u64,
+    /// Total messages sent.
+    pub messages: u64,
+    /// Total payload bits sent.
+    pub bits: u64,
+    /// Final status of every node.
+    pub statuses: Vec<Status>,
+    /// Why the run stopped.
+    pub termination: Termination,
+    /// Messages whose size exceeded the CONGEST budget.
+    pub congest_violations: u64,
+    /// Largest single message, in bits.
+    pub max_message_bits: u64,
+    /// Per watched edge (same order as `SimConfig::watch_edges`): the first
+    /// crossing, if any.
+    pub watch_hits: Vec<Option<WatchHit>>,
+    /// Round of first use of each directed edge (`u64::MAX` = never),
+    /// indexed by [`Graph::directed_index`]. Drives the Lemma 3.5
+    /// edge-ordering experiment.
+    pub first_directed_use: Vec<u64>,
+    /// Message count per directed edge, same indexing.
+    pub directed_message_counts: Vec<u64>,
+    /// The last round in which any node changed status (`None` if no node
+    /// ever decided).
+    pub last_status_change: Option<u64>,
+    /// Cumulative message totals at the end of each *active* round,
+    /// as `(round, total)` pairs in increasing round order. Supports the
+    /// Lemma 3.5 accounting, which counts messages sent up to and
+    /// including a crossing round.
+    pub round_totals: Vec<(u64, u64)>,
+}
+
+impl RunOutcome {
+    /// The elected node, if *exactly one* node holds status `Leader`.
+    pub fn leader(&self) -> Option<NodeId> {
+        let mut it = self
+            .statuses
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| **s == Status::Leader);
+        match (it.next(), it.next()) {
+            (Some((v, _)), None) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Number of nodes holding status `Leader`.
+    pub fn leader_count(&self) -> usize {
+        self.statuses.iter().filter(|s| **s == Status::Leader).count()
+    }
+
+    /// The paper's success predicate for implicit leader election: exactly
+    /// one `Leader`, every other node `NonLeader` (nobody `Undecided`).
+    pub fn election_succeeded(&self) -> bool {
+        self.leader_count() == 1
+            && self
+                .statuses
+                .iter()
+                .all(|s| !matches!(s, Status::Undecided))
+    }
+
+    /// Count of still-undecided nodes.
+    pub fn undecided_count(&self) -> usize {
+        self.statuses
+            .iter()
+            .filter(|s| matches!(s, Status::Undecided))
+            .count()
+    }
+
+    /// Total messages sent in rounds `<= round` — the quantity the
+    /// Lemma 3.5 counting argument bounds from below at a bridge crossing.
+    pub fn messages_through(&self, round: u64) -> u64 {
+        match self.round_totals.binary_search_by_key(&round, |&(r, _)| r) {
+            Ok(i) => self.round_totals[i].1,
+            Err(0) => 0,
+            Err(i) => self.round_totals[i - 1].1,
+        }
+    }
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E3779B97F4A7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
+    x ^ (x >> 31)
+}
+
+struct NodeSlot<P: Protocol> {
+    proto: P,
+    setup: NodeSetup,
+    rng: StdRng,
+    started: bool,
+    wake: Option<u64>,
+    inbox: Vec<(Port, P::Msg)>,
+    status: Status,
+}
+
+/// Runs `factory`-created protocol instances on `graph` under `config`.
+///
+/// `factory` is called once per node, in index order, with the node's
+/// index, its [`NodeSetup`], and its private RNG (already seeded); protocol
+/// logic must depend on the index only where the harness legitimately
+/// distinguishes roles (e.g. the designated broadcast source) — election
+/// protocols should ignore it.
+///
+/// # Panics
+///
+/// Panics if an explicit [`IdMode`] assignment does not cover the graph, or
+/// on protocol API misuse (double-send on a port, past wakeups).
+///
+/// # Examples
+///
+/// ```
+/// use ule_sim::{run, SimConfig, Protocol, Context, Status, message::Signal};
+/// use ule_graph::gen;
+///
+/// // A protocol that floods one signal and decides by degree parity.
+/// struct Demo { done: bool }
+/// impl Protocol for Demo {
+///     type Msg = Signal;
+///     fn on_round(&mut self, ctx: &mut Context<'_, Signal>, inbox: &[(usize, Signal)]) {
+///         if ctx.first_activation() { ctx.broadcast(Signal); }
+///         if !inbox.is_empty() { self.done = true; }
+///     }
+///     fn status(&self) -> Status {
+///         if self.done { Status::NonLeader } else { Status::Undecided }
+///     }
+/// }
+///
+/// let g = gen::cycle(8)?;
+/// let outcome = run(&g, &SimConfig::seeded(1), |_, _, _| Demo { done: false });
+/// assert_eq!(outcome.messages, 16);
+/// assert_eq!(outcome.rounds, 2);
+/// # Ok::<(), ule_graph::GraphError>(())
+/// ```
+pub fn run<P, F>(graph: &Graph, config: &SimConfig, mut factory: F) -> RunOutcome
+where
+    P: Protocol,
+    F: FnMut(NodeId, &NodeSetup, &mut StdRng) -> P,
+{
+    let n = graph.len();
+    let budget = config.model.bit_budget(n);
+
+    let ids: Vec<Option<u64>> = match &config.ids {
+        IdMode::Anonymous => vec![None; n],
+        IdMode::Explicit(a) => {
+            assert_eq!(a.len(), n, "identifier assignment does not cover the graph");
+            a.iter().map(|&id| Some(id)).collect()
+        }
+    };
+
+    let mut slots: Vec<NodeSlot<P>> = (0..n)
+        .map(|v| {
+            let setup = NodeSetup {
+                degree: graph.degree(v),
+                id: ids[v],
+                knowledge: config.knowledge,
+            };
+            let mut rng = StdRng::seed_from_u64(splitmix64(
+                config.seed ^ splitmix64(v as u64 + 0x5151_u64),
+            ));
+            let proto = factory(v, &setup, &mut rng);
+            NodeSlot {
+                proto,
+                setup,
+                rng,
+                started: false,
+                wake: None,
+                inbox: Vec::new(),
+                status: Status::Undecided,
+            }
+        })
+        .collect();
+
+    // Initial wakeup.
+    let initially_awake: Vec<NodeId> = match &config.wakeup {
+        Wakeup::Simultaneous => (0..n).collect(),
+        Wakeup::Adversarial(set) => {
+            assert!(!set.is_empty(), "at least one node must wake initially");
+            set.clone()
+        }
+    };
+    for &v in &initially_awake {
+        slots[v].wake = Some(0);
+    }
+
+    let watch: Vec<(NodeId, NodeId)> = config
+        .watch_edges
+        .iter()
+        .map(|&(a, b)| (a.min(b), a.max(b)))
+        .collect();
+    let mut watch_hits: Vec<Option<WatchHit>> = vec![None; watch.len()];
+
+    let mut messages: u64 = 0;
+    let mut bits: u64 = 0;
+    let mut congest_violations: u64 = 0;
+    let mut max_message_bits: u64 = 0;
+    let mut first_directed_use = vec![u64::MAX; graph.directed_edge_count()];
+    let mut directed_message_counts = vec![0u64; graph.directed_edge_count()];
+    let mut last_status_change: Option<u64> = None;
+    let mut round_totals: Vec<(u64, u64)> = Vec::new();
+
+    let mut outbox: Vec<(Port, P::Msg)> = Vec::new();
+    let mut sent_on: Vec<bool> = Vec::new();
+    // Messages staged for delivery next round: (dest, port-at-dest, msg).
+    let mut staged: Vec<(NodeId, Port, P::Msg)> = Vec::new();
+    let mut active: Vec<NodeId> = Vec::new();
+    let mut inbox_scratch: Vec<(Port, P::Msg)> = Vec::new();
+
+    let mut round: u64 = 0;
+    let mut rounds_used: u64 = 0;
+    let termination;
+
+    loop {
+        if round >= config.max_rounds {
+            termination = Termination::RoundLimit;
+            break;
+        }
+
+        active.clear();
+        for (v, slot) in slots.iter().enumerate() {
+            if !slot.inbox.is_empty() || slot.wake == Some(round) {
+                active.push(v);
+            }
+        }
+
+        if active.is_empty() {
+            // Fast-forward to the next scheduled wakeup, if any.
+            match slots.iter().filter_map(|s| s.wake).min() {
+                Some(next) => {
+                    debug_assert!(next > round);
+                    round = next;
+                    continue;
+                }
+                None => {
+                    termination = Termination::Quiescent;
+                    break;
+                }
+            }
+        }
+
+        rounds_used = round + 1;
+
+        for &v in &active {
+            let slot = &mut slots[v];
+            if slot.wake.map_or(false, |w| w <= round) {
+                slot.wake = None;
+            }
+            let first_activation = !slot.started;
+            slot.started = true;
+
+            inbox_scratch.clear();
+            inbox_scratch.append(&mut slot.inbox);
+
+            outbox.clear();
+            sent_on.clear();
+            sent_on.resize(slot.setup.degree, false);
+            let mut wake = slot.wake;
+            {
+                let mut ctx = Context {
+                    round,
+                    setup: &slot.setup,
+                    first_activation,
+                    rng: &mut slot.rng,
+                    outbox: &mut outbox,
+                    sent_on: &mut sent_on,
+                    wake: &mut wake,
+                };
+                slot.proto.on_round(&mut ctx, &inbox_scratch);
+            }
+            slot.wake = wake;
+
+            let new_status = slot.proto.status();
+            if new_status != slot.status {
+                slot.status = new_status;
+                last_status_change = Some(round);
+            }
+
+            for (port, msg) in outbox.drain(..) {
+                let (dest, dest_port) = graph.endpoint(v, port);
+                let sz = msg.size_bits();
+                messages += 1;
+                bits += sz;
+                max_message_bits = max_message_bits.max(sz);
+                if sz > budget {
+                    congest_violations += 1;
+                }
+                let didx = graph.directed_index(v, port);
+                directed_message_counts[didx] += 1;
+                if first_directed_use[didx] == u64::MAX {
+                    first_directed_use[didx] = round;
+                }
+                if !watch.is_empty() {
+                    let key = (v.min(dest), v.max(dest));
+                    for (w, hit) in watch.iter().zip(watch_hits.iter_mut()) {
+                        if *w == key && hit.is_none() {
+                            *hit = Some(WatchHit {
+                                round,
+                                messages_before: messages - 1,
+                            });
+                        }
+                    }
+                }
+                staged.push((dest, dest_port, msg));
+            }
+        }
+
+        for (dest, port, msg) in staged.drain(..) {
+            slots[dest].inbox.push((port, msg));
+        }
+
+        round_totals.push((round, messages));
+        round += 1;
+    }
+
+    RunOutcome {
+        rounds: rounds_used,
+        messages,
+        bits,
+        statuses: slots.iter().map(|s| s.status).collect(),
+        termination,
+        congest_violations,
+        max_message_bits,
+        watch_hits,
+        first_directed_use,
+        directed_message_counts,
+        last_status_change,
+        round_totals,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{Model, SimConfig, Wakeup};
+    use crate::message::{id_bits, Message, Signal};
+    use crate::protocol::{Context, Knowledge, Protocol, Status};
+    use ule_graph::{gen, IdAssignment};
+
+    /// Floods the maximum identifier for `deadline` rounds (mini FloodMax).
+    #[derive(Debug)]
+    struct MiniFloodMax {
+        best: u64,
+        deadline: u64,
+        decided: Status,
+    }
+
+    #[derive(Debug, Clone)]
+    struct IdMsg(u64);
+    impl Message for IdMsg {
+        fn size_bits(&self) -> u64 {
+            id_bits(self.0)
+        }
+    }
+
+    impl Protocol for MiniFloodMax {
+        type Msg = IdMsg;
+        fn on_round(&mut self, ctx: &mut Context<'_, IdMsg>, inbox: &[(usize, IdMsg)]) {
+            if ctx.first_activation() {
+                self.best = ctx.require_id();
+                ctx.broadcast(IdMsg(self.best));
+            }
+            let mut improved = false;
+            for (_, IdMsg(x)) in inbox {
+                if *x > self.best {
+                    self.best = *x;
+                    improved = true;
+                }
+            }
+            if improved {
+                ctx.broadcast(IdMsg(self.best));
+            }
+            if ctx.round() + 1 >= self.deadline {
+                self.decided = if self.best == ctx.require_id() {
+                    Status::Leader
+                } else {
+                    Status::NonLeader
+                };
+            } else {
+                ctx.wake_next();
+            }
+        }
+        fn status(&self) -> Status {
+            self.decided
+        }
+    }
+
+    fn flood_cfg(n: usize, _deadline: u64, seed: u64) -> SimConfig {
+        SimConfig::seeded(seed)
+            .with_ids(IdAssignment::sequential(n))
+            .with_knowledge(Knowledge::NONE)
+            .with_max_rounds(10_000)
+    }
+
+    fn flood(graph: &ule_graph::Graph, deadline: u64, seed: u64) -> RunOutcome {
+        let cfg = flood_cfg(graph.len(), deadline, seed);
+        run(graph, &cfg, |_, _, _| MiniFloodMax {
+            best: 0,
+            deadline,
+            decided: Status::Undecided,
+        })
+    }
+
+    #[test]
+    fn floodmax_elects_max_id_on_cycle() {
+        let g = gen::cycle(9).unwrap();
+        let out = flood(&g, 8, 3);
+        assert_eq!(out.termination, Termination::Quiescent);
+        assert!(out.election_succeeded());
+        // Sequential IDs: node 8 holds ID 9, the maximum.
+        assert_eq!(out.leader(), Some(8));
+    }
+
+    #[test]
+    fn floodmax_message_count_on_path_is_bounded() {
+        let g = gen::path(10).unwrap();
+        let out = flood(&g, 12, 0);
+        assert!(out.election_succeeded());
+        // Flooding max id on a path: at most O(m·D) messages.
+        assert!(out.messages <= 2 * 9 * 12);
+        assert!(out.messages >= 18, "initial broadcast alone is 18");
+    }
+
+    #[test]
+    fn truncation_snapshot() {
+        let g = gen::path(30).unwrap();
+        let out = flood(&g, 40, 0);
+        assert!(out.election_succeeded());
+        let cfg = flood_cfg(30, 40, 0).with_max_rounds(3);
+        let truncated = run(&g, &cfg, |_, _, _| MiniFloodMax {
+            best: 0,
+            deadline: 40,
+            decided: Status::Undecided,
+        });
+        assert_eq!(truncated.termination, Termination::RoundLimit);
+        assert!(!truncated.election_succeeded());
+        assert_eq!(truncated.undecided_count(), 30);
+    }
+
+    #[test]
+    fn determinism_by_seed() {
+        let g = gen::random_connected(20, 40, &mut {
+            use rand::SeedableRng;
+            rand::rngs::StdRng::seed_from_u64(5)
+        })
+        .unwrap();
+        let a = flood(&g, 25, 42);
+        let b = flood(&g, 25, 42);
+        assert_eq!(a.messages, b.messages);
+        assert_eq!(a.rounds, b.rounds);
+        assert_eq!(a.statuses, b.statuses);
+    }
+
+    #[test]
+    fn watch_edge_records_first_crossing() {
+        let g = gen::path(6).unwrap();
+        let cfg = flood_cfg(6, 10, 0).watching(&[(2, 3), (0, 1)]);
+        let out = run(&g, &cfg, |_, _, _| MiniFloodMax {
+            best: 0,
+            deadline: 10,
+            decided: Status::Undecided,
+        });
+        let hit = out.watch_hits[0].expect("edge (2,3) must be crossed");
+        assert_eq!(hit.round, 0, "initial broadcast crosses every edge");
+        let hit2 = out.watch_hits[1].unwrap();
+        assert_eq!(hit2.round, 0);
+    }
+
+    #[test]
+    fn first_use_and_counts_recorded() {
+        let g = gen::path(4).unwrap();
+        let out = flood(&g, 6, 0);
+        // Every directed edge is used at round 0 by the initial broadcast.
+        for v in g.nodes() {
+            for p in 0..g.degree(v) {
+                let idx = g.directed_index(v, p);
+                assert_eq!(out.first_directed_use[idx], 0);
+                assert!(out.directed_message_counts[idx] >= 1);
+            }
+        }
+        let total: u64 = out.directed_message_counts.iter().sum();
+        assert_eq!(total, out.messages);
+    }
+
+    #[test]
+    fn congest_accounting() {
+        let g = gen::path(3).unwrap();
+        // Budget factor 1 → 2 bits on n=3; IDs up to 3 need 2 bits → no
+        // violation; with huge IDs there are violations.
+        let cfg = SimConfig::seeded(0)
+            .with_ids(IdAssignment::new(vec![1 << 40, 2, 3]))
+            .with_model(Model::Congest { factor: 1 })
+            .with_max_rounds(100);
+        let out = run(&g, &cfg, |_, _, _| MiniFloodMax {
+            best: 0,
+            deadline: 4,
+            decided: Status::Undecided,
+        });
+        assert!(out.congest_violations > 0);
+        assert!(out.max_message_bits >= 41);
+        let local = SimConfig::seeded(0)
+            .with_ids(IdAssignment::new(vec![1 << 40, 2, 3]))
+            .with_model(Model::Local)
+            .with_max_rounds(100);
+        let out2 = run(&g, &local, |_, _, _| MiniFloodMax {
+            best: 0,
+            deadline: 4,
+            decided: Status::Undecided,
+        });
+        assert_eq!(out2.congest_violations, 0);
+    }
+
+    /// A protocol that sleeps a long time, to exercise fast-forwarding.
+    struct Sleeper {
+        until: u64,
+        fired: bool,
+    }
+    impl Protocol for Sleeper {
+        type Msg = Signal;
+        fn on_round(&mut self, ctx: &mut Context<'_, Signal>, _inbox: &[(usize, Signal)]) {
+            if ctx.first_activation() {
+                ctx.wake_at(self.until);
+            } else if ctx.round() == self.until {
+                self.fired = true;
+            }
+        }
+        fn status(&self) -> Status {
+            if self.fired {
+                Status::NonLeader
+            } else {
+                Status::Undecided
+            }
+        }
+    }
+
+    #[test]
+    fn fast_forward_skips_idle_rounds() {
+        let g = gen::path(2).unwrap();
+        let cfg = SimConfig::seeded(0).with_max_rounds(u64::MAX);
+        let start = std::time::Instant::now();
+        let out = run(&g, &cfg, |_, _, _| Sleeper {
+            until: 1_000_000_000,
+            fired: false,
+        });
+        assert!(start.elapsed().as_secs() < 5, "fast-forward failed");
+        assert_eq!(out.rounds, 1_000_000_001);
+        assert_eq!(out.undecided_count(), 0);
+        assert_eq!(out.termination, Termination::Quiescent);
+    }
+
+    #[test]
+    fn adversarial_wakeup_wakes_on_message() {
+        let g = gen::path(5).unwrap();
+        let cfg = SimConfig::seeded(0)
+            .with_ids(IdAssignment::sequential(5))
+            .with_wakeup(Wakeup::Adversarial(vec![0]))
+            .with_max_rounds(100);
+        // Node 0 floods; others forward on wakeup.
+        struct WakeFlood {
+            woken: bool,
+        }
+        impl Protocol for WakeFlood {
+            type Msg = Signal;
+            fn on_round(&mut self, ctx: &mut Context<'_, Signal>, inbox: &[(usize, Signal)]) {
+                if ctx.first_activation() {
+                    self.woken = true;
+                    if let Some(&(p, _)) = inbox.first() {
+                        ctx.broadcast_except(p, Signal);
+                    } else {
+                        ctx.broadcast(Signal);
+                    }
+                }
+            }
+            fn status(&self) -> Status {
+                if self.woken {
+                    Status::NonLeader
+                } else {
+                    Status::Undecided
+                }
+            }
+        }
+        let out = run(&g, &cfg, |_, _, _| WakeFlood { woken: false });
+        assert_eq!(out.undecided_count(), 0, "wake wave must reach everyone");
+        // Wave takes one round per hop: node 4 wakes in round 4.
+        assert_eq!(out.rounds, 5);
+    }
+
+    #[test]
+    fn messages_through_round_accumulates() {
+        let g = gen::path(6).unwrap();
+        let out = flood(&g, 8, 0);
+        assert_eq!(out.messages_through(0), 10, "round-0 broadcast is 2m");
+        assert_eq!(
+            out.messages_through(out.rounds),
+            out.messages,
+            "totals converge"
+        );
+        let mut prev = 0;
+        for &(_, cum) in &out.round_totals {
+            assert!(cum >= prev);
+            prev = cum;
+        }
+    }
+
+    #[test]
+    fn leader_count_helpers() {
+        let g = gen::cycle(5).unwrap();
+        let out = flood(&g, 6, 0);
+        assert_eq!(out.leader_count(), 1);
+        assert!(out.leader().is_some());
+        assert_eq!(out.undecided_count(), 0);
+    }
+}

@@ -1,0 +1,183 @@
+//! Monte Carlo trial harness.
+//!
+//! The paper's randomized claims are about success *probabilities* and
+//! *expected* costs; estimating them needs many independent runs. The
+//! functions here fan trials out over threads (crossbeam scoped threads; a
+//! simulation is single-threaded and deterministic, parallelism is across
+//! trials) and summarize outcomes.
+
+use crate::engine::RunOutcome;
+
+/// Runs `trials` independent executions of `f` (typically a closure that
+/// builds a seeded [`crate::SimConfig`] and calls [`crate::run`]), in
+/// parallel, preserving trial order in the result.
+///
+/// `f` receives the trial index; use it as the seed (or to derive one) so
+/// trials are independent and the whole experiment is reproducible.
+///
+/// # Examples
+///
+/// ```
+/// use ule_sim::harness::parallel_trials;
+///
+/// // A cheap stand-in for a real simulation call:
+/// let outcomes = parallel_trials(8, |t| t * 2);
+/// assert_eq!(outcomes, vec![0, 2, 4, 6, 8, 10, 12, 14]);
+/// ```
+pub fn parallel_trials<T, F>(trials: u64, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(u64) -> T + Sync,
+{
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(trials.max(1) as usize);
+    if threads <= 1 || trials <= 1 {
+        return (0..trials).map(f).collect();
+    }
+    let mut results: Vec<Option<T>> = (0..trials).map(|_| None).collect();
+    let chunk = trials.div_ceil(threads as u64) as usize;
+    crossbeam::thread::scope(|scope| {
+        for (i, slot_chunk) in results.chunks_mut(chunk).enumerate() {
+            let f = &f;
+            let base = (i * chunk) as u64;
+            scope.spawn(move |_| {
+                for (j, slot) in slot_chunk.iter_mut().enumerate() {
+                    *slot = Some(f(base + j as u64));
+                }
+            });
+        }
+    })
+    .expect("trial thread panicked");
+    results
+        .into_iter()
+        .map(|s| s.expect("every trial filled"))
+        .collect()
+}
+
+/// Aggregate statistics over a set of election runs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Summary {
+    /// Number of runs aggregated.
+    pub trials: u64,
+    /// Runs satisfying the implicit-election success predicate.
+    pub successes: u64,
+    /// Mean rounds across all runs.
+    pub mean_rounds: f64,
+    /// Mean messages across all runs.
+    pub mean_messages: f64,
+    /// Maximum rounds observed.
+    pub max_rounds: u64,
+    /// Maximum messages observed.
+    pub max_messages: u64,
+    /// Total CONGEST violations across runs (tests expect 0).
+    pub congest_violations: u64,
+}
+
+impl Summary {
+    /// Summarizes a batch of outcomes.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty batch.
+    pub fn from_outcomes(outcomes: &[RunOutcome]) -> Summary {
+        assert!(!outcomes.is_empty(), "cannot summarize zero runs");
+        let trials = outcomes.len() as u64;
+        let successes = outcomes.iter().filter(|o| o.election_succeeded()).count() as u64;
+        Summary {
+            trials,
+            successes,
+            mean_rounds: outcomes.iter().map(|o| o.rounds as f64).sum::<f64>() / trials as f64,
+            mean_messages: outcomes.iter().map(|o| o.messages as f64).sum::<f64>()
+                / trials as f64,
+            max_rounds: outcomes.iter().map(|o| o.rounds).max().unwrap(),
+            max_messages: outcomes.iter().map(|o| o.messages).max().unwrap(),
+            congest_violations: outcomes.iter().map(|o| o.congest_violations).sum(),
+        }
+    }
+
+    /// Empirical success probability.
+    pub fn success_rate(&self) -> f64 {
+        self.successes as f64 / self.trials as f64
+    }
+}
+
+impl std::fmt::Display for Summary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}/{} ok ({:.1}%), rounds {:.1} (max {}), msgs {:.1} (max {})",
+            self.successes,
+            self.trials,
+            100.0 * self.success_rate(),
+            self.mean_rounds,
+            self.max_rounds,
+            self.mean_messages,
+            self.max_messages
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{Termination, WatchHit};
+    use crate::protocol::Status;
+
+    fn fake_outcome(ok: bool, rounds: u64, messages: u64) -> RunOutcome {
+        RunOutcome {
+            rounds,
+            messages,
+            bits: messages * 8,
+            statuses: if ok {
+                vec![Status::Leader, Status::NonLeader]
+            } else {
+                vec![Status::NonLeader, Status::NonLeader]
+            },
+            termination: Termination::Quiescent,
+            congest_violations: 0,
+            max_message_bits: 8,
+            watch_hits: vec![None::<WatchHit>],
+            first_directed_use: vec![],
+            directed_message_counts: vec![],
+            last_status_change: Some(rounds.saturating_sub(1)),
+            round_totals: vec![(0, messages)],
+        }
+    }
+
+    #[test]
+    fn summary_math() {
+        let outs = vec![fake_outcome(true, 10, 100), fake_outcome(false, 20, 300)];
+        let s = Summary::from_outcomes(&outs);
+        assert_eq!(s.trials, 2);
+        assert_eq!(s.successes, 1);
+        assert!((s.mean_rounds - 15.0).abs() < 1e-9);
+        assert!((s.mean_messages - 200.0).abs() < 1e-9);
+        assert_eq!(s.max_rounds, 20);
+        assert_eq!(s.max_messages, 300);
+        assert!((s.success_rate() - 0.5).abs() < 1e-9);
+        assert!(format!("{s}").contains("1/2 ok"));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero runs")]
+    fn empty_summary_panics() {
+        Summary::from_outcomes(&[]);
+    }
+
+    #[test]
+    fn parallel_trials_order_and_coverage() {
+        let r = parallel_trials(100, |t| t * t);
+        assert_eq!(r.len(), 100);
+        for (i, v) in r.iter().enumerate() {
+            assert_eq!(*v, (i as u64) * (i as u64));
+        }
+    }
+
+    #[test]
+    fn parallel_single_trial() {
+        assert_eq!(parallel_trials(1, |t| t + 7), vec![7]);
+        assert_eq!(parallel_trials(0, |t| t), Vec::<u64>::new());
+    }
+}

@@ -1,0 +1,239 @@
+//! Chunked transport: sending payloads larger than one CONGEST message.
+//!
+//! Algorithm 1 (the clustering algorithm, Theorem 4.7) convergecasts
+//! *graphs* of `O(log² n)` bits over links that carry `O(log n)` bits per
+//! round; the paper notes "this might take multiple rounds". This module
+//! provides the mechanism: [`split_payload`] turns a word sequence into
+//! CONGEST-sized [`Frame`]s, and [`Assembler`] reassembles frames arriving
+//! on a port back into the original payload. Protocols embed [`Frame`] in
+//! their message enum and drain one frame per port per round.
+
+use crate::message::{uint_bits, Message, TAG_BITS};
+use std::collections::VecDeque;
+use ule_graph::Port;
+
+/// One chunk of a multi-round payload transfer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// Position of this frame in its payload (0-based).
+    pub seq: u32,
+    /// Whether this is the final frame of the payload.
+    pub last: bool,
+    /// The words carried by this frame.
+    pub words: Vec<u64>,
+}
+
+impl Message for Frame {
+    fn size_bits(&self) -> u64 {
+        TAG_BITS
+            + uint_bits(self.seq as u64)
+            + 1
+            + self.words.iter().map(|&w| uint_bits(w)).sum::<u64>()
+    }
+}
+
+/// Splits `payload` into frames of at most `words_per_frame` words.
+///
+/// An empty payload yields a single empty final frame, so that receivers
+/// always observe a complete transfer.
+///
+/// # Panics
+///
+/// Panics if `words_per_frame == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use ule_sim::transport::{split_payload, Assembler};
+///
+/// let frames = split_payload(&[10, 20, 30, 40, 50], 2);
+/// assert_eq!(frames.len(), 3);
+/// let mut asm = Assembler::new(1);
+/// let mut result = None;
+/// for f in frames {
+///     if let Some(p) = asm.accept(0, f) { result = Some(p); }
+/// }
+/// assert_eq!(result.unwrap(), vec![10, 20, 30, 40, 50]);
+/// ```
+pub fn split_payload(payload: &[u64], words_per_frame: usize) -> Vec<Frame> {
+    assert!(words_per_frame > 0, "frames must carry at least one word");
+    if payload.is_empty() {
+        return vec![Frame {
+            seq: 0,
+            last: true,
+            words: Vec::new(),
+        }];
+    }
+    let total = payload.len().div_ceil(words_per_frame);
+    payload
+        .chunks(words_per_frame)
+        .enumerate()
+        .map(|(i, chunk)| Frame {
+            seq: i as u32,
+            last: i + 1 == total,
+            words: chunk.to_vec(),
+        })
+        .collect()
+}
+
+/// Per-port reassembly of framed payloads.
+///
+/// Frames on one port must arrive in order (the synchronous model
+/// guarantees this when the sender emits one frame per round); interleaving
+/// across ports is fine.
+#[derive(Debug)]
+pub struct Assembler {
+    partial: Vec<Vec<u64>>,
+    expect: Vec<u32>,
+}
+
+impl Assembler {
+    /// An assembler for a node with `degree` ports.
+    pub fn new(degree: usize) -> Self {
+        Assembler {
+            partial: vec![Vec::new(); degree],
+            expect: vec![0; degree],
+        }
+    }
+
+    /// Accepts one frame from `port`; returns the complete payload when the
+    /// final frame arrives.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-order frames (a protocol bug under the synchronous
+    /// model) or an out-of-range port.
+    pub fn accept(&mut self, port: Port, frame: Frame) -> Option<Vec<u64>> {
+        assert!(
+            frame.seq == self.expect[port],
+            "out-of-order frame on port {port}: got {}, expected {}",
+            frame.seq,
+            self.expect[port]
+        );
+        self.expect[port] += 1;
+        self.partial[port].extend_from_slice(&frame.words);
+        if frame.last {
+            self.expect[port] = 0;
+            Some(std::mem::take(&mut self.partial[port]))
+        } else {
+            None
+        }
+    }
+}
+
+/// A per-port outgoing frame queue: enqueue whole payloads, drain one frame
+/// per round (respecting the one-message-per-edge-per-round rule).
+#[derive(Debug)]
+pub struct FrameQueue {
+    queues: Vec<VecDeque<Frame>>,
+}
+
+impl FrameQueue {
+    /// A queue set for a node with `degree` ports.
+    pub fn new(degree: usize) -> Self {
+        FrameQueue {
+            queues: vec![VecDeque::new(); degree],
+        }
+    }
+
+    /// Enqueues `payload` for transmission on `port`.
+    pub fn enqueue(&mut self, port: Port, payload: &[u64], words_per_frame: usize) {
+        self.queues[port].extend(split_payload(payload, words_per_frame));
+    }
+
+    /// Pops the next frame to send on `port` this round, if any.
+    pub fn pop(&mut self, port: Port) -> Option<Frame> {
+        self.queues[port].pop_front()
+    }
+
+    /// Whether any port still has frames queued.
+    pub fn is_idle(&self) -> bool {
+        self.queues.iter().all(VecDeque::is_empty)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_sizes() {
+        let frames = split_payload(&[1, 2, 3, 4, 5, 6, 7], 3);
+        assert_eq!(frames.len(), 3);
+        assert_eq!(frames[0].words, vec![1, 2, 3]);
+        assert!(!frames[0].last);
+        assert_eq!(frames[2].words, vec![7]);
+        assert!(frames[2].last);
+    }
+
+    #[test]
+    fn empty_payload_single_frame() {
+        let frames = split_payload(&[], 4);
+        assert_eq!(frames.len(), 1);
+        assert!(frames[0].last);
+        let mut asm = Assembler::new(1);
+        assert_eq!(asm.accept(0, frames[0].clone()), Some(vec![]));
+    }
+
+    #[test]
+    fn interleaved_ports_reassemble() {
+        let a = split_payload(&[1, 2, 3], 1);
+        let b = split_payload(&[9, 8], 1);
+        let mut asm = Assembler::new(2);
+        assert_eq!(asm.accept(0, a[0].clone()), None);
+        assert_eq!(asm.accept(1, b[0].clone()), None);
+        assert_eq!(asm.accept(0, a[1].clone()), None);
+        assert_eq!(asm.accept(1, b[1].clone()), Some(vec![9, 8]));
+        assert_eq!(asm.accept(0, a[2].clone()), Some(vec![1, 2, 3]));
+    }
+
+    #[test]
+    fn assembler_reuses_port_after_completion() {
+        let mut asm = Assembler::new(1);
+        for _ in 0..3 {
+            let frames = split_payload(&[5, 6], 1);
+            let mut out = None;
+            for f in frames {
+                out = asm.accept(0, f).or(out);
+            }
+            assert_eq!(out, Some(vec![5, 6]));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out-of-order")]
+    fn out_of_order_panics() {
+        let frames = split_payload(&[1, 2, 3], 1);
+        let mut asm = Assembler::new(1);
+        asm.accept(0, frames[1].clone());
+    }
+
+    #[test]
+    fn frame_queue_drains_one_per_round() {
+        let mut q = FrameQueue::new(2);
+        q.enqueue(0, &[1, 2, 3, 4], 2);
+        q.enqueue(1, &[7], 2);
+        assert!(!q.is_idle());
+        assert_eq!(q.pop(0).unwrap().words, vec![1, 2]);
+        assert_eq!(q.pop(1).unwrap().words, vec![7]);
+        assert_eq!(q.pop(1), None);
+        assert_eq!(q.pop(0).unwrap().words, vec![3, 4]);
+        assert!(q.is_idle());
+    }
+
+    #[test]
+    fn frame_sizes_accounted() {
+        let f = Frame {
+            seq: 3,
+            last: false,
+            words: vec![0xFF, 1],
+        };
+        assert!(f.size_bits() >= 4 + 2 + 1 + 8 + 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one word")]
+    fn zero_chunk_panics() {
+        split_payload(&[1], 0);
+    }
+}

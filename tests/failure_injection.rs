@@ -1,0 +1,127 @@
+//! Failure injection: truncation, candidate droughts, adversarial wakeup
+//! and placement — the ways a run is *supposed* to degrade, observed.
+
+use ule_core::las_vegas::{elect as lv_elect, LasVegasConfig};
+use ule_core::least_el::{elect as le_elect, LeastElConfig};
+use ule_core::Algorithm;
+use ule_graph::{analysis, gen, IdAssignment};
+use ule_sim::harness::{parallel_trials, Summary};
+use ule_sim::{Knowledge, SimConfig, Status, Termination, Wakeup};
+
+#[test]
+fn truncated_runs_report_round_limit_and_partial_state() {
+    let g = gen::path(40).unwrap();
+    let mut cfg = Algorithm::LeastElAll.config_for(&g, 0);
+    cfg.max_rounds = 3;
+    let out = Algorithm::LeastElAll.run_with(&g, &cfg);
+    assert_eq!(out.termination, Termination::RoundLimit);
+    assert!(!out.election_succeeded());
+    assert_eq!(out.leader_count(), 0, "nobody can win in 3 rounds on a 40-path");
+}
+
+#[test]
+fn zero_candidate_drought_is_a_clean_failure() {
+    let g = gen::cycle(16).unwrap();
+    let cfg = SimConfig::seeded(5).with_knowledge(Knowledge::n(16));
+    let out = le_elect(&g, &cfg, &LeastElConfig::expected_candidates(1e-9));
+    assert_eq!(out.messages, 0);
+    assert_eq!(out.leader_count(), 0);
+    assert!(out.statuses.iter().all(|s| *s == Status::NonLeader));
+    assert_eq!(out.termination, Termination::Quiescent);
+}
+
+#[test]
+fn las_vegas_recovers_from_droughts() {
+    // Candidate probability so small that several epochs are silent; the
+    // restart machinery must still converge to exactly one leader.
+    let g = gen::cycle(12).unwrap();
+    let d = analysis::diameter_exact(&g).unwrap() as usize;
+    let lv = LasVegasConfig {
+        expected_candidates: 0.05,
+        epoch_factor: 3,
+    };
+    let outs = parallel_trials(25, |t| {
+        let cfg = SimConfig::seeded(t).with_knowledge(Knowledge::n_and_diameter(12, d));
+        lv_elect(&g, &cfg, &lv)
+    });
+    let s = Summary::from_outcomes(&outs);
+    assert_eq!(s.successes, 25, "Las Vegas must absorb droughts: {s}");
+    // At least one run must actually have needed more than one epoch.
+    let epoch_len = 3 * d as u64 + 4;
+    assert!(
+        outs.iter().any(|o| o.rounds > epoch_len),
+        "test should exercise the restart path"
+    );
+}
+
+#[test]
+fn single_initiator_adversarial_wakeup() {
+    let g = gen::path(30).unwrap();
+    for waker in [0usize, 15, 29] {
+        let cfg = SimConfig::seeded(2)
+            .with_knowledge(Knowledge::n(30))
+            .with_wakeup(Wakeup::Adversarial(vec![waker]));
+        let out = le_elect(&g, &cfg, &LeastElConfig::all_candidates());
+        assert!(out.election_succeeded(), "waker at {waker}");
+    }
+}
+
+#[test]
+fn dfs_agents_with_adversarial_wakeup_and_min_far_away() {
+    // Wakeup starts at one end; the minimum identifier sits at the other.
+    let g = gen::path(20).unwrap();
+    let mut ids: Vec<u64> = (2..=20).collect();
+    ids.push(1);
+    let cfg = SimConfig::seeded(0)
+        .with_ids(IdAssignment::new(ids))
+        .with_wakeup(Wakeup::Adversarial(vec![0]))
+        .with_max_rounds(u64::MAX / 4);
+    let out = ule_core::dfs_agent::elect(&g, &cfg, true);
+    assert!(out.election_succeeded());
+    assert_eq!(out.leader(), Some(19));
+    // Wakeup flood (2m) + walk (≤ 4m + 2n) + pre-wakeup drift (≤ 2D).
+    let m = g.edge_count() as u64;
+    let bound = 6 * m + 2 * 20 + 2 * 19;
+    assert!(out.messages <= bound, "{} > {bound}", out.messages);
+}
+
+#[test]
+fn coin_flip_failure_modes_are_the_expected_ones() {
+    let g = gen::cycle(50).unwrap();
+    let outs = parallel_trials(600, |t| Algorithm::CoinFlip.run(&g, t));
+    let zero = outs.iter().filter(|o| o.leader_count() == 0).count() as f64;
+    let one = outs.iter().filter(|o| o.leader_count() == 1).count() as f64;
+    let multi = outs.iter().filter(|o| o.leader_count() >= 2).count() as f64;
+    let total = outs.len() as f64;
+    // P(0) ≈ 1/e ≈ P(1); P(≥2) ≈ 1 − 2/e ≈ 0.26.
+    assert!((zero / total - 0.368).abs() < 0.07, "P(0 leaders) = {}", zero / total);
+    assert!((one / total - 0.368).abs() < 0.07, "P(1 leader) = {}", one / total);
+    assert!((multi / total - 0.264).abs() < 0.07, "P(2+) = {}", multi / total);
+}
+
+#[test]
+fn truncation_sweep_is_monotone_for_flood_broadcast() {
+    let g = gen::path(20).unwrap();
+    let mut last = 0;
+    for t in [1u64, 3, 6, 10, 20] {
+        let cfg = SimConfig::seeded(0).with_max_rounds(t);
+        let out = ule_core::broadcast::flood_broadcast(&g, &cfg, 0);
+        let covered = ule_core::broadcast::informed_count(&out);
+        assert!(covered >= last, "coverage must be monotone in budget");
+        last = covered;
+    }
+    assert_eq!(last, 20);
+}
+
+#[test]
+fn kingdom_survives_stress_reseeding() {
+    // The deterministic kingdom algorithm under many identifier draws —
+    // each defines a different collision structure.
+    let g = gen::grid(5, 5).unwrap();
+    for seed in 0..12u64 {
+        let out = Algorithm::KingdomKnownD.run(&g, seed);
+        assert!(out.election_succeeded(), "seed {seed}");
+        let out = Algorithm::KingdomDoubling.run(&g, seed);
+        assert!(out.election_succeeded(), "doubling seed {seed}");
+    }
+}

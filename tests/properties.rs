@@ -1,0 +1,187 @@
+//! Property-based tests (proptest): invariants over random graphs, seeds,
+//! and construction parameters.
+
+use proptest::prelude::*;
+use ule_core::Algorithm;
+use ule_graph::clique_cycle::CliqueCycle;
+use ule_graph::dumbbell::{clique_path_base, BridgeOrientation, Dumbbell};
+use ule_graph::{analysis, gen, Graph};
+use ule_sim::{Knowledge, SimConfig};
+
+/// A random connected graph strategy: (n, extra edge factor, seed).
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (4usize..40, 0usize..3, 0u64..1000).prop_map(|(n, density, seed)| {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let max_m = n * (n - 1) / 2;
+        let m = (n - 1 + density * n).min(max_m);
+        gen::random_connected(n, m, &mut rng).unwrap()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn least_el_all_always_elects(g in arb_graph(), seed in 0u64..500) {
+        let out = Algorithm::LeastElAll.run(&g, seed);
+        prop_assert!(out.election_succeeded());
+        prop_assert_eq!(out.congest_violations, 0);
+    }
+
+    #[test]
+    fn size_estimate_always_elects(g in arb_graph(), seed in 0u64..500) {
+        let out = Algorithm::SizeEstimate.run(&g, seed);
+        prop_assert!(out.election_succeeded());
+    }
+
+    #[test]
+    fn las_vegas_always_elects(g in arb_graph(), seed in 0u64..500) {
+        let out = Algorithm::LasVegas.run(&g, seed);
+        prop_assert!(out.election_succeeded());
+    }
+
+    #[test]
+    fn dfs_message_bound_is_hard(g in arb_graph()) {
+        // Theorem 4.1's deterministic bound, as an inviolable property:
+        // messages <= 4m + 2n under simultaneous wakeup.
+        let out = Algorithm::DfsAgent.run(&g, 0);
+        prop_assert!(out.election_succeeded());
+        let bound = 4 * g.edge_count() as u64 + 2 * g.len() as u64;
+        prop_assert!(
+            out.messages <= bound,
+            "{} messages > 4m + 2n = {}", out.messages, bound
+        );
+    }
+
+    #[test]
+    fn kingdom_elects_max_id(g in arb_graph(), seed in 0u64..100) {
+        let cfg = Algorithm::KingdomKnownD.config_for(&g, seed);
+        let ids = match &cfg.ids {
+            ule_sim::IdMode::Explicit(a) => a.clone(),
+            _ => unreachable!(),
+        };
+        let out = Algorithm::KingdomKnownD.run_with(&g, &cfg);
+        prop_assert!(out.election_succeeded());
+        prop_assert_eq!(out.leader(), Some(ids.argmax()));
+    }
+
+    #[test]
+    fn least_el_time_is_linear_in_d(g in arb_graph(), seed in 0u64..100) {
+        let d = analysis::diameter_exact(&g).unwrap().max(1) as u64;
+        let out = Algorithm::LeastElAll.run(&g, seed);
+        prop_assert!(out.election_succeeded());
+        prop_assert!(
+            out.rounds <= 6 * d + 10,
+            "rounds {} vs D {}", out.rounds, d
+        );
+    }
+
+    #[test]
+    fn dumbbell_structure(n in 6usize..20, m_extra in 0usize..40, el in 0usize..50, er in 0usize..50) {
+        let m = (n + m_extra).min(n * (n - 1) / 2);
+        let (g0, openable) = clique_path_base(n, m).unwrap();
+        prop_assume!(!openable.is_empty());
+        let d = Dumbbell::build(
+            &g0,
+            openable[el % openable.len()],
+            &g0,
+            openable[er % openable.len()],
+            BridgeOrientation::Straight,
+        ).unwrap();
+        // Node/edge conservation.
+        prop_assert_eq!(d.graph.len(), 2 * g0.len());
+        prop_assert_eq!(d.graph.edge_count(), 2 * g0.edge_count());
+        prop_assert!(d.graph.is_connected());
+        // Degrees preserved exactly.
+        for v in 0..g0.len() {
+            prop_assert_eq!(d.graph.degree(v), g0.degree(v));
+            prop_assert_eq!(d.graph.degree(v + g0.len()), g0.degree(v));
+        }
+        // Both bridges exist and connect opposite sides.
+        for (a, b) in d.bridges {
+            prop_assert!(d.graph.has_edge(a, b));
+            prop_assert_ne!(d.side(a), d.side(b));
+        }
+    }
+
+    #[test]
+    fn dumbbell_diameter_invariance(el in 0usize..30, er in 0usize..30) {
+        // The "weaker algorithms" fix of Theorem 3.1: diameter does not
+        // depend on which clique edges were opened.
+        let (g0, openable) = clique_path_base(12, 26).unwrap();
+        let build = |i: usize, j: usize| {
+            let d = Dumbbell::build(
+                &g0, openable[i % openable.len()],
+                &g0, openable[j % openable.len()],
+                BridgeOrientation::Straight,
+            ).unwrap();
+            analysis::diameter_exact(&d.graph).unwrap()
+        };
+        prop_assert_eq!(build(el, er), build(0, 1));
+    }
+
+    #[test]
+    fn clique_cycle_structure(n in 10usize..120, d in 3usize..20) {
+        prop_assume!(d < n);
+        let cc = CliqueCycle::build(n, d).unwrap();
+        prop_assert_eq!(cc.d_prime % 4, 0);
+        prop_assert!(cc.graph.len() >= n);
+        prop_assert_eq!(cc.graph.len(), cc.gamma * cc.d_prime);
+        prop_assert!(cc.graph.is_connected());
+        // Rotation is an automorphism of order 4.
+        for &(u, v) in cc.graph.edges() {
+            prop_assert!(cc.graph.has_edge(cc.rotate(u), cc.rotate(v)));
+        }
+        // Diameter is Θ(D').
+        let diam = analysis::diameter_exact(&cc.graph).unwrap() as usize;
+        prop_assert!(diam >= cc.d_prime / 2);
+        prop_assert!(diam <= 2 * cc.d_prime);
+    }
+
+    #[test]
+    fn spanner_stretch_property(seed in 0u64..200, k in 2u32..5) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let g = gen::random_connected(24, 90, &mut rng).unwrap();
+        let sim = SimConfig::seeded(seed).with_knowledge(Knowledge::n(g.len()));
+        let sc = ule_spanner::SpannerConfig { k };
+        let (out, edges) = ule_spanner::elect_probed(&g, &sim, &sc);
+        prop_assert!(out.election_succeeded());
+        let sp = Graph::from_edges(g.len(), &edges).unwrap();
+        prop_assert!(sp.is_connected());
+        for &(u, v) in g.edges() {
+            let dist = analysis::bfs_distances(&sp, u)[v];
+            prop_assert!(dist <= sc.stretch(), "stretch {} > {}", dist, sc.stretch());
+        }
+    }
+
+    #[test]
+    fn broadcast_covers_and_counts(g in arb_graph(), src_raw in 0usize..100) {
+        let src = src_raw % g.len();
+        let out = ule_core::broadcast::flood_broadcast(&g, &SimConfig::seeded(0), src);
+        prop_assert_eq!(ule_core::broadcast::informed_count(&out), g.len());
+        prop_assert_eq!(
+            out.messages,
+            2 * g.edge_count() as u64 - (g.len() as u64 - 1)
+        );
+        // Coverage completes within ecc rounds; the last forwarded copies
+        // are absorbed (without reply) one round later.
+        let ecc = analysis::eccentricity(&g, src).unwrap() as u64;
+        prop_assert!(out.rounds <= ecc + 2);
+    }
+
+    #[test]
+    fn truncation_never_reports_quiescence_early(g in arb_graph(), t in 1u64..10) {
+        let mut cfg = Algorithm::LeastElAll.config_for(&g, 3);
+        cfg.max_rounds = t;
+        let full = Algorithm::LeastElAll.run(&g, 3);
+        let cut = Algorithm::LeastElAll.run_with(&g, &cfg);
+        if cut.termination == ule_sim::Termination::Quiescent {
+            // Quiescent truncated run ⇒ it genuinely finished within t.
+            prop_assert!(full.rounds <= t);
+        } else {
+            prop_assert!(cut.rounds <= t);
+        }
+    }
+}
