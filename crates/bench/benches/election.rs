@@ -43,8 +43,7 @@ fn election_benches(c: &mut Criterion) {
     let mut group = c.benchmark_group("election/dense-128");
     let dense = gen::random_dense(128, 0.5, &mut rng).expect("valid parameters");
     let sc = ule_spanner::SpannerConfig::for_epsilon(0.5);
-    let sim = ule_sim::SimConfig::seeded(1)
-        .with_knowledge(ule_sim::Knowledge::n(dense.len()));
+    let sim = ule_sim::SimConfig::seeded(1).with_knowledge(ule_sim::Knowledge::n(dense.len()));
     group.bench_function("spanner(4.2)", |b| {
         b.iter(|| black_box(ule_spanner::elect(&dense, &sim, &sc)));
     });

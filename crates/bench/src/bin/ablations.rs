@@ -94,7 +94,10 @@ fn main() {
 
     println!("\n# C. Tie-break source (Least-El f(n)=n, random graph)\n");
     let g = gen::random_connected(150, 600, &mut rng).unwrap();
-    println!("{:<22} {:>12} {:>10} {:>9}", "tie-break", "messages", "rounds", "success");
+    println!(
+        "{:<22} {:>12} {:>10} {:>9}",
+        "tie-break", "messages", "rounds", "success"
+    );
     for (label, id_tie) in [("random (anonymous)", false), ("node identifiers", true)] {
         let outs = parallel_trials(trials, |t| {
             let mut irng = rand::rngs::StdRng::seed_from_u64(t ^ 0xBEEF);
@@ -121,7 +124,12 @@ fn main() {
         "{:<12} {:>5} {:>5} {:>13} {:>13} {:>12} {:>12}",
         "graph", "n", "D", "rounds(D)", "rounds(2^p)", "msgs(D)", "msgs(2^p)"
     );
-    for fam in [gen::Family::Cycle, gen::Family::Star, gen::Family::Torus, gen::Family::DenseRandom] {
+    for fam in [
+        gen::Family::Cycle,
+        gen::Family::Star,
+        gen::Family::Torus,
+        gen::Family::DenseRandom,
+    ] {
         let g = fam.build(96, &mut rng).unwrap();
         let d = analysis::diameter_exact(&g).unwrap() as usize;
         let known = parallel_trials(trials, |t| Algorithm::KingdomKnownD.run(&g, t));

@@ -14,8 +14,7 @@ use ule_lowerbound::broadcast_lb;
 
 fn main() {
     let n = 16;
-    let sizes: Vec<(usize, usize)> =
-        vec![(n, 24), (n, 40), (n, 60), (n, 80), (n, 100), (n, 120)];
+    let sizes: Vec<(usize, usize)> = vec![(n, 24), (n, 40), (n, 60), (n, 80), (n, 100), (n, 120)];
 
     println!("# Corollary 3.12 — Ω(m) messages for majority broadcast\n");
     println!(

@@ -63,8 +63,7 @@ fn main() {
     let mut all_equal = true;
     for alg in [Algorithm::LeastElAll, Algorithm::DfsAgent] {
         for seed in 0..6u64 {
-            let (crossing, ex) =
-                bridge::equivalence_check(14, 40, seed as usize, alg, seed);
+            let (crossing, ex) = bridge::equivalence_check(14, 40, seed as usize, alg, seed);
             let eq = crossing == ex;
             all_equal &= eq;
             println!(

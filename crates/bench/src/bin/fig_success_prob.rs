@@ -41,7 +41,10 @@ fn main() {
     }
 
     println!("\n# Theorem 4.4(B) — ε-calibrated: f = 4·ln(1/ε)\n");
-    println!("{:>8} {:>10} {:>12} {:>12}", "ε", "f", "measured", "target ≥");
+    println!(
+        "{:>8} {:>10} {:>12} {:>12}",
+        "ε", "f", "measured", "target ≥"
+    );
     for eps in [0.5, 0.25, 0.1, 0.05] {
         let lcfg = LeastElConfig::constant_error(eps);
         let outs = parallel_trials(trials, |t| {

@@ -26,8 +26,14 @@ fn main() {
 
     println!("# Theorem 3.13 — Ω(D) time on the clique-cycle (Figure 1)\n");
     println!("construction: n = {n}, D = {d} → D' = 16, 4 arcs\n");
-    println!("## success vs truncation budget T — {}", Algorithm::LeastElAll.spec().name);
-    println!("{:>7} {:>8} {:>10} {:>14}", "T", "T/D'", "success", "mean leaders");
+    println!(
+        "## success vs truncation budget T — {}",
+        Algorithm::LeastElAll.spec().name
+    );
+    println!(
+        "{:>7} {:>8} {:>10} {:>14}",
+        "T", "T/D'", "success", "mean leaders"
+    );
     let ts: Vec<u64> = vec![1, 2, 4, 8, 12, 16, 24, 32, 40, 48, 64, 96];
     for p in time_lb::truncated_success(n, d, Algorithm::LeastElAll, &ts, trials) {
         println!(
@@ -51,7 +57,11 @@ fn main() {
         "{:>6} {:>6} {:>8} {:>12} {:>12} {:>9} {:>12}",
         "D", "D'", "n'", "rounds", "rounds/D'", "success", "messages"
     );
-    let ds: Vec<usize> = if quick { vec![4, 8, 16] } else { vec![4, 8, 16, 32, 64] };
+    let ds: Vec<usize> = if quick {
+        vec![4, 8, 16]
+    } else {
+        vec![4, 8, 16, 32, 64]
+    };
     for p in time_lb::rounds_vs_diameter(96, &ds, Algorithm::LeastElAll, if quick { 5 } else { 10 })
     {
         println!(

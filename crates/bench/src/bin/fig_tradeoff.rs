@@ -22,9 +22,18 @@ fn main() {
     use rand::SeedableRng;
     let mut rng = rand::rngs::StdRng::seed_from_u64(99);
     let workloads = [
-        ("torus/100", gen::Family::Torus.build(100, &mut rng).unwrap()),
-        ("sparse/128", gen::Family::SparseRandom.build(128, &mut rng).unwrap()),
-        ("dense/128", gen::Family::DenseRandom.build(128, &mut rng).unwrap()),
+        (
+            "torus/100",
+            gen::Family::Torus.build(100, &mut rng).unwrap(),
+        ),
+        (
+            "sparse/128",
+            gen::Family::SparseRandom.build(128, &mut rng).unwrap(),
+        ),
+        (
+            "dense/128",
+            gen::Family::DenseRandom.build(128, &mut rng).unwrap(),
+        ),
     ];
 
     for (label, g) in &workloads {
@@ -37,8 +46,8 @@ fn main() {
             d
         );
         println!(
-            "{:<16} {:>10} {:>10} {:>9}   {}",
-            "algorithm", "rounds/D", "msgs/m", "success", "claimed (time / messages)"
+            "{:<16} {:>10} {:>10} {:>9}   claimed (time / messages)",
+            "algorithm", "rounds/D", "msgs/m", "success"
         );
         for alg in Algorithm::ALL {
             if alg == Algorithm::CoinFlip {

@@ -208,11 +208,7 @@ impl Default for CoinFlip {
 impl Protocol for CoinFlip {
     type Msg = ule_sim::message::Signal;
 
-    fn on_round(
-        &mut self,
-        ctx: &mut Context<'_, Self::Msg>,
-        _inbox: &[(usize, Self::Msg)],
-    ) {
+    fn on_round(&mut self, ctx: &mut Context<'_, Self::Msg>, _inbox: &[(usize, Self::Msg)]) {
         if ctx.first_activation() {
             let n = ctx.require_n();
             self.status = if ctx.rng().gen::<f64>() < 1.0 / n as f64 {
@@ -236,11 +232,11 @@ pub fn coin_flip(graph: &Graph, sim: &SimConfig) -> RunOutcome {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
     use ule_graph::{analysis, gen, IdSpace};
     use ule_sim::harness::{parallel_trials, Summary};
     use ule_sim::Knowledge;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     fn flood_cfg(g: &Graph, seed: u64) -> SimConfig {
         let d = analysis::diameter_exact(g).unwrap() as usize;

@@ -107,10 +107,10 @@ pub fn flood_broadcast(graph: &Graph, sim: &SimConfig, source: NodeId) -> RunOut
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ule_graph::{analysis, gen};
-    use ule_sim::Termination;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+    use ule_graph::{analysis, gen};
+    use ule_sim::Termination;
 
     #[test]
     fn informs_everyone_on_all_families() {
@@ -127,7 +127,11 @@ mod tests {
     #[test]
     fn message_count_is_exactly_2m_minus_n_plus_1() {
         let mut rng = StdRng::seed_from_u64(2);
-        for fam in [gen::Family::Cycle, gen::Family::Grid, gen::Family::SparseRandom] {
+        for fam in [
+            gen::Family::Cycle,
+            gen::Family::Grid,
+            gen::Family::SparseRandom,
+        ] {
             let g = fam.build(30, &mut rng).unwrap();
             let out = flood_broadcast(&g, &SimConfig::seeded(0), 0);
             let expected = 2 * g.edge_count() as u64 - (g.len() as u64 - 1);

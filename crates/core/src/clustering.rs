@@ -405,11 +405,11 @@ pub fn elect(graph: &Graph, sim: &SimConfig) -> RunOutcome {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
     use ule_graph::{gen, Graph};
     use ule_sim::harness::{parallel_trials, Summary};
     use ule_sim::{Knowledge, Termination};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     fn cfg(g: &Graph, seed: u64) -> SimConfig {
         SimConfig::seeded(seed).with_knowledge(Knowledge::n(g.len()))

@@ -131,12 +131,11 @@ impl DfsAgent {
 
     /// One DFS move of a hosted agent; returns the message to send, or
     /// `None` when the agent completed at its origin (leader!).
-    fn explore_step(
-        &mut self,
-        agent: Id,
-        degree: usize,
-    ) -> Option<(usize, DfsMsg)> {
-        let entry = self.entries.get_mut(&agent).expect("exploring unknown agent");
+    fn explore_step(&mut self, agent: Id, degree: usize) -> Option<(usize, DfsMsg)> {
+        let entry = self
+            .entries
+            .get_mut(&agent)
+            .expect("exploring unknown agent");
         loop {
             let p = entry.next_port;
             if p >= degree {
@@ -178,8 +177,10 @@ impl Protocol for DfsAgent {
                     skip: vec![false; degree],
                 },
             );
-            self.hosted
-                .insert(self.own, (Pending::Explore, Self::next_tick(self.own, round)));
+            self.hosted.insert(
+                self.own,
+                (Pending::Explore, Self::next_tick(self.own, round)),
+            );
         }
 
         // Smaller agents first, so a bigger agent arriving in the same
@@ -314,10 +315,10 @@ pub fn elect(graph: &Graph, sim: &SimConfig, send_wakeup: bool) -> RunOutcome {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ule_graph::{gen, Graph, IdAssignment};
-    use ule_sim::{Termination, Wakeup};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+    use ule_graph::{gen, Graph, IdAssignment};
+    use ule_sim::{Termination, Wakeup};
 
     fn cfg(n: usize, seed: u64) -> SimConfig {
         SimConfig::seeded(seed)

@@ -185,10 +185,10 @@ pub fn elect_explicit(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ule_graph::{gen, IdSpace};
-    use ule_sim::{Knowledge, Termination};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+    use ule_graph::{gen, IdSpace};
+    use ule_sim::{Knowledge, Termination};
 
     fn cfg(g: &Graph, seed: u64) -> SimConfig {
         let mut rng = StdRng::seed_from_u64(seed ^ 0xEE);
@@ -248,11 +248,8 @@ mod tests {
     #[test]
     fn failed_run_leaves_learned_empty() {
         let g = gen::cycle(10).unwrap();
-        let (out, learned) = elect_explicit(
-            &g,
-            &cfg(&g, 1),
-            &LeastElConfig::expected_candidates(1e-12),
-        );
+        let (out, learned) =
+            elect_explicit(&g, &cfg(&g, 1), &LeastElConfig::expected_candidates(1e-12));
         assert!(!out.election_succeeded());
         assert!(learned.iter().all(Option::is_none));
     }

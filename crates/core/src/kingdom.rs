@@ -267,7 +267,10 @@ impl Kingdom {
                 let _ = r;
             }
             KMsg::Ack1 => self.st.children.push(port),
-            KMsg::Ack2 { max_foreign, silent } => {
+            KMsg::Ack2 {
+                max_foreign,
+                silent,
+            } => {
                 self.st.max_foreign = self.st.max_foreign.max(max_foreign);
                 self.st.silent |= silent;
             }
@@ -363,18 +366,12 @@ impl Kingdom {
                 );
             } else if is_root {
                 // Survival: dominate own verdict and every neighbour's.
-                let verdict = self
-                    .st
-                    .winner
-                    .unwrap_or(self.my_id)
-                    .max(self.st.cross_max);
+                let verdict = self.st.winner.unwrap_or(self.my_id).max(self.st.cross_max);
                 if verdict != self.my_id {
                     self.lose();
                 }
                 if self.candidate {
-                    let next = self
-                        .schedule
-                        .phase_start(self.phase + 1, ctx.diameter());
+                    let next = self.schedule.phase_start(self.phase + 1, ctx.diameter());
                     ctx.wake_at(next);
                 }
             }
@@ -484,10 +481,10 @@ pub fn elect_doubling(graph: &Graph, sim: &SimConfig) -> RunOutcome {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ule_graph::{analysis, gen, Graph, IdAssignment, IdSpace};
-    use ule_sim::{Knowledge, Termination};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+    use ule_graph::{analysis, gen, Graph, IdAssignment, IdSpace};
+    use ule_sim::{Knowledge, Termination};
 
     fn cfg_known(g: &Graph, seed: u64) -> SimConfig {
         let d = analysis::diameter_exact(g).unwrap().max(1) as usize;
@@ -636,7 +633,10 @@ mod tests {
         let out = elect_known_diameter(&g2, &cfg2);
         assert!(out.election_succeeded());
         assert_eq!(out.leader(), Some(1));
-        let out = elect_doubling(&g2, &SimConfig::seeded(0).with_ids(IdAssignment::sequential(2)));
+        let out = elect_doubling(
+            &g2,
+            &SimConfig::seeded(0).with_ids(IdAssignment::sequential(2)),
+        );
         assert!(out.election_succeeded());
         assert_eq!(out.leader(), Some(1));
     }

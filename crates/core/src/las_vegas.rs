@@ -122,10 +122,7 @@ impl Protocol for LasVegasElect {
 
         if ctx.first_activation() {
             self.try_enter_lottery(ctx);
-        } else if !self.participated
-            && !self.heard_any
-            && ctx.round() % self.epoch_len(ctx) == 0
-        {
+        } else if !self.participated && !self.heard_any && ctx.round() % self.epoch_len(ctx) == 0 {
             // Epoch boundary after a completely silent epoch: restart.
             self.try_enter_lottery(ctx);
         }
@@ -176,11 +173,11 @@ pub fn elect(graph: &Graph, sim: &SimConfig, cfg: &LasVegasConfig) -> RunOutcome
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
     use ule_graph::{analysis, gen, Graph};
     use ule_sim::harness::{parallel_trials, Summary};
     use ule_sim::{Knowledge, Termination};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     fn cfg(g: &Graph, seed: u64) -> SimConfig {
         let d = analysis::diameter_exact(g).unwrap().max(1) as usize;
@@ -269,8 +266,7 @@ mod tests {
         for n in [12usize, 24, 48] {
             let g = gen::cycle(n).unwrap();
             let d = (n / 2) as u64;
-            let outs =
-                parallel_trials(20, |t| elect(&g, &cfg(&g, t), &LasVegasConfig::default()));
+            let outs = parallel_trials(20, |t| elect(&g, &cfg(&g, t), &LasVegasConfig::default()));
             let s = Summary::from_outcomes(&outs);
             assert_eq!(s.successes, 20);
             // Expected O(D): allow a handful of epochs of slack.

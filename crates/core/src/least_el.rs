@@ -226,10 +226,10 @@ pub fn random_key(n: usize, tie: Option<u64>, rng: &mut StdRng) -> Key {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rand::SeedableRng;
     use ule_graph::{gen, IdAssignment, IdSpace};
     use ule_sim::harness::{parallel_trials, Summary};
     use ule_sim::{Knowledge, Model, Termination, Wakeup};
-    use rand::SeedableRng;
 
     fn cfg_for(g: &Graph, seed: u64) -> SimConfig {
         SimConfig::seeded(seed).with_knowledge(Knowledge::n(g.len()))
@@ -291,7 +291,9 @@ mod tests {
         let g = gen::random_connected(100, 300, &mut rng).unwrap();
         let m = g.edge_count() as f64;
         let bound = 8.0 * m * (100f64).ln();
-        let outs = parallel_trials(10, |t| elect(&g, &cfg_for(&g, t), &LeastElConfig::all_candidates()));
+        let outs = parallel_trials(10, |t| {
+            elect(&g, &cfg_for(&g, t), &LeastElConfig::all_candidates())
+        });
         for out in &outs {
             assert!(out.election_succeeded());
             assert!(
@@ -346,7 +348,9 @@ mod tests {
     fn whp_variant_succeeds_every_seed() {
         let mut rng = StdRng::seed_from_u64(5);
         let g = gen::random_connected(120, 360, &mut rng).unwrap();
-        let outs = parallel_trials(50, |t| elect(&g, &cfg_for(&g, 50 + t), &LeastElConfig::whp()));
+        let outs = parallel_trials(50, |t| {
+            elect(&g, &cfg_for(&g, 50 + t), &LeastElConfig::whp())
+        });
         let s = Summary::from_outcomes(&outs);
         assert_eq!(s.successes, 50, "whp variant failed: {s}");
     }
@@ -442,8 +446,7 @@ mod tests {
             .iter()
             .map(|&f| {
                 let lcfg = LeastElConfig::expected_candidates(f);
-                let outs =
-                    parallel_trials(120, |t| elect(&g, &cfg_for(&g, 31 * 1000 + t), &lcfg));
+                let outs = parallel_trials(120, |t| elect(&g, &cfg_for(&g, 31 * 1000 + t), &lcfg));
                 Summary::from_outcomes(&outs).success_rate()
             })
             .collect();
@@ -467,7 +470,11 @@ mod tests {
         let cfg = SimConfig::seeded(12)
             .with_knowledge(Knowledge::n(30))
             .with_ids(IdAssignment::sequential(30));
-        let out = elect(&g, &cfg, &LeastElConfig::all_candidates().with_id_tie_break());
+        let out = elect(
+            &g,
+            &cfg,
+            &LeastElConfig::all_candidates().with_id_tie_break(),
+        );
         assert!(out.election_succeeded());
     }
 }

@@ -7,10 +7,10 @@
 //! correct knowledge flags, identifier mode, and round budget.
 
 use crate::{baseline, clustering, dfs_agent, kingdom, las_vegas, least_el, size_estimate};
-use ule_graph::{analysis, Graph, IdAssignment, IdSpace};
-use ule_sim::{Knowledge, RunOutcome, SimConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use ule_graph::{analysis, Graph, IdAssignment, IdSpace};
+use ule_sim::{Knowledge, RunOutcome, SimConfig};
 
 /// Every election algorithm implemented from the paper (the spanner-based
 /// Corollary 4.2 lives in `ule-spanner`, which layers on this crate).
@@ -230,7 +230,11 @@ impl Algorithm {
         let mut cfg = SimConfig::seeded(seed);
         let n = graph.len();
         let d = if spec.needs_diameter {
-            Some(analysis::diameter_exact(graph).expect("graph must be connected").max(1) as usize)
+            Some(
+                analysis::diameter_exact(graph)
+                    .expect("graph must be connected")
+                    .max(1) as usize,
+            )
         } else {
             None
         };

@@ -193,11 +193,11 @@ pub fn elect(graph: &Graph, sim: &SimConfig) -> RunOutcome {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
     use ule_graph::{gen, Graph, IdSpace};
     use ule_sim::harness::{parallel_trials, Summary};
     use ule_sim::{Termination, Wakeup};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     fn cfg(g: &Graph, seed: u64) -> SimConfig {
         let mut rng = StdRng::seed_from_u64(seed ^ 0x77);

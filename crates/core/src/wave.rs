@@ -29,9 +29,9 @@
 //! on the clustering overlay (Theorem 4.7).
 
 use std::collections::HashMap;
+use ule_graph::Port;
 use ule_sim::message::{id_bits, Message, TAG_BITS};
 use ule_sim::PortOutbox;
-use ule_graph::Port;
 
 /// The paper's rank space `[1, n⁴]`, saturating at `u64::MAX`.
 ///
@@ -428,7 +428,13 @@ mod tests {
         let msgs = drain(&mut out2, 2);
         assert_eq!(
             msgs,
-            vec![(1, WaveMsg::Echo { key: key(2, 2), clean: true })]
+            vec![(
+                1,
+                WaveMsg::Echo {
+                    key: key(2, 2),
+                    clean: true
+                }
+            )]
         );
         // A strictly larger wave instead gets an unclean reject.
         let mut out3 = PortOutbox::new(2);
@@ -436,7 +442,13 @@ mod tests {
         let msgs = drain(&mut out3, 2);
         assert_eq!(
             msgs,
-            vec![(1, WaveMsg::Echo { key: key(8, 8), clean: false })]
+            vec![(
+                1,
+                WaveMsg::Echo {
+                    key: key(8, 8),
+                    clean: false
+                }
+            )]
         );
     }
 
@@ -448,8 +460,20 @@ mod tests {
         core.start(key(1, 1), &mut out);
         core.on_inbox(
             &[
-                (0, WaveMsg::Echo { key: key(1, 1), clean: true }),
-                (1, WaveMsg::Echo { key: key(1, 1), clean: true }),
+                (
+                    0,
+                    WaveMsg::Echo {
+                        key: key(1, 1),
+                        clean: true,
+                    },
+                ),
+                (
+                    1,
+                    WaveMsg::Echo {
+                        key: key(1, 1),
+                        clean: true,
+                    },
+                ),
             ],
             &mut out,
         );
@@ -463,8 +487,20 @@ mod tests {
         core.start(key(5, 5), &mut out);
         core.on_inbox(
             &[
-                (0, WaveMsg::Echo { key: key(5, 5), clean: false }),
-                (1, WaveMsg::Echo { key: key(5, 5), clean: true }),
+                (
+                    0,
+                    WaveMsg::Echo {
+                        key: key(5, 5),
+                        clean: false,
+                    },
+                ),
+                (
+                    1,
+                    WaveMsg::Echo {
+                        key: key(5, 5),
+                        clean: true,
+                    },
+                ),
             ],
             &mut out,
         );
@@ -494,12 +530,24 @@ mod tests {
         assert_eq!(core.best(), Some(key(3, 3)));
         let _ = drain(&mut out, 2);
         core.on_inbox(
-            &[(1, WaveMsg::Echo { key: key(5, 5), clean: true })],
+            &[(
+                1,
+                WaveMsg::Echo {
+                    key: key(5, 5),
+                    clean: true,
+                },
+            )],
             &mut out,
         );
         let msgs = drain(&mut out, 2);
         assert!(
-            msgs.contains(&(0, WaveMsg::Echo { key: key(5, 5), clean: false })),
+            msgs.contains(&(
+                0,
+                WaveMsg::Echo {
+                    key: key(5, 5),
+                    clean: false
+                }
+            )),
             "expected unclean completion echo to parent, got {msgs:?}"
         );
     }
@@ -519,7 +567,13 @@ mod tests {
         let mut core = WaveCore::new(1);
         let mut out = PortOutbox::new(1);
         core.on_inbox(
-            &[(0, WaveMsg::Echo { key: key(9, 9), clean: true })],
+            &[(
+                0,
+                WaveMsg::Echo {
+                    key: key(9, 9),
+                    clean: true,
+                },
+            )],
             &mut out,
         );
     }
@@ -542,6 +596,12 @@ mod tests {
         assert_eq!(msgs.len(), 3);
         assert!(msgs.contains(&(0, WaveMsg::Wave(key(2, 2)))));
         assert!(msgs.contains(&(2, WaveMsg::Wave(key(2, 2)))));
-        assert!(msgs.contains(&(0, WaveMsg::Echo { key: key(9, 9), clean: false })));
+        assert!(msgs.contains(&(
+            0,
+            WaveMsg::Echo {
+                key: key(9, 9),
+                clean: false
+            }
+        )));
     }
 }

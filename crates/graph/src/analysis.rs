@@ -156,8 +156,8 @@ mod tests {
         let g = gen::star(5).unwrap();
         let p = bfs_tree(&g, 0);
         assert_eq!(p[0], 0);
-        for v in 1..5 {
-            assert_eq!(p[v], 0);
+        for &parent in &p[1..5] {
+            assert_eq!(parent, 0);
         }
     }
 
@@ -183,10 +183,7 @@ mod tests {
         let g = gen::path(17).unwrap();
         assert_eq!(diameter_double_sweep(&g, 8), Some(16));
         let t = gen::balanced_tree(2, 4).unwrap();
-        assert_eq!(
-            diameter_double_sweep(&t, 0),
-            diameter_exact(&t)
-        );
+        assert_eq!(diameter_double_sweep(&t, 0), diameter_exact(&t));
     }
 
     #[test]

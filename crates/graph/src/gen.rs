@@ -400,7 +400,9 @@ impl Family {
                 hypercube(d.max(1))
             }
             Family::SparseRandom => {
-                let m = (3 * n).min(n * n.saturating_sub(1) / 2).max(n.saturating_sub(1));
+                let m = (3 * n)
+                    .min(n * n.saturating_sub(1) / 2)
+                    .max(n.saturating_sub(1));
                 random_connected(n, m, rng)
             }
             Family::DenseRandom => random_dense(n, 0.5, rng),

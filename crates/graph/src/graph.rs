@@ -211,7 +211,9 @@ impl Graph {
 
     /// Port-ordered adjacency lists, the inverse of [`Graph::from_adjacency`].
     pub fn to_adjacency(&self) -> Vec<Vec<NodeId>> {
-        self.nodes().map(|v| self.neighbors_of(v).to_vec()).collect()
+        self.nodes()
+            .map(|v| self.neighbors_of(v).to_vec())
+            .collect()
     }
 
     /// Like [`Graph::from_edges`] but additionally requires connectivity.
@@ -236,7 +238,8 @@ impl Graph {
                 let u = self.neighbor(v, p);
                 // Position of v in u's neighbour list. Simple graphs have at
                 // most one such position.
-                let q = self.neighbors_of(u)
+                let q = self
+                    .neighbors_of(u)
                     .iter()
                     .position(|&w| w == v)
                     .expect("edge must appear in both endpoints' lists");
@@ -436,8 +439,7 @@ impl Graph {
         let shift = self.len();
         let mut edges: Vec<(NodeId, NodeId)> = self.edges.clone();
         edges.extend(other.edges.iter().map(|&(u, v)| (u + shift, v + shift)));
-        Graph::from_edges(self.len() + other.len(), &edges)
-            .expect("union of valid graphs is valid")
+        Graph::from_edges(self.len() + other.len(), &edges).expect("union of valid graphs is valid")
     }
 }
 

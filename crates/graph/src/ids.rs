@@ -146,7 +146,10 @@ impl IdSpace {
         let n = n as u128;
         let sq = n.saturating_mul(n);
         let hi = sq.saturating_mul(sq).min(u64::MAX as u128) as u64;
-        IdSpace { lo: 1, hi: hi.max(1) }
+        IdSpace {
+            lo: 1,
+            hi: hi.max(1),
+        }
     }
 
     /// An arbitrary inclusive range `[lo, hi]`, `lo >= 1`.

@@ -16,12 +16,12 @@
 //! the proof rests on: the dumbbell execution and the `EX(G')` execution
 //! are *identical* until the crossing round.
 
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use ule_core::Algorithm;
 use ule_graph::dumbbell::{clique_path_base, BridgeOrientation, Dumbbell};
 use ule_graph::{Graph, IdAssignment, NodeId};
 use ule_sim::{RunOutcome, WatchHit};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 /// One measured dumbbell run.
 #[derive(Debug, Clone)]
@@ -245,7 +245,11 @@ mod tests {
 
     #[test]
     fn crossing_always_happens_for_correct_algorithms() {
-        for alg in [Algorithm::LeastElAll, Algorithm::KingdomKnownD, Algorithm::DfsAgent] {
+        for alg in [
+            Algorithm::LeastElAll,
+            Algorithm::KingdomKnownD,
+            Algorithm::DfsAgent,
+        ] {
             let o = crossing_run(12, 24, 0, 3, alg, 1);
             assert!(o.elected, "{alg}");
             assert!(

@@ -117,13 +117,7 @@ mod tests {
     fn success_collapses_below_theta_d() {
         // n = 48, D = 16 → D' = 16. Truncating at T = 2 must fail (the
         // wave cannot have spread); T = 8·D' must succeed for Least-El.
-        let pts = truncated_success(
-            48,
-            16,
-            Algorithm::LeastElAll,
-            &[2, 8 * 16],
-            30,
-        );
+        let pts = truncated_success(48, 16, Algorithm::LeastElAll, &[2, 8 * 16], 30);
         assert!(
             pts[0].success < 0.2,
             "T=2 should almost always fail: {}",

@@ -52,19 +52,14 @@ pub enum IdMode {
 }
 
 /// Wakeup discipline.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub enum Wakeup {
     /// All nodes wake at round 0 (the lower bounds hold even here).
+    #[default]
     Simultaneous,
     /// Only the listed nodes wake at round 0; everyone else wakes on first
     /// message receipt. The list must be non-empty.
     Adversarial(Vec<NodeId>),
-}
-
-impl Default for Wakeup {
-    fn default() -> Self {
-        Wakeup::Simultaneous
-    }
 }
 
 /// Full configuration of one simulated execution.

@@ -87,7 +87,10 @@ impl RunOutcome {
 
     /// Number of nodes holding status `Leader`.
     pub fn leader_count(&self) -> usize {
-        self.statuses.iter().filter(|s| **s == Status::Leader).count()
+        self.statuses
+            .iter()
+            .filter(|s| **s == Status::Leader)
+            .count()
     }
 
     /// The paper's success predicate for implicit leader election: exactly
@@ -197,9 +200,8 @@ where
                 id: ids[v],
                 knowledge: config.knowledge,
             };
-            let mut rng = StdRng::seed_from_u64(splitmix64(
-                config.seed ^ splitmix64(v as u64 + 0x5151_u64),
-            ));
+            let mut rng =
+                StdRng::seed_from_u64(splitmix64(config.seed ^ splitmix64(v as u64 + 0x5151_u64)));
             let proto = factory(v, &setup, &mut rng);
             NodeSlot {
                 proto,
@@ -284,7 +286,7 @@ where
 
         for &v in &active {
             let slot = &mut slots[v];
-            if slot.wake.map_or(false, |w| w <= round) {
+            if slot.wake.is_some_and(|w| w <= round) {
                 slot.wake = None;
             }
             let first_activation = !slot.started;

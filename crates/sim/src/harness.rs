@@ -2,7 +2,7 @@
 //!
 //! The paper's randomized claims are about success *probabilities* and
 //! *expected* costs; estimating them needs many independent runs. The
-//! functions here fan trials out over threads (crossbeam scoped threads; a
+//! functions here fan trials out over threads (`std::thread::scope`; a
 //! simulation is single-threaded and deterministic, parallelism is across
 //! trials) and summarize outcomes.
 
@@ -37,19 +37,20 @@ where
         return (0..trials).map(f).collect();
     }
     let mut results: Vec<Option<T>> = (0..trials).map(|_| None).collect();
+    // `threads` was clamped to `trials` above, so every chunk is non-empty
+    // even when fewer trials than cores are requested.
     let chunk = trials.div_ceil(threads as u64) as usize;
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for (i, slot_chunk) in results.chunks_mut(chunk).enumerate() {
             let f = &f;
             let base = (i * chunk) as u64;
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 for (j, slot) in slot_chunk.iter_mut().enumerate() {
                     *slot = Some(f(base + j as u64));
                 }
             });
         }
-    })
-    .expect("trial thread panicked");
+    });
     results
         .into_iter()
         .map(|s| s.expect("every trial filled"))
@@ -89,8 +90,7 @@ impl Summary {
             trials,
             successes,
             mean_rounds: outcomes.iter().map(|o| o.rounds as f64).sum::<f64>() / trials as f64,
-            mean_messages: outcomes.iter().map(|o| o.messages as f64).sum::<f64>()
-                / trials as f64,
+            mean_messages: outcomes.iter().map(|o| o.messages as f64).sum::<f64>() / trials as f64,
             max_rounds: outcomes.iter().map(|o| o.rounds).max().unwrap(),
             max_messages: outcomes.iter().map(|o| o.messages).max().unwrap(),
             congest_violations: outcomes.iter().map(|o| o.congest_violations).sum(),

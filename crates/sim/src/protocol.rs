@@ -140,7 +140,10 @@ impl<'a, M: Message> Context<'a, M> {
     ///
     /// Panics if `n` is not common knowledge in this run.
     pub fn require_n(&self) -> usize {
-        self.setup.knowledge.n.expect("protocol requires knowledge of n")
+        self.setup
+            .knowledge
+            .n
+            .expect("protocol requires knowledge of n")
     }
 
     /// `D`, if the nodes were told it.
@@ -259,7 +262,14 @@ mod tests {
     use crate::message::Signal;
     use rand::SeedableRng;
 
-    fn ctx_parts() -> (NodeSetup, StdRng, Vec<(Port, Signal)>, Vec<bool>, Option<u64>) {
+    #[allow(clippy::type_complexity)]
+    fn ctx_parts() -> (
+        NodeSetup,
+        StdRng,
+        Vec<(Port, Signal)>,
+        Vec<bool>,
+        Option<u64>,
+    ) {
         (
             NodeSetup {
                 degree: 3,

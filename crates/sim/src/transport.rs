@@ -222,6 +222,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::int_plus_one)] // the sum spells out header + payload + flag bits
     fn frame_sizes_accounted() {
         let f = Frame {
             seq: 3,

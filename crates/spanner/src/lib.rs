@@ -223,7 +223,10 @@ impl SpannerElect {
     fn mark(&mut self, port: Port) {
         self.spanner[port] = true;
         if let Some(probe) = &self.probe {
-            probe.lock().expect("probe poisoned").insert((self.node, port));
+            probe
+                .lock()
+                .expect("probe poisoned")
+                .insert((self.node, port));
         }
     }
 
@@ -237,8 +240,8 @@ impl SpannerElect {
             return;
         }
         // Our cluster was not sampled. Join a sampled neighbour if any.
-        if let Some(p) = (0..self.degree)
-            .find(|&p| matches!(self.port_status[p], Some((c, true)) if c != 0))
+        if let Some(p) =
+            (0..self.degree).find(|&p| matches!(self.port_status[p], Some((c, true)) if c != 0))
         {
             let (c, _) = self.port_status[p].expect("just matched");
             self.mark(p);
@@ -408,11 +411,11 @@ pub fn elect_probed(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
     use ule_graph::{analysis, gen, Graph};
     use ule_sim::harness::{parallel_trials, Summary};
     use ule_sim::{Knowledge, Termination};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     fn cfg(g: &Graph, seed: u64) -> SimConfig {
         SimConfig::seeded(seed).with_knowledge(Knowledge::n(g.len()))

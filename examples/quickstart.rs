@@ -20,8 +20,8 @@ fn main() {
     println!("network: {stats}");
     println!();
     println!(
-        "{:<16} {:>8} {:>10}  {:<10} {:<28} {}",
-        "algorithm", "rounds", "messages", "leader", "claimed bounds", "reference"
+        "{:<16} {:>8} {:>10}  {:<10} {:<28} reference",
+        "algorithm", "rounds", "messages", "leader", "claimed bounds"
     );
     println!("{}", "-".repeat(100));
 

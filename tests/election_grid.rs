@@ -90,9 +90,16 @@ fn port_numbering_is_irrelevant_to_correctness() {
     for perm_seed in 0..4 {
         let mut prng = rand::rngs::StdRng::seed_from_u64(perm_seed);
         let h = g.shuffle_ports(&mut prng);
-        for alg in [Algorithm::LeastElAll, Algorithm::KingdomKnownD, Algorithm::DfsAgent] {
+        for alg in [
+            Algorithm::LeastElAll,
+            Algorithm::KingdomKnownD,
+            Algorithm::DfsAgent,
+        ] {
             let out = alg.run(&h, 2);
-            assert!(out.election_succeeded(), "{alg} under permutation {perm_seed}");
+            assert!(
+                out.election_succeeded(),
+                "{alg} under permutation {perm_seed}"
+            );
         }
     }
 }
@@ -108,7 +115,11 @@ fn adversarial_id_assignments() {
     let mut rng = rand::rngs::StdRng::seed_from_u64(8);
     let min_far = IdAssignment::min_at(24, 23, &IdSpace::standard(24), &mut rng);
     for ids in [sequential, reversed, min_far] {
-        for alg in [Algorithm::KingdomKnownD, Algorithm::DfsAgent, Algorithm::FloodMax] {
+        for alg in [
+            Algorithm::KingdomKnownD,
+            Algorithm::DfsAgent,
+            Algorithm::FloodMax,
+        ] {
             let mut cfg = SimConfig::seeded(1)
                 .with_ids(ids.clone())
                 .with_max_rounds(u64::MAX / 4);

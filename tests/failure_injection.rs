@@ -16,7 +16,11 @@ fn truncated_runs_report_round_limit_and_partial_state() {
     let out = Algorithm::LeastElAll.run_with(&g, &cfg);
     assert_eq!(out.termination, Termination::RoundLimit);
     assert!(!out.election_succeeded());
-    assert_eq!(out.leader_count(), 0, "nobody can win in 3 rounds on a 40-path");
+    assert_eq!(
+        out.leader_count(),
+        0,
+        "nobody can win in 3 rounds on a 40-path"
+    );
 }
 
 #[test]
@@ -94,9 +98,21 @@ fn coin_flip_failure_modes_are_the_expected_ones() {
     let multi = outs.iter().filter(|o| o.leader_count() >= 2).count() as f64;
     let total = outs.len() as f64;
     // P(0) ≈ 1/e ≈ P(1); P(≥2) ≈ 1 − 2/e ≈ 0.26.
-    assert!((zero / total - 0.368).abs() < 0.07, "P(0 leaders) = {}", zero / total);
-    assert!((one / total - 0.368).abs() < 0.07, "P(1 leader) = {}", one / total);
-    assert!((multi / total - 0.264).abs() < 0.07, "P(2+) = {}", multi / total);
+    assert!(
+        (zero / total - 0.368).abs() < 0.07,
+        "P(0 leaders) = {}",
+        zero / total
+    );
+    assert!(
+        (one / total - 0.368).abs() < 0.07,
+        "P(1 leader) = {}",
+        one / total
+    );
+    assert!(
+        (multi / total - 0.264).abs() < 0.07,
+        "P(2+) = {}",
+        multi / total
+    );
 }
 
 #[test]

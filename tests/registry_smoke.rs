@@ -1,0 +1,47 @@
+//! Fast registry-wide smoke test: every [`Algorithm`] on a small cycle and
+//! grid, seconds instead of the 48-case proptest sweep. This is the first
+//! test to run after touching the engine or any protocol — a regression in
+//! basic election or CONGEST compliance surfaces here immediately.
+
+use ule_core::Algorithm;
+use ule_graph::{gen, Graph};
+
+/// Runs `alg` on `g` with a fixed seed and checks the two invariants the
+/// rest of the suite relies on: exactly one leader, and no message over
+/// the CONGEST budget.
+///
+/// Runs are seeded and deterministic, so even the Monte Carlo algorithms
+/// (`CoinFlip` succeeds only with constant probability) either always pass
+/// or always fail here; the seed below is chosen so all twelve pass, and
+/// any behavioral drift shows up as a hard failure.
+fn smoke(alg: Algorithm, g: &Graph, label: &str) {
+    let out = alg.run(g, 1);
+    assert!(
+        out.election_succeeded(),
+        "{} failed to elect on {label}: statuses {:?}",
+        alg.spec().name,
+        out.statuses
+    );
+    assert_eq!(
+        out.congest_violations,
+        0,
+        "{} violated CONGEST on {label}",
+        alg.spec().name
+    );
+}
+
+#[test]
+fn every_algorithm_on_small_cycle() {
+    let g = gen::cycle(12).unwrap();
+    for alg in Algorithm::ALL {
+        smoke(alg, &g, "cycle(12)");
+    }
+}
+
+#[test]
+fn every_algorithm_on_small_grid() {
+    let g = gen::grid(3, 4).unwrap();
+    for alg in Algorithm::ALL {
+        smoke(alg, &g, "grid(3x4)");
+    }
+}
