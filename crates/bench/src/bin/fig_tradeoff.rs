@@ -46,8 +46,8 @@ fn main() {
             d
         );
         println!(
-            "{:<16} {:>10} {:>10} {:>9}   claimed (time / messages)",
-            "algorithm", "rounds/D", "msgs/m", "success"
+            "{:<16} {:>10} {:>10} {:>10} {:>9}   claimed (time / messages)",
+            "algorithm", "rounds/D", "msgs/m", "bits/m", "success"
         );
         for alg in Algorithm::ALL {
             if alg == Algorithm::CoinFlip {
@@ -57,10 +57,11 @@ fn main() {
             let s = Summary::from_outcomes(&outs);
             let spec = alg.spec();
             println!(
-                "{:<16} {:>10.2} {:>10.2} {:>8.0}%   {} / {}",
+                "{:<16} {:>10.2} {:>10.2} {:>10.1} {:>8.0}%   {} / {}",
                 spec.name,
                 s.mean_rounds / d,
                 s.mean_messages / m,
+                s.mean_bits / m,
                 100.0 * s.success_rate(),
                 spec.time,
                 spec.messages

@@ -13,7 +13,7 @@
 //! The spanner row (Corollary 4.2) is included via `ule-spanner` on dense
 //! workloads only (its claim is conditional on `m > n^{1+ε}`).
 
-use ule_bench::{measure, print_rows, standard_workloads};
+use ule_bench::{format_row, measure, print_rows, row_header, standard_workloads, TableRow};
 use ule_core::Algorithm;
 use ule_graph::analysis;
 use ule_sim::harness::{parallel_trials, Summary};
@@ -35,10 +35,7 @@ fn main() {
 
     // Corollary 4.2 (spanner) on the dense workloads only.
     println!("### spanner (4.2) — Cor 4.2 | claimed: time O(D), messages O(m) for m > n^(1+ε), success whp");
-    println!(
-        "{:<16} {:>6} {:>7} {:>5} {:>9} {:>11} {:>8} {:>9} {:>9}",
-        "workload", "n", "m", "D", "rounds", "messages", "ok", "t/shape", "msg/shape"
-    );
+    println!("{}", row_header());
     let sc = ule_spanner::SpannerConfig::for_epsilon(0.5);
     for (label, g) in workloads.iter().filter(|(l, _)| l.starts_with("dense")) {
         let d = analysis::diameter_exact(g).expect("connected") as usize;
@@ -47,18 +44,16 @@ fn main() {
             ule_spanner::elect(g, &sim, &sc)
         });
         let s = Summary::from_outcomes(&outs);
-        println!(
-            "{:<16} {:>6} {:>7} {:>5} {:>9.1} {:>11.1} {:>7.0}% {:>9.2} {:>9.2}",
-            label,
-            g.len(),
-            g.edge_count(),
+        let row = TableRow {
+            workload: label.clone(),
+            n: g.len(),
+            m: g.edge_count(),
             d,
-            s.mean_rounds,
-            s.mean_messages,
-            100.0 * s.success_rate(),
-            s.mean_rounds / d.max(1) as f64,
-            s.mean_messages / g.edge_count() as f64
-        );
+            time_ratio: s.mean_rounds / d.max(1) as f64,
+            msg_ratio: s.mean_messages / g.edge_count() as f64,
+            summary: s,
+        };
+        println!("{}", format_row(&row));
     }
     println!();
     println!(

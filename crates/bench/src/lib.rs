@@ -10,6 +10,7 @@
 //! | `fig_broadcast_lb` | Corollary 3.12 — majority-broadcast costs on dumbbells |
 //! | `fig_tradeoff` | §1.1.2 — the message/time trade-off frontier across all algorithms |
 //! | `fig_success_prob` | Theorem 4.4 — success probability as a function of `f(n)`, plus the §1 coin-flip example |
+//! | `scale` | engine-throughput baseline at `n` up to 10⁶ (FloodMax, DFS agent) → `BENCH_engine.json` |
 //!
 //! Criterion benches (`benches/`) measure simulator wall-clock per
 //! algorithm and substrate throughput.
@@ -104,6 +105,45 @@ pub fn measure(alg: Algorithm, workloads: &[(String, Graph)], trials: u64) -> Ve
         .collect()
 }
 
+/// The column header shared by every Table 1-style block (the `table1`
+/// binary's spanner section prints rows outside [`print_rows`]).
+pub fn row_header() -> String {
+    format!(
+        "{:<16} {:>6} {:>7} {:>5} {:>9} {:>11} {:>12} {:>7} {:>8} {:>9} {:>9}",
+        "workload",
+        "n",
+        "m",
+        "D",
+        "rounds",
+        "messages",
+        "bits",
+        "maxmsg",
+        "ok",
+        "t/shape",
+        "msg/shape"
+    )
+}
+
+/// One formatted Table 1-style row under [`row_header`]. Takes a whole
+/// [`TableRow`] so the ratio columns cannot be transposed at a call site;
+/// ad-hoc rows (the `table1` spanner section) build a `TableRow` first.
+pub fn format_row(r: &TableRow) -> String {
+    format!(
+        "{:<16} {:>6} {:>7} {:>5} {:>9.1} {:>11.1} {:>12.1} {:>6}b {:>7.0}% {:>9.2} {:>9.2}",
+        r.workload,
+        r.n,
+        r.m,
+        r.d,
+        r.summary.mean_rounds,
+        r.summary.mean_messages,
+        r.summary.mean_bits,
+        r.summary.max_message_bits,
+        100.0 * r.summary.success_rate(),
+        r.time_ratio,
+        r.msg_ratio
+    )
+}
+
 /// Prints a Table 1 block for one algorithm.
 pub fn print_rows(alg: Algorithm, rows: &[TableRow]) {
     let spec = alg.spec();
@@ -111,23 +151,9 @@ pub fn print_rows(alg: Algorithm, rows: &[TableRow]) {
         "### {} — {} | claimed: time {}, messages {}, success {}",
         spec.name, spec.reference, spec.time, spec.messages, spec.success
     );
-    println!(
-        "{:<16} {:>6} {:>7} {:>5} {:>9} {:>11} {:>8} {:>9} {:>9}",
-        "workload", "n", "m", "D", "rounds", "messages", "ok", "t/shape", "msg/shape"
-    );
+    println!("{}", row_header());
     for r in rows {
-        println!(
-            "{:<16} {:>6} {:>7} {:>5} {:>9.1} {:>11.1} {:>7.0}% {:>9.2} {:>9.2}",
-            r.workload,
-            r.n,
-            r.m,
-            r.d,
-            r.summary.mean_rounds,
-            r.summary.mean_messages,
-            100.0 * r.summary.success_rate(),
-            r.time_ratio,
-            r.msg_ratio
-        );
+        println!("{}", format_row(r));
     }
     println!();
 }

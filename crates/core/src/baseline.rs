@@ -85,7 +85,10 @@ impl Protocol for FloodMax {
                 Status::NonLeader
             };
         } else {
-            ctx.wake_next();
+            // Sleep until the decision round: arriving messages still wake
+            // this node, so forwarding is unaffected, but idle nodes cost
+            // the engine nothing (the scheduler fast-forwards them).
+            ctx.wake_at(deadline);
         }
     }
 

@@ -1,18 +1,52 @@
-//! The synchronous round engine.
+//! The synchronous round engine, scheduled event-driven.
 //!
 //! Executes a [`Protocol`] at every node of a graph under a [`SimConfig`]:
 //! messages sent in round `r` arrive at the start of round `r+1`; nodes are
-//! activated when messages arrive or when they scheduled a wakeup; idle
-//! stretches are fast-forwarded (crucial for the Theorem 4.1 agents, which
-//! sleep exponentially long between moves); the run ends at quiescence or
-//! at the round cap (the truncation mechanism of the Theorem 3.13
-//! experiment).
+//! activated when messages arrive or when they scheduled a wakeup; the run
+//! ends at quiescence or at the round cap (the truncation mechanism of the
+//! Theorem 3.13 experiment).
+//!
+//! # Event-driven scheduling
+//!
+//! The paper's algorithms are mostly *sparsely active* — the Theorem 4.1
+//! agents sleep exponentially long between moves, and the kingdom/doubling
+//! schedules leave most nodes idle most rounds — so the engine never scans
+//! all `n` nodes per round. Instead it maintains:
+//!
+//! * an explicit **active set** for the upcoming round: a node enters it
+//!   when a staged message is delivered to it, or when its scheduled wakeup
+//!   fires;
+//! * a **min-heap of pending wakeups** (`BinaryHeap<Reverse<(round,
+//!   node)>>`, lazily invalidated), so discovering the wakeups due in a
+//!   round — and fast-forwarding across a fully idle stretch — costs
+//!   `O(log n)` per event instead of an `O(n)` scan;
+//! * a **dedup bitmap** so a node that both receives a message and has a
+//!   wakeup due runs exactly once in the round.
+//!
+//! Per simulated round the engine therefore pays `O(a log a + w log n)`
+//! where `a` is the number of active nodes and `w` the number of wakeup
+//! events — independent of `n`. The `a log a` term is the sort that keeps
+//! execution order identical to the historical full scan: active nodes run
+//! in ascending node-index order, so every run is byte-for-byte
+//! deterministic and `RunOutcome`s are reproducible across engine versions
+//! (see `tests/scheduler_equivalence.rs`).
+//!
+//! # Round counting under fast-forward
+//!
+//! Fast-forwarding is an accounting device, not a semantic change: idle
+//! rounds still *count* toward [`RunOutcome::rounds`] (round numbers are
+//! model time, and `rounds` is the last active round + 1), they just cost
+//! no work. [`RunOutcome::round_totals`] records one entry per *active*
+//! round only.
 
 use crate::config::{IdMode, SimConfig, Wakeup};
 use crate::message::Message;
 use crate::protocol::{Context, NodeSetup, Protocol, Status};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::collections::HashMap;
 use ule_graph::{Graph, NodeId, Port};
 
 /// Why the run stopped.
@@ -36,7 +70,7 @@ pub struct WatchHit {
 }
 
 /// Everything measured during one execution.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RunOutcome {
     /// Number of rounds with activity (the last active round + 1).
     pub rounds: u64,
@@ -149,8 +183,10 @@ struct NodeSlot<P: Protocol> {
 ///
 /// # Panics
 ///
-/// Panics if an explicit [`IdMode`] assignment does not cover the graph, or
-/// on protocol API misuse (double-send on a port, past wakeups).
+/// Panics if an explicit [`IdMode`] assignment does not cover the graph, if
+/// the config is invalid ([`Wakeup::Adversarial`] naming a node `>= n`, or
+/// a watched edge that is not an edge of the graph), or on protocol API
+/// misuse (double-send on a port, past wakeups).
 ///
 /// # Examples
 ///
@@ -215,11 +251,22 @@ where
         })
         .collect();
 
+    // Pending wakeups, min-first. Entries are lazily invalidated: an entry
+    // `(w, v)` is genuine iff `slots[v].wake == Some(w)` when popped (a
+    // node that re-arms its timer leaves the superseded entry behind).
+    let mut wake_heap: BinaryHeap<Reverse<(u64, NodeId)>> = BinaryHeap::new();
+
     // Initial wakeup.
     let initially_awake: Vec<NodeId> = match &config.wakeup {
         Wakeup::Simultaneous => (0..n).collect(),
         Wakeup::Adversarial(set) => {
             assert!(!set.is_empty(), "at least one node must wake initially");
+            for &v in set {
+                assert!(
+                    v < n,
+                    "Wakeup::Adversarial names node {v}, but the graph has only {n} nodes"
+                );
+            }
             set.clone()
         }
     };
@@ -232,6 +279,17 @@ where
         .iter()
         .map(|&(a, b)| (a.min(b), a.max(b)))
         .collect();
+    // Normalized edge → indices into `watch` (duplicate watch entries are
+    // supported: one crossing fills them all). One hash lookup per sent
+    // message replaces the historical O(|watch|) scan per message.
+    let mut watch_index: HashMap<(NodeId, NodeId), Vec<usize>> = HashMap::new();
+    for (i, &(a, b)) in watch.iter().enumerate() {
+        assert!(
+            graph.has_edge(a, b),
+            "watch edge ({a}, {b}) is not an edge of the graph"
+        );
+        watch_index.entry((a, b)).or_default().push(i);
+    }
     let mut watch_hits: Vec<Option<WatchHit>> = vec![None; watch.len()];
 
     let mut messages: u64 = 0;
@@ -247,41 +305,71 @@ where
     let mut sent_on: Vec<bool> = Vec::new();
     // Messages staged for delivery next round: (dest, port-at-dest, msg).
     let mut staged: Vec<(NodeId, Port, P::Msg)> = Vec::new();
+    // The round's active set (small for sparse protocols) and the dedup
+    // bitmap guarding it. Between iterations `active` holds the nodes
+    // already scheduled for the *next* round by message delivery; due
+    // wakeups join at the top of the loop.
     let mut active: Vec<NodeId> = Vec::new();
+    let mut in_active: Vec<bool> = vec![false; n];
     let mut inbox_scratch: Vec<(Port, P::Msg)> = Vec::new();
+
+    // Seed round 0 directly: the initial active set is already known, so
+    // it would be wasted work to route it through the heap (under
+    // `Wakeup::Simultaneous` that is n pushes + n pops). The round-0
+    // execution clears these `wake = Some(0)` markers before any heap
+    // lookup could expect entries for them.
+    for &v in &initially_awake {
+        if !in_active[v] {
+            in_active[v] = true;
+            active.push(v);
+        }
+    }
 
     let mut round: u64 = 0;
     let mut rounds_used: u64 = 0;
     let termination;
 
-    loop {
+    'rounds: loop {
         if round >= config.max_rounds {
             termination = Termination::RoundLimit;
             break;
         }
 
-        active.clear();
-        for (v, slot) in slots.iter().enumerate() {
-            if !slot.inbox.is_empty() || slot.wake == Some(round) {
+        // Admit every wakeup due this round; drop superseded entries.
+        while let Some(&Reverse((w, v))) = wake_heap.peek() {
+            if w > round {
+                break;
+            }
+            wake_heap.pop();
+            if slots[v].wake == Some(w) && !in_active[v] {
+                in_active[v] = true;
                 active.push(v);
             }
         }
 
         if active.is_empty() {
-            // Fast-forward to the next scheduled wakeup, if any.
-            match slots.iter().filter_map(|s| s.wake).min() {
-                Some(next) => {
-                    debug_assert!(next > round);
-                    round = next;
-                    continue;
-                }
-                None => {
-                    termination = Termination::Quiescent;
-                    break;
+            // Fast-forward to the next genuine wakeup, if any.
+            loop {
+                match wake_heap.peek() {
+                    Some(&Reverse((w, v))) => {
+                        if slots[v].wake == Some(w) {
+                            debug_assert!(w > round);
+                            round = w;
+                            continue 'rounds;
+                        }
+                        wake_heap.pop();
+                    }
+                    None => {
+                        termination = Termination::Quiescent;
+                        break 'rounds;
+                    }
                 }
             }
         }
 
+        // Ascending node order keeps execution byte-for-byte identical to
+        // the historical full scan; the set is small, so the sort is cheap.
+        active.sort_unstable();
         rounds_used = round + 1;
 
         for &v in &active {
@@ -289,6 +377,7 @@ where
             if slot.wake.is_some_and(|w| w <= round) {
                 slot.wake = None;
             }
+            let armed_wake = slot.wake;
             let first_activation = !slot.started;
             slot.started = true;
 
@@ -312,6 +401,13 @@ where
                 slot.proto.on_round(&mut ctx, &inbox_scratch);
             }
             slot.wake = wake;
+            // A changed timer needs a heap entry; the `armed_wake` entry
+            // (if any) is still in the heap and becomes stale.
+            if let Some(w) = wake {
+                if armed_wake != Some(w) {
+                    wake_heap.push(Reverse((w, v)));
+                }
+            }
 
             let new_status = slot.proto.status();
             if new_status != slot.status {
@@ -333,14 +429,15 @@ where
                 if first_directed_use[didx] == u64::MAX {
                     first_directed_use[didx] = round;
                 }
-                if !watch.is_empty() {
-                    let key = (v.min(dest), v.max(dest));
-                    for (w, hit) in watch.iter().zip(watch_hits.iter_mut()) {
-                        if *w == key && hit.is_none() {
-                            *hit = Some(WatchHit {
-                                round,
-                                messages_before: messages - 1,
-                            });
+                if !watch_index.is_empty() {
+                    if let Some(hits) = watch_index.get(&(v.min(dest), v.max(dest))) {
+                        for &i in hits {
+                            if watch_hits[i].is_none() {
+                                watch_hits[i] = Some(WatchHit {
+                                    round,
+                                    messages_before: messages - 1,
+                                });
+                            }
                         }
                     }
                 }
@@ -348,8 +445,18 @@ where
             }
         }
 
+        for &v in &active {
+            in_active[v] = false;
+        }
+        active.clear();
+
+        // Deliveries schedule their destinations for the next round.
         for (dest, port, msg) in staged.drain(..) {
             slots[dest].inbox.push((port, msg));
+            if !in_active[dest] {
+                in_active[dest] = true;
+                active.push(dest);
+            }
         }
 
         round_totals.push((round, messages));
@@ -643,6 +750,127 @@ mod tests {
             assert!(cum >= prev);
             prev = cum;
         }
+    }
+
+    #[test]
+    #[should_panic(expected = "Wakeup::Adversarial names node 9")]
+    fn adversarial_wakeup_out_of_range_panics() {
+        let g = gen::path(5).unwrap();
+        let cfg = SimConfig::seeded(0).with_wakeup(Wakeup::Adversarial(vec![0, 9]));
+        run(&g, &cfg, |_, _, _| Sleeper {
+            until: 10,
+            fired: false,
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node must wake initially")]
+    fn adversarial_wakeup_empty_panics() {
+        let g = gen::path(5).unwrap();
+        let cfg = SimConfig::seeded(0).with_wakeup(Wakeup::Adversarial(vec![]));
+        run(&g, &cfg, |_, _, _| Sleeper {
+            until: 10,
+            fired: false,
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "watch edge (0, 3) is not an edge of the graph")]
+    fn watching_a_non_edge_panics() {
+        let g = gen::path(6).unwrap();
+        let cfg = flood_cfg(6, 10, 0).watching(&[(3, 0)]);
+        run(&g, &cfg, |_, _, _| MiniFloodMax {
+            best: 0,
+            deadline: 10,
+            decided: Status::Undecided,
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "is not an edge of the graph")]
+    fn watching_an_out_of_range_node_panics() {
+        let g = gen::path(4).unwrap();
+        let cfg = flood_cfg(4, 10, 0).watching(&[(2, 17)]);
+        run(&g, &cfg, |_, _, _| MiniFloodMax {
+            best: 0,
+            deadline: 10,
+            decided: Status::Undecided,
+        });
+    }
+
+    #[test]
+    fn duplicate_watch_entries_all_record_the_crossing() {
+        let g = gen::path(6).unwrap();
+        let cfg = flood_cfg(6, 10, 0).watching(&[(2, 3), (3, 2), (2, 3)]);
+        let out = run(&g, &cfg, |_, _, _| MiniFloodMax {
+            best: 0,
+            deadline: 10,
+            decided: Status::Undecided,
+        });
+        let first = out.watch_hits[0].expect("edge (2,3) crossed");
+        for (i, hit) in out.watch_hits.iter().enumerate() {
+            assert_eq!(hit.expect("duplicate entry recorded"), first, "entry {i}");
+        }
+    }
+
+    /// Nodes re-arming timers across activations leave stale heap entries
+    /// behind; the lazy invalidation must neither double-activate nor lose
+    /// wakeups. (Re-arming must span *separate* activations: within one
+    /// `on_round`, `wake_at` collapses to the minimum before the engine
+    /// sees it, and no stale entry is ever created.)
+    struct Rearm {
+        fires: u64,
+    }
+    impl Protocol for Rearm {
+        type Msg = Signal;
+        fn on_round(&mut self, ctx: &mut Context<'_, Signal>, _inbox: &[(usize, Signal)]) {
+            match ctx.round() {
+                // Arm far in the future and ping the neighbours so the
+                // next two activations are message-triggered.
+                0 => {
+                    ctx.broadcast(Signal);
+                    ctx.wake_at(1_000);
+                }
+                // Re-arm earlier: the (1000, v) heap entry goes stale.
+                1 => {
+                    ctx.broadcast(Signal);
+                    ctx.wake_at(6);
+                }
+                // Re-arm earlier again: the (6, v) entry goes stale too;
+                // it is due at a round the node must *not* run in, so it
+                // exercises the admit loop's stale-drop path, while the
+                // (1000, v) entries exercise the fast-forward one.
+                2 => ctx.wake_at(5),
+                5 => {
+                    self.fires += 1;
+                    ctx.wake_at(7);
+                }
+                7 => self.fires += 1,
+                r => panic!("activated at unexpected round {r}"),
+            }
+        }
+        fn status(&self) -> Status {
+            if self.fires == 2 {
+                Status::NonLeader
+            } else {
+                Status::Undecided
+            }
+        }
+    }
+
+    #[test]
+    fn rearmed_timers_fire_once_at_the_earliest_round() {
+        let g = gen::path(3).unwrap();
+        let cfg = SimConfig::seeded(0).with_max_rounds(10_000);
+        let out = run(&g, &cfg, |_, _, _| Rearm { fires: 0 });
+        assert_eq!(out.termination, Termination::Quiescent);
+        assert_eq!(out.undecided_count(), 0);
+        assert_eq!(out.rounds, 8, "last activity at round 7");
+        // Active rounds: 0-2 (messages), then 5 and 7 — the superseded
+        // round-6 entries must not wake anyone and the superseded
+        // round-1000 entries must not extend the run past quiescence.
+        let active_rounds: Vec<u64> = out.round_totals.iter().map(|&(r, _)| r).collect();
+        assert_eq!(active_rounds, vec![0, 1, 2, 5, 7]);
     }
 
     #[test]

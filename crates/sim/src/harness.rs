@@ -72,6 +72,11 @@ pub struct Summary {
     pub max_rounds: u64,
     /// Maximum messages observed.
     pub max_messages: u64,
+    /// Mean total payload bits across all runs (the CONGEST bit cost the
+    /// figure binaries report).
+    pub mean_bits: f64,
+    /// Largest single message observed in any run, in bits.
+    pub max_message_bits: u64,
     /// Total CONGEST violations across runs (tests expect 0).
     pub congest_violations: u64,
 }
@@ -93,6 +98,8 @@ impl Summary {
             mean_messages: outcomes.iter().map(|o| o.messages as f64).sum::<f64>() / trials as f64,
             max_rounds: outcomes.iter().map(|o| o.rounds).max().unwrap(),
             max_messages: outcomes.iter().map(|o| o.messages).max().unwrap(),
+            mean_bits: outcomes.iter().map(|o| o.bits as f64).sum::<f64>() / trials as f64,
+            max_message_bits: outcomes.iter().map(|o| o.max_message_bits).max().unwrap(),
             congest_violations: outcomes.iter().map(|o| o.congest_violations).sum(),
         }
     }
@@ -107,14 +114,16 @@ impl std::fmt::Display for Summary {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{}/{} ok ({:.1}%), rounds {:.1} (max {}), msgs {:.1} (max {})",
+            "{}/{} ok ({:.1}%), rounds {:.1} (max {}), msgs {:.1} (max {}), bits {:.1} (max msg {}b)",
             self.successes,
             self.trials,
             100.0 * self.success_rate(),
             self.mean_rounds,
             self.max_rounds,
             self.mean_messages,
-            self.max_messages
+            self.max_messages,
+            self.mean_bits,
+            self.max_message_bits
         )
     }
 }
@@ -156,8 +165,12 @@ mod tests {
         assert!((s.mean_messages - 200.0).abs() < 1e-9);
         assert_eq!(s.max_rounds, 20);
         assert_eq!(s.max_messages, 300);
+        assert!((s.mean_bits - 1600.0).abs() < 1e-9);
+        assert_eq!(s.max_message_bits, 8);
         assert!((s.success_rate() - 0.5).abs() < 1e-9);
-        assert!(format!("{s}").contains("1/2 ok"));
+        let shown = format!("{s}");
+        assert!(shown.contains("1/2 ok"));
+        assert!(shown.contains("bits 1600.0 (max msg 8b)"));
     }
 
     #[test]

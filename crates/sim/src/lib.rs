@@ -25,6 +25,13 @@
 //! designated "bridge" edges (Theorem 3.1). Runs can be truncated at a
 //! round cap to reproduce the time-lower-bound experiment (Theorem 3.13).
 //!
+//! Scheduling is **event-driven**: per simulated round the engine touches
+//! only the nodes that receive a message or whose wakeup timer fires
+//! (active set + wakeup min-heap + dedup bitmap — see the `engine` module
+//! docs), so sparsely active executions at `n = 10⁶` are cheap and idle
+//! stretches fast-forward in `O(log n)`. Idle rounds still count toward
+//! [`RunOutcome::rounds`]; they just cost no work.
+//!
 //! ## Writing a protocol
 //!
 //! Implement [`Protocol`] with a message enum implementing

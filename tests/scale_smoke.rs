@@ -1,0 +1,91 @@
+//! Large-`n` smoke tests for the event-driven scheduler.
+//!
+//! `#[ignore]`-gated: run with `cargo test --release -- --ignored` (the
+//! CI perf-smoke step does). These sizes are hopeless for a per-round
+//! full-scan engine — FloodMax on the 10⁶-cycle simulates 5·10⁵ rounds of
+//! mostly sleeping nodes, and the DFS agent crosses a 10⁴-node path one
+//! active node at a time — so a scheduler regression that reintroduces
+//! `O(n)` work per round shows up as a wall-clock blowup here long before
+//! it corrupts any result.
+
+use std::time::{Duration, Instant};
+use ule_core::{baseline, dfs_agent};
+use ule_graph::{gen, IdAssignment, IdSpace};
+use ule_sim::{Knowledge, SimConfig, Termination};
+
+/// Generous per-test budget: each run takes single-digit seconds on a
+/// laptop; only an asymptotic regression (or a hung run) exceeds this.
+const BUDGET: Duration = Duration::from_secs(300);
+
+#[test]
+#[ignore = "large-n perf smoke; run with --release -- --ignored"]
+fn floodmax_on_a_million_node_cycle() {
+    let n = 1_000_000;
+    let g = gen::cycle(n).unwrap();
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let cfg = SimConfig::seeded(1)
+        .with_ids(IdSpace::standard(n).sample(n, &mut rng))
+        .with_knowledge(Knowledge::n_and_diameter(n, n / 2))
+        .with_max_rounds(u64::MAX / 4);
+    let start = Instant::now();
+    let out = baseline::flood_max(&g, &cfg);
+    assert!(
+        start.elapsed() < BUDGET,
+        "FloodMax on the 10^6 cycle took {:?} — scheduler regression",
+        start.elapsed()
+    );
+    assert!(out.election_succeeded());
+    assert_eq!(out.termination, Termination::Quiescent);
+    // Decision at round D = n/2; rounds is the last active round + 1.
+    assert_eq!(out.rounds, n as u64 / 2 + 1);
+}
+
+#[test]
+#[ignore = "large-n perf smoke; run with --release -- --ignored"]
+fn dfs_agent_on_a_ten_thousand_node_path() {
+    let n = 10_000;
+    let g = gen::path(n).unwrap();
+    let cfg = SimConfig::seeded(1)
+        .with_ids(IdAssignment::sequential(n))
+        .with_max_rounds(u64::MAX / 4);
+    let start = Instant::now();
+    let out = dfs_agent::elect(&g, &cfg, false);
+    assert!(
+        start.elapsed() < BUDGET,
+        "DfsAgent on the 10^4 path took {:?} — scheduler regression",
+        start.elapsed()
+    );
+    assert!(out.election_succeeded());
+    assert_eq!(out.termination, Termination::Quiescent);
+    // Theorem 4.1: O(m) messages regardless of the exponential schedule.
+    let m = (n - 1) as u64;
+    assert!(out.messages <= 4 * m + 2 * n as u64, "messages not O(m)");
+    // The id-1 agent steps every 2 rounds: simulated time far exceeds
+    // engine work, which is exactly what fast-forward must absorb.
+    assert!(out.rounds > 2 * m);
+}
+
+#[test]
+#[ignore = "large-n perf smoke; run with --release -- --ignored"]
+fn kingdom_doubling_on_a_large_torus() {
+    // A third shape: the Theorem 4.10 doubling schedule leaves most nodes
+    // idle most rounds — sparse activity with bursts, unlike FloodMax
+    // (dense then silent) or the DFS agent (one active node).
+    let side = 200;
+    let g = gen::torus(side, side).unwrap();
+    let n = side * side;
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    let cfg = SimConfig::seeded(7)
+        .with_ids(IdSpace::standard(n).sample(n, &mut rng))
+        .with_max_rounds(u64::MAX / 4);
+    let start = Instant::now();
+    let out = ule_core::kingdom::elect_doubling(&g, &cfg);
+    assert!(
+        start.elapsed() < BUDGET,
+        "kingdom(2^p) on the {side}x{side} torus took {:?}",
+        start.elapsed()
+    );
+    assert!(out.election_succeeded());
+}

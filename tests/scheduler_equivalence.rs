@@ -1,0 +1,1010 @@
+//! Scheduler-equivalence regression suite.
+//!
+//! The engine's event-driven scheduler (active set + wakeup heap) must be
+//! observationally identical to the original per-round full scan: same
+//! messages, same rounds, same statuses, same per-round totals, same
+//! per-directed-edge first uses — byte for byte, for every algorithm in the
+//! registry. Two layers of defence:
+//!
+//! 1. `full_outcome_is_reproducible`: two runs of the same seeded config
+//!    produce identical `RunOutcome`s (determinism of the scheduler itself).
+//! 2. `outcomes_match_pre_refactor_pins`: headline numbers *and* a
+//!    fingerprint over every `RunOutcome` field equal values recorded with
+//!    the pre-refactor full-scan engine (commit 6e75ad2 plus the FloodMax
+//!    sleep-until-deadline fix), so any behavioural drift in the scheduler
+//!    is caught against ground truth, not just against itself.
+
+use ule_core::Algorithm;
+use ule_graph::{dumbbell, gen, Graph};
+use ule_sim::{RunOutcome, Status, Termination};
+
+fn graphs() -> Vec<(&'static str, Graph)> {
+    vec![
+        ("cycle16", gen::cycle(16).unwrap()),
+        ("grid4x4", gen::grid(4, 4).unwrap()),
+        ("torus4x4", gen::torus(4, 4).unwrap()),
+        (
+            "dumbbell24",
+            dumbbell::clique_path_dumbbell(12, 20, 0, 1).unwrap().graph,
+        ),
+    ]
+}
+
+/// `(seed, graph, algorithm, messages, rounds, bits, leader-or-minus-one,
+/// full-outcome fingerprint)` recorded by running the pre-refactor engine
+/// (per-round full scans) on this exact workload matrix. The fingerprint
+/// is [`fingerprint`] over *every* `RunOutcome` field — statuses,
+/// termination, watch hits, per-directed-edge first uses and counts,
+/// `last_status_change`, and the per-active-round totals — so drift in any
+/// observable, not just the four headline numbers, fails the pin.
+type Pin = (u64, &'static str, &'static str, u64, u64, u64, i64, u64);
+
+/// Order-sensitive FNV-1a-style fold over every field of a [`RunOutcome`].
+/// Deliberately hand-rolled (no `std::hash`): the constants are fixed, so
+/// pinned values are stable across Rust releases.
+fn fingerprint(out: &RunOutcome) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    let mut mix = |x: u64| {
+        h = (h ^ x).wrapping_mul(0x100000001b3);
+    };
+    mix(out.rounds);
+    mix(out.messages);
+    mix(out.bits);
+    mix(out.statuses.len() as u64);
+    for s in &out.statuses {
+        mix(match s {
+            Status::Undecided => 0,
+            Status::Leader => 1,
+            Status::NonLeader => 2,
+        });
+    }
+    mix(match out.termination {
+        Termination::Quiescent => 0,
+        Termination::RoundLimit => 1,
+    });
+    mix(out.congest_violations);
+    mix(out.max_message_bits);
+    mix(out.watch_hits.len() as u64);
+    for hit in &out.watch_hits {
+        match hit {
+            Some(w) => {
+                mix(1);
+                mix(w.round);
+                mix(w.messages_before);
+            }
+            None => mix(0),
+        }
+    }
+    mix(out.first_directed_use.len() as u64);
+    for &r in &out.first_directed_use {
+        mix(r);
+    }
+    mix(out.directed_message_counts.len() as u64);
+    for &c in &out.directed_message_counts {
+        mix(c);
+    }
+    match out.last_status_change {
+        Some(r) => {
+            mix(1);
+            mix(r);
+        }
+        None => mix(0),
+    }
+    mix(out.round_totals.len() as u64);
+    for &(r, t) in &out.round_totals {
+        mix(r);
+        mix(t);
+    }
+    h
+}
+
+const PINS: &[Pin] = &[
+    // seed 1
+    (
+        1,
+        "cycle16",
+        "least-el(n)",
+        128,
+        19,
+        4396,
+        11,
+        0x536fc5099c6cb5fa,
+    ),
+    (
+        1,
+        "cycle16",
+        "least-el(log n)",
+        90,
+        19,
+        3011,
+        15,
+        0x0d0bc795fdcd491b,
+    ),
+    (
+        1,
+        "cycle16",
+        "least-el(const)",
+        104,
+        20,
+        3536,
+        10,
+        0x63a2a69de6fdf276,
+    ),
+    (
+        1,
+        "cycle16",
+        "size-estimate",
+        277,
+        46,
+        10529,
+        1,
+        0xe826678af0e95361,
+    ),
+    (
+        1,
+        "cycle16",
+        "las-vegas(n,D)",
+        70,
+        29,
+        2225,
+        12,
+        0x3b1ab381ac65be74,
+    ),
+    (
+        1,
+        "cycle16",
+        "clustering",
+        160,
+        20,
+        5994,
+        1,
+        0x5300240aad2b2380,
+    ),
+    (
+        1,
+        "cycle16",
+        "dfs-agent",
+        32,
+        67,
+        160,
+        0,
+        0xec377f73c7006519,
+    ),
+    (
+        1,
+        "cycle16",
+        "kingdom(D)",
+        202,
+        113,
+        3497,
+        13,
+        0xf011b28afc7b9888,
+    ),
+    (
+        1,
+        "cycle16",
+        "kingdom(2^p)",
+        244,
+        83,
+        4003,
+        13,
+        0x6b10a71053f4aa50,
+    ),
+    (
+        1,
+        "cycle16",
+        "floodmax",
+        110,
+        9,
+        2140,
+        13,
+        0x4f8046ea878d7987,
+    ),
+    (1, "cycle16", "tole", 146, 22, 5121, 13, 0xb09962417f073c1c),
+    (1, "cycle16", "coin-flip", 0, 1, 0, -1, 0x5c7621ff8c0fc6c4),
+    (
+        1,
+        "grid4x4",
+        "least-el(n)",
+        206,
+        13,
+        7083,
+        11,
+        0x124500ef363853d1,
+    ),
+    (
+        1,
+        "grid4x4",
+        "least-el(log n)",
+        164,
+        15,
+        5456,
+        15,
+        0x3165a0db862e674a,
+    ),
+    (
+        1,
+        "grid4x4",
+        "least-el(const)",
+        154,
+        11,
+        5155,
+        10,
+        0x5e59b5446caac4c4,
+    ),
+    (
+        1,
+        "grid4x4",
+        "size-estimate",
+        437,
+        30,
+        16371,
+        1,
+        0xe2e6b78314b02361,
+    ),
+    (
+        1,
+        "grid4x4",
+        "las-vegas(n,D)",
+        124,
+        23,
+        3922,
+        12,
+        0xc9f9191dbf19ceef,
+    ),
+    (
+        1,
+        "grid4x4",
+        "clustering",
+        234,
+        14,
+        8727,
+        1,
+        0x2bff0d8e696e72db,
+    ),
+    (
+        1,
+        "grid4x4",
+        "dfs-agent",
+        48,
+        99,
+        240,
+        0,
+        0x7401c5f1c828eb01,
+    ),
+    (
+        1,
+        "grid4x4",
+        "kingdom(D)",
+        174,
+        59,
+        3121,
+        13,
+        0x6fc3db5889bdf22d,
+    ),
+    (
+        1,
+        "grid4x4",
+        "kingdom(2^p)",
+        308,
+        83,
+        4964,
+        13,
+        0x480b5ac758853075,
+    ),
+    (
+        1,
+        "grid4x4",
+        "floodmax",
+        138,
+        7,
+        2680,
+        13,
+        0x3116df4991001d53,
+    ),
+    (1, "grid4x4", "tole", 218, 15, 7661, 13, 0x6068c13c7e8724f3),
+    (1, "grid4x4", "coin-flip", 0, 1, 0, -1, 0xb6b32d9de7d3c034),
+    (
+        1,
+        "torus4x4",
+        "least-el(n)",
+        302,
+        13,
+        10289,
+        11,
+        0xba9250a3db7d0a99,
+    ),
+    (
+        1,
+        "torus4x4",
+        "least-el(log n)",
+        216,
+        13,
+        7190,
+        15,
+        0x436186a276b2ffd4,
+    ),
+    (
+        1,
+        "torus4x4",
+        "least-el(const)",
+        236,
+        13,
+        7882,
+        10,
+        0x3f83389c062c52de,
+    ),
+    (
+        1,
+        "torus4x4",
+        "size-estimate",
+        587,
+        28,
+        21794,
+        1,
+        0xdb45c209085edc46,
+    ),
+    (
+        1,
+        "torus4x4",
+        "las-vegas(n,D)",
+        152,
+        17,
+        4776,
+        12,
+        0x62255f6348777dbd,
+    ),
+    (
+        1,
+        "torus4x4",
+        "clustering",
+        318,
+        12,
+        11825,
+        1,
+        0xc686b3dd0e31cc42,
+    ),
+    (
+        1,
+        "torus4x4",
+        "dfs-agent",
+        64,
+        131,
+        320,
+        0,
+        0xc344b326159156b1,
+    ),
+    (
+        1,
+        "torus4x4",
+        "kingdom(D)",
+        222,
+        43,
+        4114,
+        13,
+        0xe33a9863b3b06cc2,
+    ),
+    (
+        1,
+        "torus4x4",
+        "kingdom(2^p)",
+        296,
+        45,
+        5206,
+        13,
+        0xb5f26be77e7fd688,
+    ),
+    (
+        1,
+        "torus4x4",
+        "floodmax",
+        172,
+        5,
+        3336,
+        13,
+        0xcb2ee4cd81e48173,
+    ),
+    (
+        1,
+        "torus4x4",
+        "tole",
+        296,
+        13,
+        10404,
+        13,
+        0xeeab7ed2003aaf8c,
+    ),
+    (1, "torus4x4", "coin-flip", 0, 1, 0, -1, 0xbae1bdfe94b314a4),
+    (
+        1,
+        "dumbbell24",
+        "least-el(n)",
+        388,
+        20,
+        14568,
+        13,
+        0x60b08cb28fcefdd0,
+    ),
+    (
+        1,
+        "dumbbell24",
+        "least-el(log n)",
+        206,
+        18,
+        8155,
+        12,
+        0x339cc3ebb4a71ef4,
+    ),
+    (
+        1,
+        "dumbbell24",
+        "least-el(const)",
+        324,
+        27,
+        12490,
+        9,
+        0xe2ca8f9adfcdfc24,
+    ),
+    (
+        1,
+        "dumbbell24",
+        "size-estimate",
+        987,
+        58,
+        42136,
+        22,
+        0xa7f692347ca74e1e,
+    ),
+    (
+        1,
+        "dumbbell24",
+        "las-vegas(n,D)",
+        206,
+        50,
+        8155,
+        12,
+        0x50d47bd1c2b36518,
+    ),
+    (
+        1,
+        "dumbbell24",
+        "clustering",
+        534,
+        32,
+        22057,
+        11,
+        0x14a391fa85039a07,
+    ),
+    (
+        1,
+        "dumbbell24",
+        "dfs-agent",
+        87,
+        171,
+        439,
+        0,
+        0xfc05bff511853e7d,
+    ),
+    (
+        1,
+        "dumbbell24",
+        "kingdom(D)",
+        450,
+        197,
+        9094,
+        15,
+        0xb08b5285cdaeab1e,
+    ),
+    (
+        1,
+        "dumbbell24",
+        "kingdom(2^p)",
+        705,
+        153,
+        13293,
+        15,
+        0x832512617e43396f,
+    ),
+    (
+        1,
+        "dumbbell24",
+        "floodmax",
+        218,
+        16,
+        4916,
+        15,
+        0x0e01b98cc1c16fd0,
+    ),
+    (
+        1,
+        "dumbbell24",
+        "tole",
+        350,
+        21,
+        14491,
+        15,
+        0x54b4efa55cecd143,
+    ),
+    (
+        1,
+        "dumbbell24",
+        "coin-flip",
+        0,
+        1,
+        0,
+        -1,
+        0xa9a0eea321dd03e8,
+    ),
+    // seed 2
+    (
+        2,
+        "cycle16",
+        "least-el(n)",
+        126,
+        20,
+        4301,
+        2,
+        0x9d9a94e5b0dc15a6,
+    ),
+    (
+        2,
+        "cycle16",
+        "least-el(log n)",
+        64,
+        19,
+        2098,
+        8,
+        0xad2054abab566af3,
+    ),
+    (
+        2,
+        "cycle16",
+        "least-el(const)",
+        118,
+        20,
+        3939,
+        9,
+        0x11e350cf35217d55,
+    ),
+    (
+        2,
+        "cycle16",
+        "size-estimate",
+        275,
+        46,
+        12172,
+        3,
+        0x09f16aadb39b9b6f,
+    ),
+    (
+        2,
+        "cycle16",
+        "las-vegas(n,D)",
+        64,
+        29,
+        2098,
+        8,
+        0xb4ee6db458463360,
+    ),
+    (
+        2,
+        "cycle16",
+        "clustering",
+        168,
+        22,
+        6196,
+        8,
+        0x73840bfe9f824f7c,
+    ),
+    (
+        2,
+        "cycle16",
+        "dfs-agent",
+        32,
+        67,
+        160,
+        0,
+        0xec377f73c7006519,
+    ),
+    (
+        2,
+        "cycle16",
+        "kingdom(D)",
+        203,
+        113,
+        3545,
+        5,
+        0x5c437df062610226,
+    ),
+    (
+        2,
+        "cycle16",
+        "kingdom(2^p)",
+        262,
+        83,
+        4355,
+        5,
+        0x7b909e341042621e,
+    ),
+    (
+        2,
+        "cycle16",
+        "floodmax",
+        100,
+        9,
+        1968,
+        5,
+        0x40f8cd669172ddad,
+    ),
+    (2, "cycle16", "tole", 136, 21, 4844, 5, 0x28c86debe9411bb0),
+    (2, "cycle16", "coin-flip", 0, 1, 0, 8, 0x18cb3369e95e2e75),
+    (
+        2,
+        "grid4x4",
+        "least-el(n)",
+        212,
+        13,
+        7214,
+        2,
+        0xc3b7fec548f4a8dc,
+    ),
+    (
+        2,
+        "grid4x4",
+        "least-el(log n)",
+        108,
+        13,
+        3480,
+        8,
+        0x1461bac72175ce73,
+    ),
+    (
+        2,
+        "grid4x4",
+        "least-el(const)",
+        154,
+        12,
+        5081,
+        9,
+        0x54da3899c710474f,
+    ),
+    (
+        2,
+        "grid4x4",
+        "size-estimate",
+        445,
+        30,
+        19611,
+        3,
+        0x95260ac75ddfbc05,
+    ),
+    (
+        2,
+        "grid4x4",
+        "las-vegas(n,D)",
+        108,
+        23,
+        3480,
+        8,
+        0x7f81cf5fd2b52c4a,
+    ),
+    (
+        2,
+        "grid4x4",
+        "clustering",
+        254,
+        14,
+        9379,
+        8,
+        0xc302cf6cf3ec4d90,
+    ),
+    (
+        2,
+        "grid4x4",
+        "dfs-agent",
+        48,
+        99,
+        240,
+        0,
+        0x7401c5f1c828eb01,
+    ),
+    (
+        2,
+        "grid4x4",
+        "kingdom(D)",
+        274,
+        89,
+        4890,
+        5,
+        0x92a2efc66489d757,
+    ),
+    (
+        2,
+        "grid4x4",
+        "kingdom(2^p)",
+        256,
+        45,
+        4562,
+        5,
+        0xee6b9fdbadf07a79,
+    ),
+    (
+        2,
+        "grid4x4",
+        "floodmax",
+        127,
+        7,
+        2494,
+        5,
+        0x3e78085909eaa2ca,
+    ),
+    (2, "grid4x4", "tole", 198, 15, 7043, 5, 0x6a7ca1499256b9e6),
+    (2, "grid4x4", "coin-flip", 0, 1, 0, 8, 0xa8e9f2e705173c25),
+    (
+        2,
+        "torus4x4",
+        "least-el(n)",
+        290,
+        12,
+        9829,
+        2,
+        0x8a657a170ef179ba,
+    ),
+    (
+        2,
+        "torus4x4",
+        "least-el(log n)",
+        144,
+        11,
+        4570,
+        8,
+        0x611dd407cfcc3a40,
+    ),
+    (
+        2,
+        "torus4x4",
+        "least-el(const)",
+        236,
+        12,
+        7800,
+        9,
+        0xde25641834a467fe,
+    ),
+    (
+        2,
+        "torus4x4",
+        "size-estimate",
+        671,
+        27,
+        29578,
+        3,
+        0xb7518ecc8996de72,
+    ),
+    (
+        2,
+        "torus4x4",
+        "las-vegas(n,D)",
+        144,
+        11,
+        4570,
+        8,
+        0x611dd407cfcc3a40,
+    ),
+    (
+        2,
+        "torus4x4",
+        "clustering",
+        366,
+        15,
+        13389,
+        8,
+        0x1bf1bfbcba8f5305,
+    ),
+    (
+        2,
+        "torus4x4",
+        "dfs-agent",
+        64,
+        131,
+        320,
+        0,
+        0xc344b326159156b1,
+    ),
+    (
+        2,
+        "torus4x4",
+        "kingdom(D)",
+        352,
+        65,
+        6628,
+        5,
+        0xdcc0520d623650de,
+    ),
+    (
+        2,
+        "torus4x4",
+        "kingdom(2^p)",
+        352,
+        45,
+        6628,
+        5,
+        0xb343490e5795b6c2,
+    ),
+    (
+        2,
+        "torus4x4",
+        "floodmax",
+        164,
+        5,
+        3224,
+        5,
+        0x485dff05c3ca17ff,
+    ),
+    (2, "torus4x4", "tole", 284, 13, 10142, 5, 0xee3eef56cd3cb280),
+    (2, "torus4x4", "coin-flip", 0, 1, 0, 8, 0x9b17f4a6c62e8255),
+    (
+        2,
+        "dumbbell24",
+        "least-el(n)",
+        374,
+        20,
+        14169,
+        13,
+        0xce93c56f6d8472ec,
+    ),
+    (
+        2,
+        "dumbbell24",
+        "least-el(log n)",
+        172,
+        17,
+        6084,
+        0,
+        0xf3cc860085cc8d19,
+    ),
+    (
+        2,
+        "dumbbell24",
+        "least-el(const)",
+        176,
+        17,
+        6246,
+        0,
+        0x48e9ad831032ad73,
+    ),
+    (
+        2,
+        "dumbbell24",
+        "size-estimate",
+        967,
+        52,
+        44492,
+        16,
+        0xf2945ddffc605f16,
+    ),
+    (
+        2,
+        "dumbbell24",
+        "las-vegas(n,D)",
+        168,
+        50,
+        5938,
+        0,
+        0x397dcc4edece87b5,
+    ),
+    (
+        2,
+        "dumbbell24",
+        "clustering",
+        440,
+        21,
+        18364,
+        2,
+        0x412d11f398e04b47,
+    ),
+    (
+        2,
+        "dumbbell24",
+        "dfs-agent",
+        87,
+        171,
+        439,
+        0,
+        0xfc05bff511853e7d,
+    ),
+    (
+        2,
+        "dumbbell24",
+        "kingdom(D)",
+        450,
+        197,
+        9139,
+        7,
+        0xf5374c5bb1959364,
+    ),
+    (
+        2,
+        "dumbbell24",
+        "kingdom(2^p)",
+        698,
+        153,
+        13328,
+        7,
+        0x874b1a9a8b2605a9,
+    ),
+    (
+        2,
+        "dumbbell24",
+        "floodmax",
+        257,
+        16,
+        5776,
+        7,
+        0x5b585a366a4f11c4,
+    ),
+    (
+        2,
+        "dumbbell24",
+        "tole",
+        412,
+        24,
+        17018,
+        7,
+        0xfaf21660b1faa2d0,
+    ),
+    (
+        2,
+        "dumbbell24",
+        "coin-flip",
+        0,
+        1,
+        0,
+        -1,
+        0x031f0609f6733aa4,
+    ),
+];
+
+#[test]
+fn full_outcome_is_reproducible() {
+    for (gname, g) in graphs() {
+        for alg in Algorithm::ALL {
+            for seed in [1u64, 2] {
+                let a = alg.run(&g, seed);
+                let b = alg.run(&g, seed);
+                assert_eq!(
+                    a, b,
+                    "{alg} on {gname} seed {seed}: two identically seeded runs diverged"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn outcomes_match_pre_refactor_pins() {
+    let graphs = graphs();
+    assert_eq!(PINS.len(), 2 * graphs.len() * Algorithm::ALL.len());
+    for &(seed, gname, alg_name, messages, rounds, bits, leader, fp) in PINS {
+        let (_, g) = graphs
+            .iter()
+            .find(|(name, _)| *name == gname)
+            .expect("pinned graph exists");
+        let alg = Algorithm::ALL
+            .into_iter()
+            .find(|a| a.spec().name == alg_name)
+            .expect("pinned algorithm exists");
+        let out = alg.run(g, seed);
+        let got_leader = out.leader().map(|v| v as i64).unwrap_or(-1);
+        assert_eq!(
+            (
+                out.messages,
+                out.rounds,
+                out.bits,
+                got_leader,
+                fingerprint(&out)
+            ),
+            (messages, rounds, bits, leader, fp),
+            "{alg_name} on {gname} seed {seed} drifted from the pre-refactor engine"
+        );
+    }
+}
