@@ -5,64 +5,49 @@
 //! cargo run --release -p ule-bench --bin fig_tradeoff [-- --quick]
 //! ```
 //!
-//! The paper's Table 1 is a trade-off statement: `O(D)`-time algorithms
-//! pay a `log` factor in messages unless they know more or the graph is
-//! dense; message-optimal algorithms pay in time (DFS agents pay
-//! enormously). This figure prints the (rounds/D, messages/m) coordinates
-//! of every algorithm on a mid-size workload so the frontier is visible in
-//! one table.
+//! Thin wrapper over the `fig-tradeoff` built-in campaign of `ule-xp`,
+//! reshaped workload-major: the paper's Table 1 is a trade-off statement —
+//! `O(D)`-time algorithms pay a `log` factor in messages unless they know
+//! more or the graph is dense; message-optimal algorithms pay in time (DFS
+//! agents pay enormously). This figure prints the (rounds/D, messages/m)
+//! coordinates of every algorithm on each mid-size workload so the
+//! frontier is visible in one table.
 
-use ule_core::Algorithm;
-use ule_graph::{analysis, gen};
-use ule_sim::harness::{parallel_trials, Summary};
+use ule_xp::{builtin, execute, RunMeta};
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    let trials: u64 = if quick { 3 } else { 8 };
-    use rand::SeedableRng;
-    let mut rng = rand::rngs::StdRng::seed_from_u64(99);
-    let workloads = [
-        (
-            "torus/100",
-            gen::Family::Torus.build(100, &mut rng).unwrap(),
-        ),
-        (
-            "sparse/128",
-            gen::Family::SparseRandom.build(128, &mut rng).unwrap(),
-        ),
-        (
-            "dense/128",
-            gen::Family::DenseRandom.build(128, &mut rng).unwrap(),
-        ),
-    ];
+    let spec = builtin("fig-tradeoff", quick).expect("fig-tradeoff is built in");
+    let result = execute(&spec, RunMeta::capture(), false).expect("campaign runs");
 
-    for (label, g) in &workloads {
-        let d = analysis::diameter_exact(g).expect("connected").max(1) as f64;
-        let m = g.edge_count() as f64;
-        println!(
-            "## {label}: n = {}, m = {}, D = {}",
-            g.len(),
-            g.edge_count(),
-            d
-        );
+    // Workload-major: one block per workload, one row per algorithm.
+    let mut workloads: Vec<&str> = Vec::new();
+    for cell in &result.cells {
+        if !workloads.contains(&cell.workload.as_str()) {
+            workloads.push(&cell.workload);
+        }
+    }
+    for workload in workloads {
+        let cells: Vec<_> = result
+            .cells
+            .iter()
+            .filter(|c| c.workload == workload)
+            .collect();
+        let (n, m, d) = (cells[0].n, cells[0].m, cells[0].d);
+        println!("## {workload}: n = {n}, m = {m}, D = {d}");
         println!(
             "{:<16} {:>10} {:>10} {:>10} {:>9}   claimed (time / messages)",
             "algorithm", "rounds/D", "msgs/m", "bits/m", "success"
         );
-        for alg in Algorithm::ALL {
-            if alg == Algorithm::CoinFlip {
-                continue; // no trade-off point: it does not communicate
-            }
-            let outs = parallel_trials(trials, |t| alg.run(g, t));
-            let s = Summary::from_outcomes(&outs);
-            let spec = alg.spec();
+        for cell in cells {
+            let spec = cell.algorithm.spec();
             println!(
                 "{:<16} {:>10.2} {:>10.2} {:>10.1} {:>8.0}%   {} / {}",
                 spec.name,
-                s.mean_rounds / d,
-                s.mean_messages / m,
-                s.mean_bits / m,
-                100.0 * s.success_rate(),
+                cell.summary.mean_rounds / d.max(1) as f64,
+                cell.summary.mean_messages / m as f64,
+                cell.summary.mean_bits / m as f64,
+                100.0 * cell.summary.success_rate(),
                 spec.time,
                 spec.messages
             );

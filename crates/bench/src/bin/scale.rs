@@ -4,153 +4,30 @@
 //! cargo run --release -p ule-bench --bin scale [-- --quick] > BENCH_engine.json
 //! ```
 //!
-//! Exercises the event-driven scheduler on the two workload extremes the
+//! Thin wrapper over the `engine-scale` built-in campaign of `ule-xp`
+//! (equivalently: `ule-xp run --campaign engine-scale`), which exercises
+//! the event-driven scheduler on the two workload extremes the scheduler
 //! refactor targets:
 //!
-//! * **FloodMax** on cycle / torus / random-connected graphs up to `n =
-//!   10⁶` — message-dense but *wakeup-sparse*: after the initial flood,
-//!   nodes sleep until the decision round, so a per-round full scan would
-//!   pay `O(n·D)` while the event-driven engine pays `O(messages)`.
+//! * **FloodMax** on cycle / torus / sparse-random graphs up to `n = 10⁶`
+//!   — message-dense but *wakeup-sparse*: after the initial flood, nodes
+//!   sleep until the decision round, so a per-round full scan would pay
+//!   `O(n·D)` while the event-driven engine pays `O(messages)`.
 //! * **DfsAgent** on paths — the Theorem 4.1 extreme: a handful of live
 //!   agents, exponentially long sleeps, `O(m)` total moves spread over
 //!   `Θ(m·2^{i₁})` simulated rounds.
 //!
-//! Output is a JSON array (one record per workload) with wall-clock,
-//! message/round totals, and derived throughput; the checked-in
-//! `BENCH_engine.json` at the repo root is this binary's output on the
-//! reference machine and serves as the regression baseline.
+//! Output is the versioned campaign-result JSON (per-cell totals plus
+//! wall-clock and derived throughput); the checked-in `BENCH_engine.json`
+//! at the repo root is this binary's output on the reference machine and
+//! serves as the regression baseline for `ule-xp compare` (the CI
+//! perf-gate step).
 
-use std::time::Instant;
-use ule_core::{baseline, dfs_agent};
-use ule_graph::{analysis, gen, Graph, IdSpace};
-use ule_sim::{Knowledge, RunOutcome, SimConfig};
-
-struct Record {
-    workload: String,
-    algorithm: &'static str,
-    n: usize,
-    m: usize,
-    elapsed_s: f64,
-    messages: u64,
-    rounds: u64,
-    bits: u64,
-    elected: bool,
-    msgs_per_s: f64,
-}
-
-fn json(records: &[Record]) -> String {
-    let mut out = String::from("[\n");
-    for (i, r) in records.iter().enumerate() {
-        out.push_str(&format!(
-            "  {{\"workload\": \"{}\", \"algorithm\": \"{}\", \"n\": {}, \"m\": {}, \
-             \"elapsed_s\": {:.3}, \"messages\": {}, \"rounds\": {}, \"bits\": {}, \
-             \"elected\": {}, \"msgs_per_s\": {:.0}}}{}\n",
-            r.workload,
-            r.algorithm,
-            r.n,
-            r.m,
-            r.elapsed_s,
-            r.messages,
-            r.rounds,
-            r.bits,
-            r.elected,
-            r.msgs_per_s,
-            if i + 1 < records.len() { "," } else { "" }
-        ));
-    }
-    out.push(']');
-    out
-}
-
-fn timed<F: FnOnce() -> RunOutcome>(
-    workload: String,
-    algorithm: &'static str,
-    g: &Graph,
-    f: F,
-) -> Record {
-    eprintln!("running {algorithm} on {workload} (n = {}) ...", g.len());
-    let start = Instant::now();
-    let out = f();
-    let elapsed = start.elapsed().as_secs_f64();
-    Record {
-        workload,
-        algorithm,
-        n: g.len(),
-        m: g.edge_count(),
-        elapsed_s: elapsed,
-        messages: out.messages,
-        rounds: out.rounds,
-        bits: out.bits,
-        elected: out.election_succeeded(),
-        msgs_per_s: out.messages as f64 / elapsed.max(1e-9),
-    }
-}
-
-/// FloodMax needs an upper bound on `D`; exact diameters are closed-form
-/// for cycles/tori and `2 × double-sweep` is a valid upper bound anywhere
-/// (any eccentricity is at least `D/2`).
-fn flood_config(g: &Graph, d_upper: usize, seed: u64) -> SimConfig {
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
-    let n = g.len();
-    let mut rng = StdRng::seed_from_u64(seed ^ 0x1D5);
-    SimConfig::seeded(seed)
-        .with_ids(IdSpace::standard(n).sample(n, &mut rng))
-        .with_knowledge(Knowledge::n_and_diameter(n, d_upper))
-        .with_max_rounds(u64::MAX / 4)
-}
+use ule_xp::{builtin, execute, RunMeta};
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    let flood_sizes: &[usize] = if quick {
-        &[10_000, 100_000]
-    } else {
-        &[10_000, 100_000, 1_000_000]
-    };
-    let dfs_sizes: &[usize] = if quick {
-        &[1_000, 10_000]
-    } else {
-        &[1_000, 10_000, 100_000]
-    };
-    let seed = 1u64;
-    let mut records = Vec::new();
-
-    for &n in flood_sizes {
-        let g = gen::cycle(n).unwrap();
-        let cfg = flood_config(&g, n / 2, seed);
-        records.push(timed(format!("cycle/{n}"), "floodmax", &g, || {
-            baseline::flood_max(&g, &cfg)
-        }));
-
-        let side = (n as f64).sqrt().round() as usize;
-        let g = gen::torus(side, side).unwrap();
-        let cfg = flood_config(&g, side / 2 + side / 2, seed);
-        records.push(timed(
-            format!("torus/{}", side * side),
-            "floodmax",
-            &g,
-            || baseline::flood_max(&g, &cfg),
-        ));
-
-        use rand::SeedableRng;
-        let mut rng = rand::rngs::StdRng::seed_from_u64(20130722 ^ n as u64);
-        let g = gen::random_connected(n, 2 * n, &mut rng).unwrap();
-        let d_upper = 2 * analysis::diameter_double_sweep(&g, 0).unwrap() as usize;
-        let cfg = flood_config(&g, d_upper, seed);
-        records.push(timed(format!("random/{n}"), "floodmax", &g, || {
-            baseline::flood_max(&g, &cfg)
-        }));
-    }
-
-    for &n in dfs_sizes {
-        let g = gen::path(n).unwrap();
-        let cfg = SimConfig::seeded(seed)
-            .with_ids(ule_graph::IdAssignment::sequential(n))
-            .with_max_rounds(u64::MAX / 4);
-        records.push(timed(format!("path/{n}"), "dfs-agent", &g, || {
-            dfs_agent::elect(&g, &cfg, false)
-        }));
-    }
-
-    println!("{}", json(&records));
+    let spec = builtin("engine-scale", quick).expect("engine-scale is built in");
+    let result = execute(&spec, RunMeta::capture(), true).expect("campaign runs");
+    println!("{}", result.to_json().pretty());
 }

@@ -4,39 +4,45 @@
 //! cargo run --release -p ule-bench --bin table1 [-- --quick]
 //! ```
 //!
-//! For each algorithm the harness sweeps four graph families at several
-//! sizes and reports mean rounds/messages plus the *normalized ratios*
-//! (measured ÷ claimed shape). The paper's claims hold if the ratios stay
-//! flat (bounded by a constant) as `n` grows — absolute values depend on
-//! implementation constants, the *shape* is what Table 1 asserts.
+//! Thin wrapper over the `table1` built-in campaign of `ule-xp`: the
+//! campaign runner sweeps every algorithm over four graph families at
+//! several sizes and this binary prints the per-algorithm blocks (mean
+//! rounds/messages plus the *normalized ratios*, measured ÷ claimed
+//! shape). For the machine-readable form of the same numbers, run
+//! `ule-xp run --campaign table1` — both views come from one execution
+//! path, so they always agree. The paper's claims hold if the ratios stay
+//! flat (bounded by a constant) as `n` grows.
 //!
 //! The spanner row (Corollary 4.2) is included via `ule-spanner` on dense
 //! workloads only (its claim is conditional on `m > n^{1+ε}`).
 
-use ule_bench::{format_row, measure, print_rows, row_header, standard_workloads, TableRow};
-use ule_core::Algorithm;
+use ule_bench::{format_row, row_header, standard_workloads, TableRow};
 use ule_graph::analysis;
 use ule_sim::harness::{parallel_trials, Summary};
 use ule_sim::{Knowledge, SimConfig};
+use ule_xp::{builtin, execute, RunMeta};
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    let sizes: &[usize] = if quick { &[48, 96] } else { &[48, 96, 192] };
-    let trials: u64 = if quick { 3 } else { 5 };
-    let workloads = standard_workloads(sizes);
+    let spec = builtin("table1", quick).expect("table1 is built in");
+    let trials = spec.groups[0].trials;
 
     println!("# Table 1 — universal leader election algorithms, measured\n");
-    println!("sizes: {sizes:?}, trials per cell: {trials}\n");
+    println!(
+        "sizes: {:?}, trials per cell: {trials}\n",
+        spec.groups[0].sizes
+    );
 
-    for alg in Algorithm::ALL {
-        let rows = measure(alg, &workloads, trials);
-        print_rows(alg, &rows);
-    }
+    let result = execute(&spec, RunMeta::capture(), false).expect("campaign runs");
+    print!("{}", ule_xp::report::render(&result));
 
-    // Corollary 4.2 (spanner) on the dense workloads only.
+    // Corollary 4.2 (spanner) on the dense workloads only (the spanner
+    // election layers on `ule-core` and is not a registry algorithm, so
+    // campaigns cannot sweep it).
     println!("### spanner (4.2) — Cor 4.2 | claimed: time O(D), messages O(m) for m > n^(1+ε), success whp");
     println!("{}", row_header());
     let sc = ule_spanner::SpannerConfig::for_epsilon(0.5);
+    let workloads = standard_workloads(&spec.groups[0].sizes);
     for (label, g) in workloads.iter().filter(|(l, _)| l.starts_with("dense")) {
         let d = analysis::diameter_exact(g).expect("connected") as usize;
         let outs = parallel_trials(trials, |t| {

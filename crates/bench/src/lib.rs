@@ -21,19 +21,28 @@ use ule_core::Algorithm;
 use ule_graph::{analysis, gen, Graph};
 use ule_sim::harness::{parallel_trials, Summary};
 
+pub use ule_graph::gen::WORKLOAD_BASE_SEED;
+
+/// The four graph families of the Table 1 sweep.
+pub const STANDARD_FAMILIES: [gen::Family; 4] = [
+    gen::Family::Cycle,
+    gen::Family::Torus,
+    gen::Family::SparseRandom,
+    gen::Family::DenseRandom,
+];
+
 /// The graph families × sizes used by the Table 1 sweep.
+///
+/// Each cell's graph comes from [`gen::workload_graph`] with a seed derived
+/// from `(family, n)` alone, so adding, removing, or reordering families or
+/// sizes never changes any other cell's graph. (An earlier version threaded
+/// one `StdRng` through the whole loop, which silently re-randomized every
+/// later graph whenever the sweep was extended.)
 pub fn standard_workloads(sizes: &[usize]) -> Vec<(String, Graph)> {
-    use rand::SeedableRng;
-    let mut rng = rand::rngs::StdRng::seed_from_u64(20130722);
     let mut out = Vec::new();
     for &n in sizes {
-        for fam in [
-            gen::Family::Cycle,
-            gen::Family::Torus,
-            gen::Family::SparseRandom,
-            gen::Family::DenseRandom,
-        ] {
-            let g = fam.build(n, &mut rng).expect("family builds");
+        for fam in STANDARD_FAMILIES {
+            let g = gen::workload_graph(WORKLOAD_BASE_SEED, fam, n).expect("family builds");
             out.push((format!("{fam}/{}", g.len()), g));
         }
     }
@@ -43,25 +52,9 @@ pub fn standard_workloads(sizes: &[usize]) -> Vec<(String, Graph)> {
 /// The claimed asymptotic *shape* of an algorithm's cost, evaluated on a
 /// concrete instance — measured cost divided by this should be a flat
 /// constant across the sweep if the claim's shape holds.
+/// (Thin alias for [`Algorithm::claimed_shape`], kept for existing callers.)
 pub fn claimed_shapes(alg: Algorithm, n: usize, m: usize, d: usize) -> (f64, f64) {
-    let n_f = n as f64;
-    let m_f = m as f64;
-    let d_f = d.max(1) as f64;
-    let ln_n = n_f.max(2.0).ln();
-    let lnln_n = ln_n.max(1.0).ln().max(1.0);
-    match alg {
-        Algorithm::LeastElAll | Algorithm::SizeEstimate => (d_f, m_f * ln_n.min(d_f)),
-        Algorithm::LeastElWhp => (d_f, m_f * lnln_n.min(d_f)),
-        Algorithm::LeastElConstant | Algorithm::LasVegas => (d_f, m_f),
-        Algorithm::Clustering => (d_f * ln_n, m_f + n_f * ln_n),
-        // Sequential identifiers: the minimum is 1, time ≈ 4m·2.
-        Algorithm::DfsAgent => (8.0 * m_f, m_f),
-        Algorithm::KingdomKnownD => (d_f * ln_n, m_f * ln_n),
-        Algorithm::KingdomDoubling => (n_f + d_f * ln_n, m_f * ln_n),
-        Algorithm::FloodMax => (d_f, m_f * d_f),
-        Algorithm::Tole => (d_f, m_f * d_f.min(n_f)),
-        Algorithm::CoinFlip => (1.0, 1.0),
-    }
+    alg.claimed_shape(n, m, d)
 }
 
 /// One measured Table 1 row on one workload.
@@ -167,6 +160,24 @@ mod tests {
         let w = standard_workloads(&[32]);
         assert_eq!(w.len(), 4);
         assert!(w.iter().all(|(_, g)| g.is_connected()));
+    }
+
+    #[test]
+    fn workloads_are_stable_under_extension() {
+        // The seed-threading bugfix, pinned: a cell's graph is a function
+        // of (family, n) only, so a one-size sweep and a three-size sweep
+        // agree on their shared cells, and each cell equals a direct
+        // `workload_graph` call.
+        let small = standard_workloads(&[32]);
+        let big = standard_workloads(&[32, 48, 96]);
+        for ((la, ga), (lb, gb)) in small.iter().zip(&big[..4]) {
+            assert_eq!(la, lb);
+            assert_eq!(ga.edges(), gb.edges());
+        }
+        for (i, fam) in STANDARD_FAMILIES.into_iter().enumerate() {
+            let direct = gen::workload_graph(WORKLOAD_BASE_SEED, fam, 48).unwrap();
+            assert_eq!(big[4 + i].1.edges(), direct.edges(), "{fam}");
+        }
     }
 
     #[test]

@@ -4,13 +4,13 @@
 //!   know `D`, flood the maximum identifier for `D` rounds); message cost
 //!   `O(m·D)` is what the Least-El family improves on.
 //! * [`tole`] — a **t**ime-**o**ptimal **l**eader **e**lection in the
-//!   spirit of Peleg [20]: deterministic, `O(D)` rounds, **no knowledge of
+//!   spirit of Peleg \[20\]: deterministic, `O(D)` rounds, **no knowledge of
 //!   `n`, `m`, or `D`**, termination detected by echoes instead of a round
 //!   deadline. Realized as the wave/echo engine run under the *maximize*
 //!   objective on identifier keys: every node starts a wave, the maximum
 //!   identifier's wave is the unique clean completion. This is the concrete
 //!   implementation behind the paper's "an `O(D)` time algorithm is
-//!   already known [20]"; its worst-case message cost is
+//!   already known \[20\]"; its worst-case message cost is
 //!   `O(m·min(n, D))` (each node forwards once per strict improvement of
 //!   its known maximum).
 //! * [`CoinFlip`] — the Section 1 example: every node self-elects with
@@ -118,7 +118,7 @@ pub fn flood_max(graph: &Graph, sim: &SimConfig) -> RunOutcome {
     ule_sim::run(graph, sim, |_, _, _| FloodMax::new())
 }
 
-/// Time-optimal election à la Peleg [20]: deterministic, `O(D)` rounds,
+/// Time-optimal election à la Peleg \[20\]: deterministic, `O(D)` rounds,
 /// no knowledge, echo-terminated.
 ///
 /// Every node starts a wave keyed by its identifier under the *maximize*

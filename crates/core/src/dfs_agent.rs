@@ -1,6 +1,6 @@
 //! The deterministic `O(m)`-message DFS-agent election — Theorem 4.1.
 //!
-//! The paper's generalization of Frederickson–Lynch [8] to arbitrary
+//! The paper's generalization of Frederickson–Lynch \[8\] to arbitrary
 //! graphs: every node launches an *annexing agent* carrying its identifier;
 //! an agent walks the graph in DFS order, but an agent with identifier `i`
 //! takes one step only every `2^i` rounds. Smaller identifiers destroy

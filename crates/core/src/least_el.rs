@@ -10,7 +10,7 @@
 //! exist).
 //!
 //! Instantiations:
-//! * [`LeastElConfig::all_candidates`] — `f(n) = n`, the algorithm of [11]:
+//! * [`LeastElConfig::all_candidates`] — `f(n) = n`, the algorithm of \[11\]:
 //!   probability 1 given unique keys, `O(m·min(log n, D))` messages;
 //! * [`LeastElConfig::whp`] — `f(n) = Θ(log n)`, Theorem 4.4(A):
 //!   `O(m·min(log log n, D))` messages, success w.h.p.;
@@ -68,7 +68,7 @@ pub struct LeastElConfig {
 }
 
 impl LeastElConfig {
-    /// The [11] algorithm: every node a candidate. `O(m·min(log n, D))`
+    /// The \[11\] algorithm: every node a candidate. `O(m·min(log n, D))`
     /// messages, `O(D)` time, success w.h.p. (probability 1 with ID ties).
     pub fn all_candidates() -> Self {
         LeastElConfig {

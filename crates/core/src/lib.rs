@@ -13,7 +13,7 @@
 //! | [`clustering`] | Thm 4.7 / Alg 1 | `O(D log n)` whp | `O(m + n log n)` whp | `n` |
 //! | [`dfs_agent`] | Thm 4.1 | unbounded | `O(m)` | — |
 //! | [`kingdom`] | Thm 4.10 / Alg 2 | `O(D log n)` | `O(m log n)` | (`D` variant) |
-//! | [`baseline`] | FloodMax; [20]-style `tole`; §1 coin flip | `O(D)` / `O(D)` / 1 | `O(mD)` / `O(m·min(n,D))` / 0 | `D` / — / `n` |
+//! | [`baseline`] | FloodMax; \[20\]-style `tole`; §1 coin flip | `O(D)` / `O(D)` / 1 | `O(mD)` / `O(m·min(n,D))` / 0 | `D` / — / `n` |
 //! | [`broadcast`] | Cor 3.12 workload | `O(D)` | `Θ(m)` | — |
 //! | [`explicit`] | explicit variant (footnote 1) | `+O(D)` | `+O(m)` | `n` |
 //!

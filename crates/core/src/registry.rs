@@ -16,7 +16,7 @@ use ule_sim::{Knowledge, RunOutcome, SimConfig};
 /// Corollary 4.2 lives in `ule-spanner`, which layers on this crate).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Algorithm {
-    /// Least-El with `f(n) = n` ([11]; the basis of Theorem 4.4).
+    /// Least-El with `f(n) = n` (\[11\]; the basis of Theorem 4.4).
     LeastElAll,
     /// Theorem 4.4(A): `f(n) = Θ(log n)`.
     LeastElWhp,
@@ -36,7 +36,7 @@ pub enum Algorithm {
     KingdomDoubling,
     /// Baseline: FloodMax with known `D`.
     FloodMax,
-    /// Peleg [20]-style time-optimal election: `O(D)` time, echo
+    /// Peleg \[20\]-style time-optimal election: `O(D)` time, echo
     /// termination, no knowledge.
     Tole,
     /// Baseline: the §1 coin-flip algorithm (success ≈ 1/e).
@@ -82,6 +82,37 @@ impl Algorithm {
         Algorithm::Tole,
         Algorithm::CoinFlip,
     ];
+
+    /// Looks an algorithm up by its [`AlgorithmSpec::name`] string (the
+    /// registry the campaign runner sweeps by name).
+    pub fn by_name(name: &str) -> Option<Algorithm> {
+        Algorithm::ALL.into_iter().find(|a| a.spec().name == name)
+    }
+
+    /// The claimed asymptotic *shape* of this algorithm's cost on a
+    /// concrete instance, as `(time_shape, message_shape)` — measured cost
+    /// divided by these should stay a flat constant across a sweep if the
+    /// Table 1 claim's shape holds.
+    pub fn claimed_shape(self, n: usize, m: usize, d: usize) -> (f64, f64) {
+        let n_f = n as f64;
+        let m_f = m as f64;
+        let d_f = d.max(1) as f64;
+        let ln_n = n_f.max(2.0).ln();
+        let lnln_n = ln_n.max(1.0).ln().max(1.0);
+        match self {
+            Algorithm::LeastElAll | Algorithm::SizeEstimate => (d_f, m_f * ln_n.min(d_f)),
+            Algorithm::LeastElWhp => (d_f, m_f * lnln_n.min(d_f)),
+            Algorithm::LeastElConstant | Algorithm::LasVegas => (d_f, m_f),
+            Algorithm::Clustering => (d_f * ln_n, m_f + n_f * ln_n),
+            // Sequential identifiers: the minimum is 1, time ≈ 4m·2.
+            Algorithm::DfsAgent => (8.0 * m_f, m_f),
+            Algorithm::KingdomKnownD => (d_f * ln_n, m_f * ln_n),
+            Algorithm::KingdomDoubling => (n_f + d_f * ln_n, m_f * ln_n),
+            Algorithm::FloodMax => (d_f, m_f * d_f),
+            Algorithm::Tole => (d_f, m_f * d_f.min(n_f)),
+            Algorithm::CoinFlip => (1.0, 1.0),
+        }
+    }
 
     /// This algorithm's requirements and claimed bounds.
     pub fn spec(self) -> AlgorithmSpec {
@@ -336,6 +367,22 @@ mod tests {
     fn display_matches_spec_name() {
         assert_eq!(Algorithm::Clustering.to_string(), "clustering");
         assert_eq!(Algorithm::FloodMax.to_string(), "floodmax");
+    }
+
+    #[test]
+    fn names_round_trip_through_by_name() {
+        for alg in Algorithm::ALL {
+            assert_eq!(Algorithm::by_name(alg.spec().name), Some(alg), "{alg}");
+        }
+        assert_eq!(Algorithm::by_name("no-such-algorithm"), None);
+    }
+
+    #[test]
+    fn claimed_shapes_are_positive() {
+        for alg in Algorithm::ALL {
+            let (t, m) = alg.claimed_shape(100, 400, 10);
+            assert!(t > 0.0 && m > 0.0, "{alg}");
+        }
     }
 
     #[test]

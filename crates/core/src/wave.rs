@@ -1,6 +1,6 @@
 //! The wave/echo engine shared by the Least-El family of algorithms.
 //!
-//! The paper's Least-El list election ([11], Section 4.2) floods candidate
+//! The paper's Least-El list election (\[11\], Section 4.2) floods candidate
 //! *ranks* and uses *echo* messages for termination detection. We realize
 //! each candidate's flood as a diffusing computation: a node adopts a wave
 //! iff its key beats everything seen so far, forwards it once to its other

@@ -21,7 +21,7 @@ pub fn path(n: usize) -> Result<Graph, GraphError> {
 }
 
 /// Cycle (ring) on `n >= 3` nodes; the classical leader-election topology
-/// of Frederickson–Lynch [8]; diameter `⌊n/2⌋`.
+/// of Frederickson–Lynch \[8\]; diameter `⌊n/2⌋`.
 pub fn cycle(n: usize) -> Result<Graph, GraphError> {
     if n < 3 {
         return Err(GraphError::InvalidParameters(format!(
@@ -44,7 +44,7 @@ pub fn star(n: usize) -> Result<Graph, GraphError> {
     Graph::from_edges(n, &edges)
 }
 
-/// Complete graph `K_n`; the topology of [14]'s sublinear result.
+/// Complete graph `K_n`; the topology of \[14\]'s sublinear result.
 pub fn complete(n: usize) -> Result<Graph, GraphError> {
     if n == 0 {
         return Err(GraphError::Empty);
@@ -116,7 +116,7 @@ pub fn torus(rows: usize, cols: usize) -> Result<Graph, GraphError> {
 }
 
 /// `d`-dimensional hypercube on `2^d` nodes; one of the high-expansion
-/// families for which [14] beats `Ω(n)` messages.
+/// families for which \[14\] beats `Ω(n)` messages.
 pub fn hypercube(d: u32) -> Result<Graph, GraphError> {
     if d == 0 {
         return Err(GraphError::InvalidParameters(
@@ -134,6 +134,19 @@ pub fn hypercube(d: u32) -> Result<Graph, GraphError> {
         }
     }
     Graph::from_edges(n, &edges)
+}
+
+/// Complete binary tree with `n` nodes closest to the request (rounded to
+/// `2^{d+1} - 1`); diameter `2d`. The extreme low-expansion counterpart to
+/// [`hypercube`]/[`random_regular`] in campaign sweeps: every
+/// root-crossing message funnels through one node.
+pub fn complete_binary_tree(n: usize) -> Result<Graph, GraphError> {
+    if n == 0 {
+        return Err(GraphError::Empty);
+    }
+    // Pick the depth whose size 2^{d+1} - 1 is nearest to n.
+    let depth = ((n as f64 + 1.0).log2().round() as usize).max(1) - 1;
+    balanced_tree(2, depth)
 }
 
 /// Balanced `arity`-ary tree of the given `depth` (root at 0);
@@ -355,11 +368,13 @@ pub enum Family {
     Expander,
     /// [`lollipop`] with clique `n/2`
     Lollipop,
+    /// [`complete_binary_tree`]
+    CompleteBinaryTree,
 }
 
 impl Family {
     /// All families, in harness order.
-    pub const ALL: [Family; 11] = [
+    pub const ALL: [Family; 12] = [
         Family::Path,
         Family::Cycle,
         Family::Star,
@@ -371,6 +386,7 @@ impl Family {
         Family::DenseRandom,
         Family::Expander,
         Family::Lollipop,
+        Family::CompleteBinaryTree,
     ];
 
     /// Instantiates the family at (roughly) `n` nodes.
@@ -411,10 +427,12 @@ impl Family {
                 random_regular(n, 4, rng)
             }
             Family::Lollipop => lollipop((n / 2).max(2), n - (n / 2).max(2)),
+            Family::CompleteBinaryTree => complete_binary_tree(n),
         }
     }
 
-    /// Short human-readable name for tables.
+    /// Short human-readable name for tables. [`Family::from_name`] accepts
+    /// exactly these strings, so campaign specs can sweep families by name.
     pub fn name(self) -> &'static str {
         match self {
             Family::Path => "path",
@@ -428,7 +446,23 @@ impl Family {
             Family::DenseRandom => "dense-rnd",
             Family::Expander => "expander",
             Family::Lollipop => "lollipop",
+            Family::CompleteBinaryTree => "bintree",
         }
+    }
+
+    /// Looks a family up by its [`Family::name`] string (the registry the
+    /// campaign runner sweeps by name).
+    pub fn from_name(name: &str) -> Option<Family> {
+        Family::ALL.into_iter().find(|f| f.name() == name)
+    }
+}
+
+impl std::str::FromStr for Family {
+    type Err = GraphError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Family::from_name(s)
+            .ok_or_else(|| GraphError::InvalidParameters(format!("unknown graph family `{s}`")))
     }
 }
 
@@ -436,6 +470,50 @@ impl std::fmt::Display for Family {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str(self.name())
     }
+}
+
+/// The base seed every standard sweep (Table 1, campaigns) derives
+/// per-cell graph seeds from (the paper's PODC 2013 submission date).
+pub const WORKLOAD_BASE_SEED: u64 = 20130722;
+
+/// The FNV-1a 64-bit offset basis (the starting `h` for [`fnv1a64`]).
+pub const FNV_OFFSET_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// One FNV-1a 64-bit round over `bytes`, continuing from `h` — the one
+/// string/byte hash the workspace uses for derived seeds and spec hashes
+/// (start from [`FNV_OFFSET_BASIS`], chain calls to hash multiple fields).
+pub fn fnv1a64(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Stable per-cell seed for workload construction: mixes a campaign-level
+/// base seed with the family name and size ([`fnv1a64`]), so the graph
+/// built for one `(family, n)` cell never depends on which *other* cells a
+/// sweep contains or the order they are built in. (The original harness
+/// threaded one `StdRng` through the whole family×size loop, so extending
+/// or reordering a sweep silently changed every later graph.)
+pub fn workload_seed(base: u64, family: Family, n: usize) -> u64 {
+    let h = fnv1a64(FNV_OFFSET_BASIS ^ base, family.name().as_bytes());
+    let h = fnv1a64(h, b"/");
+    fnv1a64(h, &(n as u64).to_le_bytes())
+}
+
+/// Builds `family` at size `n` from the derived [`workload_seed`] — the
+/// one way every sweep (Table 1, campaigns, figures) instantiates a cell,
+/// so identical cells are byte-identical graphs everywhere.
+///
+/// # Errors
+///
+/// Propagates generator errors (e.g. `n` too small for the family).
+pub fn workload_graph(base: u64, family: Family, n: usize) -> Result<Graph, GraphError> {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let mut rng = StdRng::seed_from_u64(workload_seed(base, family, n));
+    family.build(n, &mut rng)
 }
 
 #[cfg(test)]
@@ -556,5 +634,55 @@ mod tests {
             assert!(g.is_connected(), "{fam} not connected");
             assert!(g.len() >= 9, "{fam} too small: {}", g.len());
         }
+    }
+
+    #[test]
+    fn complete_binary_tree_shape() {
+        let t = complete_binary_tree(31).unwrap();
+        assert_eq!(t.len(), 31);
+        assert_eq!(t.edge_count(), 30);
+        assert_eq!(diameter_exact(&t), Some(8));
+        // Rounds to the nearest realizable 2^{d+1} - 1.
+        assert_eq!(complete_binary_tree(24).unwrap().len(), 31);
+        assert_eq!(complete_binary_tree(20).unwrap().len(), 15);
+        assert_eq!(complete_binary_tree(1).unwrap().len(), 1);
+        assert!(complete_binary_tree(0).is_err());
+    }
+
+    #[test]
+    fn family_names_round_trip() {
+        for fam in Family::ALL {
+            assert_eq!(Family::from_name(fam.name()), Some(fam), "{fam}");
+            assert_eq!(fam.name().parse::<Family>().unwrap(), fam);
+        }
+        assert_eq!(Family::from_name("no-such-family"), None);
+        assert!("no-such-family".parse::<Family>().is_err());
+    }
+
+    #[test]
+    fn workload_seeds_are_cell_local_and_distinct() {
+        // The fix for the threaded-RNG workload bug: a cell's graph depends
+        // only on (base, family, n), never on sweep order or extension.
+        let a = workload_graph(7, Family::SparseRandom, 40).unwrap();
+        let b = workload_graph(7, Family::SparseRandom, 40).unwrap();
+        assert_eq!(a.edges(), b.edges());
+        // Distinct cells get distinct seeds (spot-check the mixer).
+        let mut seeds: Vec<u64> = Family::ALL
+            .iter()
+            .flat_map(|&f| [32, 64].map(|n| workload_seed(7, f, n)))
+            .collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), 2 * Family::ALL.len());
+        // Pin the derivation itself: a silent change to the mixer would
+        // re-randomize every checked-in baseline and golden fixture.
+        assert_eq!(workload_seed(20130722, Family::Cycle, 48), {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325 ^ 20130722;
+            for b in b"cycle/".iter().chain(48u64.to_le_bytes().iter()) {
+                h ^= *b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            h
+        });
     }
 }

@@ -1,0 +1,498 @@
+//! Result diffing — the CI perf-regression gate.
+//!
+//! [`compare`] matches two result files cell-by-cell on
+//! `(algorithm, workload)` and applies tolerance bands per metric:
+//!
+//! * **throughput** (`msgs_per_s`, timed cells only): a *drop* beyond the
+//!   warn factor warns, beyond the fail factor fails. This is the only
+//!   metric that fails by default — wall-clock is what the engine-scale
+//!   gate protects, and the generous default factor (2×) absorbs runner
+//!   noise.
+//! * **cost** (`mean_messages`, `mean_rounds`): relative drift beyond the
+//!   warn tolerance warns; an optional fail tolerance turns growth into a
+//!   hard failure (off by default — deterministic counts legitimately
+//!   change when algorithms are retuned; the gate should flag, not block,
+//!   unless a campaign promises stability).
+//! * **success rate**: a drop of more than 0.1 warns.
+//!
+//! Inputs may be campaign records ([`crate::run::CampaignResult`] JSON) or
+//! the legacy `BENCH_engine.json` array format, in either position.
+
+use crate::json::Json;
+use crate::XpError;
+use std::collections::BTreeMap;
+
+/// Tolerance bands for [`compare`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tolerances {
+    /// Warn when `old/new` throughput exceeds this factor.
+    pub warn_throughput: f64,
+    /// Fail when `old/new` throughput exceeds this factor.
+    pub fail_throughput: f64,
+    /// Warn when |new − old| / old on a cost metric exceeds this.
+    pub warn_cost: f64,
+    /// Fail when (new − old) / old on a cost metric exceeds this
+    /// (`None` = cost drift never fails).
+    pub fail_cost: Option<f64>,
+}
+
+impl Default for Tolerances {
+    fn default() -> Self {
+        Tolerances {
+            warn_throughput: 1.25,
+            fail_throughput: 2.0,
+            warn_cost: 0.10,
+            fail_cost: None,
+        }
+    }
+}
+
+/// Outcome severity, ordered so `max` aggregates naturally.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Verdict {
+    /// Within tolerance.
+    Pass,
+    /// Outside the warn band; reported, exit code stays 0.
+    Warn,
+    /// Outside the fail band; `compare` exits nonzero.
+    Fail,
+}
+
+impl std::fmt::Display for Verdict {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Verdict::Pass => "pass",
+            Verdict::Warn => "WARN",
+            Verdict::Fail => "FAIL",
+        })
+    }
+}
+
+/// One per-cell, per-metric comparison.
+#[derive(Debug, Clone)]
+pub struct Delta {
+    /// `algorithm @ workload`.
+    pub cell: String,
+    /// Metric name.
+    pub metric: &'static str,
+    /// Baseline value.
+    pub old: f64,
+    /// Candidate value.
+    pub new: f64,
+    /// Band the delta landed in.
+    pub verdict: Verdict,
+}
+
+/// Full comparison report.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Every metric comparison on every matched cell.
+    pub deltas: Vec<Delta>,
+    /// Number of cells present in both inputs.
+    pub matched: usize,
+    /// Cell keys only in the baseline.
+    pub only_old: Vec<String>,
+    /// Cell keys only in the candidate.
+    pub only_new: Vec<String>,
+    /// True when either input contained duplicate `(algorithm, workload)`
+    /// cells, which are paired *positionally* (occurrence k ↔ occurrence
+    /// k). Positional pairing is only meaningful between results of the
+    /// same spec; the report surfaces this so a subset-vs-full comparison
+    /// of a duplicate-keyed grid is never silently mispaired.
+    pub positional_pairs: bool,
+}
+
+impl Report {
+    /// The overall verdict: worst delta, or [`Verdict::Fail`] when no cell
+    /// matched (a gate that compares nothing must not pass).
+    pub fn verdict(&self) -> Verdict {
+        if self.matched == 0 {
+            return Verdict::Fail;
+        }
+        self.deltas
+            .iter()
+            .map(|d| d.verdict)
+            .max()
+            .unwrap_or(Verdict::Pass)
+    }
+
+    /// Human-readable rendering (one line per non-pass delta plus a
+    /// summary; `verbose` prints passing deltas too).
+    pub fn render(&self, verbose: bool) -> String {
+        let mut out = String::new();
+        for d in &self.deltas {
+            if verbose || d.verdict != Verdict::Pass {
+                let rel = if d.old.abs() > f64::EPSILON {
+                    100.0 * (d.new - d.old) / d.old
+                } else {
+                    0.0
+                };
+                out.push_str(&format!(
+                    "{:<4} {:<40} {:<14} {:>14.1} -> {:>14.1} ({:+.1}%)\n",
+                    d.verdict.to_string(),
+                    d.cell,
+                    d.metric,
+                    d.old,
+                    d.new,
+                    rel
+                ));
+            }
+        }
+        for key in &self.only_old {
+            out.push_str(&format!("note {key:<40} only in baseline\n"));
+        }
+        for key in &self.only_new {
+            out.push_str(&format!("note {key:<40} only in candidate\n"));
+        }
+        if self.positional_pairs {
+            out.push_str(
+                "note duplicate (algorithm, workload) cells paired positionally — \
+                 only compare results of the same spec\n",
+            );
+        }
+        out.push_str(&format!(
+            "{} cell(s) matched, {} delta(s) checked: {}\n",
+            self.matched,
+            self.deltas.len(),
+            self.verdict()
+        ));
+        out
+    }
+}
+
+/// The metrics `compare` extracts from one cell, whichever input format it
+/// came from.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellMetrics {
+    /// Mean rounds (plain `rounds` in the legacy format).
+    pub mean_rounds: f64,
+    /// Mean messages (plain `messages` in the legacy format).
+    pub mean_messages: f64,
+    /// Throughput, when the cell was timed.
+    pub msgs_per_s: Option<f64>,
+    /// Empirical success rate, when trial counts are known.
+    pub success_rate: Option<f64>,
+}
+
+/// Parses either supported result format into `(algorithm @ workload) →`
+/// metrics.
+///
+/// # Errors
+///
+/// Rejects unknown schema versions and structurally malformed inputs.
+pub fn parse_cells(v: &Json) -> Result<BTreeMap<String, CellMetrics>, XpError> {
+    let cells: &[Json] = if let Some(arr) = v.as_arr() {
+        // Legacy `BENCH_engine.json`: a bare array of flat records.
+        arr
+    } else {
+        let version = v
+            .get("schema_version")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| XpError::new("result: missing `schema_version`"))?;
+        if version != crate::run::SCHEMA_VERSION {
+            return Err(XpError::new(format!(
+                "result: schema_version {version} unsupported (expected {})",
+                crate::run::SCHEMA_VERSION
+            )));
+        }
+        v.get("cells")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| XpError::new("result: missing `cells` array"))?
+    };
+    let mut out = BTreeMap::new();
+    for cell in cells {
+        let algorithm = cell
+            .get("algorithm")
+            .and_then(Json::as_str)
+            .ok_or_else(|| XpError::new("cell: missing `algorithm`"))?;
+        let workload = cell
+            .get("workload")
+            .and_then(Json::as_str)
+            .ok_or_else(|| XpError::new("cell: missing `workload`"))?;
+        let num = |modern: &str, legacy: &str| {
+            cell.get(modern)
+                .or_else(|| cell.get(legacy))
+                .and_then(Json::as_f64)
+        };
+        let mean_rounds = num("mean_rounds", "rounds")
+            .ok_or_else(|| XpError::new(format!("cell {algorithm}@{workload}: missing rounds")))?;
+        let mean_messages = num("mean_messages", "messages").ok_or_else(|| {
+            XpError::new(format!("cell {algorithm}@{workload}: missing messages"))
+        })?;
+        let success_rate = match (
+            cell.get("successes").and_then(Json::as_f64),
+            cell.get("trials").and_then(Json::as_f64),
+        ) {
+            (Some(s), Some(t)) if t > 0.0 => Some(s / t),
+            _ => cell
+                .get("elected")
+                .and_then(Json::as_bool)
+                .map(|ok| if ok { 1.0 } else { 0.0 }),
+        };
+        // A grid may legitimately contain several cells with the same
+        // (algorithm, workload) — e.g. two groups differing only in
+        // knowledge/wakeup mode, or two requested sizes rounding to the
+        // same realized n. Disambiguate by occurrence index (grid order is
+        // deterministic, so index k matches index k across runs of the
+        // same spec) rather than silently overwriting — an overwritten
+        // cell would drop its regressions from the gate.
+        let base = format!("{algorithm} @ {workload}");
+        let mut key = base.clone();
+        let mut occurrence = 1;
+        while out.contains_key(&key) {
+            occurrence += 1;
+            key = format!("{base} #{occurrence}");
+        }
+        out.insert(
+            key,
+            CellMetrics {
+                mean_rounds,
+                mean_messages,
+                msgs_per_s: cell.get("msgs_per_s").and_then(Json::as_f64),
+                success_rate,
+            },
+        );
+    }
+    Ok(out)
+}
+
+fn band(verdict_fail: bool, verdict_warn: bool) -> Verdict {
+    if verdict_fail {
+        Verdict::Fail
+    } else if verdict_warn {
+        Verdict::Warn
+    } else {
+        Verdict::Pass
+    }
+}
+
+/// Compares candidate cells against a baseline under the given tolerances.
+pub fn compare(
+    old: &BTreeMap<String, CellMetrics>,
+    new: &BTreeMap<String, CellMetrics>,
+    tol: &Tolerances,
+) -> Report {
+    let mut deltas = Vec::new();
+    let mut matched = 0;
+    for (key, o) in old {
+        let Some(n) = new.get(key) else { continue };
+        matched += 1;
+        for (metric, ov, nv) in [
+            ("mean_messages", o.mean_messages, n.mean_messages),
+            ("mean_rounds", o.mean_rounds, n.mean_rounds),
+        ] {
+            let rel = if ov.abs() > f64::EPSILON {
+                (nv - ov) / ov
+            } else if nv.abs() > f64::EPSILON {
+                f64::INFINITY
+            } else {
+                0.0
+            };
+            deltas.push(Delta {
+                cell: key.clone(),
+                metric,
+                old: ov,
+                new: nv,
+                verdict: band(
+                    tol.fail_cost.is_some_and(|f| rel > f),
+                    rel.abs() > tol.warn_cost,
+                ),
+            });
+        }
+        if let (Some(ot), Some(nt)) = (o.msgs_per_s, n.msgs_per_s) {
+            let slowdown = ot / nt.max(1e-9);
+            deltas.push(Delta {
+                cell: key.clone(),
+                metric: "msgs_per_s",
+                old: ot,
+                new: nt,
+                verdict: band(
+                    slowdown > tol.fail_throughput,
+                    slowdown > tol.warn_throughput,
+                ),
+            });
+        }
+        if let (Some(os), Some(ns)) = (o.success_rate, n.success_rate) {
+            if ns < os - 0.1 {
+                deltas.push(Delta {
+                    cell: key.clone(),
+                    metric: "success_rate",
+                    old: os,
+                    new: ns,
+                    verdict: Verdict::Warn,
+                });
+            }
+        }
+    }
+    Report {
+        deltas,
+        matched,
+        only_old: old
+            .keys()
+            .filter(|k| !new.contains_key(*k))
+            .cloned()
+            .collect(),
+        only_new: new
+            .keys()
+            .filter(|k| !old.contains_key(*k))
+            .cloned()
+            .collect(),
+        positional_pairs: old.keys().chain(new.keys()).any(|k| k.contains(" #")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell(messages: f64, rounds: f64, tput: Option<f64>) -> CellMetrics {
+        CellMetrics {
+            mean_rounds: rounds,
+            mean_messages: messages,
+            msgs_per_s: tput,
+            success_rate: Some(1.0),
+        }
+    }
+
+    fn one(key: &str, c: CellMetrics) -> BTreeMap<String, CellMetrics> {
+        BTreeMap::from([(key.to_string(), c)])
+    }
+
+    #[test]
+    fn identical_results_pass() {
+        let old = one("floodmax @ cycle/100", cell(1000.0, 50.0, Some(1e6)));
+        let report = compare(&old, &old.clone(), &Tolerances::default());
+        assert_eq!(report.verdict(), Verdict::Pass);
+        assert_eq!(report.matched, 1);
+        assert!(report.deltas.iter().all(|d| d.verdict == Verdict::Pass));
+    }
+
+    #[test]
+    fn small_throughput_noise_passes_but_1_5x_warns() {
+        let old = one("a @ w", cell(1000.0, 50.0, Some(1.0e6)));
+        let newer = one("a @ w", cell(1000.0, 50.0, Some(0.9e6)));
+        assert_eq!(
+            compare(&old, &newer, &Tolerances::default()).verdict(),
+            Verdict::Pass
+        );
+        let slower = one("a @ w", cell(1000.0, 50.0, Some(0.66e6)));
+        assert_eq!(
+            compare(&old, &slower, &Tolerances::default()).verdict(),
+            Verdict::Warn
+        );
+    }
+
+    #[test]
+    fn throughput_regression_beyond_2x_fails() {
+        let old = one("a @ w", cell(1000.0, 50.0, Some(1.0e6)));
+        let halved = one("a @ w", cell(1000.0, 50.0, Some(0.45e6)));
+        let report = compare(&old, &halved, &Tolerances::default());
+        assert_eq!(report.verdict(), Verdict::Fail);
+        let fail = report
+            .deltas
+            .iter()
+            .find(|d| d.verdict == Verdict::Fail)
+            .unwrap();
+        assert_eq!(fail.metric, "msgs_per_s");
+        // A throughput *improvement* never fails.
+        let faster = one("a @ w", cell(1000.0, 50.0, Some(5.0e6)));
+        assert_eq!(
+            compare(&old, &faster, &Tolerances::default()).verdict(),
+            Verdict::Pass
+        );
+    }
+
+    #[test]
+    fn cost_drift_warns_and_fails_only_when_opted_in() {
+        let old = one("a @ w", cell(1000.0, 50.0, None));
+        let drift = one("a @ w", cell(1300.0, 50.0, None));
+        let default_report = compare(&old, &drift, &Tolerances::default());
+        assert_eq!(default_report.verdict(), Verdict::Warn);
+        let strict = Tolerances {
+            fail_cost: Some(0.2),
+            ..Tolerances::default()
+        };
+        assert_eq!(compare(&old, &drift, &strict).verdict(), Verdict::Fail);
+        // Shrinking cost is a warn (drift worth noticing), never a fail.
+        let shrank = one("a @ w", cell(500.0, 50.0, None));
+        assert_eq!(compare(&old, &shrank, &strict).verdict(), Verdict::Warn);
+    }
+
+    #[test]
+    fn success_rate_drop_warns() {
+        let mut old = one("a @ w", cell(10.0, 10.0, None));
+        let mut newer = old.clone();
+        old.get_mut("a @ w").unwrap().success_rate = Some(1.0);
+        newer.get_mut("a @ w").unwrap().success_rate = Some(0.6);
+        let report = compare(&old, &newer, &Tolerances::default());
+        assert_eq!(report.verdict(), Verdict::Warn);
+    }
+
+    #[test]
+    fn disjoint_results_fail() {
+        let old = one("a @ w", cell(1.0, 1.0, None));
+        let newer = one("b @ w", cell(1.0, 1.0, None));
+        let report = compare(&old, &newer, &Tolerances::default());
+        assert_eq!(report.matched, 0);
+        assert_eq!(report.verdict(), Verdict::Fail);
+        assert_eq!(report.only_old, vec!["a @ w"]);
+        assert_eq!(report.only_new, vec!["b @ w"]);
+    }
+
+    #[test]
+    fn unmatched_extra_cells_do_not_fail() {
+        // Quick runs are strict subsets of the full baseline; the gate
+        // compares the intersection.
+        let mut old = one("a @ w", cell(100.0, 10.0, Some(1e6)));
+        old.insert("a @ w2".into(), cell(200.0, 20.0, Some(1e6)));
+        let newer = one("a @ w", cell(100.0, 10.0, Some(1e6)));
+        let report = compare(&old, &newer, &Tolerances::default());
+        assert_eq!(report.verdict(), Verdict::Pass);
+        assert_eq!(report.only_old, vec!["a @ w2"]);
+    }
+
+    #[test]
+    fn parses_legacy_array_format() {
+        let legacy = r#"[
+          {"workload": "cycle/10", "algorithm": "floodmax", "n": 10, "m": 10,
+           "elapsed_s": 0.5, "messages": 2000, "rounds": 11, "bits": 9,
+           "elected": true, "msgs_per_s": 4000}
+        ]"#;
+        let cells = parse_cells(&Json::parse(legacy).unwrap()).unwrap();
+        let c = &cells["floodmax @ cycle/10"];
+        assert_eq!(c.mean_messages, 2000.0);
+        assert_eq!(c.mean_rounds, 11.0);
+        assert_eq!(c.msgs_per_s, Some(4000.0));
+        assert_eq!(c.success_rate, Some(1.0));
+    }
+
+    #[test]
+    fn duplicate_cell_keys_are_disambiguated_not_dropped() {
+        // Two cells with the same (algorithm, workload) — e.g. two groups
+        // differing only in knowledge mode — must both survive parsing so
+        // a regression in either one still trips the gate.
+        let doubled = r#"[
+          {"workload": "cycle/10", "algorithm": "floodmax", "messages": 100, "rounds": 5},
+          {"workload": "cycle/10", "algorithm": "floodmax", "messages": 900, "rounds": 7}
+        ]"#;
+        let cells = parse_cells(&Json::parse(doubled).unwrap()).unwrap();
+        assert_eq!(cells.len(), 2);
+        assert_eq!(cells["floodmax @ cycle/10"].mean_messages, 100.0);
+        assert_eq!(cells["floodmax @ cycle/10 #2"].mean_messages, 900.0);
+        // Occurrence k matches occurrence k across two parses of results
+        // from the same spec (grid order is deterministic).
+        let report = compare(&cells, &cells.clone(), &Tolerances::default());
+        assert_eq!(report.matched, 2);
+        assert_eq!(report.verdict(), Verdict::Pass);
+        // Positional pairing is flagged so subset-vs-full comparisons of
+        // duplicate-keyed grids are never silently trusted.
+        assert!(report.positional_pairs);
+        assert!(report.render(false).contains("paired positionally"));
+    }
+
+    #[test]
+    fn rejects_unknown_schema_version() {
+        let v = Json::parse(r#"{"schema_version": 99, "cells": []}"#).unwrap();
+        assert!(parse_cells(&v).is_err());
+    }
+}

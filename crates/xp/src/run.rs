@@ -1,0 +1,426 @@
+//! Campaign execution: expand the grid, run every cell, record results.
+//!
+//! One cell = one `(algorithm, family, n)` triple. The graph for a cell is
+//! derived from the campaign's base seed and the cell coordinates alone
+//! ([`ule_graph::gen::workload_graph`]), trials fan out across threads via
+//! [`ule_sim::harness::parallel_trials`] with the trial index as the seed,
+//! so a campaign is reproducible bit-for-bit from its spec.
+
+use crate::json::Json;
+use crate::spec::{CampaignSpec, DiameterMode, Job, KnowledgeMode, WakeupMode};
+use crate::XpError;
+use std::time::Instant;
+use ule_core::Algorithm;
+use ule_graph::gen::{workload_graph, Family};
+use ule_graph::{analysis, Graph, IdAssignment, IdSpace};
+use ule_sim::harness::{parallel_trials, Summary};
+use ule_sim::{Knowledge, SimConfig, Wakeup};
+
+/// Version of the result-JSON schema; bump on any breaking field change so
+/// `compare` can refuse mismatched inputs.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Provenance stamped into every result record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunMeta {
+    /// `git describe --always --dirty --tags`, or `"unknown"` outside a
+    /// work tree.
+    pub git_describe: String,
+    /// Unix seconds at campaign start.
+    pub timestamp_unix: u64,
+}
+
+impl RunMeta {
+    /// Captures provenance from the environment.
+    pub fn capture() -> RunMeta {
+        let git_describe = std::process::Command::new("git")
+            .args(["describe", "--always", "--dirty", "--tags"])
+            .output()
+            .ok()
+            .filter(|o| o.status.success())
+            .and_then(|o| String::from_utf8(o.stdout).ok())
+            .map(|s| s.trim().to_string())
+            .filter(|s| !s.is_empty())
+            .unwrap_or_else(|| "unknown".into());
+        let timestamp_unix = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0);
+        RunMeta {
+            git_describe,
+            timestamp_unix,
+        }
+    }
+
+    /// Fixed provenance for byte-stable output (golden-file tests).
+    pub fn fixed() -> RunMeta {
+        RunMeta {
+            git_describe: "test".into(),
+            timestamp_unix: 0,
+        }
+    }
+}
+
+/// Measured result of one campaign cell.
+#[derive(Debug, Clone)]
+pub struct CellResult {
+    /// Algorithm that ran.
+    pub algorithm: Algorithm,
+    /// Graph family.
+    pub family: Family,
+    /// Workload label, `family/actual_n` (sizes round for rigid families).
+    pub workload: String,
+    /// Actual node count.
+    pub n: usize,
+    /// Edge count.
+    pub m: usize,
+    /// Diameter (exact or the group's upper bound — see
+    /// [`DiameterMode`]).
+    pub d: usize,
+    /// Aggregated outcomes over the cell's trials.
+    pub summary: Summary,
+    /// Mean rounds ÷ the claimed time shape.
+    pub time_ratio: f64,
+    /// Mean messages ÷ the claimed message shape.
+    pub msg_ratio: f64,
+    /// Wall-clock for the whole cell (timed groups only).
+    pub elapsed_s: Option<f64>,
+    /// Simulated messages per wall-clock second (timed groups only).
+    pub msgs_per_s: Option<f64>,
+}
+
+/// A completed campaign: the spec that produced it, provenance, and every
+/// cell in grid order.
+#[derive(Debug, Clone)]
+pub struct CampaignResult {
+    /// The expanded spec.
+    pub spec: CampaignSpec,
+    /// Provenance.
+    pub meta: RunMeta,
+    /// Cell results in grid order.
+    pub cells: Vec<CellResult>,
+}
+
+/// Builds the [`SimConfig`] for one trial of one cell.
+///
+/// In the default regime (`Exact` diameter + `AlgorithmDefault` knowledge)
+/// this reproduces [`Algorithm::config_for`] field-for-field — except that
+/// the per-cell diameter is computed once by [`execute`] and reused across
+/// trials instead of re-running all-pairs BFS inside every trial, so
+/// campaign cells reproduce `Algorithm::run` byte-for-byte (the Table 1
+/// parity the legacy binaries rely on) without the redundant `O(n·m)`
+/// work. Other regimes mirror the legacy `scale` binary's hand-built
+/// configs (sampled ids from `seed ^ 0x1D5`, permissive round cap).
+fn cell_config(job: &Job<'_>, g: &Graph, d: usize, trial: u64) -> SimConfig {
+    let group = job.group;
+    let alg = job.algorithm;
+    let spec = alg.spec();
+    let n = g.len();
+    let mut cfg = SimConfig::seeded(trial);
+    // `config_for` parity: only the DFS agent needs an effectively
+    // unbounded budget; upper-bound (engine-scale) regimes keep the legacy
+    // scale binary's permissive cap everywhere.
+    if alg == Algorithm::DfsAgent || group.diameter == DiameterMode::UpperBound {
+        cfg = cfg.with_max_rounds(u64::MAX / 4);
+    }
+    cfg.knowledge = match group.knowledge {
+        KnowledgeMode::NAndDiameter => Knowledge::n_and_diameter(n, d),
+        KnowledgeMode::AlgorithmDefault => Knowledge {
+            n: spec.needs_n.then_some(n),
+            m: None,
+            diameter: spec.needs_diameter.then_some(d),
+        },
+    };
+    if spec.needs_ids {
+        let ids = if alg == Algorithm::DfsAgent {
+            IdAssignment::sequential(n)
+        } else {
+            use rand::rngs::StdRng;
+            use rand::SeedableRng;
+            let mut rng = StdRng::seed_from_u64(trial ^ 0x1D5_u64);
+            IdSpace::standard(n).sample(n, &mut rng)
+        };
+        cfg = cfg.with_ids(ids);
+    }
+    if group.wakeup == WakeupMode::SingleSource {
+        cfg.wakeup = Wakeup::Adversarial(vec![0]);
+    }
+    cfg
+}
+
+/// Runs a whole campaign. `progress` mirrors the legacy binaries' stderr
+/// cell-by-cell narration (stdout stays clean for tables/JSON).
+///
+/// # Errors
+///
+/// Fails if a cell's graph cannot be built (family too small for `n`) or
+/// is disconnected — a spec bug, reported with the cell coordinates.
+pub fn execute(
+    spec: &CampaignSpec,
+    meta: RunMeta,
+    progress: bool,
+) -> Result<CampaignResult, XpError> {
+    let mut cells = Vec::new();
+    for group in &spec.groups {
+        for &family in &group.families {
+            for &n in &group.sizes {
+                let g = workload_graph(spec.graph_seed, family, n).map_err(|e| {
+                    XpError::new(format!("cell {family}/{n}: graph build failed: {e}"))
+                })?;
+                let d = match group.diameter {
+                    DiameterMode::Exact => analysis::diameter_exact(&g),
+                    DiameterMode::UpperBound => {
+                        analysis::diameter_double_sweep(&g, 0).map(|e| 2 * e)
+                    }
+                }
+                .ok_or_else(|| XpError::new(format!("cell {family}/{n}: graph disconnected")))?
+                .max(1) as usize;
+                for &algorithm in &group.algorithms {
+                    let job = Job {
+                        group,
+                        algorithm,
+                        family,
+                        n,
+                    };
+                    if progress {
+                        eprintln!(
+                            "running {algorithm} on {family}/{} ({} trials) ...",
+                            g.len(),
+                            group.trials
+                        );
+                    }
+                    let start = Instant::now();
+                    let outs = parallel_trials(group.trials, |t| {
+                        algorithm.run_with(&g, &cell_config(&job, &g, d, t))
+                    });
+                    let elapsed = start.elapsed().as_secs_f64();
+                    let summary = Summary::from_outcomes(&outs);
+                    let (ts, ms) = algorithm.claimed_shape(g.len(), g.edge_count(), d);
+                    let total_messages = summary.mean_messages * summary.trials as f64;
+                    cells.push(CellResult {
+                        algorithm,
+                        family,
+                        workload: format!("{family}/{}", g.len()),
+                        n: g.len(),
+                        m: g.edge_count(),
+                        d,
+                        time_ratio: summary.mean_rounds / ts,
+                        msg_ratio: summary.mean_messages / ms,
+                        elapsed_s: group.timed.then_some(elapsed),
+                        msgs_per_s: group.timed.then_some(total_messages / elapsed.max(1e-9)),
+                        summary,
+                    });
+                }
+            }
+        }
+    }
+    Ok(CampaignResult {
+        spec: spec.clone(),
+        meta,
+        cells,
+    })
+}
+
+impl CellResult {
+    /// Serializes one cell. Timing fields appear only for timed groups, so
+    /// untimed results are byte-stable across machines and runs.
+    pub fn to_json(&self) -> Json {
+        let mut fields = vec![
+            (
+                "algorithm".into(),
+                Json::Str(self.algorithm.spec().name.into()),
+            ),
+            ("family".into(), Json::Str(self.family.name().into())),
+            ("workload".into(), Json::Str(self.workload.clone())),
+            ("n".into(), Json::Num(self.n as f64)),
+            ("m".into(), Json::Num(self.m as f64)),
+            ("d".into(), Json::Num(self.d as f64)),
+            ("trials".into(), Json::Num(self.summary.trials as f64)),
+            ("successes".into(), Json::Num(self.summary.successes as f64)),
+            ("mean_rounds".into(), Json::Num(self.summary.mean_rounds)),
+            (
+                "mean_messages".into(),
+                Json::Num(self.summary.mean_messages),
+            ),
+            ("mean_bits".into(), Json::Num(self.summary.mean_bits)),
+            (
+                "max_rounds".into(),
+                Json::Num(self.summary.max_rounds as f64),
+            ),
+            (
+                "max_messages".into(),
+                Json::Num(self.summary.max_messages as f64),
+            ),
+            (
+                "max_message_bits".into(),
+                Json::Num(self.summary.max_message_bits as f64),
+            ),
+            (
+                "congest_violations".into(),
+                Json::Num(self.summary.congest_violations as f64),
+            ),
+            ("time_ratio".into(), Json::Num(self.time_ratio)),
+            ("msg_ratio".into(), Json::Num(self.msg_ratio)),
+        ];
+        if let Some(elapsed) = self.elapsed_s {
+            fields.push(("elapsed_s".into(), Json::Num(elapsed)));
+        }
+        if let Some(tput) = self.msgs_per_s {
+            fields.push(("msgs_per_s".into(), Json::Num(tput.round())));
+        }
+        Json::Obj(fields)
+    }
+}
+
+impl CampaignResult {
+    /// Serializes the full result record (the versioned artifact `compare`
+    /// and CI consume).
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("schema_version".into(), Json::Num(SCHEMA_VERSION as f64)),
+            ("campaign".into(), Json::Str(self.spec.name.clone())),
+            ("spec_hash".into(), Json::Str(self.spec.hash())),
+            (
+                "git_describe".into(),
+                Json::Str(self.meta.git_describe.clone()),
+            ),
+            (
+                "timestamp_unix".into(),
+                Json::Num(self.meta.timestamp_unix as f64),
+            ),
+            ("spec".into(), self.spec.to_json()),
+            (
+                "cells".into(),
+                Json::Arr(self.cells.iter().map(CellResult::to_json).collect()),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{builtin, JobGroup};
+
+    fn tiny_spec() -> CampaignSpec {
+        CampaignSpec {
+            name: "tiny".into(),
+            graph_seed: 7,
+            groups: vec![JobGroup {
+                algorithms: vec![Algorithm::FloodMax, Algorithm::LeastElAll],
+                families: vec![Family::Cycle, Family::Star],
+                sizes: vec![12],
+                trials: 2,
+                diameter: DiameterMode::Exact,
+                knowledge: KnowledgeMode::AlgorithmDefault,
+                wakeup: WakeupMode::Simultaneous,
+                timed: false,
+            }],
+        }
+    }
+
+    #[test]
+    fn default_regime_cells_reproduce_algorithm_run() {
+        // The parity the ported binaries rely on: a campaign cell in the
+        // default regime is exactly `Algorithm::run` on the same derived
+        // graph, trial index = seed.
+        let spec = tiny_spec();
+        let result = execute(&spec, RunMeta::fixed(), false).unwrap();
+        assert_eq!(result.cells.len(), 4);
+        let g = workload_graph(7, Family::Cycle, 12).unwrap();
+        let outs: Vec<_> = (0..2).map(|t| Algorithm::FloodMax.run(&g, t)).collect();
+        let expect = Summary::from_outcomes(&outs);
+        let cell = &result.cells[0];
+        assert_eq!(cell.workload, "cycle/12");
+        assert_eq!(cell.summary, expect);
+        assert!(cell.elapsed_s.is_none() && cell.msgs_per_s.is_none());
+    }
+
+    #[test]
+    fn executions_are_deterministic() {
+        let spec = tiny_spec();
+        let a = execute(&spec, RunMeta::fixed(), false).unwrap();
+        let b = execute(&spec, RunMeta::fixed(), false).unwrap();
+        assert_eq!(a.to_json(), b.to_json());
+    }
+
+    #[test]
+    fn timed_groups_record_throughput() {
+        let mut spec = tiny_spec();
+        spec.groups[0].timed = true;
+        let result = execute(&spec, RunMeta::fixed(), false).unwrap();
+        for cell in &result.cells {
+            assert!(cell.elapsed_s.is_some());
+            assert!(cell.msgs_per_s.unwrap() > 0.0);
+            assert!(cell.to_json().get("msgs_per_s").is_some());
+        }
+    }
+
+    #[test]
+    fn upper_bound_diameter_regime_runs_floodmax() {
+        let spec = CampaignSpec {
+            name: "ub".into(),
+            graph_seed: 7,
+            groups: vec![JobGroup {
+                algorithms: vec![Algorithm::FloodMax],
+                families: vec![Family::Cycle],
+                sizes: vec![32],
+                trials: 1,
+                diameter: DiameterMode::UpperBound,
+                knowledge: KnowledgeMode::NAndDiameter,
+                wakeup: WakeupMode::Simultaneous,
+                timed: false,
+            }],
+        };
+        let result = execute(&spec, RunMeta::fixed(), false).unwrap();
+        let cell = &result.cells[0];
+        // Double-sweep upper bound on a cycle: 2 × ecc(0) = 2 × 16 = 32.
+        assert_eq!(cell.d, 32);
+        assert_eq!(cell.summary.successes, 1);
+    }
+
+    #[test]
+    fn single_source_wakeup_still_elects() {
+        let mut spec = tiny_spec();
+        spec.groups[0].wakeup = WakeupMode::SingleSource;
+        spec.groups[0].algorithms = vec![Algorithm::LeastElAll];
+        spec.groups[0].families = vec![Family::Cycle];
+        let result = execute(&spec, RunMeta::fixed(), false).unwrap();
+        assert!(result
+            .cells
+            .iter()
+            .all(|c| c.summary.successes == c.summary.trials));
+    }
+
+    #[test]
+    fn bad_cell_reports_coordinates() {
+        let mut spec = tiny_spec();
+        spec.groups[0].families = vec![Family::Cycle];
+        spec.groups[0].sizes = vec![2]; // cycle needs n >= 3
+        let err = execute(&spec, RunMeta::fixed(), false).unwrap_err();
+        assert!(err.to_string().contains("cycle/2"), "{err}");
+    }
+
+    #[test]
+    fn builtin_table1_cells_match_direct_runs() {
+        // Parity against the legacy Table 1 path on a one-algorithm slice
+        // of the real builtin grid: same derived graphs, same trials, same
+        // seeds (the full 12-algorithm campaign is exercised in release by
+        // the ported binaries; a debug unit test only needs the slice).
+        let mut spec = builtin("table1", true).unwrap();
+        spec.groups[0].algorithms = vec![Algorithm::LeastElAll];
+        let result = execute(&spec, RunMeta::fixed(), false).unwrap();
+        assert_eq!(result.cells.len(), 4 * 2);
+        for (family, n) in [(Family::Cycle, 48), (Family::DenseRandom, 96)] {
+            let g = workload_graph(spec.graph_seed, family, n).unwrap();
+            let outs: Vec<_> = (0..3).map(|t| Algorithm::LeastElAll.run(&g, t)).collect();
+            let expect = Summary::from_outcomes(&outs);
+            let cell = result
+                .cells
+                .iter()
+                .find(|c| c.family == family && c.n == g.len())
+                .unwrap();
+            assert_eq!(cell.summary, expect, "{family}/{n}");
+        }
+    }
+}

@@ -1,0 +1,518 @@
+//! Declarative campaign specifications.
+//!
+//! A [`CampaignSpec`] is the machine-checkable description of one
+//! experiment campaign: which algorithms run on which graph families at
+//! which sizes, how many seeded trials per cell, and under which knowledge
+//! / wakeup / diameter regimes. Specs expand into a flat job grid
+//! ([`CampaignSpec::jobs`]), serialize to JSON (so campaigns can live in
+//! files and result records can embed the spec that produced them), and
+//! hash canonically (so two results are comparable only when their grids
+//! agree).
+
+use crate::json::Json;
+use crate::XpError;
+use ule_core::Algorithm;
+use ule_graph::gen::{Family, WORKLOAD_BASE_SEED};
+
+/// How a cell obtains the diameter its config and normalization use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DiameterMode {
+    /// Exact diameter via all-pairs BFS — `O(n·m)`, fine at Table 1 sizes
+    /// and required for claimed-shape normalization to be exact.
+    Exact,
+    /// `2 ×` double-sweep eccentricity — a valid upper bound anywhere at
+    /// `O(m)` cost; the only feasible choice at engine-scale `n`.
+    UpperBound,
+}
+
+/// What the nodes are told, beyond each algorithm's declared needs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KnowledgeMode {
+    /// Exactly what [`Algorithm::config_for`] grants: `n` iff the spec
+    /// needs it, the diameter iff the spec needs it.
+    AlgorithmDefault,
+    /// Every node knows `n` and the (mode-dependent) diameter — the
+    /// paper's "full knowledge" column, and what the engine-scale baseline
+    /// has always used.
+    NAndDiameter,
+}
+
+/// Wakeup discipline for every cell in a group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WakeupMode {
+    /// All nodes wake at round 0.
+    Simultaneous,
+    /// Only node 0 wakes at round 0; the rest wake on first message
+    /// receipt (the adversarial single-source regime of §2). The paper's
+    /// algorithms handle this; the simple `floodmax`/`tole` baselines
+    /// assume simultaneous wakeup and panic under it.
+    SingleSource,
+}
+
+/// One rectangular block of the job grid: `algorithms × families × sizes`,
+/// all sharing trial count and execution modes. A campaign is a union of
+/// groups, so non-rectangular sweeps (different sizes per algorithm, as in
+/// the engine-scale baseline) stay declarative.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobGroup {
+    /// Algorithms to run, in report order.
+    pub algorithms: Vec<Algorithm>,
+    /// Graph families to sweep.
+    pub families: Vec<Family>,
+    /// Requested sizes (families with rigid sizes round, e.g. torus).
+    pub sizes: Vec<usize>,
+    /// Seeded trials per cell; trial index `t ∈ 0..trials` is the seed.
+    pub trials: u64,
+    /// Diameter computation mode.
+    pub diameter: DiameterMode,
+    /// Knowledge regime.
+    pub knowledge: KnowledgeMode,
+    /// Wakeup regime.
+    pub wakeup: WakeupMode,
+    /// Record wall-clock and derived throughput per cell (the engine-scale
+    /// metrics the perf gate compares).
+    pub timed: bool,
+}
+
+/// A whole campaign: named, seeded, and a union of job groups.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignSpec {
+    /// Campaign name (result files default to `results/<name>.json`).
+    pub name: String,
+    /// Base seed for per-(family, n) graph derivation
+    /// ([`ule_graph::gen::workload_seed`]).
+    pub graph_seed: u64,
+    /// The job groups; the grid is their concatenation.
+    pub groups: Vec<JobGroup>,
+}
+
+/// One expanded cell of the grid.
+#[derive(Debug, Clone, Copy)]
+pub struct Job<'a> {
+    /// The group this cell came from (modes + trial count).
+    pub group: &'a JobGroup,
+    /// Algorithm to run.
+    pub algorithm: Algorithm,
+    /// Graph family.
+    pub family: Family,
+    /// Requested size.
+    pub n: usize,
+}
+
+impl CampaignSpec {
+    /// Expands the declarative spec into the flat job grid, in
+    /// group-major, then family × size, then algorithm order (so one
+    /// graph is built once and reused across algorithms).
+    pub fn jobs(&self) -> Vec<Job<'_>> {
+        let mut out = Vec::new();
+        for group in &self.groups {
+            for &family in &group.families {
+                for &n in &group.sizes {
+                    for &algorithm in &group.algorithms {
+                        out.push(Job {
+                            group,
+                            algorithm,
+                            family,
+                            n,
+                        });
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// FNV-1a hash of the canonical (compact JSON) spec serialization,
+    /// rendered as 16 hex digits. Two results are grid-comparable when
+    /// their hashes agree.
+    pub fn hash(&self) -> String {
+        let h = ule_graph::gen::fnv1a64(
+            ule_graph::gen::FNV_OFFSET_BASIS,
+            self.to_json().compact().as_bytes(),
+        );
+        format!("{h:016x}")
+    }
+
+    /// Serializes the spec (embeddable in result records, writable to a
+    /// campaign file).
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("name".into(), Json::Str(self.name.clone())),
+            ("graph_seed".into(), Json::Num(self.graph_seed as f64)),
+            (
+                "groups".into(),
+                Json::Arr(self.groups.iter().map(group_to_json).collect()),
+            ),
+        ])
+    }
+
+    /// Parses a spec from its JSON form.
+    ///
+    /// # Errors
+    ///
+    /// Rejects unknown algorithm/family names, missing fields, and empty
+    /// grids, with a message naming the offender.
+    pub fn from_json(v: &Json) -> Result<CampaignSpec, XpError> {
+        let name = v
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| XpError::new("spec: missing `name`"))?
+            .to_string();
+        let graph_seed = match v.get("graph_seed") {
+            None => WORKLOAD_BASE_SEED,
+            Some(s) => {
+                let seed = s.as_u64().ok_or_else(|| {
+                    XpError::new("spec: `graph_seed` must be a non-negative integer")
+                })?;
+                // JSON numbers travel as f64: a seed above 2^53 would be
+                // silently rounded in transit (the campaign would run with
+                // a different seed than the author wrote), so refuse it.
+                if seed >= (1 << 53) {
+                    return Err(XpError::new(
+                        "spec: `graph_seed` must be < 2^53 to survive the JSON round trip",
+                    ));
+                }
+                seed
+            }
+        };
+        let groups = v
+            .get("groups")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| XpError::new("spec: missing `groups` array"))?
+            .iter()
+            .map(group_from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        let spec = CampaignSpec {
+            name,
+            graph_seed,
+            groups,
+        };
+        if spec.jobs().is_empty() {
+            return Err(XpError::new("spec: expands to an empty job grid"));
+        }
+        Ok(spec)
+    }
+}
+
+fn group_to_json(g: &JobGroup) -> Json {
+    Json::Obj(vec![
+        (
+            "algorithms".into(),
+            Json::Arr(
+                g.algorithms
+                    .iter()
+                    .map(|a| Json::Str(a.spec().name.into()))
+                    .collect(),
+            ),
+        ),
+        (
+            "families".into(),
+            Json::Arr(
+                g.families
+                    .iter()
+                    .map(|f| Json::Str(f.name().into()))
+                    .collect(),
+            ),
+        ),
+        (
+            "sizes".into(),
+            Json::Arr(g.sizes.iter().map(|&n| Json::Num(n as f64)).collect()),
+        ),
+        ("trials".into(), Json::Num(g.trials as f64)),
+        (
+            "diameter".into(),
+            Json::Str(
+                match g.diameter {
+                    DiameterMode::Exact => "exact",
+                    DiameterMode::UpperBound => "upper-bound",
+                }
+                .into(),
+            ),
+        ),
+        (
+            "knowledge".into(),
+            Json::Str(
+                match g.knowledge {
+                    KnowledgeMode::AlgorithmDefault => "algorithm-default",
+                    KnowledgeMode::NAndDiameter => "n-and-diameter",
+                }
+                .into(),
+            ),
+        ),
+        (
+            "wakeup".into(),
+            Json::Str(
+                match g.wakeup {
+                    WakeupMode::Simultaneous => "simultaneous",
+                    WakeupMode::SingleSource => "single-source",
+                }
+                .into(),
+            ),
+        ),
+        ("timed".into(), Json::Bool(g.timed)),
+    ])
+}
+
+fn group_from_json(v: &Json) -> Result<JobGroup, XpError> {
+    let algorithms = v
+        .get("algorithms")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| XpError::new("group: missing `algorithms` array"))?
+        .iter()
+        .map(|a| {
+            let name = a
+                .as_str()
+                .ok_or_else(|| XpError::new("group: algorithm names must be strings"))?;
+            Algorithm::by_name(name)
+                .ok_or_else(|| XpError::new(format!("group: unknown algorithm `{name}`")))
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    let families = v
+        .get("families")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| XpError::new("group: missing `families` array"))?
+        .iter()
+        .map(|f| {
+            let name = f
+                .as_str()
+                .ok_or_else(|| XpError::new("group: family names must be strings"))?;
+            Family::from_name(name)
+                .ok_or_else(|| XpError::new(format!("group: unknown family `{name}`")))
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    let sizes = v
+        .get("sizes")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| XpError::new("group: missing `sizes` array"))?
+        .iter()
+        .map(|s| {
+            s.as_u64()
+                .map(|n| n as usize)
+                .ok_or_else(|| XpError::new("group: sizes must be non-negative integers"))
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    let trials = v
+        .get("trials")
+        .and_then(Json::as_u64)
+        .ok_or_else(|| XpError::new("group: missing integer `trials`"))?;
+    if trials == 0 {
+        return Err(XpError::new("group: `trials` must be >= 1"));
+    }
+    let diameter = match v.get("diameter").and_then(Json::as_str) {
+        None | Some("exact") => DiameterMode::Exact,
+        Some("upper-bound") => DiameterMode::UpperBound,
+        Some(other) => {
+            return Err(XpError::new(format!(
+                "group: unknown diameter mode `{other}` (exact | upper-bound)"
+            )))
+        }
+    };
+    let knowledge = match v.get("knowledge").and_then(Json::as_str) {
+        None | Some("algorithm-default") => KnowledgeMode::AlgorithmDefault,
+        Some("n-and-diameter") => KnowledgeMode::NAndDiameter,
+        Some(other) => {
+            return Err(XpError::new(format!(
+                "group: unknown knowledge mode `{other}` (algorithm-default | n-and-diameter)"
+            )))
+        }
+    };
+    let wakeup = match v.get("wakeup").and_then(Json::as_str) {
+        None | Some("simultaneous") => WakeupMode::Simultaneous,
+        Some("single-source") => WakeupMode::SingleSource,
+        Some(other) => {
+            return Err(XpError::new(format!(
+                "group: unknown wakeup mode `{other}` (simultaneous | single-source)"
+            )))
+        }
+    };
+    let timed = v.get("timed").and_then(Json::as_bool).unwrap_or(false);
+    Ok(JobGroup {
+        algorithms,
+        families,
+        sizes,
+        trials,
+        diameter,
+        knowledge,
+        wakeup,
+        timed,
+    })
+}
+
+/// Names and one-line descriptions of the built-in campaigns, in listing
+/// order.
+pub const BUILTIN_CAMPAIGNS: [(&str, &str); 3] = [
+    (
+        "table1",
+        "Table 1 sweep: all 12 algorithms × {cycle, torus, sparse-rnd, dense-rnd}",
+    ),
+    (
+        "fig-tradeoff",
+        "§1.1.2 message/time frontier: all communicating algorithms on three mid-size workloads",
+    ),
+    (
+        "engine-scale",
+        "engine-throughput baseline: FloodMax up to n = 10^6, DFS agent on paths (perf gate)",
+    ),
+];
+
+/// Returns the built-in campaign of the given name, if any. `quick`
+/// shrinks sizes/trials the same way the legacy binaries' `--quick` did.
+pub fn builtin(name: &str, quick: bool) -> Option<CampaignSpec> {
+    let standard =
+        |algorithms: Vec<Algorithm>, families: Vec<Family>, sizes: Vec<usize>, trials| JobGroup {
+            algorithms,
+            families,
+            sizes,
+            trials,
+            diameter: DiameterMode::Exact,
+            knowledge: KnowledgeMode::AlgorithmDefault,
+            wakeup: WakeupMode::Simultaneous,
+            timed: false,
+        };
+    let spec = match name {
+        "table1" => CampaignSpec {
+            name: "table1".into(),
+            graph_seed: WORKLOAD_BASE_SEED,
+            groups: vec![standard(
+                Algorithm::ALL.to_vec(),
+                vec![
+                    Family::Cycle,
+                    Family::Torus,
+                    Family::SparseRandom,
+                    Family::DenseRandom,
+                ],
+                if quick {
+                    vec![48, 96]
+                } else {
+                    vec![48, 96, 192]
+                },
+                if quick { 3 } else { 5 },
+            )],
+        },
+        "fig-tradeoff" => {
+            let algorithms: Vec<Algorithm> = Algorithm::ALL
+                .into_iter()
+                .filter(|&a| a != Algorithm::CoinFlip)
+                .collect();
+            let trials = if quick { 3 } else { 8 };
+            CampaignSpec {
+                name: "fig-tradeoff".into(),
+                graph_seed: WORKLOAD_BASE_SEED,
+                groups: vec![
+                    standard(algorithms.clone(), vec![Family::Torus], vec![100], trials),
+                    standard(
+                        algorithms,
+                        vec![Family::SparseRandom, Family::DenseRandom],
+                        vec![128],
+                        trials,
+                    ),
+                ],
+            }
+        }
+        "engine-scale" => CampaignSpec {
+            name: "engine-scale".into(),
+            graph_seed: WORKLOAD_BASE_SEED,
+            groups: vec![
+                JobGroup {
+                    algorithms: vec![Algorithm::FloodMax],
+                    families: vec![Family::Cycle, Family::Torus, Family::SparseRandom],
+                    sizes: if quick {
+                        vec![10_000, 100_000]
+                    } else {
+                        vec![10_000, 100_000, 1_000_000]
+                    },
+                    trials: 1,
+                    diameter: DiameterMode::UpperBound,
+                    knowledge: KnowledgeMode::NAndDiameter,
+                    wakeup: WakeupMode::Simultaneous,
+                    timed: true,
+                },
+                JobGroup {
+                    algorithms: vec![Algorithm::DfsAgent],
+                    families: vec![Family::Path],
+                    sizes: if quick {
+                        vec![1_000, 10_000]
+                    } else {
+                        vec![1_000, 10_000, 100_000]
+                    },
+                    trials: 1,
+                    diameter: DiameterMode::UpperBound,
+                    knowledge: KnowledgeMode::AlgorithmDefault,
+                    wakeup: WakeupMode::Simultaneous,
+                    timed: true,
+                },
+            ],
+        },
+        _ => return None,
+    };
+    Some(spec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtins_expand_and_round_trip() {
+        for (name, _) in BUILTIN_CAMPAIGNS {
+            for quick in [false, true] {
+                let spec = builtin(name, quick).unwrap();
+                assert!(!spec.jobs().is_empty(), "{name}");
+                let back = CampaignSpec::from_json(&spec.to_json()).unwrap();
+                assert_eq!(back, spec, "{name} quick={quick}");
+                assert_eq!(back.hash(), spec.hash());
+            }
+        }
+        assert!(builtin("no-such-campaign", false).is_none());
+    }
+
+    #[test]
+    fn table1_grid_shape_matches_legacy_sweep() {
+        let spec = builtin("table1", true).unwrap();
+        let jobs = spec.jobs();
+        // 12 algorithms × 4 families × 2 quick sizes.
+        assert_eq!(jobs.len(), 12 * 4 * 2);
+        assert!(jobs
+            .iter()
+            .all(|j| j.group.diameter == DiameterMode::Exact && j.group.trials == 3));
+    }
+
+    #[test]
+    fn quick_and_full_specs_hash_differently() {
+        let full = builtin("engine-scale", false).unwrap();
+        let quick = builtin("engine-scale", true).unwrap();
+        assert_ne!(full.hash(), quick.hash());
+    }
+
+    #[test]
+    fn spec_parser_rejects_bad_input() {
+        use crate::json::Json;
+        let bad_alg = r#"{"name":"x","groups":[{"algorithms":["nope"],"families":["cycle"],"sizes":[10],"trials":1}]}"#;
+        assert!(CampaignSpec::from_json(&Json::parse(bad_alg).unwrap()).is_err());
+        let bad_family = r#"{"name":"x","groups":[{"algorithms":["floodmax"],"families":["nope"],"sizes":[10],"trials":1}]}"#;
+        assert!(CampaignSpec::from_json(&Json::parse(bad_family).unwrap()).is_err());
+        let zero_trials = r#"{"name":"x","groups":[{"algorithms":["floodmax"],"families":["cycle"],"sizes":[10],"trials":0}]}"#;
+        assert!(CampaignSpec::from_json(&Json::parse(zero_trials).unwrap()).is_err());
+        let empty = r#"{"name":"x","groups":[]}"#;
+        assert!(CampaignSpec::from_json(&Json::parse(empty).unwrap()).is_err());
+        // Seeds above 2^53 would be silently rounded by the f64 JSON
+        // round trip; the parser must refuse rather than corrupt.
+        let big_seed = r#"{"name":"x","graph_seed":9007199254740993,
+            "groups":[{"algorithms":["floodmax"],"families":["cycle"],"sizes":[10],"trials":1}]}"#;
+        assert!(CampaignSpec::from_json(&Json::parse(big_seed).unwrap()).is_err());
+    }
+
+    #[test]
+    fn modes_default_and_parse() {
+        let text = r#"{"name":"m","groups":[{
+            "algorithms":["floodmax"],"families":["cycle"],"sizes":[16],"trials":2,
+            "diameter":"upper-bound","knowledge":"n-and-diameter","wakeup":"single-source","timed":true}]}"#;
+        let spec = CampaignSpec::from_json(&Json::parse(text).unwrap()).unwrap();
+        let g = &spec.groups[0];
+        assert_eq!(g.diameter, DiameterMode::UpperBound);
+        assert_eq!(g.knowledge, KnowledgeMode::NAndDiameter);
+        assert_eq!(g.wakeup, WakeupMode::SingleSource);
+        assert!(g.timed);
+        assert_eq!(spec.graph_seed, WORKLOAD_BASE_SEED);
+    }
+}

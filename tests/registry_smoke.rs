@@ -45,3 +45,31 @@ fn every_algorithm_on_small_grid() {
         smoke(alg, &g, "grid(3x4)");
     }
 }
+
+#[test]
+fn campaign_families_build_and_elect_at_scale() {
+    // The four families campaigns sweep beyond the Table 1 set — star,
+    // hypercube, expander (random 4-regular), and the complete binary
+    // tree — instantiated through the same per-(family, n) seed
+    // derivation campaigns use, at n up to 10⁴. A cheap deterministic
+    // election (TOLE: no n/D knowledge, O(m·min(n, D)) messages) checks
+    // election + CONGEST compliance end to end at sizes where a
+    // scheduler or generator regression would actually show.
+    for fam in [
+        gen::Family::Star,
+        gen::Family::Hypercube,
+        gen::Family::Expander,
+        gen::Family::CompleteBinaryTree,
+    ] {
+        for n in [100, 10_000] {
+            let g = gen::workload_graph(gen::WORKLOAD_BASE_SEED, fam, n).unwrap();
+            assert!(g.is_connected(), "{fam}/{n} not connected");
+            assert!(
+                g.len() >= n / 2,
+                "{fam}/{n} rounded too far down: {}",
+                g.len()
+            );
+            smoke(Algorithm::Tole, &g, &format!("{fam}/{n}"));
+        }
+    }
+}

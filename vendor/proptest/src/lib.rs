@@ -2,7 +2,7 @@
 //! [`proptest`](https://crates.io/crates/proptest) crate, exposing the API
 //! subset this workspace uses: the [`proptest!`] macro,
 //! `prop_assert*!`/[`prop_assume!`], integer-range and tuple strategies, and
-//! [`Strategy::prop_map`].
+//! [`Strategy::prop_map`](strategy::Strategy::prop_map).
 //!
 //! Differences from real proptest, by design:
 //!
