@@ -16,6 +16,10 @@
 //! * **DfsAgent** on paths — the Theorem 4.1 extreme: a handful of live
 //!   agents, exponentially long sleeps, `O(m)` total moves spread over
 //!   `Θ(m·2^{i₁})` simulated rounds.
+//! * **FloodMax, sharded-parallel** on the torus (`threads: 2` in the
+//!   spec) — the same cell as the sequential torus run, byte-identical
+//!   outcomes, recording the measured single-run speedup of the engine's
+//!   intra-run parallelism on its message-densest workload.
 //!
 //! Output is the versioned campaign-result JSON (per-cell totals plus
 //! wall-clock and derived throughput); the checked-in `BENCH_engine.json`
@@ -28,6 +32,10 @@ use ule_xp::{builtin, execute, RunMeta};
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let spec = builtin("engine-scale", quick).expect("engine-scale is built in");
-    let result = execute(&spec, RunMeta::capture(), true).expect("campaign runs");
+    let meta = RunMeta::capture();
+    // This binary's stdout *is* the checked-in baseline; minting one from
+    // a dirty tree is the provenance bug the warning exists to prevent.
+    meta.warn_if_dirty();
+    let result = execute(&spec, meta, true).expect("campaign runs");
     println!("{}", result.to_json().pretty());
 }

@@ -292,6 +292,19 @@ impl Graph {
         (self.neighbors[idx], self.rev_ports[idx])
     }
 
+    /// [`Graph::endpoint`] and [`Graph::directed_index`] in one CSR lookup:
+    /// `(far endpoint, reverse port, directed index)`.
+    ///
+    /// The simulator's message fan-out needs all three per sent message;
+    /// resolving them from a single offset computation keeps the sharded
+    /// engine's per-message work (and cross-thread cache traffic on the
+    /// CSR arrays) minimal.
+    #[inline]
+    pub fn endpoint_indexed(&self, v: NodeId, p: Port) -> (NodeId, Port, usize) {
+        let idx = self.offsets[v] + p;
+        (self.neighbors[idx], self.rev_ports[idx], idx)
+    }
+
     /// Port-ordered neighbour slice of `v`.
     #[inline]
     pub fn neighbors_of(&self, v: NodeId) -> &[NodeId] {
@@ -585,6 +598,18 @@ mod tests {
             for p in 0..g.degree(v) {
                 let idx = g.directed_index(v, p);
                 assert_eq!(g.directed_endpoints(idx), (v, p));
+            }
+        }
+    }
+
+    #[test]
+    fn endpoint_indexed_agrees_with_split_accessors() {
+        let g = Graph::from_edges(5, &[(0, 1), (0, 2), (1, 2), (3, 4), (2, 3)]).unwrap();
+        for v in g.nodes() {
+            for p in 0..g.degree(v) {
+                let (u, q, idx) = g.endpoint_indexed(v, p);
+                assert_eq!((u, q), g.endpoint(v, p));
+                assert_eq!(idx, g.directed_index(v, p));
             }
         }
     }

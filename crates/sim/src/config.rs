@@ -51,6 +51,90 @@ pub enum IdMode {
     Explicit(IdAssignment),
 }
 
+/// Intra-run parallelism of the engine.
+///
+/// A single simulated round can be stepped by several threads: the round's
+/// active set is partitioned into contiguous shards, each shard steps its
+/// nodes into a shard-local outbox, and a deterministic merge phase (stable
+/// shard order) delivers messages and accumulates counters exactly as the
+/// sequential engine would. The determinism contract is therefore
+/// **byte-for-byte**: for a fixed graph and [`SimConfig`], the
+/// [`crate::RunOutcome`] is identical at *any* thread count (enforced by
+/// `tests/scheduler_equivalence.rs` and a property test).
+///
+/// This knob only changes wall-clock, never semantics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Parallelism {
+    /// Pick a thread count automatically: all available cores on runs
+    /// large enough to amortize the per-round coordination
+    /// (`n >= `[`Parallelism::AUTO_MIN_NODES`]), one thread otherwise —
+    /// and always one thread inside a
+    /// [`crate::harness::parallel_trials`] worker, where the cores are
+    /// already saturated by the trial fan-out and nested sharding would
+    /// oversubscribe quadratically.
+    #[default]
+    Auto,
+    /// Single-threaded: the engine's reference code path, bit-identical to
+    /// the historical sequential engine.
+    Off,
+    /// Exactly this many shard threads (must be nonzero). Values above the
+    /// active-set size degrade gracefully — shards are never empty.
+    Threads(usize),
+}
+
+impl Parallelism {
+    /// Below this node count [`Parallelism::Auto`] stays sequential: tiny
+    /// runs are dominated by per-round coordination, not node stepping.
+    pub const AUTO_MIN_NODES: usize = 65_536;
+
+    /// Under [`Parallelism::Auto`], the minimum active nodes per shard
+    /// before a round is stepped in parallel. Spawning a shard thread
+    /// costs on the order of 10 µs while stepping one cheap protocol node
+    /// costs ~0.1 µs, so a shard needs a few hundred nodes before the
+    /// thread pays for itself; sparser rounds step inline (the sequential
+    /// code path, so the choice never shows in the outcome).
+    pub const AUTO_MIN_SHARD_NODES: usize = 256;
+
+    /// Resolves the knob to a concrete shard-thread count for a run on `n`
+    /// nodes (always `>= 1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on `Parallelism::Threads(0)`, which is a configuration bug.
+    pub fn effective_threads(self, n: usize) -> usize {
+        match self {
+            Parallelism::Off => 1,
+            Parallelism::Threads(t) => {
+                assert!(t > 0, "Parallelism::Threads(0) is not a thread count");
+                t
+            }
+            Parallelism::Auto => {
+                if n < Self::AUTO_MIN_NODES || crate::harness::in_trial_fanout() {
+                    1
+                } else {
+                    std::thread::available_parallelism()
+                        .map(|p| p.get())
+                        .unwrap_or(1)
+                }
+            }
+        }
+    }
+
+    /// Minimum active nodes per shard for a round to be stepped in
+    /// parallel. `Auto` applies the economic threshold
+    /// ([`Parallelism::AUTO_MIN_SHARD_NODES`]); an explicit
+    /// [`Parallelism::Threads`] request shards eagerly — every round with
+    /// at least one node per shard — so determinism tests on small graphs
+    /// genuinely exercise the shard + merge machinery. Either way the
+    /// outcome is identical; this only moves wall-clock.
+    pub fn min_shard_nodes(self) -> usize {
+        match self {
+            Parallelism::Auto => Self::AUTO_MIN_SHARD_NODES,
+            Parallelism::Off | Parallelism::Threads(_) => 1,
+        }
+    }
+}
+
 /// Wakeup discipline.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub enum Wakeup {
@@ -82,6 +166,9 @@ pub struct SimConfig {
     /// Undirected edges to watch for first crossing (the dumbbell bridges
     /// in the bridge-crossing experiments).
     pub watch_edges: Vec<(NodeId, NodeId)>,
+    /// Intra-run parallelism (default [`Parallelism::Auto`]). Never affects
+    /// the [`crate::RunOutcome`] — only wall-clock.
+    pub parallelism: Parallelism,
 }
 
 impl Default for SimConfig {
@@ -94,6 +181,7 @@ impl Default for SimConfig {
             seed: 0,
             max_rounds: 1_000_000,
             watch_edges: Vec::new(),
+            parallelism: Parallelism::Auto,
         }
     }
 }
@@ -142,6 +230,12 @@ impl SimConfig {
         self.watch_edges.extend_from_slice(edges);
         self
     }
+
+    /// Builder-style: set intra-run parallelism.
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -177,5 +271,37 @@ mod tests {
         assert!(matches!(cfg.model, Model::Congest { factor: 16 }));
         assert!(matches!(cfg.wakeup, Wakeup::Simultaneous));
         assert!(matches!(cfg.ids, IdMode::Anonymous));
+        assert_eq!(cfg.parallelism, Parallelism::Auto);
+    }
+
+    #[test]
+    fn parallelism_resolves() {
+        assert_eq!(Parallelism::Off.effective_threads(1 << 30), 1);
+        assert_eq!(Parallelism::Threads(4).effective_threads(3), 4);
+        // Auto is sequential below the engagement threshold …
+        assert_eq!(
+            Parallelism::Auto.effective_threads(Parallelism::AUTO_MIN_NODES - 1),
+            1
+        );
+        // … and resolves to at least one thread above it.
+        assert!(Parallelism::Auto.effective_threads(Parallelism::AUTO_MIN_NODES) >= 1);
+        let cfg = SimConfig::seeded(0).with_parallelism(Parallelism::Threads(2));
+        assert_eq!(cfg.parallelism, Parallelism::Threads(2));
+    }
+
+    #[test]
+    fn shard_size_policy() {
+        // Auto demands an economic shard; explicit requests shard eagerly.
+        assert_eq!(
+            Parallelism::Auto.min_shard_nodes(),
+            Parallelism::AUTO_MIN_SHARD_NODES
+        );
+        assert_eq!(Parallelism::Threads(8).min_shard_nodes(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "Parallelism::Threads(0)")]
+    fn zero_threads_panics() {
+        Parallelism::Threads(0).effective_threads(10);
     }
 }

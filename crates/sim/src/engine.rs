@@ -38,6 +38,27 @@
 //! model time, and `rounds` is the last active round + 1), they just cost
 //! no work. [`RunOutcome::round_totals`] records one entry per *active*
 //! round only.
+//!
+//! # Sharded-parallel stepping
+//!
+//! Under [`crate::Parallelism`] settings other than `Off`, rounds with large
+//! active sets are stepped by several threads. The sorted active list is
+//! partitioned into **contiguous shards** (so concatenating shard outputs
+//! in shard order reproduces the sequential ascending-node-index order);
+//! each shard steps its nodes into a *shard-local* outbox — protocol
+//! execution, coin flips, and message construction all run off the main
+//! thread — and then a sequential **merge phase** walks the shards in
+//! stable shard order, performing every piece of global accounting
+//! (message/bit totals, CONGEST checks, watch-edge crossings with their
+//! `messages_before` counts, per-directed-edge statistics, wakeup-heap
+//! pushes, inbox delivery, next-round activation) exactly as the
+//! sequential engine interleaves it. Because node state (including each
+//! node's private RNG) is owned by its shard and the merge order equals
+//! the sequential order, a run is **byte-for-byte identical at any thread
+//! count** — `Parallelism::Off` remains the reference code path, and
+//! `tests/scheduler_equivalence.rs` pins the parallel engine against it.
+//! Rounds whose active set is too small to amortize thread coordination
+//! are stepped inline on the main thread (same code as `Off`).
 
 use crate::config::{IdMode, SimConfig, Wakeup};
 use crate::message::Message;
@@ -163,6 +184,20 @@ fn splitmix64(mut x: u64) -> u64 {
     x ^ (x >> 31)
 }
 
+/// Seed of node `node`'s private RNG stream in a run seeded with `seed`.
+///
+/// Derivation is *chained*: hash the run seed, add the node index, hash
+/// again. The historical derivation XOR-combined the two
+/// (`seed ^ splitmix64(node + 0x5151)`), under which distinct
+/// `(seed, node)` pairs collide onto identical streams — for any nodes
+/// `u != v`, running with seed `s ^ splitmix64(u + c) ^ splitmix64(v + c)`
+/// hands node `v` exactly the stream node `u` had under seed `s`, so
+/// seed sweeps silently reused coin flips across trials. Chaining has no
+/// such algebraic structure (pinned by `node_rng_streams_are_independent`).
+pub fn node_rng_seed(seed: u64, node: NodeId) -> u64 {
+    splitmix64(splitmix64(seed).wrapping_add(node as u64))
+}
+
 struct NodeSlot<P: Protocol> {
     proto: P,
     setup: NodeSetup,
@@ -173,6 +208,115 @@ struct NodeSlot<P: Protocol> {
     status: Status,
 }
 
+/// One message produced by a shard, carrying the metadata the merge phase
+/// needs to reproduce the sequential engine's accounting exactly.
+struct StagedSend<M> {
+    /// Sending node (for watch-edge lookup).
+    src: NodeId,
+    /// Receiving node.
+    dest: NodeId,
+    /// Port at which `dest` hears the message.
+    dest_port: Port,
+    /// Directed-edge index of the sending `(src, port)` pair.
+    didx: usize,
+    /// Wire size, computed on the shard thread.
+    bits: u64,
+    msg: M,
+}
+
+/// Everything a shard reports back to the merge phase.
+struct ShardOut<M> {
+    /// Sends in sequential order (ascending node, then send order).
+    sends: Vec<StagedSend<M>>,
+    /// `(round, node)` wakeup-heap entries armed by this shard's nodes.
+    wakes: Vec<(u64, NodeId)>,
+    /// Whether any node in the shard changed status this round.
+    status_changed: bool,
+}
+
+impl<M> ShardOut<M> {
+    fn new() -> Self {
+        ShardOut {
+            sends: Vec::new(),
+            wakes: Vec::new(),
+            status_changed: false,
+        }
+    }
+}
+
+/// Steps the active nodes of one shard for one round.
+///
+/// `slots` is the contiguous slice of node slots covering this shard's
+/// node-index range, offset by `base` (`nodes` are ascending global
+/// indices, all within `base..base + slots.len()`). Mirrors the sequential
+/// stepping loop exactly, except that global accounting is deferred to the
+/// merge phase via `out`.
+fn step_shard<P: Protocol>(
+    graph: &Graph,
+    round: u64,
+    base: NodeId,
+    slots: &mut [NodeSlot<P>],
+    nodes: &[NodeId],
+    out: &mut ShardOut<P::Msg>,
+) {
+    let mut inbox_scratch: Vec<(Port, P::Msg)> = Vec::new();
+    let mut outbox: Vec<(Port, P::Msg)> = Vec::new();
+    let mut sent_on: Vec<bool> = Vec::new();
+    for &v in nodes {
+        let slot = &mut slots[v - base];
+        if slot.wake.is_some_and(|w| w <= round) {
+            slot.wake = None;
+        }
+        let armed_wake = slot.wake;
+        let first_activation = !slot.started;
+        slot.started = true;
+
+        inbox_scratch.clear();
+        inbox_scratch.append(&mut slot.inbox);
+
+        outbox.clear();
+        sent_on.clear();
+        sent_on.resize(slot.setup.degree, false);
+        let mut wake = slot.wake;
+        {
+            let mut ctx = Context {
+                round,
+                setup: &slot.setup,
+                first_activation,
+                rng: &mut slot.rng,
+                outbox: &mut outbox,
+                sent_on: &mut sent_on,
+                wake: &mut wake,
+            };
+            slot.proto.on_round(&mut ctx, &inbox_scratch);
+        }
+        slot.wake = wake;
+        if let Some(w) = wake {
+            if armed_wake != Some(w) {
+                out.wakes.push((w, v));
+            }
+        }
+
+        let new_status = slot.proto.status();
+        if new_status != slot.status {
+            slot.status = new_status;
+            out.status_changed = true;
+        }
+
+        for (port, msg) in outbox.drain(..) {
+            let (dest, dest_port, didx) = graph.endpoint_indexed(v, port);
+            out.sends.push(StagedSend {
+                src: v,
+                dest,
+                dest_port,
+                didx,
+                bits: msg.size_bits(),
+                msg,
+            });
+        }
+    }
+}
+
 /// Runs `factory`-created protocol instances on `graph` under `config`.
 ///
 /// `factory` is called once per node, in index order, with the node's
@@ -180,6 +324,11 @@ struct NodeSlot<P: Protocol> {
 /// logic must depend on the index only where the harness legitimately
 /// distinguishes roles (e.g. the designated broadcast source) — election
 /// protocols should ignore it.
+///
+/// Under [`crate::Parallelism`] settings other than `Off`, rounds with enough
+/// active nodes are stepped by several shard threads and merged
+/// deterministically (see the module docs); the outcome is byte-for-byte
+/// identical at any thread count.
 ///
 /// # Panics
 ///
@@ -220,6 +369,8 @@ where
 {
     let n = graph.len();
     let budget = config.model.bit_budget(n);
+    let threads = config.parallelism.effective_threads(n);
+    let min_shard_nodes = config.parallelism.min_shard_nodes();
 
     let ids: Vec<Option<u64>> = match &config.ids {
         IdMode::Anonymous => vec![None; n],
@@ -236,8 +387,7 @@ where
                 id: ids[v],
                 knowledge: config.knowledge,
             };
-            let mut rng =
-                StdRng::seed_from_u64(splitmix64(config.seed ^ splitmix64(v as u64 + 0x5151_u64)));
+            let mut rng = StdRng::seed_from_u64(node_rng_seed(config.seed, v));
             let proto = factory(v, &setup, &mut rng);
             NodeSlot {
                 proto,
@@ -372,76 +522,149 @@ where
         active.sort_unstable();
         rounds_used = round + 1;
 
-        for &v in &active {
-            let slot = &mut slots[v];
-            if slot.wake.is_some_and(|w| w <= round) {
-                slot.wake = None;
-            }
-            let armed_wake = slot.wake;
-            let first_activation = !slot.started;
-            slot.started = true;
+        // Shard the round when the active set is large enough to amortize
+        // per-round thread coordination (the policy lives on
+        // `Parallelism::min_shard_nodes`: `Auto` demands an economic shard
+        // size, explicit `Threads(k)` shards eagerly); otherwise — and
+        // always under `Parallelism::Off` — step inline, the reference
+        // code path.
+        let shards = if threads > 1 {
+            (active.len() / min_shard_nodes).min(threads).max(1)
+        } else {
+            1
+        };
 
-            inbox_scratch.clear();
-            inbox_scratch.append(&mut slot.inbox);
-
-            outbox.clear();
-            sent_on.clear();
-            sent_on.resize(slot.setup.degree, false);
-            let mut wake = slot.wake;
-            {
-                let mut ctx = Context {
-                    round,
-                    setup: &slot.setup,
-                    first_activation,
-                    rng: &mut slot.rng,
-                    outbox: &mut outbox,
-                    sent_on: &mut sent_on,
-                    wake: &mut wake,
-                };
-                slot.proto.on_round(&mut ctx, &inbox_scratch);
-            }
-            slot.wake = wake;
-            // A changed timer needs a heap entry; the `armed_wake` entry
-            // (if any) is still in the heap and becomes stale.
-            if let Some(w) = wake {
-                if armed_wake != Some(w) {
+        if shards > 1 {
+            // Contiguous chunks of the sorted active list: shard s covers
+            // an ascending, disjoint node-index range, so handing each
+            // shard the matching sub-slice of `slots` is a plain split and
+            // concatenating shard outputs in shard order reproduces the
+            // sequential execution order.
+            let chunk = active.len().div_ceil(shards);
+            let mut outs: Vec<ShardOut<P::Msg>> = (0..active.len().div_ceil(chunk))
+                .map(|_| ShardOut::new())
+                .collect();
+            std::thread::scope(|scope| {
+                let mut rest: &mut [NodeSlot<P>] = &mut slots;
+                let mut base: NodeId = 0;
+                for (nodes, out) in active.chunks(chunk).zip(outs.iter_mut()) {
+                    let hi = nodes[nodes.len() - 1] + 1;
+                    let (mine, rem) = rest.split_at_mut(hi - base);
+                    rest = rem;
+                    let lo = base;
+                    base = hi;
+                    let graph_ref = graph;
+                    scope.spawn(move || step_shard(graph_ref, round, lo, mine, nodes, out));
+                }
+            });
+            // Deterministic merge, stable shard order: all global
+            // accounting happens here, in exactly the order the
+            // sequential engine interleaves it.
+            for out in &mut outs {
+                if out.status_changed {
+                    last_status_change = Some(round);
+                }
+                for &(w, v) in &out.wakes {
                     wake_heap.push(Reverse((w, v)));
                 }
-            }
-
-            let new_status = slot.proto.status();
-            if new_status != slot.status {
-                slot.status = new_status;
-                last_status_change = Some(round);
-            }
-
-            for (port, msg) in outbox.drain(..) {
-                let (dest, dest_port) = graph.endpoint(v, port);
-                let sz = msg.size_bits();
-                messages += 1;
-                bits += sz;
-                max_message_bits = max_message_bits.max(sz);
-                if sz > budget {
-                    congest_violations += 1;
-                }
-                let didx = graph.directed_index(v, port);
-                directed_message_counts[didx] += 1;
-                if first_directed_use[didx] == u64::MAX {
-                    first_directed_use[didx] = round;
-                }
-                if !watch_index.is_empty() {
-                    if let Some(hits) = watch_index.get(&(v.min(dest), v.max(dest))) {
-                        for &i in hits {
-                            if watch_hits[i].is_none() {
-                                watch_hits[i] = Some(WatchHit {
-                                    round,
-                                    messages_before: messages - 1,
-                                });
+                for s in out.sends.drain(..) {
+                    messages += 1;
+                    bits += s.bits;
+                    max_message_bits = max_message_bits.max(s.bits);
+                    if s.bits > budget {
+                        congest_violations += 1;
+                    }
+                    directed_message_counts[s.didx] += 1;
+                    if first_directed_use[s.didx] == u64::MAX {
+                        first_directed_use[s.didx] = round;
+                    }
+                    if !watch_index.is_empty() {
+                        if let Some(hits) = watch_index.get(&(s.src.min(s.dest), s.src.max(s.dest)))
+                        {
+                            for &i in hits {
+                                if watch_hits[i].is_none() {
+                                    watch_hits[i] = Some(WatchHit {
+                                        round,
+                                        messages_before: messages - 1,
+                                    });
+                                }
                             }
                         }
                     }
+                    staged.push((s.dest, s.dest_port, s.msg));
                 }
-                staged.push((dest, dest_port, msg));
+            }
+        } else {
+            for &v in &active {
+                let slot = &mut slots[v];
+                if slot.wake.is_some_and(|w| w <= round) {
+                    slot.wake = None;
+                }
+                let armed_wake = slot.wake;
+                let first_activation = !slot.started;
+                slot.started = true;
+
+                inbox_scratch.clear();
+                inbox_scratch.append(&mut slot.inbox);
+
+                outbox.clear();
+                sent_on.clear();
+                sent_on.resize(slot.setup.degree, false);
+                let mut wake = slot.wake;
+                {
+                    let mut ctx = Context {
+                        round,
+                        setup: &slot.setup,
+                        first_activation,
+                        rng: &mut slot.rng,
+                        outbox: &mut outbox,
+                        sent_on: &mut sent_on,
+                        wake: &mut wake,
+                    };
+                    slot.proto.on_round(&mut ctx, &inbox_scratch);
+                }
+                slot.wake = wake;
+                // A changed timer needs a heap entry; the `armed_wake` entry
+                // (if any) is still in the heap and becomes stale.
+                if let Some(w) = wake {
+                    if armed_wake != Some(w) {
+                        wake_heap.push(Reverse((w, v)));
+                    }
+                }
+
+                let new_status = slot.proto.status();
+                if new_status != slot.status {
+                    slot.status = new_status;
+                    last_status_change = Some(round);
+                }
+
+                for (port, msg) in outbox.drain(..) {
+                    let (dest, dest_port, didx) = graph.endpoint_indexed(v, port);
+                    let sz = msg.size_bits();
+                    messages += 1;
+                    bits += sz;
+                    max_message_bits = max_message_bits.max(sz);
+                    if sz > budget {
+                        congest_violations += 1;
+                    }
+                    directed_message_counts[didx] += 1;
+                    if first_directed_use[didx] == u64::MAX {
+                        first_directed_use[didx] = round;
+                    }
+                    if !watch_index.is_empty() {
+                        if let Some(hits) = watch_index.get(&(v.min(dest), v.max(dest))) {
+                            for &i in hits {
+                                if watch_hits[i].is_none() {
+                                    watch_hits[i] = Some(WatchHit {
+                                        round,
+                                        messages_before: messages - 1,
+                                    });
+                                }
+                            }
+                        }
+                    }
+                    staged.push((dest, dest_port, msg));
+                }
             }
         }
 
@@ -482,7 +705,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::{Model, SimConfig, Wakeup};
+    use crate::config::{Model, Parallelism, SimConfig, Wakeup};
     use crate::message::{id_bits, Message, Signal};
     use crate::protocol::{Context, Knowledge, Protocol, Status};
     use ule_graph::{gen, IdAssignment};
@@ -880,5 +1103,78 @@ mod tests {
         assert_eq!(out.leader_count(), 1);
         assert!(out.leader().is_some());
         assert_eq!(out.undecided_count(), 0);
+    }
+
+    #[test]
+    fn node_rng_streams_are_independent() {
+        // Distinct nodes under one seed get distinct streams.
+        let mut seen = std::collections::HashSet::new();
+        for v in 0..1000 {
+            assert!(seen.insert(node_rng_seed(42, v)), "node {v} collided");
+        }
+        // The historical XOR derivation collides by construction: with
+        // c = 0x5151, seeds s and s ^ h(u+c) ^ h(v+c) hand node u and
+        // node v the same stream. The chained derivation must not.
+        let (s, u, v) = (42u64, 3usize, 7usize);
+        let h = |x: u64| splitmix64(x + 0x5151);
+        let s2 = s ^ h(u as u64) ^ h(v as u64);
+        assert_eq!(
+            splitmix64(s ^ h(u as u64)),
+            splitmix64(s2 ^ h(v as u64)),
+            "sanity: the old derivation really did collide on this pair"
+        );
+        assert_ne!(node_rng_seed(s, u), node_rng_seed(s2, v));
+        // Pin the derivation itself so it cannot silently change again
+        // (every pinned fixture in the workspace depends on it).
+        assert_eq!(node_rng_seed(0, 0), splitmix64(splitmix64(0)));
+        assert_eq!(
+            node_rng_seed(1, 2),
+            splitmix64(splitmix64(1).wrapping_add(2))
+        );
+    }
+
+    #[test]
+    fn sharded_run_matches_sequential_byte_for_byte() {
+        // Small graphs with Threads(k) exercise the shard + merge path on
+        // every message-dense round (16 active ≥ 4 nodes/shard × 4).
+        let g = gen::cycle(16).unwrap();
+        let seq_cfg = flood_cfg(16, 12, 9).with_parallelism(Parallelism::Off);
+        let mk = |_: NodeId, _: &NodeSetup, _: &mut StdRng| MiniFloodMax {
+            best: 0,
+            deadline: 12,
+            decided: Status::Undecided,
+        };
+        let reference = run(&g, &seq_cfg, mk);
+        for t in [2usize, 3, 4, 7] {
+            let par_cfg = flood_cfg(16, 12, 9).with_parallelism(Parallelism::Threads(t));
+            assert_eq!(run(&g, &par_cfg, mk), reference, "threads = {t}");
+        }
+    }
+
+    #[test]
+    fn sharded_run_preserves_watch_hits_and_edge_stats() {
+        let g = gen::path(12).unwrap();
+        let watch = [(5, 6), (0, 1)];
+        let mk = |_: NodeId, _: &NodeSetup, _: &mut StdRng| MiniFloodMax {
+            best: 0,
+            deadline: 14,
+            decided: Status::Undecided,
+        };
+        let seq = run(
+            &g,
+            &flood_cfg(12, 14, 0)
+                .watching(&watch)
+                .with_parallelism(Parallelism::Off),
+            mk,
+        );
+        let par = run(
+            &g,
+            &flood_cfg(12, 14, 0)
+                .watching(&watch)
+                .with_parallelism(Parallelism::Threads(3)),
+            mk,
+        );
+        assert_eq!(par, seq);
+        assert!(par.watch_hits.iter().all(Option::is_some));
     }
 }

@@ -2,11 +2,38 @@
 //!
 //! The paper's randomized claims are about success *probabilities* and
 //! *expected* costs; estimating them needs many independent runs. The
-//! functions here fan trials out over threads (`std::thread::scope`; a
-//! simulation is single-threaded and deterministic, parallelism is across
-//! trials) and summarize outcomes.
+//! functions here fan trials out over threads (`std::thread::scope`) and
+//! summarize outcomes.
+//!
+//! Trial-level parallelism composes with the engine's *intra-run*
+//! sharding ([`crate::Parallelism`]): worker threads spawned here are
+//! marked, and [`crate::Parallelism::Auto`] resolves to sequential inside
+//! them — the machine's cores are already saturated by the trial fan-out,
+//! so letting every trial also spawn `cores` shard threads per round
+//! would oversubscribe quadratically. An *explicit*
+//! `Parallelism::Threads(k)` inside a trial closure is honored as
+//! written; combining it with a wide trial fan-out is the caller's
+//! responsibility.
 
 use crate::engine::RunOutcome;
+use std::cell::Cell;
+
+thread_local! {
+    /// Set on worker threads spawned by [`parallel_trials`]; read by
+    /// [`crate::Parallelism::Auto`]'s resolution.
+    static IN_TRIAL_FANOUT: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Marks the current thread as a trial-fanout worker (idempotent; worker
+/// threads are per-call, so the mark needs no reset).
+fn mark_trial_fanout() {
+    IN_TRIAL_FANOUT.with(|f| f.set(true));
+}
+
+/// Whether the current thread is a [`parallel_trials`] worker.
+pub(crate) fn in_trial_fanout() -> bool {
+    IN_TRIAL_FANOUT.with(|f| f.get())
+}
 
 /// Runs `trials` independent executions of `f` (typically a closure that
 /// builds a seeded [`crate::SimConfig`] and calls [`crate::run`]), in
@@ -45,6 +72,7 @@ where
             let f = &f;
             let base = (i * chunk) as u64;
             scope.spawn(move || {
+                mark_trial_fanout();
                 for (j, slot) in slot_chunk.iter_mut().enumerate() {
                     *slot = Some(f(base + j as u64));
                 }
@@ -192,5 +220,28 @@ mod tests {
     fn parallel_single_trial() {
         assert_eq!(parallel_trials(1, |t| t + 7), vec![7]);
         assert_eq!(parallel_trials(0, |t| t), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn auto_parallelism_demotes_inside_trial_fanout_workers() {
+        use crate::Parallelism;
+        let huge = 1 << 30;
+        // The mechanism, independent of this machine's core count: a
+        // marked thread resolves Auto to sequential at any n …
+        std::thread::spawn(move || {
+            mark_trial_fanout();
+            assert_eq!(Parallelism::Auto.effective_threads(huge), 1);
+            // … while an explicit request is honored as written.
+            assert_eq!(Parallelism::Threads(3).effective_threads(huge), 3);
+        })
+        .join()
+        .unwrap();
+        assert!(Parallelism::Auto.effective_threads(huge) >= 1);
+        // And `parallel_trials` really marks its workers (observable only
+        // when the fan-out actually spawns, i.e. on multicore boxes).
+        if std::thread::available_parallelism().map_or(1, |p| p.get()) >= 2 {
+            let flags = parallel_trials(8, |_| in_trial_fanout());
+            assert!(flags.iter().all(|&b| b), "{flags:?}");
+        }
     }
 }

@@ -32,6 +32,13 @@
 //! stretches fast-forward in `O(log n)`. Idle rounds still count toward
 //! [`RunOutcome::rounds`]; they just cost no work.
 //!
+//! Execution is additionally **sharded-parallel** under [`Parallelism`]
+//! (the default `Auto` engages on large runs): message-dense rounds are
+//! stepped by several threads over contiguous shards of the active set and
+//! merged deterministically, so a run's [`RunOutcome`] is byte-for-byte
+//! identical at any thread count — see the `engine` module docs for the
+//! merge-phase contract.
+//!
 //! ## Writing a protocol
 //!
 //! Implement [`Protocol`] with a message enum implementing
@@ -68,7 +75,7 @@ pub mod outbox;
 mod protocol;
 pub mod transport;
 
-pub use config::{IdMode, Model, SimConfig, Wakeup};
-pub use engine::{run, RunOutcome, Termination, WatchHit};
+pub use config::{IdMode, Model, Parallelism, SimConfig, Wakeup};
+pub use engine::{node_rng_seed, run, RunOutcome, Termination, WatchHit};
 pub use outbox::PortOutbox;
 pub use protocol::{Context, Knowledge, NodeSetup, Protocol, Status};

@@ -8,7 +8,12 @@
 //! ingredients: identifiers, counters, flags.
 
 /// A protocol message. Cloned on fan-out, sized for CONGEST accounting.
-pub trait Message: Clone + std::fmt::Debug {
+///
+/// Messages must be [`Send`]: the sharded-parallel engine stages them in
+/// shard-local outboxes on worker threads before the merge phase delivers
+/// them (see [`crate::Parallelism`]). Plain-data message types get this
+/// for free.
+pub trait Message: Clone + std::fmt::Debug + Send {
     /// The wire size of this message in bits.
     ///
     /// Implementations should count what an actual encoding would need:

@@ -244,7 +244,12 @@ impl<'a, M: Message> Context<'a, M> {
 /// requested via [`Context::wake_at`]. A node that neither holds pending
 /// wakeups nor receives messages is idle; the run ends when every node is
 /// idle (or at the round cap).
-pub trait Protocol {
+///
+/// Protocols must be [`Send`]: the sharded-parallel engine steps disjoint
+/// shards of nodes on worker threads (see [`crate::Parallelism`]), so node
+/// state crosses thread boundaries. Protocol state is plain data at every
+/// node, so this is automatic — the bound exists to state the contract.
+pub trait Protocol: Send {
     /// The message type exchanged by this protocol.
     type Msg: Message;
 

@@ -15,8 +15,12 @@ use ule_graph::Port;
 /// One chunk of a multi-round payload transfer.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Frame {
-    /// Position of this frame in its payload (0-based).
-    pub seq: u32,
+    /// Position of this frame in its payload (0-based). `u64`, matching
+    /// the index space of payload slices: the historical `u32` field was
+    /// filled with `i as u32`, which silently truncated the sequence
+    /// number beyond 2³² frames and made the [`Assembler`]'s in-order
+    /// check accept wrapped frames as fresh transfers.
+    pub seq: u64,
     /// Whether this is the final frame of the payload.
     pub last: bool,
     /// The words carried by this frame.
@@ -25,10 +29,7 @@ pub struct Frame {
 
 impl Message for Frame {
     fn size_bits(&self) -> u64 {
-        TAG_BITS
-            + uint_bits(self.seq as u64)
-            + 1
-            + self.words.iter().map(|&w| uint_bits(w)).sum::<u64>()
+        TAG_BITS + uint_bits(self.seq) + 1 + self.words.iter().map(|&w| uint_bits(w)).sum::<u64>()
     }
 }
 
@@ -69,7 +70,7 @@ pub fn split_payload(payload: &[u64], words_per_frame: usize) -> Vec<Frame> {
         .chunks(words_per_frame)
         .enumerate()
         .map(|(i, chunk)| Frame {
-            seq: i as u32,
+            seq: i as u64,
             last: i + 1 == total,
             words: chunk.to_vec(),
         })
@@ -84,7 +85,7 @@ pub fn split_payload(payload: &[u64], words_per_frame: usize) -> Vec<Frame> {
 #[derive(Debug)]
 pub struct Assembler {
     partial: Vec<Vec<u64>>,
-    expect: Vec<u32>,
+    expect: Vec<u64>,
 }
 
 impl Assembler {
@@ -236,5 +237,54 @@ mod tests {
     #[should_panic(expected = "at least one word")]
     fn zero_chunk_panics() {
         split_payload(&[1], 0);
+    }
+
+    #[test]
+    fn sequence_numbers_do_not_truncate_at_the_u32_boundary() {
+        // The historical `i as u32` cast wrapped the 2³²-th frame back to
+        // sequence 0. The field is now the full payload index space: a
+        // frame just past the old boundary keeps a distinct, ordered
+        // sequence number and honest size accounting.
+        let beyond = Frame {
+            seq: u64::from(u32::MAX) + 1,
+            last: false,
+            words: vec![1],
+        };
+        assert_eq!(beyond.seq, 1 << 32);
+        assert!(
+            beyond.size_bits() > TAG_BITS + 32,
+            "a 33-bit sequence number must be accounted as such"
+        );
+        // An assembler mid-transfer at the boundary accepts the next
+        // frame instead of mistaking a wrapped seq-0 for a new payload.
+        let mut asm = Assembler {
+            partial: vec![Vec::new()],
+            expect: vec![u64::from(u32::MAX) + 1],
+        };
+        assert_eq!(
+            asm.accept(0, beyond),
+            None,
+            "in-order frame past the u32 boundary is part of the transfer"
+        );
+        assert_eq!(asm.expect[0], (1 << 32) + 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out-of-order")]
+    fn wrapped_seq_zero_at_the_boundary_is_rejected() {
+        // Under the old truncation this frame would have carried seq 0 ==
+        // expect 0 and been accepted silently; now it must panic loudly.
+        let mut asm = Assembler {
+            partial: vec![vec![7]],
+            expect: vec![u64::from(u32::MAX) + 1],
+        };
+        asm.accept(
+            0,
+            Frame {
+                seq: 0,
+                last: true,
+                words: vec![2],
+            },
+        );
     }
 }

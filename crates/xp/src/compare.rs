@@ -9,10 +9,14 @@
 //!   gate protects, and the generous default factor (2×) absorbs runner
 //!   noise.
 //! * **cost** (`mean_messages`, `mean_rounds`): relative drift beyond the
-//!   warn tolerance warns; an optional fail tolerance turns growth into a
-//!   hard failure (off by default — deterministic counts legitimately
-//!   change when algorithms are retuned; the gate should flag, not block,
-//!   unless a campaign promises stability).
+//!   warn tolerance warns; an optional fail tolerance turns drift *in
+//!   either direction* into a hard failure (off by default —
+//!   deterministic counts legitimately change when algorithms are
+//!   retuned; the gate should flag, not block, unless a campaign promises
+//!   stability). The fail band is two-sided because its main consumer is
+//!   the thread-count determinism gate: a merge-phase bug that *loses*
+//!   messages is exactly as much a regression as one that duplicates
+//!   them.
 //! * **success rate**: a drop of more than 0.1 warns.
 //!
 //! Inputs may be campaign records ([`crate::run::CampaignResult`] JSON) or
@@ -31,8 +35,9 @@ pub struct Tolerances {
     pub fail_throughput: f64,
     /// Warn when |new − old| / old on a cost metric exceeds this.
     pub warn_cost: f64,
-    /// Fail when (new − old) / old on a cost metric exceeds this
-    /// (`None` = cost drift never fails).
+    /// Fail when |new − old| / old on a cost metric exceeds this
+    /// (`None` = cost drift never fails). Two-sided: deterministic counts
+    /// drifting *down* is as much a regression as drifting up.
     pub fail_cost: Option<f64>,
 }
 
@@ -256,6 +261,19 @@ pub fn parse_cells(v: &Json) -> Result<BTreeMap<String, CellMetrics>, XpError> {
     Ok(out)
 }
 
+/// Returns the result file's `git_describe` when it records a dirty work
+/// tree (see [`crate::RunMeta::is_dirty`]); `None` for clean provenance or
+/// for formats without provenance (the legacy array format).
+///
+/// A dirty baseline is a gate anchored to unreproducible numbers — the
+/// `compare` subcommand surfaces this as a warning on stderr.
+pub fn dirty_provenance(v: &Json) -> Option<String> {
+    v.get("git_describe")
+        .and_then(Json::as_str)
+        .filter(|d| d.ends_with("-dirty"))
+        .map(str::to_string)
+}
+
 fn band(verdict_fail: bool, verdict_warn: bool) -> Verdict {
     if verdict_fail {
         Verdict::Fail
@@ -294,7 +312,7 @@ pub fn compare(
                 old: ov,
                 new: nv,
                 verdict: band(
-                    tol.fail_cost.is_some_and(|f| rel > f),
+                    tol.fail_cost.is_some_and(|f| rel.abs() > f),
                     rel.abs() > tol.warn_cost,
                 ),
             });
@@ -413,9 +431,15 @@ mod tests {
             ..Tolerances::default()
         };
         assert_eq!(compare(&old, &drift, &strict).verdict(), Verdict::Fail);
-        // Shrinking cost is a warn (drift worth noticing), never a fail.
+        // The fail band is two-sided: a determinism gate must catch a
+        // merge bug that *loses* messages, not just one that adds them.
         let shrank = one("a @ w", cell(500.0, 50.0, None));
-        assert_eq!(compare(&old, &shrank, &strict).verdict(), Verdict::Warn);
+        assert_eq!(compare(&old, &shrank, &strict).verdict(), Verdict::Fail);
+        // Without the opt-in, shrinking cost stays a warning.
+        assert_eq!(
+            compare(&old, &shrank, &Tolerances::default()).verdict(),
+            Verdict::Warn
+        );
     }
 
     #[test]
@@ -494,5 +518,16 @@ mod tests {
     fn rejects_unknown_schema_version() {
         let v = Json::parse(r#"{"schema_version": 99, "cells": []}"#).unwrap();
         assert!(parse_cells(&v).is_err());
+    }
+
+    #[test]
+    fn dirty_provenance_detected() {
+        let dirty = Json::parse(r#"{"git_describe": "2718ebb-dirty", "cells": []}"#).unwrap();
+        assert_eq!(dirty_provenance(&dirty), Some("2718ebb-dirty".into()));
+        let clean = Json::parse(r#"{"git_describe": "2718ebb", "cells": []}"#).unwrap();
+        assert_eq!(dirty_provenance(&clean), None);
+        // The legacy array format carries no provenance at all.
+        let legacy = Json::parse("[]").unwrap();
+        assert_eq!(dirty_provenance(&legacy), None);
     }
 }

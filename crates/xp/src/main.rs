@@ -29,13 +29,18 @@ USAGE:
         --force           overwrite an existing result file
         --no-table        skip the human table on stdout
         --quiet           no per-cell progress on stderr
+        --threads N       override every group's engine thread count
+                          (N = 0 forces the sequential reference engine;
+                          outcomes are identical at any N, only wall-clock
+                          and throughput change)
 
   ule-xp compare BASELINE.json NEW.json [OPTIONS]
       Diff two result files (campaign format or legacy BENCH array).
         --fail-throughput F   fail when throughput drops more than F x (default 2.0)
         --warn-throughput F   warn when throughput drops more than F x (default 1.25)
         --warn-cost R         warn when rounds/messages drift more than R rel. (default 0.10)
-        --fail-cost R         fail when rounds/messages grow more than R rel. (default off)
+        --fail-cost R         fail when rounds/messages drift more than R rel.
+                              in either direction (default off)
         --verbose             print passing deltas too
 
 Exit codes: 0 ok, 1 regression detected, 2 usage/I-O error.
@@ -83,6 +88,7 @@ fn cmd_run(args: &[String]) -> Result<ExitCode, XpError> {
     let mut force = false;
     let mut no_table = false;
     let mut quiet = false;
+    let mut threads: Option<u64> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -93,11 +99,24 @@ fn cmd_run(args: &[String]) -> Result<ExitCode, XpError> {
             "--force" => force = true,
             "--no-table" => no_table = true,
             "--quiet" => quiet = true,
+            "--threads" => {
+                let t = take_value(args, &mut i, "--threads")?;
+                let t: u64 = t
+                    .parse()
+                    .map_err(|_| XpError::new(format!("--threads: `{t}` is not a thread count")))?;
+                if t > ule_xp::spec::MAX_THREADS {
+                    return Err(XpError::new(format!(
+                        "--threads: {t} is not a sane thread count (max {})",
+                        ule_xp::spec::MAX_THREADS
+                    )));
+                }
+                threads = Some(t);
+            }
             other => return Err(XpError::new(format!("run: unknown option `{other}`"))),
         }
         i += 1;
     }
-    let spec: CampaignSpec = match (campaign, spec_path) {
+    let mut spec: CampaignSpec = match (campaign, spec_path) {
         (Some(name), None) => builtin(&name, quick).ok_or_else(|| {
             XpError::new(format!("unknown campaign `{name}` (see `ule-xp list`)"))
         })?,
@@ -115,6 +134,13 @@ fn cmd_run(args: &[String]) -> Result<ExitCode, XpError> {
         (Some(_), Some(_)) => return Err(XpError::new("run: pass --campaign or --spec, not both")),
         (None, None) => return Err(XpError::new("run: pass --campaign NAME or --spec FILE")),
     };
+    if let Some(t) = threads {
+        // 0 = "force the sequential reference engine" (clear every
+        // group's knob), anything else pins every group to t threads.
+        for group in &mut spec.groups {
+            group.threads = if t == 0 { None } else { Some(t) };
+        }
+    }
 
     let out_path = out_path.unwrap_or_else(|| {
         format!(
@@ -129,7 +155,9 @@ fn cmd_run(args: &[String]) -> Result<ExitCode, XpError> {
         )));
     }
 
-    let result = ule_xp::execute(&spec, RunMeta::capture(), !quiet)?;
+    let meta = RunMeta::capture();
+    meta.warn_if_dirty();
+    let result = ule_xp::execute(&spec, meta, !quiet)?;
 
     if let Some(dir) = std::path::Path::new(&out_path).parent() {
         if !dir.as_os_str().is_empty() {
@@ -197,14 +225,20 @@ fn cmd_compare(args: &[String]) -> Result<ExitCode, XpError> {
             "compare: expected exactly two result files (BASELINE NEW)",
         ));
     };
-    let load = |path: &str| -> Result<_, XpError> {
+    let load = |path: &str, role: &str| -> Result<_, XpError> {
         let text = std::fs::read_to_string(path)
             .map_err(|e| XpError::new(format!("reading {path}: {e}")))?;
         let v = Json::parse(&text).map_err(|e| XpError::new(format!("parsing {path}: {e}")))?;
+        if let Some(describe) = ule_xp::compare::dirty_provenance(&v) {
+            eprintln!(
+                "ule-xp: warning: {role} {path} was recorded from a DIRTY work tree \
+                 ({describe}); its numbers are not reproducible from any commit"
+            );
+        }
         parse_cells(&v)
     };
-    let old = load(old_path)?;
-    let new = load(new_path)?;
+    let old = load(old_path, "baseline")?;
+    let new = load(new_path, "candidate")?;
     let report = compare(&old, &new, &tol);
     print!("{}", report.render(verbose));
     Ok(match report.verdict() {

@@ -98,6 +98,7 @@ mod tests {
                 knowledge: KnowledgeMode::AlgorithmDefault,
                 wakeup: WakeupMode::Simultaneous,
                 timed: true,
+                threads: None,
             }],
         };
         let result = execute(&spec, RunMeta::fixed(), false).unwrap();

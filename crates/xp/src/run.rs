@@ -14,7 +14,7 @@ use ule_core::Algorithm;
 use ule_graph::gen::{workload_graph, Family};
 use ule_graph::{analysis, Graph, IdAssignment, IdSpace};
 use ule_sim::harness::{parallel_trials, Summary};
-use ule_sim::{Knowledge, SimConfig, Wakeup};
+use ule_sim::{Knowledge, Parallelism, SimConfig, Wakeup};
 
 /// Version of the result-JSON schema; bump on any breaking field change so
 /// `compare` can refuse mismatched inputs.
@@ -59,6 +59,32 @@ impl RunMeta {
             timestamp_unix: 0,
         }
     }
+
+    /// Whether this provenance was captured from a dirty work tree
+    /// (`git describe --dirty` appends `-dirty`). A dirty-tree result is
+    /// not reproducible from any commit, so `ule-xp run` flags it loudly
+    /// and `compare` warns when a *baseline* carries it.
+    pub fn is_dirty(&self) -> bool {
+        self.git_describe.ends_with("-dirty")
+    }
+
+    /// Prints the loud dirty-tree banner to stderr when
+    /// [`RunMeta::is_dirty`]. Every baseline-producing entry point
+    /// (`ule-xp run` *and* the legacy `scale` wrapper) calls this, so no
+    /// documented regeneration path can silently mint an unreproducible
+    /// baseline again.
+    pub fn warn_if_dirty(&self) {
+        if self.is_dirty() {
+            eprintln!(
+                "ule-xp: WARNING ============================================================\n\
+                 ule-xp: the work tree is DIRTY ({}).\n\
+                 ule-xp: this result cannot be reproduced from any commit — do NOT check it\n\
+                 ule-xp: in as a baseline; commit first and rerun from a clean tree.\n\
+                 ule-xp: ====================================================================",
+                self.git_describe
+            );
+        }
+    }
 }
 
 /// Measured result of one campaign cell.
@@ -87,6 +113,12 @@ pub struct CellResult {
     pub elapsed_s: Option<f64>,
     /// Simulated messages per wall-clock second (timed groups only).
     pub msgs_per_s: Option<f64>,
+    /// Engine shard threads the cell ran with (`None` = sequential).
+    /// Provenance only: `compare` matches cells on `(algorithm,
+    /// workload)` regardless, so a sequential baseline stays comparable
+    /// to a `--threads N` rerun — this field is what tells a human (or a
+    /// duplicate-key tiebreak) which cell was the parallel one.
+    pub threads: Option<u64>,
 }
 
 /// A completed campaign: the spec that produced it, provenance, and every
@@ -145,6 +177,13 @@ fn cell_config(job: &Job<'_>, g: &Graph, d: usize, trial: u64) -> SimConfig {
     if group.wakeup == WakeupMode::SingleSource {
         cfg.wakeup = Wakeup::Adversarial(vec![0]);
     }
+    // Campaigns are explicit rather than `Auto`: a baseline's throughput
+    // must not depend on how many cores the recording machine had unless
+    // the spec says so. Outcomes are identical either way.
+    cfg.parallelism = match group.threads {
+        None => Parallelism::Off,
+        Some(t) => Parallelism::Threads(t as usize),
+    };
     cfg
 }
 
@@ -208,6 +247,7 @@ pub fn execute(
                         msg_ratio: summary.mean_messages / ms,
                         elapsed_s: group.timed.then_some(elapsed),
                         msgs_per_s: group.timed.then_some(total_messages / elapsed.max(1e-9)),
+                        threads: group.threads,
                         summary,
                     });
                 }
@@ -268,6 +308,9 @@ impl CellResult {
         if let Some(tput) = self.msgs_per_s {
             fields.push(("msgs_per_s".into(), Json::Num(tput.round())));
         }
+        if let Some(threads) = self.threads {
+            fields.push(("threads".into(), Json::Num(threads as f64)));
+        }
         Json::Obj(fields)
     }
 }
@@ -315,6 +358,7 @@ mod tests {
                 knowledge: KnowledgeMode::AlgorithmDefault,
                 wakeup: WakeupMode::Simultaneous,
                 timed: false,
+                threads: None,
             }],
         }
     }
@@ -345,6 +389,28 @@ mod tests {
     }
 
     #[test]
+    fn threaded_groups_reproduce_sequential_outcomes() {
+        // The engine's determinism contract, observed at the campaign
+        // layer: a group pinned to Threads(3) measures the same rounds,
+        // messages, bits, and successes as the sequential run — only the
+        // timing fields may differ.
+        let sequential = execute(&tiny_spec(), RunMeta::fixed(), false).unwrap();
+        let mut spec = tiny_spec();
+        spec.groups[0].threads = Some(3);
+        let threaded = execute(&spec, RunMeta::fixed(), false).unwrap();
+        for (s, t) in sequential.cells.iter().zip(&threaded.cells) {
+            assert_eq!(s.summary, t.summary, "{}", s.workload);
+            // The cell records its thread count (provenance: this is how a
+            // reader tells duplicate-keyed sequential/parallel cells
+            // apart), and sequential cells stay byte-stable without it.
+            assert_eq!(s.threads, None);
+            assert!(s.to_json().get("threads").is_none());
+            assert_eq!(t.threads, Some(3));
+            assert_eq!(t.to_json().get("threads").and_then(Json::as_u64), Some(3));
+        }
+    }
+
+    #[test]
     fn timed_groups_record_throughput() {
         let mut spec = tiny_spec();
         spec.groups[0].timed = true;
@@ -370,6 +436,7 @@ mod tests {
                 knowledge: KnowledgeMode::NAndDiameter,
                 wakeup: WakeupMode::Simultaneous,
                 timed: false,
+                threads: None,
             }],
         };
         let result = execute(&spec, RunMeta::fixed(), false).unwrap();

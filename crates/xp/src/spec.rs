@@ -14,6 +14,13 @@ use crate::XpError;
 use ule_core::Algorithm;
 use ule_graph::gen::{Family, WORKLOAD_BASE_SEED};
 
+/// Upper sanity bound on a group's `threads`: the engine honors whatever
+/// it is told and spawns up to `min(threads, active nodes)` OS threads per
+/// message-dense round, so an absurd request (say 100 000) would abort
+/// mid-campaign on thread-creation failure rather than fail fast. 512 is
+/// far above any machine this runs on while still rejecting typos.
+pub const MAX_THREADS: u64 = 512;
+
 /// How a cell obtains the diameter its config and normalization use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DiameterMode {
@@ -72,6 +79,13 @@ pub struct JobGroup {
     /// Record wall-clock and derived throughput per cell (the engine-scale
     /// metrics the perf gate compares).
     pub timed: bool,
+    /// Intra-run shard threads for every cell in this group: `None` runs
+    /// the sequential reference engine (`Parallelism::Off`, the historical
+    /// behaviour and what untimed baselines should use), `Some(k)` runs
+    /// `Parallelism::Threads(k)`. Outcomes are identical either way (the
+    /// engine's determinism contract); only wall-clock and throughput
+    /// differ, which is the point of the parallel engine-scale groups.
+    pub threads: Option<u64>,
 }
 
 /// A whole campaign: named, seeded, and a union of job groups.
@@ -195,7 +209,7 @@ impl CampaignSpec {
 }
 
 fn group_to_json(g: &JobGroup) -> Json {
-    Json::Obj(vec![
+    let mut fields = vec![
         (
             "algorithms".into(),
             Json::Arr(
@@ -250,7 +264,14 @@ fn group_to_json(g: &JobGroup) -> Json {
             ),
         ),
         ("timed".into(), Json::Bool(g.timed)),
-    ])
+    ];
+    // Emitted only when set: groups without the field serialize exactly as
+    // they did before the knob existed, so pre-existing spec files, spec
+    // hashes, and golden fixtures stay byte-stable.
+    if let Some(t) = g.threads {
+        fields.push(("threads".into(), Json::Num(t as f64)));
+    }
+    Json::Obj(fields)
 }
 
 fn group_from_json(v: &Json) -> Result<JobGroup, XpError> {
@@ -326,6 +347,25 @@ fn group_from_json(v: &Json) -> Result<JobGroup, XpError> {
         }
     };
     let timed = v.get("timed").and_then(Json::as_bool).unwrap_or(false);
+    let threads = match v.get("threads") {
+        None => None,
+        Some(t) => {
+            let t = t
+                .as_u64()
+                .ok_or_else(|| XpError::new("group: `threads` must be a positive integer"))?;
+            if t == 0 {
+                return Err(XpError::new(
+                    "group: `threads` must be >= 1 (omit the field for the sequential engine)",
+                ));
+            }
+            if t > MAX_THREADS {
+                return Err(XpError::new(format!(
+                    "group: `threads` = {t} is not a sane thread count (max {MAX_THREADS})"
+                )));
+            }
+            Some(t)
+        }
+    };
     Ok(JobGroup {
         algorithms,
         families,
@@ -335,6 +375,7 @@ fn group_from_json(v: &Json) -> Result<JobGroup, XpError> {
         knowledge,
         wakeup,
         timed,
+        threads,
     })
 }
 
@@ -351,7 +392,7 @@ pub const BUILTIN_CAMPAIGNS: [(&str, &str); 3] = [
     ),
     (
         "engine-scale",
-        "engine-throughput baseline: FloodMax up to n = 10^6, DFS agent on paths (perf gate)",
+        "engine-throughput baseline: FloodMax up to n = 10^6 (sequential + sharded-parallel), DFS agent on paths (perf gate)",
     ),
 ];
 
@@ -368,6 +409,7 @@ pub fn builtin(name: &str, quick: bool) -> Option<CampaignSpec> {
             knowledge: KnowledgeMode::AlgorithmDefault,
             wakeup: WakeupMode::Simultaneous,
             timed: false,
+            threads: None,
         };
     let spec = match name {
         "table1" => CampaignSpec {
@@ -426,6 +468,7 @@ pub fn builtin(name: &str, quick: bool) -> Option<CampaignSpec> {
                     knowledge: KnowledgeMode::NAndDiameter,
                     wakeup: WakeupMode::Simultaneous,
                     timed: true,
+                    threads: None,
                 },
                 JobGroup {
                     algorithms: vec![Algorithm::DfsAgent],
@@ -440,6 +483,31 @@ pub fn builtin(name: &str, quick: bool) -> Option<CampaignSpec> {
                     knowledge: KnowledgeMode::AlgorithmDefault,
                     wakeup: WakeupMode::Simultaneous,
                     timed: true,
+                    threads: None,
+                },
+                // The sharded-parallel counterpart of the FloodMax torus
+                // cells above: identical outcomes (the engine's
+                // determinism contract), so the only delta the result
+                // records is the measured single-run speedup of intra-run
+                // parallelism on the message-densest workload. The 10⁵
+                // size is in both the quick and full grids on purpose:
+                // the quick run's parallel cell then has a same-key
+                // baseline counterpart (occurrence #2 in both), so CI's
+                // zero-tolerance count gate covers this group too.
+                JobGroup {
+                    algorithms: vec![Algorithm::FloodMax],
+                    families: vec![Family::Torus],
+                    sizes: if quick {
+                        vec![100_000]
+                    } else {
+                        vec![100_000, 1_000_000]
+                    },
+                    trials: 1,
+                    diameter: DiameterMode::UpperBound,
+                    knowledge: KnowledgeMode::NAndDiameter,
+                    wakeup: WakeupMode::Simultaneous,
+                    timed: true,
+                    threads: Some(2),
                 },
             ],
         },
@@ -500,6 +568,36 @@ mod tests {
         let big_seed = r#"{"name":"x","graph_seed":9007199254740993,
             "groups":[{"algorithms":["floodmax"],"families":["cycle"],"sizes":[10],"trials":1}]}"#;
         assert!(CampaignSpec::from_json(&Json::parse(big_seed).unwrap()).is_err());
+    }
+
+    #[test]
+    fn threads_field_round_trips_and_rejects_zero() {
+        let text = r#"{"name":"t","groups":[{
+            "algorithms":["floodmax"],"families":["cycle"],"sizes":[16],
+            "trials":1,"timed":true,"threads":4}]}"#;
+        let spec = CampaignSpec::from_json(&Json::parse(text).unwrap()).unwrap();
+        assert_eq!(spec.groups[0].threads, Some(4));
+        let back = CampaignSpec::from_json(&spec.to_json()).unwrap();
+        assert_eq!(back, spec);
+        let zero = r#"{"name":"t","groups":[{
+            "algorithms":["floodmax"],"families":["cycle"],"sizes":[16],
+            "trials":1,"threads":0}]}"#;
+        assert!(CampaignSpec::from_json(&Json::parse(zero).unwrap()).is_err());
+        let absurd = r#"{"name":"t","groups":[{
+            "algorithms":["floodmax"],"families":["cycle"],"sizes":[16],
+            "trials":1,"threads":100000}]}"#;
+        let err = CampaignSpec::from_json(&Json::parse(absurd).unwrap()).unwrap_err();
+        assert!(err.to_string().contains("sane thread count"), "{err}");
+    }
+
+    #[test]
+    fn omitted_threads_keeps_legacy_serialization_stable() {
+        // Specs that never mention the knob must serialize (and therefore
+        // hash) exactly as they did before it existed — baselines and
+        // golden fixtures recorded pre-knob stay comparable.
+        let spec = builtin("table1", true).unwrap();
+        assert!(spec.groups.iter().all(|g| g.threads.is_none()));
+        assert!(!spec.to_json().compact().contains("threads"));
     }
 
     #[test]

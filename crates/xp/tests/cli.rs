@@ -129,6 +129,58 @@ fn regress_throughput(json: &str) -> String {
 }
 
 #[test]
+fn threads_override_changes_wall_clock_only() {
+    let dir = temp_dir("threads");
+    let spec_path = dir.join("spec.json");
+    std::fs::write(&spec_path, TINY_SPEC).unwrap();
+    let run_with = |label: &str, extra: &[&str]| {
+        let out_path = dir.join(format!("{label}.json"));
+        let out = ule_xp()
+            .args(["run", "--spec"])
+            .arg(&spec_path)
+            .arg("--out")
+            .arg(&out_path)
+            .args(["--quiet", "--no-table"])
+            .args(extra)
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        out_path
+    };
+    let sequential = run_with("seq", &["--threads", "0"]);
+    let threaded = run_with("par", &["--threads", "3"]);
+    // Engine determinism contract end to end: identical counts at any
+    // thread count, so the comparison passes on everything but (possibly)
+    // wall-clock noise — and the injected-throughput machinery elsewhere
+    // shows compare is not blind on these cells.
+    let ok = ule_xp()
+        .arg("compare")
+        .arg(&sequential)
+        .arg(&threaded)
+        .args(["--fail-throughput", "1e9", "--fail-cost", "0.0000001"])
+        .output()
+        .unwrap();
+    assert!(
+        ok.status.success(),
+        "{}",
+        String::from_utf8_lossy(&ok.stdout)
+    );
+    // A malformed thread count is a usage error.
+    let bad = ule_xp()
+        .args(["run", "--spec"])
+        .arg(&spec_path)
+        .args(["--threads", "many"])
+        .output()
+        .unwrap();
+    assert_eq!(bad.status.code(), Some(2));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn usage_errors_exit_2() {
     let dir = temp_dir("usage");
     // Unknown campaign.

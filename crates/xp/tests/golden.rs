@@ -26,6 +26,7 @@ fn golden_spec() -> CampaignSpec {
             knowledge: KnowledgeMode::AlgorithmDefault,
             wakeup: WakeupMode::Simultaneous,
             timed: false,
+            threads: None,
         }],
     }
 }

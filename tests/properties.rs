@@ -172,6 +172,42 @@ proptest! {
     }
 
     #[test]
+    fn parallel_engine_equals_sequential(
+        alg_idx in 0usize..12,
+        fam_idx in 0usize..6,
+        n in 8usize..80,
+        seed in 0u64..1000,
+        threads in 2usize..6,
+    ) {
+        // The Parallelism determinism contract, sampled: any algorithm on
+        // any workload produces the *identical* RunOutcome — every field,
+        // including per-edge statistics and per-round totals — at any
+        // thread count. The families sampled here include rigid ones
+        // (torus, hypercube round n) and irregular ones (star's hub,
+        // lollipop's clique) so shard boundaries fall on heterogeneous
+        // degree profiles.
+        let alg = Algorithm::ALL[alg_idx];
+        let fam = [
+            gen::Family::Cycle,
+            gen::Family::Torus,
+            gen::Family::SparseRandom,
+            gen::Family::Star,
+            gen::Family::Hypercube,
+            gen::Family::Lollipop,
+        ][fam_idx];
+        let g = gen::workload_graph(seed, fam, n).unwrap();
+        let mut cfg = alg.config_for(&g, seed);
+        cfg.parallelism = ule_sim::Parallelism::Off;
+        let sequential = alg.run_with(&g, &cfg);
+        cfg.parallelism = ule_sim::Parallelism::Threads(threads);
+        let parallel = alg.run_with(&g, &cfg);
+        prop_assert_eq!(
+            parallel, sequential,
+            "{} on {}/{} seed {} diverged at {} threads", alg, fam, n, seed, threads
+        );
+    }
+
+    #[test]
     fn truncation_never_reports_quiescence_early(g in arb_graph(), t in 1u64..10) {
         let mut cfg = Algorithm::LeastElAll.config_for(&g, 3);
         cfg.max_rounds = t;

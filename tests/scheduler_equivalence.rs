@@ -1,22 +1,34 @@
 //! Scheduler-equivalence regression suite.
 //!
-//! The engine's event-driven scheduler (active set + wakeup heap) must be
-//! observationally identical to the original per-round full scan: same
-//! messages, same rounds, same statuses, same per-round totals, same
-//! per-directed-edge first uses — byte for byte, for every algorithm in the
-//! registry. Two layers of defence:
+//! The engine's event-driven scheduler (active set + wakeup heap) and its
+//! sharded-parallel stepping mode must be observationally identical to the
+//! sequential reference semantics: same messages, same rounds, same
+//! statuses, same per-round totals, same per-directed-edge first uses —
+//! byte for byte, for every algorithm in the registry, at every thread
+//! count. Three layers of defence:
 //!
 //! 1. `full_outcome_is_reproducible`: two runs of the same seeded config
 //!    produce identical `RunOutcome`s (determinism of the scheduler itself).
-//! 2. `outcomes_match_pre_refactor_pins`: headline numbers *and* a
-//!    fingerprint over every `RunOutcome` field equal values recorded with
-//!    the pre-refactor full-scan engine (commit 6e75ad2 plus the FloodMax
-//!    sleep-until-deadline fix), so any behavioural drift in the scheduler
-//!    is caught against ground truth, not just against itself.
+//! 2. `outcomes_match_pins`: headline numbers *and* a fingerprint over
+//!    every `RunOutcome` field equal pinned ground-truth values, so any
+//!    behavioural drift in the scheduler is caught against a recording,
+//!    not just against itself. The pins were first recorded with the
+//!    pre-refactor full-scan engine (commit 6e75ad2) and re-recorded with
+//!    the sequential engine when the per-node RNG derivation was fixed to
+//!    chain instead of XOR ([`ule_sim::node_rng_seed`]) — deterministic
+//!    algorithms (`dfs-agent`, `kingdom(*)`, `floodmax`, `tole`) kept
+//!    their original full-scan values across that re-recording, which
+//!    cross-checks the recording procedure itself. Regenerate after an
+//!    intentional behaviour change with
+//!    `cargo test --release --test scheduler_equivalence -- --ignored regenerate_pins --nocapture`.
+//! 3. The pin matrix runs under `Parallelism::Off`, `Threads(2)`, and
+//!    `Threads(4)`: the sharded engine's merge phase must reproduce the
+//!    sequential recording exactly at every thread count (the determinism
+//!    contract of `ule_sim::Parallelism`).
 
 use ule_core::Algorithm;
 use ule_graph::{dumbbell, gen, Graph};
-use ule_sim::{RunOutcome, Status, Termination};
+use ule_sim::{Parallelism, RunOutcome, Status, Termination};
 
 fn graphs() -> Vec<(&'static str, Graph)> {
     vec![
@@ -31,12 +43,13 @@ fn graphs() -> Vec<(&'static str, Graph)> {
 }
 
 /// `(seed, graph, algorithm, messages, rounds, bits, leader-or-minus-one,
-/// full-outcome fingerprint)` recorded by running the pre-refactor engine
-/// (per-round full scans) on this exact workload matrix. The fingerprint
-/// is [`fingerprint`] over *every* `RunOutcome` field — statuses,
-/// termination, watch hits, per-directed-edge first uses and counts,
-/// `last_status_change`, and the per-active-round totals — so drift in any
-/// observable, not just the four headline numbers, fails the pin.
+/// full-outcome fingerprint)` recorded by running the sequential engine
+/// on this exact workload matrix (see the module docs for provenance and
+/// the regeneration procedure). The fingerprint is [`fingerprint`] over
+/// *every* `RunOutcome` field — statuses, termination, watch hits,
+/// per-directed-edge first uses and counts, `last_status_change`, and the
+/// per-active-round totals — so drift in any observable, not just the
+/// four headline numbers, fails the pin.
 type Pin = (u64, &'static str, &'static str, u64, u64, u64, i64, u64);
 
 /// Order-sensitive FNV-1a-style fold over every field of a [`RunOutcome`].
@@ -106,59 +119,59 @@ const PINS: &[Pin] = &[
         "least-el(n)",
         128,
         19,
-        4396,
-        11,
-        0x536fc5099c6cb5fa,
+        4078,
+        1,
+        0x3d8c1778f27a1ee7,
     ),
     (
         1,
         "cycle16",
         "least-el(log n)",
-        90,
+        70,
         19,
-        3011,
-        15,
-        0x0d0bc795fdcd491b,
+        2431,
+        13,
+        0x5fcc2465a5764e1f,
     ),
     (
         1,
         "cycle16",
         "least-el(const)",
         104,
-        20,
-        3536,
+        19,
+        3408,
         10,
-        0x63a2a69de6fdf276,
+        0x46c35277e2f0b136,
     ),
     (
         1,
         "cycle16",
         "size-estimate",
-        277,
-        46,
-        10529,
-        1,
-        0xe826678af0e95361,
+        297,
+        47,
+        11925,
+        10,
+        0x19be823df878da0b,
     ),
     (
         1,
         "cycle16",
         "las-vegas(n,D)",
-        70,
+        68,
         29,
-        2225,
-        12,
-        0x3b1ab381ac65be74,
+        2312,
+        0,
+        0x0915a0eab49cf49e,
     ),
     (
         1,
         "cycle16",
         "clustering",
-        160,
-        20,
-        5994,
-        1,
-        0x5300240aad2b2380,
+        170,
+        21,
+        6145,
+        7,
+        0x00cd88142e3113a1,
     ),
     (
         1,
@@ -201,66 +214,66 @@ const PINS: &[Pin] = &[
         0x4f8046ea878d7987,
     ),
     (1, "cycle16", "tole", 146, 22, 5121, 13, 0xb09962417f073c1c),
-    (1, "cycle16", "coin-flip", 0, 1, 0, -1, 0x5c7621ff8c0fc6c4),
+    (1, "cycle16", "coin-flip", 0, 1, 0, -1, 0xdf59dd14e349bc7e),
     (
         1,
         "grid4x4",
         "least-el(n)",
-        206,
-        13,
-        7083,
-        11,
-        0x124500ef363853d1,
+        216,
+        14,
+        6804,
+        1,
+        0xd86afcbacd02399c,
     ),
     (
         1,
         "grid4x4",
         "least-el(log n)",
-        164,
-        15,
-        5456,
-        15,
-        0x3165a0db862e674a,
+        104,
+        13,
+        3632,
+        13,
+        0xf54c364219fc2360,
     ),
     (
         1,
         "grid4x4",
         "least-el(const)",
         154,
-        11,
-        5155,
+        12,
+        4963,
         10,
-        0x5e59b5446caac4c4,
+        0xeb727de9c30f4a11,
     ),
     (
         1,
         "grid4x4",
         "size-estimate",
-        437,
-        30,
-        16371,
-        1,
-        0xe2e6b78314b02361,
+        465,
+        33,
+        18423,
+        10,
+        0x1c99e2abd5e61eee,
     ),
     (
         1,
         "grid4x4",
         "las-vegas(n,D)",
-        124,
+        110,
         23,
-        3922,
-        12,
-        0xc9f9191dbf19ceef,
+        3773,
+        0,
+        0x4ad848ca59429434,
     ),
     (
         1,
         "grid4x4",
         "clustering",
-        234,
-        14,
-        8727,
-        1,
-        0x2bff0d8e696e72db,
+        252,
+        15,
+        9070,
+        7,
+        0x688de9fb01df23e1,
     ),
     (
         1,
@@ -303,66 +316,66 @@ const PINS: &[Pin] = &[
         0x3116df4991001d53,
     ),
     (1, "grid4x4", "tole", 218, 15, 7661, 13, 0x6068c13c7e8724f3),
-    (1, "grid4x4", "coin-flip", 0, 1, 0, -1, 0xb6b32d9de7d3c034),
+    (1, "grid4x4", "coin-flip", 0, 1, 0, -1, 0xdb0095d33064c6ae),
     (
         1,
         "torus4x4",
         "least-el(n)",
-        302,
+        296,
         13,
-        10289,
-        11,
-        0xba9250a3db7d0a99,
+        9370,
+        1,
+        0xfa21a55eefa70e85,
     ),
     (
         1,
         "torus4x4",
         "least-el(log n)",
-        216,
+        152,
+        11,
+        5312,
         13,
-        7190,
-        15,
-        0x436186a276b2ffd4,
+        0x8a8b15882b4e19ea,
     ),
     (
         1,
         "torus4x4",
         "least-el(const)",
-        236,
-        13,
-        7882,
+        242,
+        12,
+        7827,
         10,
-        0x3f83389c062c52de,
+        0xa28556dbd153c353,
     ),
     (
         1,
         "torus4x4",
         "size-estimate",
-        587,
-        28,
-        21794,
-        1,
-        0xdb45c209085edc46,
+        707,
+        31,
+        28038,
+        10,
+        0x90376128963f607e,
     ),
     (
         1,
         "torus4x4",
         "las-vegas(n,D)",
-        152,
+        150,
         17,
-        4776,
-        12,
-        0x62255f6348777dbd,
+        5169,
+        0,
+        0x32330489888d70c4,
     ),
     (
         1,
         "torus4x4",
         "clustering",
-        318,
-        12,
-        11825,
-        1,
-        0xc686b3dd0e31cc42,
+        342,
+        13,
+        12319,
+        7,
+        0x25fdbbc6fe013f1d,
     ),
     (
         1,
@@ -414,66 +427,66 @@ const PINS: &[Pin] = &[
         13,
         0xeeab7ed2003aaf8c,
     ),
-    (1, "torus4x4", "coin-flip", 0, 1, 0, -1, 0xbae1bdfe94b314a4),
+    (1, "torus4x4", "coin-flip", 0, 1, 0, -1, 0xb60e818c44aab1de),
     (
         1,
         "dumbbell24",
         "least-el(n)",
-        388,
+        352,
         20,
-        14568,
-        13,
-        0x60b08cb28fcefdd0,
+        13502,
+        16,
+        0xd3a43a82468c9500,
     ),
     (
         1,
         "dumbbell24",
         "least-el(log n)",
-        206,
-        18,
-        8155,
-        12,
-        0x339cc3ebb4a71ef4,
+        220,
+        17,
+        8608,
+        0,
+        0xf5a49f206f38528e,
     ),
     (
         1,
         "dumbbell24",
         "least-el(const)",
-        324,
-        27,
-        12490,
-        9,
-        0xe2ca8f9adfcdfc24,
+        222,
+        19,
+        7893,
+        13,
+        0x6cd704cb5c42f65b,
     ),
     (
         1,
         "dumbbell24",
         "size-estimate",
-        987,
-        58,
-        42136,
-        22,
-        0xa7f692347ca74e1e,
+        1027,
+        57,
+        44302,
+        10,
+        0x8d3ad4883fc1fdcd,
     ),
     (
         1,
         "dumbbell24",
         "las-vegas(n,D)",
-        206,
+        270,
         50,
-        8155,
-        12,
-        0x50d47bd1c2b36518,
+        10701,
+        20,
+        0x707f57828514a5be,
     ),
     (
         1,
         "dumbbell24",
         "clustering",
         534,
-        32,
-        22057,
-        11,
-        0x14a391fa85039a07,
+        30,
+        22077,
+        10,
+        0xb0580d021e0da0e6,
     ),
     (
         1,
@@ -533,68 +546,68 @@ const PINS: &[Pin] = &[
         1,
         0,
         -1,
-        0xa9a0eea321dd03e8,
+        0xfbd2ad6541ec0c37,
     ),
     // seed 2
     (
         2,
         "cycle16",
         "least-el(n)",
-        126,
-        20,
-        4301,
-        2,
-        0x9d9a94e5b0dc15a6,
+        128,
+        19,
+        4326,
+        15,
+        0x2c0961c1eaebf19e,
     ),
     (
         2,
         "cycle16",
         "least-el(log n)",
-        64,
+        82,
         19,
-        2098,
-        8,
-        0xad2054abab566af3,
+        2859,
+        4,
+        0xcd005a2472f6d182,
     ),
     (
         2,
         "cycle16",
         "least-el(const)",
-        118,
-        20,
-        3939,
-        9,
-        0x11e350cf35217d55,
+        110,
+        19,
+        3727,
+        5,
+        0x587b219534841cbe,
     ),
     (
         2,
         "cycle16",
         "size-estimate",
-        275,
-        46,
-        12172,
-        3,
-        0x09f16aadb39b9b6f,
+        293,
+        43,
+        10848,
+        14,
+        0x5bd3a419dcaaca86,
     ),
     (
         2,
         "cycle16",
         "las-vegas(n,D)",
-        64,
+        82,
         29,
-        2098,
-        8,
-        0xb4ee6db458463360,
+        2859,
+        4,
+        0x90a4c8be4af5cd53,
     ),
     (
         2,
         "cycle16",
         "clustering",
-        168,
-        22,
-        6196,
+        158,
+        20,
+        5923,
         8,
-        0x73840bfe9f824f7c,
+        0x54881373cbb82ac4,
     ),
     (
         2,
@@ -637,66 +650,66 @@ const PINS: &[Pin] = &[
         0x40f8cd669172ddad,
     ),
     (2, "cycle16", "tole", 136, 21, 4844, 5, 0x28c86debe9411bb0),
-    (2, "cycle16", "coin-flip", 0, 1, 0, 8, 0x18cb3369e95e2e75),
+    (2, "cycle16", "coin-flip", 0, 1, 0, 7, 0xf38a809d622cd0e7),
     (
         2,
         "grid4x4",
         "least-el(n)",
-        212,
-        13,
-        7214,
-        2,
-        0xc3b7fec548f4a8dc,
+        220,
+        15,
+        7344,
+        15,
+        0xa0c9785f110feea6,
     ),
     (
         2,
         "grid4x4",
         "least-el(log n)",
-        108,
+        146,
         13,
-        3480,
-        8,
-        0x1461bac72175ce73,
+        5089,
+        4,
+        0xfbb7226e1bd677aa,
     ),
     (
         2,
         "grid4x4",
         "least-el(const)",
-        154,
-        12,
-        5081,
-        9,
-        0x54da3899c710474f,
+        144,
+        11,
+        4826,
+        5,
+        0xaad8b35abddb4838,
     ),
     (
         2,
         "grid4x4",
         "size-estimate",
-        445,
-        30,
-        19611,
-        3,
-        0x95260ac75ddfbc05,
+        523,
+        35,
+        18833,
+        14,
+        0x1ea4c03e3507e5e5,
     ),
     (
         2,
         "grid4x4",
         "las-vegas(n,D)",
-        108,
+        146,
         23,
-        3480,
-        8,
-        0x7f81cf5fd2b52c4a,
+        5089,
+        4,
+        0x75337b565ab4eabd,
     ),
     (
         2,
         "grid4x4",
         "clustering",
-        254,
-        14,
-        9379,
+        248,
+        15,
+        9332,
         8,
-        0xc302cf6cf3ec4d90,
+        0x8712a3fec633bd01,
     ),
     (
         2,
@@ -739,66 +752,66 @@ const PINS: &[Pin] = &[
         0x3e78085909eaa2ca,
     ),
     (2, "grid4x4", "tole", 198, 15, 7043, 5, 0x6a7ca1499256b9e6),
-    (2, "grid4x4", "coin-flip", 0, 1, 0, 8, 0xa8e9f2e705173c25),
+    (2, "grid4x4", "coin-flip", 0, 1, 0, 7, 0x89ed92165d3d4137),
     (
         2,
         "torus4x4",
         "least-el(n)",
         290,
         12,
-        9829,
-        2,
-        0x8a657a170ef179ba,
+        9679,
+        15,
+        0x25160b5ec7531eb8,
     ),
     (
         2,
         "torus4x4",
         "least-el(log n)",
-        144,
-        11,
-        4570,
-        8,
-        0x611dd407cfcc3a40,
+        204,
+        12,
+        7080,
+        4,
+        0xbec4716a13c46d5a,
     ),
     (
         2,
         "torus4x4",
         "least-el(const)",
-        236,
+        242,
         12,
-        7800,
-        9,
-        0xde25641834a467fe,
+        8107,
+        5,
+        0x7db45a50690008d4,
     ),
     (
         2,
         "torus4x4",
         "size-estimate",
-        671,
-        27,
-        29578,
-        3,
-        0xb7518ecc8996de72,
+        689,
+        32,
+        24816,
+        14,
+        0xc249068cee4a9282,
     ),
     (
         2,
         "torus4x4",
         "las-vegas(n,D)",
-        144,
-        11,
-        4570,
-        8,
-        0x611dd407cfcc3a40,
+        204,
+        17,
+        7080,
+        4,
+        0xd1d7b486ad5cb752,
     ),
     (
         2,
         "torus4x4",
         "clustering",
-        366,
-        15,
-        13389,
+        336,
+        13,
+        12648,
         8,
-        0x1bf1bfbcba8f5305,
+        0xbcce2a000ea4d912,
     ),
     (
         2,
@@ -841,66 +854,66 @@ const PINS: &[Pin] = &[
         0x485dff05c3ca17ff,
     ),
     (2, "torus4x4", "tole", 284, 13, 10142, 5, 0xee3eef56cd3cb280),
-    (2, "torus4x4", "coin-flip", 0, 1, 0, 8, 0x9b17f4a6c62e8255),
+    (2, "torus4x4", "coin-flip", 0, 1, 0, 7, 0x85f3f0d9cb0d16c7),
     (
         2,
         "dumbbell24",
         "least-el(n)",
-        374,
-        20,
-        14169,
-        13,
-        0xce93c56f6d8472ec,
+        442,
+        29,
+        16685,
+        10,
+        0x119a8660f43319f3,
     ),
     (
         2,
         "dumbbell24",
         "least-el(log n)",
-        172,
-        17,
-        6084,
-        0,
-        0xf3cc860085cc8d19,
+        226,
+        19,
+        8817,
+        15,
+        0xaed8b0d07bfeddfd,
     ),
     (
         2,
         "dumbbell24",
         "least-el(const)",
-        176,
-        17,
-        6246,
-        0,
-        0x48e9ad831032ad73,
+        226,
+        19,
+        8817,
+        15,
+        0xaed8b0d07bfeddfd,
     ),
     (
         2,
         "dumbbell24",
         "size-estimate",
-        967,
-        52,
-        44492,
-        16,
-        0xf2945ddffc605f16,
+        793,
+        41,
+        34105,
+        0,
+        0x2ff9b3fdf4f142b8,
     ),
     (
         2,
         "dumbbell24",
         "las-vegas(n,D)",
-        168,
+        252,
         50,
-        5938,
-        0,
-        0x397dcc4edece87b5,
+        10196,
+        7,
+        0x53eedc7e8e61a053,
     ),
     (
         2,
         "dumbbell24",
         "clustering",
-        440,
-        21,
-        18364,
-        2,
-        0x412d11f398e04b47,
+        522,
+        30,
+        21487,
+        9,
+        0xe2c68aac80c9216e,
     ),
     (
         2,
@@ -952,16 +965,7 @@ const PINS: &[Pin] = &[
         7,
         0xfaf21660b1faa2d0,
     ),
-    (
-        2,
-        "dumbbell24",
-        "coin-flip",
-        0,
-        1,
-        0,
-        -1,
-        0x031f0609f6733aa4,
-    ),
+    (2, "dumbbell24", "coin-flip", 0, 1, 0, 7, 0x38ddf06c17d37c1b),
 ];
 
 #[test]
@@ -980,8 +984,8 @@ fn full_outcome_is_reproducible() {
     }
 }
 
-#[test]
-fn outcomes_match_pre_refactor_pins() {
+/// Runs the full pin matrix under one parallelism setting.
+fn check_pins(parallelism: Parallelism) {
     let graphs = graphs();
     assert_eq!(PINS.len(), 2 * graphs.len() * Algorithm::ALL.len());
     for &(seed, gname, alg_name, messages, rounds, bits, leader, fp) in PINS {
@@ -993,7 +997,9 @@ fn outcomes_match_pre_refactor_pins() {
             .into_iter()
             .find(|a| a.spec().name == alg_name)
             .expect("pinned algorithm exists");
-        let out = alg.run(g, seed);
+        let mut cfg = alg.config_for(g, seed);
+        cfg.parallelism = parallelism;
+        let out = alg.run_with(g, &cfg);
         let got_leader = out.leader().map(|v| v as i64).unwrap_or(-1);
         assert_eq!(
             (
@@ -1004,7 +1010,49 @@ fn outcomes_match_pre_refactor_pins() {
                 fingerprint(&out)
             ),
             (messages, rounds, bits, leader, fp),
-            "{alg_name} on {gname} seed {seed} drifted from the pre-refactor engine"
+            "{alg_name} on {gname} seed {seed} drifted from the pinned \
+             sequential recording under {parallelism:?}"
         );
+    }
+}
+
+#[test]
+fn outcomes_match_pins() {
+    check_pins(Parallelism::Off);
+}
+
+#[test]
+fn outcomes_match_pins_with_2_threads() {
+    check_pins(Parallelism::Threads(2));
+}
+
+#[test]
+fn outcomes_match_pins_with_4_threads() {
+    check_pins(Parallelism::Threads(4));
+}
+
+/// Pin-regeneration tool, not a check: prints the `PINS` table body for
+/// pasting into this file after an *intentional* behaviour change (engine
+/// semantics, RNG derivation, algorithm retuning). Run with
+/// `cargo test --release --test scheduler_equivalence -- --ignored regenerate_pins --nocapture`.
+#[test]
+#[ignore = "regeneration tool: prints the PINS table, never fails"]
+fn regenerate_pins() {
+    for seed in [1u64, 2] {
+        println!("    // seed {seed}");
+        for (gname, g) in graphs() {
+            for alg in Algorithm::ALL {
+                let out = alg.run(&g, seed);
+                let leader = out.leader().map(|v| v as i64).unwrap_or(-1);
+                println!(
+                    "    ({seed}, {gname:?}, {:?}, {}, {}, {}, {leader}, {:#018x}),",
+                    alg.spec().name,
+                    out.messages,
+                    out.rounds,
+                    out.bits,
+                    fingerprint(&out)
+                );
+            }
+        }
     }
 }
