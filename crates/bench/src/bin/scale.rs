@@ -1,8 +1,13 @@
 //! Engine-throughput baseline at large `n` — the BENCH trajectory.
 //!
 //! ```text
-//! cargo run --release -p ule-bench --bin scale [-- --quick] > BENCH_engine.json
+//! cargo run --release -p ule-bench --bin scale [-- --quick] > /tmp/BENCH_engine.json
+//! mv /tmp/BENCH_engine.json BENCH_engine.json
 //! ```
+//!
+//! (Write outside the repo first: redirecting straight onto the tracked
+//! baseline truncates it *before* this process captures `git describe`,
+//! so the freshly minted baseline would always record `-dirty`.)
 //!
 //! Thin wrapper over the `engine-scale` built-in campaign of `ule-xp`
 //! (equivalently: `ule-xp run --campaign engine-scale`), which exercises
@@ -17,9 +22,11 @@
 //!   agents, exponentially long sleeps, `O(m)` total moves spread over
 //!   `Θ(m·2^{i₁})` simulated rounds.
 //! * **FloodMax, sharded-parallel** on the torus (`threads: 2` in the
-//!   spec) — the same cell as the sequential torus run, byte-identical
-//!   outcomes, recording the measured single-run speedup of the engine's
-//!   intra-run parallelism on its message-densest workload.
+//!   spec) — the same cells as the sequential torus runs, byte-identical
+//!   outcomes, recording the measured single-run wall-clock effect of
+//!   the engine's intra-run parallelism on its message-densest workload
+//!   (a speedup on multicore hardware; on a single-core reference box
+//!   the cells honestly record eager sharding's coordination overhead).
 //!
 //! Output is the versioned campaign-result JSON (per-cell totals plus
 //! wall-clock and derived throughput); the checked-in `BENCH_engine.json`

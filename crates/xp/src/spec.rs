@@ -488,8 +488,10 @@ pub fn builtin(name: &str, quick: bool) -> Option<CampaignSpec> {
                 // The sharded-parallel counterpart of the FloodMax torus
                 // cells above: identical outcomes (the engine's
                 // determinism contract), so the only delta the result
-                // records is the measured single-run speedup of intra-run
-                // parallelism on the message-densest workload. The 10⁵
+                // records is the measured single-run wall-clock effect of
+                // intra-run parallelism on the message-densest workload —
+                // a speedup on multicore hardware, pure coordination
+                // overhead when the recording box has one core. The 10⁵
                 // size is in both the quick and full grids on purpose:
                 // the quick run's parallel cell then has a same-key
                 // baseline counterpart (occurrence #2 in both), so CI's
