@@ -27,6 +27,12 @@
 //!   the engine's intra-run parallelism on its message-densest workload
 //!   (a speedup on multicore hardware; on a single-core reference box
 //!   the cells honestly record eager sharding's coordination overhead).
+//! * **FloodMax under bounded delay** on the torus (`adversary:
+//!   {bounded-delay, max_delay: 2}` in the spec) — the same workload
+//!   again, now through the execution-model layer: the throughput delta
+//!   against the lockstep torus cells is the recorded overhead of
+//!   per-message adversary fate decisions plus the extra rounds
+//!   asynchrony stretches the flood over.
 //!
 //! Output is the versioned campaign-result JSON (per-cell totals plus
 //! wall-clock and derived throughput); the checked-in `BENCH_engine.json`

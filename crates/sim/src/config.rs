@@ -1,5 +1,7 @@
-//! Run configuration: communication model, identifiers, knowledge, wakeup.
+//! Run configuration: communication model, identifiers, knowledge, wakeup,
+//! and the execution-model adversary.
 
+use crate::adversary::{Adversary, WakeupSchedule};
 use crate::protocol::Knowledge;
 use ule_graph::{IdAssignment, NodeId};
 
@@ -146,6 +148,18 @@ pub enum Wakeup {
     Adversarial(Vec<NodeId>),
 }
 
+impl Wakeup {
+    /// The wakeup discipline expressed as an execution-model schedule (the
+    /// engine stacks it with [`SimConfig::adversary`], so *every* wakeup
+    /// decision flows through the [`crate::adversary`] layer).
+    pub fn as_schedule(&self) -> WakeupSchedule {
+        match self {
+            Wakeup::Simultaneous => WakeupSchedule::simultaneous(),
+            Wakeup::Adversarial(set) => WakeupSchedule::adversarial(set),
+        }
+    }
+}
+
 /// Full configuration of one simulated execution.
 #[derive(Debug, Clone)]
 pub struct SimConfig {
@@ -169,6 +183,11 @@ pub struct SimConfig {
     /// Intra-run parallelism (default [`Parallelism::Auto`]). Never affects
     /// the [`crate::RunOutcome`] — only wall-clock.
     pub parallelism: Parallelism,
+    /// The execution-model adversary (default [`Adversary::Lockstep`], the
+    /// synchronous model): message delays, fail-stop crashes, link
+    /// failures. Seeded by [`SimConfig::seed`] and deterministic at any
+    /// thread count — see [`crate::adversary`].
+    pub adversary: Adversary,
 }
 
 impl Default for SimConfig {
@@ -182,6 +201,7 @@ impl Default for SimConfig {
             max_rounds: 1_000_000,
             watch_edges: Vec::new(),
             parallelism: Parallelism::Auto,
+            adversary: Adversary::Lockstep,
         }
     }
 }
@@ -236,6 +256,12 @@ impl SimConfig {
         self.parallelism = parallelism;
         self
     }
+
+    /// Builder-style: set the execution-model adversary.
+    pub fn with_adversary(mut self, adversary: Adversary) -> Self {
+        self.adversary = adversary;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -272,6 +298,20 @@ mod tests {
         assert!(matches!(cfg.wakeup, Wakeup::Simultaneous));
         assert!(matches!(cfg.ids, IdMode::Anonymous));
         assert_eq!(cfg.parallelism, Parallelism::Auto);
+        assert_eq!(cfg.adversary, Adversary::Lockstep);
+    }
+
+    #[test]
+    fn adversary_builder_and_wakeup_bridge() {
+        let cfg = SimConfig::seeded(1).with_adversary(Adversary::BoundedDelay { max_delay: 3 });
+        assert_eq!(cfg.adversary, Adversary::BoundedDelay { max_delay: 3 });
+        // The legacy wakeup modes express themselves as schedules.
+        use crate::adversary::Schedule;
+        let mut s = Wakeup::Simultaneous.as_schedule();
+        assert_eq!(s.wake_round(5), Some(0));
+        let mut a = Wakeup::Adversarial(vec![1]).as_schedule();
+        assert_eq!(a.wake_round(1), Some(0));
+        assert_eq!(a.wake_round(0), None);
     }
 
     #[test]

@@ -60,6 +60,7 @@
 //! Rounds whose active set is too small to amortize thread coordination
 //! are stepped inline on the main thread (same code as `Off`).
 
+use crate::adversary::{Adversary, Fate, Schedule, SendView};
 use crate::config::{IdMode, SimConfig, Wakeup};
 use crate::message::Message;
 use crate::protocol::{Context, NodeSetup, Protocol, Status};
@@ -67,7 +68,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use ule_graph::{Graph, NodeId, Port};
 
 /// Why the run stopped.
@@ -78,6 +79,9 @@ pub enum Termination {
     Quiescent,
     /// The round cap was reached; statuses are a truncation snapshot.
     RoundLimit,
+    /// The execution went quiescent because every node fail-stopped
+    /// (see [`crate::adversary::CrashStop`]); nobody is left to decide.
+    AllCrashed,
 }
 
 /// First crossing of a watched edge.
@@ -124,6 +128,17 @@ pub struct RunOutcome {
     /// Lemma 3.5 accounting, which counts messages sent up to and
     /// including a crossing round.
     pub round_totals: Vec<(u64, u64)>,
+    /// Nodes whose fail-stop crash fired by the end of the run, ascending.
+    /// Empty under the default [`crate::Adversary::Lockstep`] schedule.
+    pub crashed: Vec<NodeId>,
+    /// Sends the adversary discarded in flight (link failures, deliveries
+    /// into crashed nodes). Dropped sends still count toward
+    /// [`RunOutcome::messages`] — the sender paid for them.
+    pub messages_dropped: u64,
+    /// Messages delivered later than the synchronous `send + 1` round,
+    /// as `(delivery round, count)` pairs in increasing round order.
+    /// Empty unless a delay adversary is configured.
+    pub late_deliveries: Vec<(u64, u64)>,
 }
 
 impl RunOutcome {
@@ -148,14 +163,35 @@ impl RunOutcome {
             .count()
     }
 
+    /// Whether node `v` fail-stopped during the run.
+    pub fn is_crashed(&self, v: NodeId) -> bool {
+        self.crashed.binary_search(&v).is_ok()
+    }
+
     /// The paper's success predicate for implicit leader election: exactly
     /// one `Leader`, every other node `NonLeader` (nobody `Undecided`).
+    ///
+    /// Under a fault adversary the predicate is evaluated over the
+    /// *surviving* nodes: crashed nodes are exempt from deciding and a
+    /// crashed `Leader` does not count (its survivors must re-elect). A
+    /// run that ended [`Termination::AllCrashed`] never succeeds. With no
+    /// crashes this is exactly the historical predicate.
     pub fn election_succeeded(&self) -> bool {
-        self.leader_count() == 1
-            && self
-                .statuses
-                .iter()
-                .all(|s| !matches!(s, Status::Undecided))
+        if self.termination == Termination::AllCrashed {
+            return false;
+        }
+        let mut leaders = 0usize;
+        for (v, s) in self.statuses.iter().enumerate() {
+            if !self.crashed.is_empty() && self.is_crashed(v) {
+                continue;
+            }
+            match s {
+                Status::Undecided => return false,
+                Status::Leader => leaders += 1,
+                Status::NonLeader => {}
+            }
+        }
+        leaders == 1
     }
 
     /// Count of still-undecided nodes.
@@ -177,7 +213,7 @@ impl RunOutcome {
     }
 }
 
-fn splitmix64(mut x: u64) -> u64 {
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9E3779B97F4A7C15);
     x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
     x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
@@ -240,6 +276,134 @@ impl<M> ShardOut<M> {
             sends: Vec::new(),
             wakes: Vec::new(),
             status_changed: false,
+        }
+    }
+}
+
+/// All global per-message accounting of a run, plus the adversary that
+/// decides each message's fate. Every send — whether stepped inline or in
+/// a shard — funnels through [`Ledger::record`] on the sequential control
+/// thread, in stable merge order, so adversary decisions never run
+/// off-thread and the outcome is identical at any thread count.
+struct Ledger<M> {
+    budget: u64,
+    messages: u64,
+    bits: u64,
+    congest_violations: u64,
+    max_message_bits: u64,
+    first_directed_use: Vec<u64>,
+    directed_message_counts: Vec<u64>,
+    /// Normalized watched edge → indices into `watch_hits` (duplicates
+    /// supported: one crossing fills them all).
+    watch_index: HashMap<(NodeId, NodeId), Vec<usize>>,
+    watch_hits: Vec<Option<WatchHit>>,
+    /// Delivery queue keyed by delivery round; within a round, insertion
+    /// order is global send order (the synchronous engine's inbox order).
+    pending: BTreeMap<u64, Vec<(NodeId, Port, M)>>,
+    /// Fast path for the dominant synchronous case: deliveries due exactly
+    /// at `next_round` (= the round being stepped + 1) skip the tree and
+    /// land here, in send order. Drained at the very next round — by then
+    /// any same-round entries in `pending` were sent *earlier* (a message
+    /// delayed into this round predates every message sent last round),
+    /// so draining `pending` first, then `next`, preserves the global
+    /// send-order invariant.
+    next: Vec<(NodeId, Port, M)>,
+    next_round: u64,
+    messages_dropped: u64,
+    late: BTreeMap<u64, u64>,
+    seq: u64,
+    /// True under the default [`Adversary::Lockstep`]: every fate is the
+    /// identity (deliver next round, nothing crashes), so the per-message
+    /// schedule call is skipped. `tests/properties.rs` pins this shortcut
+    /// against the general path (`Compose([Lockstep])`,
+    /// `BoundedDelay { max_delay: 0 }` take the general path and must
+    /// produce identical outcomes).
+    synchronous: bool,
+    schedule: Box<dyn Schedule>,
+    /// Precomputed fail-stop round per node (queried once at run setup).
+    crash_round: Vec<Option<u64>>,
+    /// Latest crash round whose *effect* the run observed (a suppressed
+    /// wakeup or a dropped delivery); extends the horizon that decides
+    /// which crashes are reported as fired.
+    crash_horizon: u64,
+}
+
+impl<M> Ledger<M> {
+    /// Accounts one send and decides its fate. Mirrors the historical
+    /// sequential accounting exactly when every fate is "deliver next
+    /// round".
+    fn record(&mut self, round: u64, s: StagedSend<M>) {
+        self.messages += 1;
+        self.bits += s.bits;
+        self.max_message_bits = self.max_message_bits.max(s.bits);
+        if s.bits > self.budget {
+            self.congest_violations += 1;
+        }
+        self.directed_message_counts[s.didx] += 1;
+        if self.first_directed_use[s.didx] == u64::MAX {
+            self.first_directed_use[s.didx] = round;
+        }
+        let at = if self.synchronous {
+            // Lockstep identity fate, skipped wholesale: deliver next
+            // round, nothing drops, nothing crashes.
+            self.seq += 1;
+            round + 1
+        } else {
+            let fate = self.schedule.message_fate(&SendView {
+                round,
+                seq: self.seq,
+                src: s.src,
+                dest: s.dest,
+                didx: s.didx,
+            });
+            self.seq += 1;
+            let at = match fate {
+                Fate::Dropped => {
+                    self.messages_dropped += 1;
+                    return;
+                }
+                Fate::Deliver { round: at } => at,
+            };
+            assert!(
+                at > round,
+                "Schedule bug: message sent in round {round} scheduled for delivery at round {at}"
+            );
+            if let Some(c) = self.crash_round[s.dest] {
+                if c <= at {
+                    // Dead on arrival: the destination fail-stops at or
+                    // before the delivery round.
+                    self.messages_dropped += 1;
+                    self.crash_horizon = self.crash_horizon.max(c);
+                    return;
+                }
+            }
+            if at > round + 1 {
+                *self.late.entry(at).or_insert(0) += 1;
+            }
+            at
+        };
+        if !self.watch_index.is_empty() {
+            if let Some(hits) = self
+                .watch_index
+                .get(&(s.src.min(s.dest), s.src.max(s.dest)))
+            {
+                for &i in hits {
+                    if self.watch_hits[i].is_none() {
+                        self.watch_hits[i] = Some(WatchHit {
+                            round,
+                            messages_before: self.messages - 1,
+                        });
+                    }
+                }
+            }
+        }
+        if at == self.next_round {
+            self.next.push((s.dest, s.dest_port, s.msg));
+        } else {
+            self.pending
+                .entry(at)
+                .or_default()
+                .push((s.dest, s.dest_port, s.msg));
         }
     }
 }
@@ -333,9 +497,11 @@ fn step_shard<P: Protocol>(
 /// # Panics
 ///
 /// Panics if an explicit [`IdMode`] assignment does not cover the graph, if
-/// the config is invalid ([`Wakeup::Adversarial`] naming a node `>= n`, or
-/// a watched edge that is not an edge of the graph), or on protocol API
-/// misuse (double-send on a port, past wakeups).
+/// the config is invalid ([`Wakeup::Adversarial`] naming a node `>= n`, a
+/// watched edge that is not an edge of the graph, or an
+/// [`crate::Adversary`] schedule naming an out-of-range node or a
+/// non-edge), or on protocol API misuse (double-send on a port, past
+/// wakeups).
 ///
 /// # Examples
 ///
@@ -406,23 +572,28 @@ where
     // node that re-arms its timer leaves the superseded entry behind).
     let mut wake_heap: BinaryHeap<Reverse<(u64, NodeId)>> = BinaryHeap::new();
 
-    // Initial wakeup.
-    let initially_awake: Vec<NodeId> = match &config.wakeup {
-        Wakeup::Simultaneous => (0..n).collect(),
-        Wakeup::Adversarial(set) => {
-            assert!(!set.is_empty(), "at least one node must wake initially");
-            for &v in set {
-                assert!(
-                    v < n,
-                    "Wakeup::Adversarial names node {v}, but the graph has only {n} nodes"
-                );
-            }
-            set.clone()
+    // Legacy wakeup validation: the panic messages are part of the API.
+    if let Wakeup::Adversarial(set) = &config.wakeup {
+        assert!(!set.is_empty(), "at least one node must wake initially");
+        for &v in set {
+            assert!(
+                v < n,
+                "Wakeup::Adversarial names node {v}, but the graph has only {n} nodes"
+            );
         }
-    };
-    for &v in &initially_awake {
-        slots[v].wake = Some(0);
     }
+    // The run's execution model: the wakeup discipline stacked with the
+    // configured adversary (see `crate::adversary`). Every wakeup,
+    // liveness, and message-fate decision flows through these schedules,
+    // and only ever from this sequential control thread. The stack is
+    // hand-inlined rather than routed through `adversary::Compose`
+    // because the wakeup half only ever constrains `wake_round` — its
+    // fate and crash methods are the lockstep defaults — so the hot
+    // per-message path consults the adversary alone, with identical
+    // semantics (pinned by `tests/properties.rs`).
+    let mut wakeup_schedule = config.wakeup.as_schedule();
+    let mut schedule: Box<dyn Schedule> = config.adversary.build(config.seed, graph);
+    let crash_round: Vec<Option<u64>> = (0..n).map(|v| schedule.crash_round(v)).collect();
 
     let watch: Vec<(NodeId, NodeId)> = config
         .watch_edges
@@ -440,44 +611,77 @@ where
         );
         watch_index.entry((a, b)).or_default().push(i);
     }
-    let mut watch_hits: Vec<Option<WatchHit>> = vec![None; watch.len()];
 
-    let mut messages: u64 = 0;
-    let mut bits: u64 = 0;
-    let mut congest_violations: u64 = 0;
-    let mut max_message_bits: u64 = 0;
-    let mut first_directed_use = vec![u64::MAX; graph.directed_edge_count()];
-    let mut directed_message_counts = vec![0u64; graph.directed_edge_count()];
+    let mut ledger: Ledger<P::Msg> = Ledger {
+        budget,
+        messages: 0,
+        bits: 0,
+        congest_violations: 0,
+        max_message_bits: 0,
+        first_directed_use: vec![u64::MAX; graph.directed_edge_count()],
+        directed_message_counts: vec![0u64; graph.directed_edge_count()],
+        watch_index,
+        watch_hits: vec![None; watch.len()],
+        pending: BTreeMap::new(),
+        next: Vec::new(),
+        next_round: 1,
+        messages_dropped: 0,
+        late: BTreeMap::new(),
+        seq: 0,
+        synchronous: config.adversary == Adversary::Lockstep,
+        schedule,
+        crash_round,
+        crash_horizon: 0,
+    };
+
     let mut last_status_change: Option<u64> = None;
     let mut round_totals: Vec<(u64, u64)> = Vec::new();
 
     let mut outbox: Vec<(Port, P::Msg)> = Vec::new();
     let mut sent_on: Vec<bool> = Vec::new();
-    // Messages staged for delivery next round: (dest, port-at-dest, msg).
-    let mut staged: Vec<(NodeId, Port, P::Msg)> = Vec::new();
     // The round's active set (small for sparse protocols) and the dedup
-    // bitmap guarding it. Between iterations `active` holds the nodes
-    // already scheduled for the *next* round by message delivery; due
-    // wakeups join at the top of the loop.
+    // bitmap guarding it; due deliveries and wakeups join at the top of
+    // the loop.
     let mut active: Vec<NodeId> = Vec::new();
     let mut in_active: Vec<bool> = vec![false; n];
     let mut inbox_scratch: Vec<(Port, P::Msg)> = Vec::new();
 
-    // Seed round 0 directly: the initial active set is already known, so
-    // it would be wasted work to route it through the heap (under
-    // `Wakeup::Simultaneous` that is n pushes + n pops). The round-0
-    // execution clears these `wake = Some(0)` markers before any heap
-    // lookup could expect entries for them.
-    for &v in &initially_awake {
-        if !in_active[v] {
-            in_active[v] = true;
-            active.push(v);
+    // Arm the spontaneous wakeups the schedule grants. Round-0 wakeups
+    // seed the active set directly: routing them through the heap would be
+    // wasted work (under simultaneous wakeup that is n pushes + n pops),
+    // and the round-0 execution clears the `wake = Some(0)` markers before
+    // any heap lookup could expect entries for them. A node that crashes
+    // at or before its wakeup round never participates at all.
+    for v in 0..n {
+        // The Compose rule for wakeups, inlined over the two-schedule
+        // stack: a node wakes spontaneously only if both halves allow it,
+        // at the latest round either demands.
+        let wake = match (wakeup_schedule.wake_round(v), ledger.schedule.wake_round(v)) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            _ => None,
+        };
+        if let Some(w) = wake {
+            if let Some(c) = ledger.crash_round[v] {
+                if c <= w {
+                    ledger.crash_horizon = ledger.crash_horizon.max(c);
+                    continue;
+                }
+            }
+            slots[v].wake = Some(w);
+            if w == 0 {
+                if !in_active[v] {
+                    in_active[v] = true;
+                    active.push(v);
+                }
+            } else {
+                wake_heap.push(Reverse((w, v)));
+            }
         }
     }
 
     let mut round: u64 = 0;
     let mut rounds_used: u64 = 0;
-    let termination;
+    let mut termination;
 
     'rounds: loop {
         if round >= config.max_rounds {
@@ -485,34 +689,91 @@ where
             break;
         }
 
-        // Admit every wakeup due this round; drop superseded entries.
+        // Deliver every message due this round (inbox insertion order is
+        // global send order: tree-queued messages predate the fast-path
+        // batch, which holds last round's synchronous sends) and schedule
+        // the recipients. Deliveries into crashed nodes were already
+        // discarded at fate time.
+        while let Some((&r, _)) = ledger.pending.first_key_value() {
+            if r > round {
+                break;
+            }
+            debug_assert_eq!(r, round, "fast-forward skipped a delivery round");
+            for (dest, port, msg) in ledger.pending.remove(&r).expect("key just seen") {
+                slots[dest].inbox.push((port, msg));
+                if !in_active[dest] {
+                    in_active[dest] = true;
+                    active.push(dest);
+                }
+            }
+        }
+        if ledger.next_round == round {
+            for (dest, port, msg) in ledger.next.drain(..) {
+                slots[dest].inbox.push((port, msg));
+                if !in_active[dest] {
+                    in_active[dest] = true;
+                    active.push(dest);
+                }
+            }
+        }
+
+        // Admit every wakeup due this round; drop superseded entries and
+        // wakeups whose owner has fail-stopped.
         while let Some(&Reverse((w, v))) = wake_heap.peek() {
             if w > round {
                 break;
             }
             wake_heap.pop();
-            if slots[v].wake == Some(w) && !in_active[v] {
+            if slots[v].wake == Some(w)
+                && !in_active[v]
+                && ledger.crash_round[v].map_or(true, |c| c > round)
+            {
                 in_active[v] = true;
                 active.push(v);
             }
         }
 
         if active.is_empty() {
-            // Fast-forward to the next genuine wakeup, if any.
-            loop {
-                match wake_heap.peek() {
-                    Some(&Reverse((w, v))) => {
-                        if slots[v].wake == Some(w) {
-                            debug_assert!(w > round);
-                            round = w;
-                            continue 'rounds;
-                        }
+            // Fast-forward to the next event: the earliest pending
+            // delivery or the next genuine wakeup, whichever comes first.
+            // The fast-path batch is always drained by now — it delivers
+            // at the round immediately after the round that filled it, and
+            // that round ran with a non-empty active set.
+            debug_assert!(ledger.next.is_empty());
+            let next_delivery = ledger.pending.keys().next().copied();
+            let mut next_wake = None;
+            while let Some(&Reverse((w, v))) = wake_heap.peek() {
+                if slots[v].wake != Some(w) {
+                    wake_heap.pop();
+                    continue;
+                }
+                if let Some(c) = ledger.crash_round[v] {
+                    if c <= w {
+                        // Genuine wakeup, but its owner dies first: the
+                        // crash resolves the timer.
+                        ledger.crash_horizon = ledger.crash_horizon.max(c);
+                        slots[v].wake = None;
                         wake_heap.pop();
+                        continue;
                     }
-                    None => {
-                        termination = Termination::Quiescent;
-                        break 'rounds;
-                    }
+                }
+                next_wake = Some(w);
+                break;
+            }
+            match (next_delivery, next_wake) {
+                (Some(d), Some(w)) => {
+                    debug_assert!(d.min(w) > round);
+                    round = d.min(w);
+                    continue 'rounds;
+                }
+                (Some(r), None) | (None, Some(r)) => {
+                    debug_assert!(r > round);
+                    round = r;
+                    continue 'rounds;
+                }
+                (None, None) => {
+                    termination = Termination::Quiescent;
+                    break 'rounds;
                 }
             }
         }
@@ -521,6 +782,8 @@ where
         // the historical full scan; the set is small, so the sort is cheap.
         active.sort_unstable();
         rounds_used = round + 1;
+        // Sends recorded below with a synchronous fate target this batch.
+        ledger.next_round = round + 1;
 
         // Shard the round when the active set is large enough to amortize
         // per-round thread coordination (the policy lives on
@@ -558,8 +821,9 @@ where
                 }
             });
             // Deterministic merge, stable shard order: all global
-            // accounting happens here, in exactly the order the
-            // sequential engine interleaves it.
+            // accounting — including every adversary fate decision —
+            // happens here, in exactly the order the sequential engine
+            // interleaves it.
             for out in &mut outs {
                 if out.status_changed {
                     last_status_change = Some(round);
@@ -568,30 +832,7 @@ where
                     wake_heap.push(Reverse((w, v)));
                 }
                 for s in out.sends.drain(..) {
-                    messages += 1;
-                    bits += s.bits;
-                    max_message_bits = max_message_bits.max(s.bits);
-                    if s.bits > budget {
-                        congest_violations += 1;
-                    }
-                    directed_message_counts[s.didx] += 1;
-                    if first_directed_use[s.didx] == u64::MAX {
-                        first_directed_use[s.didx] = round;
-                    }
-                    if !watch_index.is_empty() {
-                        if let Some(hits) = watch_index.get(&(s.src.min(s.dest), s.src.max(s.dest)))
-                        {
-                            for &i in hits {
-                                if watch_hits[i].is_none() {
-                                    watch_hits[i] = Some(WatchHit {
-                                        round,
-                                        messages_before: messages - 1,
-                                    });
-                                }
-                            }
-                        }
-                    }
-                    staged.push((s.dest, s.dest_port, s.msg));
+                    ledger.record(round, s);
                 }
             }
         } else {
@@ -640,30 +881,18 @@ where
 
                 for (port, msg) in outbox.drain(..) {
                     let (dest, dest_port, didx) = graph.endpoint_indexed(v, port);
-                    let sz = msg.size_bits();
-                    messages += 1;
-                    bits += sz;
-                    max_message_bits = max_message_bits.max(sz);
-                    if sz > budget {
-                        congest_violations += 1;
-                    }
-                    directed_message_counts[didx] += 1;
-                    if first_directed_use[didx] == u64::MAX {
-                        first_directed_use[didx] = round;
-                    }
-                    if !watch_index.is_empty() {
-                        if let Some(hits) = watch_index.get(&(v.min(dest), v.max(dest))) {
-                            for &i in hits {
-                                if watch_hits[i].is_none() {
-                                    watch_hits[i] = Some(WatchHit {
-                                        round,
-                                        messages_before: messages - 1,
-                                    });
-                                }
-                            }
-                        }
-                    }
-                    staged.push((dest, dest_port, msg));
+                    let bits = msg.size_bits();
+                    ledger.record(
+                        round,
+                        StagedSend {
+                            src: v,
+                            dest,
+                            dest_port,
+                            didx,
+                            bits,
+                            msg,
+                        },
+                    );
                 }
             }
         }
@@ -673,32 +902,38 @@ where
         }
         active.clear();
 
-        // Deliveries schedule their destinations for the next round.
-        for (dest, port, msg) in staged.drain(..) {
-            slots[dest].inbox.push((port, msg));
-            if !in_active[dest] {
-                in_active[dest] = true;
-                active.push(dest);
-            }
-        }
-
-        round_totals.push((round, messages));
+        round_totals.push((round, ledger.messages));
         round += 1;
     }
 
+    // Which scheduled crashes fired: everything at or before the last
+    // round the run reached, extended by crashes whose effect (a
+    // suppressed wakeup, a dropped delivery) was already observed.
+    let end = round.max(ledger.crash_horizon);
+    let crashed: Vec<NodeId> = (0..n)
+        .filter(|&v| ledger.crash_round[v].is_some_and(|c| c <= end))
+        .collect();
+    if termination == Termination::Quiescent && crashed.len() == n && n > 0 {
+        termination = Termination::AllCrashed;
+    }
+    let late_deliveries: Vec<(u64, u64)> = ledger.late.into_iter().collect();
+
     RunOutcome {
         rounds: rounds_used,
-        messages,
-        bits,
+        messages: ledger.messages,
+        bits: ledger.bits,
         statuses: slots.iter().map(|s| s.status).collect(),
         termination,
-        congest_violations,
-        max_message_bits,
-        watch_hits,
-        first_directed_use,
-        directed_message_counts,
+        congest_violations: ledger.congest_violations,
+        max_message_bits: ledger.max_message_bits,
+        watch_hits: ledger.watch_hits,
+        first_directed_use: ledger.first_directed_use,
+        directed_message_counts: ledger.directed_message_counts,
         last_status_change,
         round_totals,
+        crashed,
+        messages_dropped: ledger.messages_dropped,
+        late_deliveries,
     }
 }
 
@@ -1149,6 +1384,262 @@ mod tests {
             let par_cfg = flood_cfg(16, 12, 9).with_parallelism(Parallelism::Threads(t));
             assert_eq!(run(&g, &par_cfg, mk), reference, "threads = {t}");
         }
+    }
+
+    #[test]
+    fn explicit_lockstep_and_zero_delay_match_the_default_engine() {
+        use crate::adversary::Adversary;
+        let g = gen::cycle(12).unwrap();
+        let reference = flood(&g, 10, 4);
+        for adv in [
+            Adversary::Lockstep,
+            Adversary::BoundedDelay { max_delay: 0 },
+            Adversary::Compose(vec![Adversary::Lockstep, Adversary::Lockstep]),
+        ] {
+            let cfg = flood_cfg(12, 10, 4).with_adversary(adv.clone());
+            let out = run(&g, &cfg, |_, _, _| MiniFloodMax {
+                best: 0,
+                deadline: 10,
+                decided: Status::Undecided,
+            });
+            assert_eq!(out, reference, "{adv:?}");
+            assert_eq!(out.messages_dropped, 0);
+            assert!(out.crashed.is_empty() && out.late_deliveries.is_empty());
+        }
+    }
+
+    #[test]
+    fn bounded_delay_stretches_rounds_and_counts_late_deliveries() {
+        use crate::adversary::Adversary;
+        let g = gen::path(8).unwrap();
+        let sync = flood(&g, 20, 3);
+        let cfg = flood_cfg(8, 20, 3).with_adversary(Adversary::BoundedDelay { max_delay: 4 });
+        let delayed = run(&g, &cfg, |_, _, _| MiniFloodMax {
+            best: 0,
+            deadline: 20,
+            decided: Status::Undecided,
+        });
+        assert_eq!(delayed.termination, Termination::Quiescent);
+        let late: u64 = delayed.late_deliveries.iter().map(|&(_, c)| c).sum();
+        assert!(late > 0, "max_delay 4 must actually delay something");
+        assert!(
+            delayed.late_deliveries.windows(2).all(|w| w[0].0 < w[1].0),
+            "late_deliveries must be sorted by round"
+        );
+        assert_eq!(delayed.messages_dropped, 0, "delay never drops");
+        assert!(
+            delayed.rounds >= sync.rounds,
+            "delays cannot finish the flood earlier"
+        );
+        // Determinism: same seed, same delayed outcome.
+        let again = run(&g, &cfg, |_, _, _| MiniFloodMax {
+            best: 0,
+            deadline: 20,
+            decided: Status::Undecided,
+        });
+        assert_eq!(again, delayed);
+    }
+
+    #[test]
+    fn bounded_delay_is_thread_count_invariant() {
+        use crate::adversary::Adversary;
+        let g = gen::cycle(16).unwrap();
+        let mk = |_: NodeId, _: &NodeSetup, _: &mut StdRng| MiniFloodMax {
+            best: 0,
+            deadline: 14,
+            decided: Status::Undecided,
+        };
+        let base = flood_cfg(16, 14, 7).with_adversary(Adversary::BoundedDelay { max_delay: 3 });
+        let reference = run(&g, &base.clone().with_parallelism(Parallelism::Off), mk);
+        for t in [2usize, 3, 5] {
+            let par = run(
+                &g,
+                &base.clone().with_parallelism(Parallelism::Threads(t)),
+                mk,
+            );
+            assert_eq!(par, reference, "threads = {t}");
+        }
+    }
+
+    #[test]
+    fn crashed_node_stops_stepping_and_loses_inbound_messages() {
+        use crate::adversary::Adversary;
+        // Node 2 of a 5-path crashes at round 0: it never runs, so the
+        // flood can never cross it and each side decides on its own max.
+        let g = gen::path(5).unwrap();
+        let cfg = flood_cfg(5, 10, 0).with_adversary(Adversary::CrashStop {
+            schedule: vec![(2, 0)],
+        });
+        let out = run(&g, &cfg, |_, _, _| MiniFloodMax {
+            best: 0,
+            deadline: 10,
+            decided: Status::Undecided,
+        });
+        assert_eq!(out.crashed, vec![2]);
+        assert!(out.is_crashed(2) && !out.is_crashed(1));
+        assert_eq!(out.statuses[2], Status::Undecided, "frozen at crash");
+        // Sequential ids: node 4 holds the max. Nodes 3 and 4 decide
+        // Leader-side; nodes 0 and 1 think node 1 (id 2) won their side.
+        assert_eq!(out.statuses[4], Status::Leader);
+        assert_eq!(
+            out.statuses[1],
+            Status::Leader,
+            "left side elects its own max"
+        );
+        assert!(!out.election_succeeded(), "two survivors claim leadership");
+        assert!(
+            out.messages_dropped > 0,
+            "messages into the crashed node are lost"
+        );
+        assert_eq!(out.termination, Termination::Quiescent);
+    }
+
+    #[test]
+    fn messages_sent_before_a_crash_still_deliver() {
+        use crate::adversary::Adversary;
+        // Node 2 crashes at round 1, *after* its round-0 broadcast: the
+        // broadcast is delivered (delivered-before-crash semantics), so
+        // its id 3 becomes a ghost maximum on the left side — nodes 0 and
+        // 1 see it and decide NonLeader, leaving the left without any
+        // leader, while the right still elects node 4.
+        let g = gen::path(5).unwrap();
+        let cfg = flood_cfg(5, 10, 0).with_adversary(Adversary::CrashStop {
+            schedule: vec![(2, 1)],
+        });
+        let out = run(&g, &cfg, |_, _, _| MiniFloodMax {
+            best: 0,
+            deadline: 10,
+            decided: Status::Undecided,
+        });
+        assert_eq!(out.crashed, vec![2]);
+        assert_eq!(out.statuses[0], Status::NonLeader);
+        assert_eq!(out.statuses[1], Status::NonLeader);
+        assert_eq!(out.statuses[4], Status::Leader);
+        assert!(
+            out.election_succeeded(),
+            "exactly one surviving leader: the ghost max suppressed the left"
+        );
+    }
+
+    #[test]
+    fn crash_aware_success_predicate_excludes_the_dead() {
+        use crate::adversary::Adversary;
+        // Crash a *leaf* (node 0) before it ever runs: the rest of the
+        // path elects normally and the election counts as a success among
+        // survivors even though node 0 is forever Undecided.
+        let g = gen::path(5).unwrap();
+        let cfg = flood_cfg(5, 10, 0).with_adversary(Adversary::CrashStop {
+            schedule: vec![(0, 0)],
+        });
+        let out = run(&g, &cfg, |_, _, _| MiniFloodMax {
+            best: 0,
+            deadline: 10,
+            decided: Status::Undecided,
+        });
+        assert_eq!(out.crashed, vec![0]);
+        assert_eq!(out.statuses[0], Status::Undecided);
+        assert_eq!(out.leader(), Some(4));
+        assert!(
+            out.election_succeeded(),
+            "crashed nodes are exempt from deciding"
+        );
+    }
+
+    #[test]
+    fn all_crashed_terminates_and_never_succeeds() {
+        use crate::adversary::Adversary;
+        let g = gen::path(3).unwrap();
+        let cfg = flood_cfg(3, 10, 0).with_adversary(Adversary::CrashStop {
+            schedule: vec![(0, 0), (1, 0), (2, 0)],
+        });
+        let out = run(&g, &cfg, |_, _, _| MiniFloodMax {
+            best: 0,
+            deadline: 10,
+            decided: Status::Undecided,
+        });
+        assert_eq!(out.termination, Termination::AllCrashed);
+        assert_eq!(out.crashed, vec![0, 1, 2]);
+        assert_eq!(out.messages, 0);
+        assert!(!out.election_succeeded());
+    }
+
+    #[test]
+    fn crash_resolves_pending_wakeups_without_hanging() {
+        use crate::adversary::Adversary;
+        // A sleeper armed for round 1_000 crashes at round 50: the engine
+        // must neither wake it nor spin — the run quiesces, and the crash
+        // (whose effect was observed) is reported as fired.
+        let g = gen::path(2).unwrap();
+        let cfg = SimConfig::seeded(0)
+            .with_max_rounds(u64::MAX)
+            .with_adversary(Adversary::CrashStop {
+                schedule: vec![(0, 50), (1, 50)],
+            });
+        let out = run(&g, &cfg, |_, _, _| Sleeper {
+            until: 1_000,
+            fired: false,
+        });
+        assert_eq!(out.termination, Termination::AllCrashed);
+        assert_eq!(out.crashed, vec![0, 1]);
+        assert_eq!(out.undecided_count(), 2, "nobody ever fired");
+    }
+
+    #[test]
+    fn link_failure_partitions_the_flood() {
+        use crate::adversary::Adversary;
+        // The middle edge of a 6-path dies at round 0: no message ever
+        // crosses it, each side floods among itself.
+        let g = gen::path(6).unwrap();
+        let cfg = flood_cfg(6, 10, 0)
+            .watching(&[(2, 3)])
+            .with_adversary(Adversary::LinkFailure {
+                schedule: vec![((2, 3), 0)],
+            });
+        let out = run(&g, &cfg, |_, _, _| MiniFloodMax {
+            best: 0,
+            deadline: 10,
+            decided: Status::Undecided,
+        });
+        assert!(out.messages_dropped > 0);
+        assert!(out.crashed.is_empty());
+        assert_eq!(
+            out.watch_hits[0], None,
+            "dropped messages never count as watch crossings"
+        );
+        assert_eq!(out.statuses[5], Status::Leader);
+        assert_eq!(
+            out.statuses[2],
+            Status::Leader,
+            "left side elects its own max"
+        );
+        assert!(!out.election_succeeded());
+    }
+
+    #[test]
+    fn delay_plus_crash_compose() {
+        use crate::adversary::Adversary;
+        let g = gen::cycle(10).unwrap();
+        let cfg = flood_cfg(10, 30, 5).with_adversary(Adversary::Compose(vec![
+            Adversary::BoundedDelay { max_delay: 2 },
+            Adversary::CrashStop {
+                schedule: vec![(4, 3)],
+            },
+        ]));
+        let mk = |_: NodeId, _: &NodeSetup, _: &mut StdRng| MiniFloodMax {
+            best: 0,
+            deadline: 30,
+            decided: Status::Undecided,
+        };
+        let out = run(&g, &cfg, mk);
+        assert_eq!(out.crashed, vec![4]);
+        assert!(out.messages_dropped > 0, "the dead node's inbound drops");
+        // Byte-for-byte reproducible, including under sharding.
+        let par = run(
+            &g,
+            &cfg.clone().with_parallelism(Parallelism::Threads(3)),
+            mk,
+        );
+        assert_eq!(par, out);
     }
 
     #[test]

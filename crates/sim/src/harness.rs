@@ -180,6 +180,9 @@ mod tests {
             directed_message_counts: vec![],
             last_status_change: Some(rounds.saturating_sub(1)),
             round_totals: vec![(0, messages)],
+            crashed: vec![],
+            messages_dropped: 0,
+            late_deliveries: vec![],
         }
     }
 

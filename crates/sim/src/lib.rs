@@ -39,6 +39,13 @@
 //! identical at any thread count — see the `engine` module docs for the
 //! merge-phase contract.
 //!
+//! The **execution model itself is pluggable** ([`SimConfig::adversary`],
+//! module [`adversary`]): seeded, deterministic [`Schedule`] adversaries
+//! impose bounded message delays, fail-stop crashes, or permanent link
+//! failures below the [`Protocol`] trait, so every algorithm runs
+//! unchanged under every model. The default [`Adversary::Lockstep`] is the
+//! synchronous model above, byte-for-byte.
+//!
 //! ## Writing a protocol
 //!
 //! Implement [`Protocol`] with a message enum implementing
@@ -67,6 +74,7 @@
 
 #![warn(missing_docs)]
 
+pub mod adversary;
 mod config;
 mod engine;
 pub mod harness;
@@ -75,6 +83,7 @@ pub mod outbox;
 mod protocol;
 pub mod transport;
 
+pub use adversary::{Adversary, Fate, Schedule, SendView};
 pub use config::{IdMode, Model, Parallelism, SimConfig, Wakeup};
 pub use engine::{node_rng_seed, run, RunOutcome, Termination, WatchHit};
 pub use outbox::PortOutbox;

@@ -105,20 +105,32 @@ pub struct Report {
     /// same spec; the report surfaces this so a subset-vs-full comparison
     /// of a duplicate-keyed grid is never silently mispaired.
     pub positional_pairs: bool,
+    /// Matched cells whose recorded execution-model (adversary) profiles
+    /// differ, as `(cell key, baseline profile, candidate profile)`.
+    /// Costs measured under different models are not comparable, so each
+    /// entry is at least a warning.
+    pub profile_mismatches: Vec<(String, String, String)>,
 }
 
 impl Report {
-    /// The overall verdict: worst delta, or [`Verdict::Fail`] when no cell
-    /// matched (a gate that compares nothing must not pass).
+    /// The overall verdict: worst delta (an adversary-profile mismatch
+    /// counts as a warning), or [`Verdict::Fail`] when no cell matched (a
+    /// gate that compares nothing must not pass).
     pub fn verdict(&self) -> Verdict {
         if self.matched == 0 {
             return Verdict::Fail;
         }
-        self.deltas
+        let worst = self
+            .deltas
             .iter()
             .map(|d| d.verdict)
             .max()
-            .unwrap_or(Verdict::Pass)
+            .unwrap_or(Verdict::Pass);
+        if self.profile_mismatches.is_empty() {
+            worst
+        } else {
+            worst.max(Verdict::Warn)
+        }
     }
 
     /// Human-readable rendering (one line per non-pass delta plus a
@@ -142,6 +154,12 @@ impl Report {
                     rel
                 ));
             }
+        }
+        for (key, old_p, new_p) in &self.profile_mismatches {
+            out.push_str(&format!(
+                "WARN {key:<40} adversary profile differs: {old_p} (baseline) vs {new_p} \
+                 (candidate) — costs are not comparable across execution models\n"
+            ));
         }
         for key in &self.only_old {
             out.push_str(&format!("note {key:<40} only in baseline\n"));
@@ -177,6 +195,17 @@ pub struct CellMetrics {
     pub msgs_per_s: Option<f64>,
     /// Empirical success rate, when trial counts are known.
     pub success_rate: Option<f64>,
+    /// Execution-model profile name the cell was recorded under. `None`
+    /// (schema-1 / legacy files, which predate adversaries) is treated as
+    /// `"lockstep"` — the only model those files could have run.
+    pub adversary: Option<String>,
+}
+
+impl CellMetrics {
+    /// The effective execution-model profile (absent = lockstep).
+    fn profile(&self) -> &str {
+        self.adversary.as_deref().unwrap_or("lockstep")
+    }
 }
 
 /// Parses either supported result format into `(algorithm @ workload) →`
@@ -194,9 +223,11 @@ pub fn parse_cells(v: &Json) -> Result<BTreeMap<String, CellMetrics>, XpError> {
             .get("schema_version")
             .and_then(Json::as_u64)
             .ok_or_else(|| XpError::new("result: missing `schema_version`"))?;
-        if version != crate::run::SCHEMA_VERSION {
+        // Version 1 files lack the per-cell `adversary` field; they remain
+        // comparable (their cells implicitly ran under lockstep).
+        if !(1..=crate::run::SCHEMA_VERSION).contains(&version) {
             return Err(XpError::new(format!(
-                "result: schema_version {version} unsupported (expected {})",
+                "result: schema_version {version} unsupported (expected <= {})",
                 crate::run::SCHEMA_VERSION
             )));
         }
@@ -255,6 +286,10 @@ pub fn parse_cells(v: &Json) -> Result<BTreeMap<String, CellMetrics>, XpError> {
                 mean_messages,
                 msgs_per_s: cell.get("msgs_per_s").and_then(Json::as_f64),
                 success_rate,
+                adversary: cell
+                    .get("adversary")
+                    .and_then(Json::as_str)
+                    .map(str::to_string),
             },
         );
     }
@@ -292,9 +327,17 @@ pub fn compare(
 ) -> Report {
     let mut deltas = Vec::new();
     let mut matched = 0;
+    let mut profile_mismatches = Vec::new();
     for (key, o) in old {
         let Some(n) = new.get(key) else { continue };
         matched += 1;
+        if o.profile() != n.profile() {
+            profile_mismatches.push((
+                key.clone(),
+                o.profile().to_string(),
+                n.profile().to_string(),
+            ));
+        }
         for (metric, ov, nv) in [
             ("mean_messages", o.mean_messages, n.mean_messages),
             ("mean_rounds", o.mean_rounds, n.mean_rounds),
@@ -356,6 +399,7 @@ pub fn compare(
             .cloned()
             .collect(),
         positional_pairs: old.keys().chain(new.keys()).any(|k| k.contains(" #")),
+        profile_mismatches,
     }
 }
 
@@ -369,6 +413,7 @@ mod tests {
             mean_messages: messages,
             msgs_per_s: tput,
             success_rate: Some(1.0),
+            adversary: None,
         }
     }
 
@@ -518,6 +563,53 @@ mod tests {
     fn rejects_unknown_schema_version() {
         let v = Json::parse(r#"{"schema_version": 99, "cells": []}"#).unwrap();
         assert!(parse_cells(&v).is_err());
+        // Version 1 (pre-adversary) files still parse: their cells are
+        // implicitly lockstep.
+        let v1 = Json::parse(
+            r#"{"schema_version": 1, "cells": [
+                {"workload": "cycle/10", "algorithm": "floodmax",
+                 "mean_messages": 5, "mean_rounds": 2}]}"#,
+        )
+        .unwrap();
+        let cells = parse_cells(&v1).unwrap();
+        assert_eq!(cells["floodmax @ cycle/10"].adversary, None);
+    }
+
+    #[test]
+    fn adversary_profile_mismatch_warns_instead_of_silently_diffing() {
+        let mut old = one("a @ w", cell(1000.0, 50.0, None));
+        old.get_mut("a @ w").unwrap().adversary = Some("delay-2".into());
+        let mut newer = one("a @ w", cell(1000.0, 50.0, None));
+        newer.get_mut("a @ w").unwrap().adversary = Some("crash-100pm-32r".into());
+        let report = compare(&old, &newer, &Tolerances::default());
+        assert_eq!(report.verdict(), Verdict::Warn);
+        assert_eq!(
+            report.profile_mismatches,
+            vec![(
+                "a @ w".to_string(),
+                "delay-2".to_string(),
+                "crash-100pm-32r".to_string()
+            )]
+        );
+        assert!(report.render(false).contains("adversary profile differs"));
+        // An absent profile means lockstep: legacy baseline vs an explicit
+        // lockstep candidate is *not* a mismatch …
+        let legacy = one("a @ w", cell(1000.0, 50.0, None));
+        let mut lockstep = one("a @ w", cell(1000.0, 50.0, None));
+        lockstep.get_mut("a @ w").unwrap().adversary = Some("lockstep".into());
+        let clean = compare(&legacy, &lockstep, &Tolerances::default());
+        assert_eq!(clean.verdict(), Verdict::Pass);
+        assert!(clean.profile_mismatches.is_empty());
+        // … but legacy vs a fault profile is.
+        let faulty = {
+            let mut m = one("a @ w", cell(1000.0, 50.0, None));
+            m.get_mut("a @ w").unwrap().adversary = Some("delay-8".into());
+            m
+        };
+        assert_eq!(
+            compare(&legacy, &faulty, &Tolerances::default()).verdict(),
+            Verdict::Warn
+        );
     }
 
     #[test]

@@ -34,7 +34,7 @@ pub mod spec;
 
 pub use compare::{compare, parse_cells, Report, Tolerances, Verdict};
 pub use run::{execute, CampaignResult, CellResult, RunMeta, SCHEMA_VERSION};
-pub use spec::{builtin, CampaignSpec, JobGroup, BUILTIN_CAMPAIGNS};
+pub use spec::{builtin, AdversaryProfile, CampaignSpec, JobGroup, BUILTIN_CAMPAIGNS};
 
 /// Error type for spec parsing, execution, and comparison.
 #[derive(Debug, Clone, PartialEq, Eq)]

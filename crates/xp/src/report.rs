@@ -81,7 +81,9 @@ pub fn render(result: &CampaignResult) -> String {
 mod tests {
     use super::*;
     use crate::run::{execute, RunMeta};
-    use crate::spec::{CampaignSpec, DiameterMode, JobGroup, KnowledgeMode, WakeupMode};
+    use crate::spec::{
+        AdversaryProfile, CampaignSpec, DiameterMode, JobGroup, KnowledgeMode, WakeupMode,
+    };
     use ule_graph::gen::Family;
 
     #[test]
@@ -99,6 +101,7 @@ mod tests {
                 wakeup: WakeupMode::Simultaneous,
                 timed: true,
                 threads: None,
+                adversary: AdversaryProfile::Lockstep,
             }],
         };
         let result = execute(&spec, RunMeta::fixed(), false).unwrap();

@@ -7,7 +7,7 @@
 //! so a campaign is reproducible bit-for-bit from its spec.
 
 use crate::json::Json;
-use crate::spec::{CampaignSpec, DiameterMode, Job, KnowledgeMode, WakeupMode};
+use crate::spec::{AdversaryProfile, CampaignSpec, DiameterMode, Job, KnowledgeMode, WakeupMode};
 use crate::XpError;
 use std::time::Instant;
 use ule_core::Algorithm;
@@ -17,8 +17,10 @@ use ule_sim::harness::{parallel_trials, Summary};
 use ule_sim::{Knowledge, Parallelism, SimConfig, Wakeup};
 
 /// Version of the result-JSON schema; bump on any breaking field change so
-/// `compare` can refuse mismatched inputs.
-pub const SCHEMA_VERSION: u64 = 1;
+/// `compare` can refuse mismatched inputs. Version 2 added the per-cell
+/// `adversary` execution-model profile (absent = lockstep); `compare`
+/// still accepts version-1 files ([`crate::compare::parse_cells`]).
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// Provenance stamped into every result record.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -119,6 +121,10 @@ pub struct CellResult {
     /// to a `--threads N` rerun — this field is what tells a human (or a
     /// duplicate-key tiebreak) which cell was the parallel one.
     pub threads: Option<u64>,
+    /// Execution-model profile the cell ran under. Unlike `threads`, the
+    /// adversary *changes* measured costs, so `compare` warns when it
+    /// diffs two cells recorded under different profiles.
+    pub adversary: AdversaryProfile,
 }
 
 /// A completed campaign: the spec that produced it, provenance, and every
@@ -184,6 +190,9 @@ fn cell_config(job: &Job<'_>, g: &Graph, d: usize, trial: u64) -> SimConfig {
         None => Parallelism::Off,
         Some(t) => Parallelism::Threads(t as usize),
     };
+    // The group's execution model; crash profiles materialize a concrete
+    // fail-stop schedule per trial (deterministic in the trial seed).
+    cfg.adversary = group.adversary.materialize(trial, n);
     cfg
 }
 
@@ -248,6 +257,7 @@ pub fn execute(
                         elapsed_s: group.timed.then_some(elapsed),
                         msgs_per_s: group.timed.then_some(total_messages / elapsed.max(1e-9)),
                         threads: group.threads,
+                        adversary: group.adversary,
                         summary,
                     });
                 }
@@ -311,6 +321,10 @@ impl CellResult {
         if let Some(threads) = self.threads {
             fields.push(("threads".into(), Json::Num(threads as f64)));
         }
+        // Lockstep cells stay byte-identical to pre-adversary results.
+        if self.adversary != AdversaryProfile::Lockstep {
+            fields.push(("adversary".into(), Json::Str(self.adversary.name())));
+        }
         Json::Obj(fields)
     }
 }
@@ -359,6 +373,7 @@ mod tests {
                 wakeup: WakeupMode::Simultaneous,
                 timed: false,
                 threads: None,
+                adversary: AdversaryProfile::Lockstep,
             }],
         }
     }
@@ -411,6 +426,63 @@ mod tests {
     }
 
     #[test]
+    fn zero_delay_group_reproduces_lockstep_cells() {
+        // The campaign-level face of the engine's equivalence guarantee:
+        // `delay-0` cells must equal lockstep cells in every summary
+        // number, and lockstep cells must stay byte-stable (no adversary
+        // field emitted).
+        let lockstep = execute(&tiny_spec(), RunMeta::fixed(), false).unwrap();
+        let mut spec = tiny_spec();
+        spec.groups[0].adversary = AdversaryProfile::BoundedDelay { max_delay: 0 };
+        let delay0 = execute(&spec, RunMeta::fixed(), false).unwrap();
+        for (l, d) in lockstep.cells.iter().zip(&delay0.cells) {
+            assert_eq!(l.summary, d.summary, "{}", l.workload);
+            assert!(l.to_json().get("adversary").is_none());
+            assert_eq!(
+                d.to_json().get("adversary").and_then(Json::as_str),
+                Some("delay-0")
+            );
+        }
+    }
+
+    #[test]
+    fn adversary_cells_are_thread_count_invariant() {
+        // The acceptance criterion of the adversary layer: replaying a
+        // faulty campaign at any engine thread count yields identical
+        // counts (fates are decided in the stable merge phase). Untimed
+        // groups serialize without wall-clock, so whole-result JSON
+        // equality is the strongest possible check.
+        let mk = |threads: Option<u64>| {
+            let mut spec = tiny_spec();
+            spec.groups[0].adversary = AdversaryProfile::Crash {
+                permille: 200,
+                horizon: 8,
+            };
+            let mut delayed = spec.groups[0].clone();
+            delayed.adversary = AdversaryProfile::BoundedDelay { max_delay: 3 };
+            spec.groups.push(delayed);
+            for g in &mut spec.groups {
+                g.threads = threads;
+            }
+            execute(&spec, RunMeta::fixed(), false).unwrap()
+        };
+        let sequential = mk(None);
+        assert!(
+            sequential
+                .cells
+                .iter()
+                .any(|c| c.summary.successes < c.summary.trials),
+            "the crash rate should break at least one trial somewhere"
+        );
+        for threads in [2u64, 4] {
+            let replay = mk(Some(threads));
+            for (s, p) in sequential.cells.iter().zip(&replay.cells) {
+                assert_eq!(s.summary, p.summary, "{} @ {threads} threads", s.workload);
+            }
+        }
+    }
+
+    #[test]
     fn timed_groups_record_throughput() {
         let mut spec = tiny_spec();
         spec.groups[0].timed = true;
@@ -437,6 +509,7 @@ mod tests {
                 wakeup: WakeupMode::Simultaneous,
                 timed: false,
                 threads: None,
+                adversary: AdversaryProfile::Lockstep,
             }],
         };
         let result = execute(&spec, RunMeta::fixed(), false).unwrap();

@@ -56,6 +56,65 @@ pub enum WakeupMode {
     SingleSource,
 }
 
+/// Named execution-model (adversary) profile for every cell in a group —
+/// the campaign-level face of [`ule_sim::Adversary`].
+///
+/// Profiles are *rate-based* where the sim-level adversary is explicit:
+/// a campaign sweeps graph sizes, so a crash profile names a probability
+/// and horizon and each cell materializes a concrete fail-stop schedule
+/// deterministically from its trial seed
+/// ([`ule_sim::adversary::sampled_crashes`]). The profile's
+/// [`AdversaryProfile::name`] is stamped into each result cell so
+/// `compare` can refuse to silently diff costs measured under different
+/// execution models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdversaryProfile {
+    /// The synchronous baseline (the default; omitted in JSON).
+    Lockstep,
+    /// Bounded-delay asynchrony: each message delayed by up to
+    /// `max_delay` extra rounds.
+    BoundedDelay {
+        /// Maximum extra delivery delay in rounds.
+        max_delay: u64,
+    },
+    /// Sampled fail-stop crashes: each node crashes independently with
+    /// probability `permille / 1000`, at a round in `[1, horizon]`.
+    Crash {
+        /// Crash probability per node, in thousandths.
+        permille: u64,
+        /// Latest possible crash round.
+        horizon: u64,
+    },
+}
+
+impl AdversaryProfile {
+    /// The profile's stable name, stamped into result cells
+    /// (`"lockstep"`, `"delay-2"`, `"crash-100pm-32r"`, …).
+    pub fn name(&self) -> String {
+        match *self {
+            AdversaryProfile::Lockstep => "lockstep".into(),
+            AdversaryProfile::BoundedDelay { max_delay } => format!("delay-{max_delay}"),
+            AdversaryProfile::Crash { permille, horizon } => {
+                format!("crash-{permille}pm-{horizon}r")
+            }
+        }
+    }
+
+    /// Materializes the sim-level adversary for one trial of a cell on
+    /// `n` nodes. Crash profiles sample per trial, so Monte Carlo
+    /// aggregates average over crash placements as well as coin flips.
+    pub fn materialize(&self, trial: u64, n: usize) -> ule_sim::Adversary {
+        use ule_sim::Adversary;
+        match *self {
+            AdversaryProfile::Lockstep => Adversary::Lockstep,
+            AdversaryProfile::BoundedDelay { max_delay } => Adversary::BoundedDelay { max_delay },
+            AdversaryProfile::Crash { permille, horizon } => Adversary::CrashStop {
+                schedule: ule_sim::adversary::sampled_crashes(trial, n, permille, horizon),
+            },
+        }
+    }
+}
+
 /// One rectangular block of the job grid: `algorithms × families × sizes`,
 /// all sharing trial count and execution modes. A campaign is a union of
 /// groups, so non-rectangular sweeps (different sizes per algorithm, as in
@@ -86,6 +145,11 @@ pub struct JobGroup {
     /// engine's determinism contract); only wall-clock and throughput
     /// differ, which is the point of the parallel engine-scale groups.
     pub threads: Option<u64>,
+    /// Execution-model profile for every cell in this group
+    /// ([`AdversaryProfile::Lockstep`] when omitted — the synchronous
+    /// model, and the only profile pre-adversary specs could express, so
+    /// legacy spec files serialize and hash byte-identically).
+    pub adversary: AdversaryProfile,
 }
 
 /// A whole campaign: named, seeded, and a union of job groups.
@@ -271,7 +335,61 @@ fn group_to_json(g: &JobGroup) -> Json {
     if let Some(t) = g.threads {
         fields.push(("threads".into(), Json::Num(t as f64)));
     }
+    // Same byte-stability rule: lockstep (the only pre-adversary model) is
+    // the default and is never emitted.
+    match g.adversary {
+        AdversaryProfile::Lockstep => {}
+        AdversaryProfile::BoundedDelay { max_delay } => fields.push((
+            "adversary".into(),
+            Json::Obj(vec![
+                ("kind".into(), Json::Str("bounded-delay".into())),
+                ("max_delay".into(), Json::Num(max_delay as f64)),
+            ]),
+        )),
+        AdversaryProfile::Crash { permille, horizon } => fields.push((
+            "adversary".into(),
+            Json::Obj(vec![
+                ("kind".into(), Json::Str("crash".into())),
+                ("permille".into(), Json::Num(permille as f64)),
+                ("horizon".into(), Json::Num(horizon as f64)),
+            ]),
+        )),
+    }
     Json::Obj(fields)
+}
+
+fn adversary_from_json(v: &Json) -> Result<AdversaryProfile, XpError> {
+    let kind = v
+        .get("kind")
+        .and_then(Json::as_str)
+        .ok_or_else(|| XpError::new("adversary: missing `kind` string"))?;
+    let num = |field: &str| {
+        v.get(field)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| XpError::new(format!("adversary: missing integer `{field}`")))
+    };
+    match kind {
+        "lockstep" => Ok(AdversaryProfile::Lockstep),
+        "bounded-delay" => Ok(AdversaryProfile::BoundedDelay {
+            max_delay: num("max_delay")?,
+        }),
+        "crash" => {
+            let permille = num("permille")?;
+            if permille > 1000 {
+                return Err(XpError::new(format!(
+                    "adversary: `permille` = {permille} is not a probability (max 1000)"
+                )));
+            }
+            let horizon = num("horizon")?;
+            if horizon == 0 {
+                return Err(XpError::new("adversary: `horizon` must be >= 1"));
+            }
+            Ok(AdversaryProfile::Crash { permille, horizon })
+        }
+        other => Err(XpError::new(format!(
+            "adversary: unknown kind `{other}` (lockstep | bounded-delay | crash)"
+        ))),
+    }
 }
 
 fn group_from_json(v: &Json) -> Result<JobGroup, XpError> {
@@ -366,6 +484,10 @@ fn group_from_json(v: &Json) -> Result<JobGroup, XpError> {
             Some(t)
         }
     };
+    let adversary = match v.get("adversary") {
+        None => AdversaryProfile::Lockstep,
+        Some(a) => adversary_from_json(a)?,
+    };
     Ok(JobGroup {
         algorithms,
         families,
@@ -376,12 +498,13 @@ fn group_from_json(v: &Json) -> Result<JobGroup, XpError> {
         wakeup,
         timed,
         threads,
+        adversary,
     })
 }
 
 /// Names and one-line descriptions of the built-in campaigns, in listing
 /// order.
-pub const BUILTIN_CAMPAIGNS: [(&str, &str); 3] = [
+pub const BUILTIN_CAMPAIGNS: [(&str, &str); 4] = [
     (
         "table1",
         "Table 1 sweep: all 12 algorithms × {cycle, torus, sparse-rnd, dense-rnd}",
@@ -392,7 +515,11 @@ pub const BUILTIN_CAMPAIGNS: [(&str, &str); 3] = [
     ),
     (
         "engine-scale",
-        "engine-throughput baseline: FloodMax up to n = 10^6 (sequential + sharded-parallel), DFS agent on paths (perf gate)",
+        "engine-throughput baseline: FloodMax up to n = 10^6 (sequential + sharded-parallel + bounded-delay), DFS agent on paths (perf gate)",
+    ),
+    (
+        "resilience",
+        "execution-model sweep: floodmax/las-vegas/kingdom(D) on cycle/torus/expander under delay 0/2/8 and 1%/10% crashes",
     ),
 ];
 
@@ -410,6 +537,7 @@ pub fn builtin(name: &str, quick: bool) -> Option<CampaignSpec> {
             wakeup: WakeupMode::Simultaneous,
             timed: false,
             threads: None,
+            adversary: AdversaryProfile::Lockstep,
         };
     let spec = match name {
         "table1" => CampaignSpec {
@@ -469,6 +597,7 @@ pub fn builtin(name: &str, quick: bool) -> Option<CampaignSpec> {
                     wakeup: WakeupMode::Simultaneous,
                     timed: true,
                     threads: None,
+                    adversary: AdversaryProfile::Lockstep,
                 },
                 JobGroup {
                     algorithms: vec![Algorithm::DfsAgent],
@@ -484,6 +613,7 @@ pub fn builtin(name: &str, quick: bool) -> Option<CampaignSpec> {
                     wakeup: WakeupMode::Simultaneous,
                     timed: true,
                     threads: None,
+                    adversary: AdversaryProfile::Lockstep,
                 },
                 // The sharded-parallel counterpart of the FloodMax torus
                 // cells above: identical outcomes (the engine's
@@ -510,9 +640,76 @@ pub fn builtin(name: &str, quick: bool) -> Option<CampaignSpec> {
                     wakeup: WakeupMode::Simultaneous,
                     timed: true,
                     threads: Some(2),
+                    adversary: AdversaryProfile::Lockstep,
+                },
+                // The bounded-delay counterpart (occurrence #3 of the
+                // torus key in both grids): same workload, sequential
+                // engine, delay adversary — the recorded throughput delta
+                // against occurrence #1 is the measured overhead of the
+                // adversary layer's per-message fate decisions plus the
+                // extra rounds asynchrony stretches the flood over.
+                JobGroup {
+                    algorithms: vec![Algorithm::FloodMax],
+                    families: vec![Family::Torus],
+                    sizes: if quick {
+                        vec![100_000]
+                    } else {
+                        vec![100_000, 1_000_000]
+                    },
+                    trials: 1,
+                    diameter: DiameterMode::UpperBound,
+                    knowledge: KnowledgeMode::NAndDiameter,
+                    wakeup: WakeupMode::Simultaneous,
+                    timed: true,
+                    threads: None,
+                    adversary: AdversaryProfile::BoundedDelay { max_delay: 2 },
                 },
             ],
         },
+        "resilience" => {
+            // The execution-model sweep the adversary layer exists for:
+            // deadline-driven (floodmax, kingdom(D)) and restart-driven
+            // (las-vegas) algorithms under growing asynchrony and crash
+            // rates. Delay 0 is the sanity anchor — its cells must equal a
+            // lockstep run of the same grid byte-for-byte.
+            let algorithms = || {
+                vec![
+                    Algorithm::FloodMax,
+                    Algorithm::LasVegas,
+                    Algorithm::KingdomKnownD,
+                ]
+            };
+            let families = || vec![Family::Cycle, Family::Torus, Family::Expander];
+            let group = |adversary: AdversaryProfile| JobGroup {
+                algorithms: algorithms(),
+                families: families(),
+                sizes: if quick { vec![64] } else { vec![64, 256] },
+                trials: if quick { 2 } else { 5 },
+                diameter: DiameterMode::Exact,
+                knowledge: KnowledgeMode::NAndDiameter,
+                wakeup: WakeupMode::Simultaneous,
+                timed: false,
+                threads: None,
+                adversary,
+            };
+            CampaignSpec {
+                name: "resilience".into(),
+                graph_seed: WORKLOAD_BASE_SEED,
+                groups: vec![
+                    group(AdversaryProfile::BoundedDelay { max_delay: 0 }),
+                    group(AdversaryProfile::BoundedDelay { max_delay: 2 }),
+                    group(AdversaryProfile::BoundedDelay { max_delay: 8 }),
+                    group(AdversaryProfile::Crash {
+                        permille: 10,
+                        horizon: 32,
+                    }),
+                    group(AdversaryProfile::Crash {
+                        permille: 100,
+                        horizon: 32,
+                    }),
+                ],
+            }
+        }
         _ => return None,
     };
     Some(spec)
@@ -600,6 +797,111 @@ mod tests {
         let spec = builtin("table1", true).unwrap();
         assert!(spec.groups.iter().all(|g| g.threads.is_none()));
         assert!(!spec.to_json().compact().contains("threads"));
+    }
+
+    #[test]
+    fn adversary_profiles_round_trip_and_validate() {
+        let text = r#"{"name":"a","groups":[
+            {"algorithms":["floodmax"],"families":["cycle"],"sizes":[16],"trials":1,
+             "adversary":{"kind":"bounded-delay","max_delay":2}},
+            {"algorithms":["floodmax"],"families":["cycle"],"sizes":[16],"trials":1,
+             "adversary":{"kind":"crash","permille":100,"horizon":32}},
+            {"algorithms":["floodmax"],"families":["cycle"],"sizes":[16],"trials":1,
+             "adversary":{"kind":"lockstep"}}]}"#;
+        let spec = CampaignSpec::from_json(&Json::parse(text).unwrap()).unwrap();
+        assert_eq!(
+            spec.groups[0].adversary,
+            AdversaryProfile::BoundedDelay { max_delay: 2 }
+        );
+        assert_eq!(
+            spec.groups[1].adversary,
+            AdversaryProfile::Crash {
+                permille: 100,
+                horizon: 32
+            }
+        );
+        assert_eq!(spec.groups[2].adversary, AdversaryProfile::Lockstep);
+        let back = CampaignSpec::from_json(&spec.to_json()).unwrap();
+        assert_eq!(back, spec);
+        // Profile names are stable (compare matches on them).
+        assert_eq!(spec.groups[0].adversary.name(), "delay-2");
+        assert_eq!(spec.groups[1].adversary.name(), "crash-100pm-32r");
+        assert_eq!(spec.groups[2].adversary.name(), "lockstep");
+        // Bad inputs are refused with a useful message.
+        for bad in [
+            r#"{"kind":"nope"}"#,
+            r#"{"kind":"bounded-delay"}"#,
+            r#"{"kind":"crash","permille":1001,"horizon":4}"#,
+            r#"{"kind":"crash","permille":10,"horizon":0}"#,
+        ] {
+            let spec_text = format!(
+                r#"{{"name":"b","groups":[{{"algorithms":["floodmax"],"families":["cycle"],
+                    "sizes":[16],"trials":1,"adversary":{bad}}}]}}"#
+            );
+            assert!(
+                CampaignSpec::from_json(&Json::parse(&spec_text).unwrap()).is_err(),
+                "{bad}"
+            );
+        }
+    }
+
+    #[test]
+    fn omitted_adversary_keeps_legacy_serialization_stable() {
+        // Pre-adversary specs must serialize (and hash) byte-identically:
+        // lockstep is the default and is never emitted.
+        let spec = builtin("table1", true).unwrap();
+        assert!(spec
+            .groups
+            .iter()
+            .all(|g| g.adversary == AdversaryProfile::Lockstep));
+        assert!(!spec.to_json().compact().contains("adversary"));
+    }
+
+    #[test]
+    fn resilience_campaign_shape() {
+        let spec = builtin("resilience", true).unwrap();
+        // 5 execution models × 3 algorithms × 3 families × 1 quick size.
+        assert_eq!(spec.jobs().len(), 5 * 3 * 3);
+        let profiles: Vec<String> = spec.groups.iter().map(|g| g.adversary.name()).collect();
+        assert_eq!(
+            profiles,
+            vec![
+                "delay-0",
+                "delay-2",
+                "delay-8",
+                "crash-10pm-32r",
+                "crash-100pm-32r"
+            ]
+        );
+        assert!(spec.groups.iter().all(|g| !g.timed && g.threads.is_none()));
+    }
+
+    #[test]
+    fn crash_profile_materializes_per_trial_schedules() {
+        let p = AdversaryProfile::Crash {
+            permille: 500,
+            horizon: 8,
+        };
+        let a = p.materialize(1, 100);
+        assert_eq!(a, p.materialize(1, 100), "deterministic in the trial");
+        assert_ne!(a, p.materialize(2, 100), "trials sample fresh crashes");
+        match a {
+            ule_sim::Adversary::CrashStop { schedule } => {
+                assert!(!schedule.is_empty());
+                assert!(schedule
+                    .iter()
+                    .all(|&(v, r)| v < 100 && (1..=8).contains(&r)));
+            }
+            other => panic!("expected CrashStop, got {other:?}"),
+        }
+        assert_eq!(
+            AdversaryProfile::Lockstep.materialize(0, 10),
+            ule_sim::Adversary::Lockstep
+        );
+        assert_eq!(
+            AdversaryProfile::BoundedDelay { max_delay: 3 }.materialize(0, 10),
+            ule_sim::Adversary::BoundedDelay { max_delay: 3 }
+        );
     }
 
     #[test]

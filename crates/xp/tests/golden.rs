@@ -10,7 +10,9 @@
 use ule_core::Algorithm;
 use ule_graph::gen::Family;
 use ule_xp::json::Json;
-use ule_xp::spec::{CampaignSpec, DiameterMode, JobGroup, KnowledgeMode, WakeupMode};
+use ule_xp::spec::{
+    AdversaryProfile, CampaignSpec, DiameterMode, JobGroup, KnowledgeMode, WakeupMode,
+};
 use ule_xp::{execute, parse_cells, RunMeta};
 
 fn golden_spec() -> CampaignSpec {
@@ -27,6 +29,7 @@ fn golden_spec() -> CampaignSpec {
             wakeup: WakeupMode::Simultaneous,
             timed: false,
             threads: None,
+            adversary: AdversaryProfile::Lockstep,
         }],
     }
 }

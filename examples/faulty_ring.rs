@@ -1,0 +1,115 @@
+//! Faulty ring: a walking tour of the execution-model (adversary) layer.
+//!
+//! ```text
+//! cargo run --release --example faulty_ring
+//! ```
+//!
+//! Runs the classical FloodMax election on one 16-node ring under four
+//! execution models — lockstep (the synchronous baseline), bounded-delay
+//! asynchrony, a fail-stop crash of the would-be leader, and delay + crash
+//! composed — and prints what each model does to the election. The
+//! algorithm is *identical* in all four runs; only `SimConfig::adversary`
+//! changes, which is the point of the pluggable layer: every algorithm ×
+//! every execution model is a runnable cell.
+//!
+//! Everything here is seeded and deterministic: rerunning prints the same
+//! table, and so does replaying under any `Parallelism` setting.
+
+use ule_core::baseline::flood_max;
+use ule_graph::{analysis, gen, IdAssignment};
+use ule_sim::{Adversary, Knowledge, RunOutcome, SimConfig, Termination};
+
+fn describe(label: &str, out: &RunOutcome) {
+    let late: u64 = out.late_deliveries.iter().map(|&(_, c)| c).sum();
+    let termination = match out.termination {
+        Termination::Quiescent => "quiescent",
+        Termination::RoundLimit => "round-limit",
+        Termination::AllCrashed => "all-crashed",
+    };
+    let leader = match out.leader() {
+        Some(v) if out.election_succeeded() => format!("node {v}"),
+        Some(v) => format!("node {v} (NOT a clean election)"),
+        None if out.leader_count() > 1 => format!("{} rivals", out.leader_count()),
+        None => "nobody".to_string(),
+    };
+    println!(
+        "{label:<22} {:>6} {:>8} {:>7} {:>7} {:>9} {:<11} {leader}",
+        out.rounds,
+        out.messages,
+        out.messages_dropped,
+        late,
+        out.crashed.len(),
+        termination,
+    );
+}
+
+fn main() {
+    let n = 16;
+    let g = gen::cycle(n).expect("a 16-ring is a valid graph");
+    let d = analysis::diameter_exact(&g).expect("connected").max(1) as usize;
+    // Sequential identifiers: node 15 holds the maximum id 16 and wins
+    // every healthy FloodMax election.
+    let base = SimConfig::seeded(7)
+        .with_ids(IdAssignment::sequential(n))
+        .with_knowledge(Knowledge::n_and_diameter(n, d));
+
+    println!("FloodMax on a {n}-ring (D = {d}), four execution models:\n");
+    println!(
+        "{:<22} {:>6} {:>8} {:>7} {:>7} {:>9} {:<11} leader",
+        "model", "rounds", "msgs", "dropped", "late", "crashed", "termination"
+    );
+    println!("{}", "-".repeat(100));
+
+    // 1. Lockstep: the synchronous baseline — every message arrives next
+    //    round, node 15 wins in D rounds.
+    let lockstep = flood_max(&g, &base);
+    describe("lockstep", &lockstep);
+    assert!(lockstep.election_succeeded());
+
+    // 2. Bounded delay: each message is delayed by up to 3 extra rounds
+    //    (seeded, deterministic). FloodMax stops *forwarding* at its
+    //    round-D deadline, so the maximum id — now crawling at up to 4
+    //    rounds per hop — races the deadline. On this 16-ring it squeaks
+    //    through late (more rounds, a third of the messages never sent);
+    //    on the 64-ring of the `resilience` campaign the same delay makes
+    //    the election fail outright, while `las-vegas(n,D)` — which
+    //    restarts instead of trusting a deadline — absorbs it.
+    let delayed = flood_max(
+        &g,
+        &base
+            .clone()
+            .with_adversary(Adversary::BoundedDelay { max_delay: 3 }),
+    );
+    describe("bounded-delay(3)", &delayed);
+
+    // 3. Crash the would-be leader at round 1: its initial broadcast
+    //    escapes (delivered-before-crash), so its id still floods and
+    //    suppresses every other candidate — the ring ends leaderless. The
+    //    crash-aware success predicate reports the failure.
+    let crashed = flood_max(
+        &g,
+        &base.clone().with_adversary(Adversary::CrashStop {
+            schedule: vec![(15, 1)],
+        }),
+    );
+    describe("crash leader@1", &crashed);
+    assert!(!crashed.election_succeeded());
+
+    // 4. Compose delay and crash: the stack takes the most restrictive
+    //    decision per message (drop dominates, latest delivery wins).
+    let both = flood_max(
+        &g,
+        &base.clone().with_adversary(Adversary::Compose(vec![
+            Adversary::BoundedDelay { max_delay: 3 },
+            Adversary::CrashStop {
+                schedule: vec![(15, 1)],
+            },
+        ])),
+    );
+    describe("delay(3) + crash@1", &both);
+
+    println!(
+        "\nSame protocol, same seed, same ring — only the adversary changed.\n\
+         Campaign-scale sweeps of exactly this grid: `ule-xp run --campaign resilience`."
+    );
+}

@@ -1,12 +1,13 @@
 //! Failure injection: truncation, candidate droughts, adversarial wakeup
-//! and placement — the ways a run is *supposed* to degrade, observed.
+//! and placement, fail-stop crashes, and link failures — the ways a run is
+//! *supposed* to degrade, observed.
 
 use ule_core::las_vegas::{elect as lv_elect, LasVegasConfig};
 use ule_core::least_el::{elect as le_elect, LeastElConfig};
 use ule_core::Algorithm;
-use ule_graph::{analysis, gen, IdAssignment};
+use ule_graph::{analysis, dumbbell, gen, IdAssignment};
 use ule_sim::harness::{parallel_trials, Summary};
-use ule_sim::{Knowledge, SimConfig, Status, Termination, Wakeup};
+use ule_sim::{Adversary, Knowledge, SimConfig, Status, Termination, Wakeup};
 
 #[test]
 fn truncated_runs_report_round_limit_and_partial_state() {
@@ -127,6 +128,157 @@ fn truncation_sweep_is_monotone_for_flood_broadcast() {
         last = covered;
     }
     assert_eq!(last, 20);
+}
+
+#[test]
+fn las_vegas_reconverges_or_reports_cleanly_when_the_leader_crashes() {
+    // Crash the node that *would have* won, early in the election, on a
+    // 2-connected graph (the survivors stay connected). Las Vegas must
+    // either re-converge to exactly one surviving leader or fail cleanly
+    // — never split-brain, never panic, never hang past the round cap.
+    //
+    // This implementation's waves are echo-terminated, and a fail-stopped
+    // node never echoes: any crash permanently stalls every wave that
+    // reached it, so re-convergence is structurally impossible and every
+    // seed must take the report-cleanly branch (quiescent or capped, no
+    // surviving self-appointed leader). The test verifies exactly that —
+    // and that nothing worse (split-brain, a dead leader counted as a
+    // win, a panic) ever happens.
+    let g = gen::torus(4, 4).unwrap();
+    let d = analysis::diameter_exact(&g).unwrap().max(1) as usize;
+    let lv = LasVegasConfig::default();
+    let mut reconverged = 0;
+    let mut clean_failures = 0;
+    for seed in 0..8u64 {
+        let cfg = SimConfig::seeded(seed)
+            .with_knowledge(Knowledge::n_and_diameter(16, d))
+            .with_max_rounds(50_000);
+        let healthy = lv_elect(&g, &cfg, &lv);
+        assert!(healthy.election_succeeded(), "seed {seed} baseline");
+        let leader = healthy.leader().unwrap();
+        // Kill the winner at round 2 — mid-election for every seed here
+        // (the healthy runs all take longer than 2 rounds).
+        assert!(healthy.rounds > 2);
+        let faulty_cfg = cfg.clone().with_adversary(Adversary::CrashStop {
+            schedule: vec![(leader, 2)],
+        });
+        let out = lv_elect(&g, &faulty_cfg, &lv);
+        assert_eq!(out.crashed, vec![leader], "seed {seed}");
+        let alive_leaders = out
+            .statuses
+            .iter()
+            .enumerate()
+            .filter(|&(v, s)| *s == Status::Leader && !out.is_crashed(v))
+            .count();
+        assert!(alive_leaders <= 1, "seed {seed}: split-brain");
+        if out.election_succeeded() {
+            assert_ne!(out.leader(), Some(leader), "seed {seed}: dead leader");
+            assert_eq!(out.termination, Termination::Quiescent, "seed {seed}");
+            reconverged += 1;
+        } else {
+            // Clean failure: a stalled wave (quiescent, survivors left
+            // undecided) or a run cut at the cap — reported as such.
+            assert!(
+                matches!(
+                    out.termination,
+                    Termination::Quiescent | Termination::RoundLimit
+                ),
+                "seed {seed}: {:?}",
+                out.termination
+            );
+            clean_failures += 1;
+        }
+    }
+    assert_eq!(reconverged + clean_failures, 8);
+    assert_eq!(
+        reconverged, 0,
+        "echo-terminated waves cannot complete past a dead node; if this \
+         starts passing, Las Vegas gained genuine crash recovery — \
+         celebrate, then update this pin"
+    );
+}
+
+#[test]
+fn partitioned_dumbbell_elects_per_component() {
+    // Kill both bridges of a dumbbell at round 0: no message ever crosses
+    // between the halves, so deadline-driven FloodMax elects one leader
+    // *per component* — the run ends quiescent with a clean two-leader
+    // outcome, which the (global) success predicate correctly rejects.
+    let d = dumbbell::clique_path_dumbbell(12, 20, 0, 1).unwrap();
+    let g = &d.graph;
+    let n = g.len();
+    let diam = analysis::diameter_exact(g).unwrap().max(1) as usize;
+    let cfg = SimConfig::seeded(3)
+        .with_ids(IdAssignment::sequential(n))
+        .with_knowledge(Knowledge::n_and_diameter(n, diam))
+        .watching(&d.bridges)
+        .with_adversary(Adversary::LinkFailure {
+            schedule: d.bridges.iter().map(|&e| (e, 0)).collect(),
+        });
+    let out = ule_core::baseline::flood_max(g, &cfg);
+    assert_eq!(out.termination, Termination::Quiescent);
+    assert_eq!(out.leader_count(), 2, "one leader per component");
+    assert!(!out.election_succeeded());
+    let leaders: Vec<usize> = out
+        .statuses
+        .iter()
+        .enumerate()
+        .filter(|&(_, s)| *s == Status::Leader)
+        .map(|(v, _)| v)
+        .collect();
+    assert_ne!(
+        d.side(leaders[0]),
+        d.side(leaders[1]),
+        "the two leaders sit in different components"
+    );
+    assert!(out.messages_dropped > 0, "bridge sends are lost");
+    assert!(
+        out.watch_hits.iter().all(Option::is_none),
+        "no bridge was ever crossed"
+    );
+    assert!(out.crashed.is_empty());
+}
+
+#[test]
+fn bridges_that_die_after_the_crossing_change_nothing() {
+    // The same dumbbell, but the bridges die long after FloodMax's
+    // deadline: the failure schedule exists yet never fires within the
+    // run, so the outcome equals the healthy one byte-for-byte.
+    let d = dumbbell::clique_path_dumbbell(12, 20, 0, 1).unwrap();
+    let g = &d.graph;
+    let n = g.len();
+    let diam = analysis::diameter_exact(g).unwrap().max(1) as usize;
+    let base = SimConfig::seeded(3)
+        .with_ids(IdAssignment::sequential(n))
+        .with_knowledge(Knowledge::n_and_diameter(n, diam))
+        .watching(&d.bridges);
+    let healthy = ule_core::baseline::flood_max(g, &base);
+    let late_failure = base.clone().with_adversary(Adversary::LinkFailure {
+        schedule: d.bridges.iter().map(|&e| (e, 100_000)).collect(),
+    });
+    let out = ule_core::baseline::flood_max(g, &late_failure);
+    assert_eq!(out, healthy);
+    assert!(out.election_succeeded());
+    assert!(
+        out.watch_hits.iter().all(Option::is_some),
+        "bridges crossed"
+    );
+}
+
+#[test]
+fn all_crashed_run_reports_its_termination() {
+    let g = gen::cycle(10).unwrap();
+    let cfg = SimConfig::seeded(0)
+        .with_knowledge(Knowledge::n(10))
+        .with_adversary(Adversary::CrashStop {
+            schedule: (0..10).map(|v| (v, 0)).collect(),
+        });
+    let out = le_elect(&g, &cfg, &LeastElConfig::all_candidates());
+    assert_eq!(out.termination, Termination::AllCrashed);
+    assert_eq!(out.crashed.len(), 10);
+    assert_eq!(out.messages, 0, "nobody lived long enough to send");
+    assert!(!out.election_succeeded());
+    assert_eq!(out.undecided_count(), 10);
 }
 
 #[test]

@@ -208,6 +208,55 @@ proptest! {
     }
 
     #[test]
+    fn explicit_lockstep_and_zero_delay_reproduce_the_legacy_engine(
+        alg_idx in 0usize..12,
+        fam_idx in 0usize..6,
+        n in 8usize..80,
+        seed in 0u64..1000,
+        threads in 1usize..5,
+    ) {
+        // The adversary layer's backward-compatibility contract, sampled:
+        // running any algorithm on any workload under an explicit
+        // `Lockstep` schedule or a `BoundedDelay { max_delay: 0 }`
+        // schedule produces the *identical* RunOutcome — every field — as
+        // the default engine (whose behaviour is itself pinned against
+        // pre-adversary recordings by tests/scheduler_equivalence.rs), at
+        // any thread count.
+        let alg = Algorithm::ALL[alg_idx];
+        let fam = [
+            gen::Family::Cycle,
+            gen::Family::Torus,
+            gen::Family::SparseRandom,
+            gen::Family::Star,
+            gen::Family::Hypercube,
+            gen::Family::Lollipop,
+        ][fam_idx];
+        let g = gen::workload_graph(seed, fam, n).unwrap();
+        let mut cfg = alg.config_for(&g, seed);
+        cfg.parallelism = if threads == 1 {
+            ule_sim::Parallelism::Off
+        } else {
+            ule_sim::Parallelism::Threads(threads)
+        };
+        let reference = alg.run_with(&g, &cfg);
+        for adversary in [
+            ule_sim::Adversary::Lockstep,
+            ule_sim::Adversary::BoundedDelay { max_delay: 0 },
+        ] {
+            let mut faulty_cfg = cfg.clone();
+            faulty_cfg.adversary = adversary.clone();
+            let out = alg.run_with(&g, &faulty_cfg);
+            prop_assert_eq!(
+                &out, &reference,
+                "{} on {}/{} seed {} under {:?} diverged from the legacy engine",
+                alg, fam, n, seed, adversary
+            );
+            prop_assert_eq!(out.messages_dropped, 0);
+            prop_assert!(out.crashed.is_empty() && out.late_deliveries.is_empty());
+        }
+    }
+
+    #[test]
     fn truncation_never_reports_quiescence_early(g in arb_graph(), t in 1u64..10) {
         let mut cfg = Algorithm::LeastElAll.config_for(&g, 3);
         cfg.max_rounds = t;

@@ -74,6 +74,10 @@ fn fingerprint(out: &RunOutcome) -> u64 {
     mix(match out.termination {
         Termination::Quiescent => 0,
         Termination::RoundLimit => 1,
+        // Impossible under the pinned Lockstep matrix (no adversary ever
+        // crashes anything there); the discriminant exists so fault-model
+        // pins recorded in the future stay distinguishable.
+        Termination::AllCrashed => 2,
     });
     mix(out.congest_violations);
     mix(out.max_message_bits);
