@@ -23,7 +23,9 @@ use crate::wave::{Key, Objective, WaveCore, WaveMsg, WaveOutcome};
 use rand::Rng;
 use ule_graph::{Graph, Id};
 use ule_sim::message::{id_bits, Message, TAG_BITS};
-use ule_sim::{Context, PortOutbox, Protocol, RunOutcome, SimConfig, Status};
+use ule_sim::{
+    run_on, Context, PortOutbox, Protocol, RtError, RunOutcome, RuntimeKind, SimConfig, Status,
+};
 
 /// FloodMax message: the largest identifier seen so far.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -115,7 +117,20 @@ impl Protocol for FloodMax {
 /// # Ok::<(), ule_graph::GraphError>(())
 /// ```
 pub fn flood_max(graph: &Graph, sim: &SimConfig) -> RunOutcome {
-    ule_sim::run(graph, sim, |_, _, _| FloodMax::new())
+    flood_max_on(RuntimeKind::Sim, graph, sim).expect("the sim runtime is infallible")
+}
+
+/// [`flood_max`] on a caller-selected runtime.
+///
+/// # Errors
+///
+/// See [`ule_sim::run_on`]; [`RuntimeKind::Sim`] never errors.
+pub fn flood_max_on(
+    kind: RuntimeKind,
+    graph: &Graph,
+    sim: &SimConfig,
+) -> Result<RunOutcome, RtError> {
+    run_on(kind, graph, sim, |_, _, _| FloodMax::new())
 }
 
 /// Time-optimal election à la Peleg \[20\]: deterministic, `O(D)` rounds,
@@ -182,7 +197,16 @@ impl Protocol for Tole {
 /// # Ok::<(), ule_graph::GraphError>(())
 /// ```
 pub fn tole(graph: &Graph, sim: &SimConfig) -> RunOutcome {
-    ule_sim::run(graph, sim, |_, setup, _| Tole::new(setup.degree))
+    tole_on(RuntimeKind::Sim, graph, sim).expect("the sim runtime is infallible")
+}
+
+/// [`tole`] on a caller-selected runtime.
+///
+/// # Errors
+///
+/// See [`ule_sim::run_on`]; [`RuntimeKind::Sim`] never errors.
+pub fn tole_on(kind: RuntimeKind, graph: &Graph, sim: &SimConfig) -> Result<RunOutcome, RtError> {
+    run_on(kind, graph, sim, |_, setup, _| Tole::new(setup.degree))
 }
 
 /// The 1/n coin-flip "algorithm": self-elect with probability `1/n`,
@@ -229,7 +253,20 @@ impl Protocol for CoinFlip {
 
 /// Runs the coin-flip algorithm (`sim` must grant `n`).
 pub fn coin_flip(graph: &Graph, sim: &SimConfig) -> RunOutcome {
-    ule_sim::run(graph, sim, |_, _, _| CoinFlip::new())
+    coin_flip_on(RuntimeKind::Sim, graph, sim).expect("the sim runtime is infallible")
+}
+
+/// [`coin_flip`] on a caller-selected runtime.
+///
+/// # Errors
+///
+/// See [`ule_sim::run_on`]; [`RuntimeKind::Sim`] never errors.
+pub fn coin_flip_on(
+    kind: RuntimeKind,
+    graph: &Graph,
+    sim: &SimConfig,
+) -> Result<RunOutcome, RtError> {
+    run_on(kind, graph, sim, |_, _, _| CoinFlip::new())
 }
 
 #[cfg(test)]

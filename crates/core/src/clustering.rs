@@ -393,13 +393,28 @@ impl Protocol for Clustering {
 /// # Ok::<(), ule_graph::GraphError>(())
 /// ```
 pub fn elect(graph: &Graph, sim: &SimConfig) -> RunOutcome {
+    elect_on(ule_sim::RuntimeKind::Sim, graph, sim).expect("the sim runtime is infallible")
+}
+
+/// [`elect`] on a caller-selected runtime.
+///
+/// # Errors
+///
+/// See [`ule_sim::run_on`]; [`ule_sim::RuntimeKind::Sim`] never errors.
+pub fn elect_on(
+    kind: ule_sim::RuntimeKind,
+    graph: &Graph,
+    sim: &SimConfig,
+) -> Result<RunOutcome, ule_sim::RtError> {
     let mut sim = sim.clone();
     if let Model::Congest { factor } = sim.model {
         sim.model = Model::Congest {
             factor: factor.max(32),
         };
     }
-    ule_sim::run(graph, &sim, |_, setup, _| Clustering::new(setup.degree))
+    ule_sim::run_on(kind, graph, &sim, |_, setup, _| {
+        Clustering::new(setup.degree)
+    })
 }
 
 #[cfg(test)]

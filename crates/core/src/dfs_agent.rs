@@ -303,7 +303,22 @@ impl Protocol for DfsAgent {
 /// # Ok::<(), ule_graph::GraphError>(())
 /// ```
 pub fn elect(graph: &Graph, sim: &SimConfig, send_wakeup: bool) -> RunOutcome {
-    ule_sim::run(graph, sim, |_, setup, _| {
+    elect_on(ule_sim::RuntimeKind::Sim, graph, sim, send_wakeup)
+        .expect("the sim runtime is infallible")
+}
+
+/// [`elect`] on a caller-selected runtime.
+///
+/// # Errors
+///
+/// See [`ule_sim::run_on`]; [`ule_sim::RuntimeKind::Sim`] never errors.
+pub fn elect_on(
+    kind: ule_sim::RuntimeKind,
+    graph: &Graph,
+    sim: &SimConfig,
+    send_wakeup: bool,
+) -> Result<RunOutcome, ule_sim::RtError> {
+    ule_sim::run_on(kind, graph, sim, |_, setup, _| {
         DfsAgent::new(
             setup.id.expect("DFS agents require unique identifiers"),
             setup.degree,

@@ -455,7 +455,21 @@ impl Protocol for Kingdom {
 /// # Ok::<(), ule_graph::GraphError>(())
 /// ```
 pub fn elect_known_diameter(graph: &Graph, sim: &SimConfig) -> RunOutcome {
-    ule_sim::run(graph, sim, |_, setup, _| {
+    elect_known_diameter_on(ule_sim::RuntimeKind::Sim, graph, sim)
+        .expect("the sim runtime is infallible")
+}
+
+/// [`elect_known_diameter`] on a caller-selected runtime.
+///
+/// # Errors
+///
+/// See [`ule_sim::run_on`]; [`ule_sim::RuntimeKind::Sim`] never errors.
+pub fn elect_known_diameter_on(
+    kind: ule_sim::RuntimeKind,
+    graph: &Graph,
+    sim: &SimConfig,
+) -> Result<RunOutcome, ule_sim::RtError> {
+    ule_sim::run_on(kind, graph, sim, |_, setup, _| {
         Kingdom::new(
             RadiusSchedule::KnownDiameter,
             setup.id.expect("kingdom election requires identifiers"),
@@ -469,7 +483,20 @@ pub fn elect_known_diameter(graph: &Graph, sim: &SimConfig) -> RunOutcome {
 /// module documentation for why the synchronized variant pays the `O(n)`
 /// term).
 pub fn elect_doubling(graph: &Graph, sim: &SimConfig) -> RunOutcome {
-    ule_sim::run(graph, sim, |_, setup, _| {
+    elect_doubling_on(ule_sim::RuntimeKind::Sim, graph, sim).expect("the sim runtime is infallible")
+}
+
+/// [`elect_doubling`] on a caller-selected runtime.
+///
+/// # Errors
+///
+/// See [`ule_sim::run_on`]; [`ule_sim::RuntimeKind::Sim`] never errors.
+pub fn elect_doubling_on(
+    kind: ule_sim::RuntimeKind,
+    graph: &Graph,
+    sim: &SimConfig,
+) -> Result<RunOutcome, ule_sim::RtError> {
+    ule_sim::run_on(kind, graph, sim, |_, setup, _| {
         Kingdom::new(
             RadiusSchedule::Doubling,
             setup.id.expect("kingdom election requires identifiers"),

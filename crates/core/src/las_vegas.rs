@@ -165,7 +165,21 @@ impl Protocol for LasVegasElect {
 /// # Ok::<(), ule_graph::GraphError>(())
 /// ```
 pub fn elect(graph: &Graph, sim: &SimConfig, cfg: &LasVegasConfig) -> RunOutcome {
-    ule_sim::run(graph, sim, |_, setup, _| {
+    elect_on(ule_sim::RuntimeKind::Sim, graph, sim, cfg).expect("the sim runtime is infallible")
+}
+
+/// [`elect`] on a caller-selected runtime.
+///
+/// # Errors
+///
+/// See [`ule_sim::run_on`]; [`ule_sim::RuntimeKind::Sim`] never errors.
+pub fn elect_on(
+    kind: ule_sim::RuntimeKind,
+    graph: &Graph,
+    sim: &SimConfig,
+    cfg: &LasVegasConfig,
+) -> Result<RunOutcome, ule_sim::RtError> {
+    ule_sim::run_on(kind, graph, sim, |_, setup, _| {
         LasVegasElect::new(*cfg, setup.degree)
     })
 }

@@ -208,7 +208,21 @@ impl Protocol for LeastEl {
 /// # Ok::<(), ule_graph::GraphError>(())
 /// ```
 pub fn elect(graph: &Graph, sim: &SimConfig, cfg: &LeastElConfig) -> RunOutcome {
-    ule_sim::run(graph, sim, |_, setup, _| {
+    elect_on(ule_sim::RuntimeKind::Sim, graph, sim, cfg).expect("the sim runtime is infallible")
+}
+
+/// [`elect`] on a caller-selected runtime.
+///
+/// # Errors
+///
+/// See [`ule_sim::run_on`]; [`ule_sim::RuntimeKind::Sim`] never errors.
+pub fn elect_on(
+    kind: ule_sim::RuntimeKind,
+    graph: &Graph,
+    sim: &SimConfig,
+    cfg: &LeastElConfig,
+) -> Result<RunOutcome, ule_sim::RtError> {
+    ule_sim::run_on(kind, graph, sim, |_, setup, _| {
         LeastEl::new(cfg.clone(), setup.degree)
     })
 }

@@ -10,7 +10,7 @@ use crate::{baseline, clustering, dfs_agent, kingdom, las_vegas, least_el, size_
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use ule_graph::{analysis, Graph, IdAssignment, IdSpace};
-use ule_sim::{Knowledge, RunOutcome, SimConfig};
+use ule_sim::{Knowledge, RtError, RunOutcome, RuntimeKind, SimConfig};
 
 /// Every election algorithm implemented from the paper (the spanner-based
 /// Corollary 4.2 lives in `ule-spanner`, which layers on this crate).
@@ -298,25 +298,48 @@ impl Algorithm {
     /// Runs one trial under a caller-provided configuration (which must
     /// satisfy [`AlgorithmSpec`]'s requirements).
     pub fn run_with(self, graph: &Graph, cfg: &SimConfig) -> RunOutcome {
+        self.run_on(RuntimeKind::Sim, graph, cfg)
+            .expect("the sim runtime is infallible")
+    }
+
+    /// [`Algorithm::run_with`] on a caller-selected runtime: the identical
+    /// protocol code runs on the lockstep engine or over channels
+    /// ([`ule_sim::rt`]), and under [`ule_sim::Adversary::Lockstep`] both
+    /// produce the same [`RunOutcome`].
+    ///
+    /// # Errors
+    ///
+    /// See [`ule_sim::run_on`]; [`RuntimeKind::Sim`] never errors.
+    pub fn run_on(
+        self,
+        kind: RuntimeKind,
+        graph: &Graph,
+        cfg: &SimConfig,
+    ) -> Result<RunOutcome, RtError> {
         match self {
             Algorithm::LeastElAll => {
-                least_el::elect(graph, cfg, &least_el::LeastElConfig::all_candidates())
+                least_el::elect_on(kind, graph, cfg, &least_el::LeastElConfig::all_candidates())
             }
-            Algorithm::LeastElWhp => least_el::elect(graph, cfg, &least_el::LeastElConfig::whp()),
-            Algorithm::LeastElConstant => {
-                least_el::elect(graph, cfg, &least_el::LeastElConfig::constant_error(0.1))
+            Algorithm::LeastElWhp => {
+                least_el::elect_on(kind, graph, cfg, &least_el::LeastElConfig::whp())
             }
-            Algorithm::SizeEstimate => size_estimate::elect(graph, cfg),
+            Algorithm::LeastElConstant => least_el::elect_on(
+                kind,
+                graph,
+                cfg,
+                &least_el::LeastElConfig::constant_error(0.1),
+            ),
+            Algorithm::SizeEstimate => size_estimate::elect_on(kind, graph, cfg),
             Algorithm::LasVegas => {
-                las_vegas::elect(graph, cfg, &las_vegas::LasVegasConfig::default())
+                las_vegas::elect_on(kind, graph, cfg, &las_vegas::LasVegasConfig::default())
             }
-            Algorithm::Clustering => clustering::elect(graph, cfg),
-            Algorithm::DfsAgent => dfs_agent::elect(graph, cfg, false),
-            Algorithm::KingdomKnownD => kingdom::elect_known_diameter(graph, cfg),
-            Algorithm::KingdomDoubling => kingdom::elect_doubling(graph, cfg),
-            Algorithm::FloodMax => baseline::flood_max(graph, cfg),
-            Algorithm::Tole => baseline::tole(graph, cfg),
-            Algorithm::CoinFlip => baseline::coin_flip(graph, cfg),
+            Algorithm::Clustering => clustering::elect_on(kind, graph, cfg),
+            Algorithm::DfsAgent => dfs_agent::elect_on(kind, graph, cfg, false),
+            Algorithm::KingdomKnownD => kingdom::elect_known_diameter_on(kind, graph, cfg),
+            Algorithm::KingdomDoubling => kingdom::elect_doubling_on(kind, graph, cfg),
+            Algorithm::FloodMax => baseline::flood_max_on(kind, graph, cfg),
+            Algorithm::Tole => baseline::tole_on(kind, graph, cfg),
+            Algorithm::CoinFlip => baseline::coin_flip_on(kind, graph, cfg),
         }
     }
 }

@@ -1,10 +1,18 @@
-//! The synchronous round engine, scheduled event-driven.
+//! The synchronous round engine: the *lockstep scheduler policy* over the
+//! runtime-independent execution core ([`crate::exec`]).
 //!
 //! Executes a [`Protocol`] at every node of a graph under a [`SimConfig`]:
 //! messages sent in round `r` arrive at the start of round `r+1`; nodes are
 //! activated when messages arrive or when they scheduled a wakeup; the run
 //! ends at quiescence or at the round cap (the truncation mechanism of the
 //! Theorem 3.13 experiment).
+//!
+//! The split of responsibilities: node-state storage, protocol stepping,
+//! message accounting and outcome assembly live in [`crate::exec`] and are
+//! shared with the async threads+channels runtime ([`crate::rt`]). What
+//! lives *here* is the scheduling policy — the decision of when each node
+//! steps and how staged sends reach their destination inboxes: the active
+//! set, the wakeup heap, fast-forward, and the shard/merge machinery.
 //!
 //! # Event-driven scheduling
 //!
@@ -60,353 +68,19 @@
 //! Rounds whose active set is too small to amortize thread coordination
 //! are stepped inline on the main thread (same code as `Off`).
 
-use crate::adversary::{Adversary, Fate, Schedule, SendView};
-use crate::config::{IdMode, SimConfig, Wakeup};
-use crate::message::Message;
-use crate::protocol::{Context, NodeSetup, Protocol, Status};
+use crate::adversary::Schedule;
+use crate::config::SimConfig;
+pub(crate) use crate::exec::splitmix64;
+use crate::exec::{
+    init_slots, step_node, validate_wakeup, Ledger, LedgerSink, NodeSlot, ShardOut, StepScratch,
+};
+#[allow(unused_imports)] // re-exported for in-crate users of the old paths
+pub use crate::exec::{node_rng_seed, RunOutcome, Termination, WatchHit};
+use crate::protocol::{NodeSetup, Protocol};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
-use std::collections::{BTreeMap, HashMap};
-use ule_graph::{Graph, NodeId, Port};
-
-/// Why the run stopped.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Termination {
-    /// No messages in flight and no scheduled wakeups — the execution is
-    /// over for good.
-    Quiescent,
-    /// The round cap was reached; statuses are a truncation snapshot.
-    RoundLimit,
-    /// The execution went quiescent because every node fail-stopped
-    /// (see [`crate::adversary::CrashStop`]); nobody is left to decide.
-    AllCrashed,
-}
-
-/// First crossing of a watched edge.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct WatchHit {
-    /// Round in which the first message crossed the edge.
-    pub round: u64,
-    /// Number of messages sent anywhere in the network strictly before
-    /// that message — the "cost until bridge crossing" of Theorem 3.1.
-    pub messages_before: u64,
-}
-
-/// Everything measured during one execution.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct RunOutcome {
-    /// Number of rounds with activity (the last active round + 1).
-    pub rounds: u64,
-    /// Total messages sent.
-    pub messages: u64,
-    /// Total payload bits sent.
-    pub bits: u64,
-    /// Final status of every node.
-    pub statuses: Vec<Status>,
-    /// Why the run stopped.
-    pub termination: Termination,
-    /// Messages whose size exceeded the CONGEST budget.
-    pub congest_violations: u64,
-    /// Largest single message, in bits.
-    pub max_message_bits: u64,
-    /// Per watched edge (same order as `SimConfig::watch_edges`): the first
-    /// crossing, if any.
-    pub watch_hits: Vec<Option<WatchHit>>,
-    /// Round of first use of each directed edge (`u64::MAX` = never),
-    /// indexed by [`Graph::directed_index`]. Drives the Lemma 3.5
-    /// edge-ordering experiment.
-    pub first_directed_use: Vec<u64>,
-    /// Message count per directed edge, same indexing.
-    pub directed_message_counts: Vec<u64>,
-    /// The last round in which any node changed status (`None` if no node
-    /// ever decided).
-    pub last_status_change: Option<u64>,
-    /// Cumulative message totals at the end of each *active* round,
-    /// as `(round, total)` pairs in increasing round order. Supports the
-    /// Lemma 3.5 accounting, which counts messages sent up to and
-    /// including a crossing round.
-    pub round_totals: Vec<(u64, u64)>,
-    /// Nodes whose fail-stop crash fired by the end of the run, ascending.
-    /// Empty under the default [`crate::Adversary::Lockstep`] schedule.
-    pub crashed: Vec<NodeId>,
-    /// Sends the adversary discarded in flight (link failures, deliveries
-    /// into crashed nodes). Dropped sends still count toward
-    /// [`RunOutcome::messages`] — the sender paid for them.
-    pub messages_dropped: u64,
-    /// Messages delivered later than the synchronous `send + 1` round,
-    /// as `(delivery round, count)` pairs in increasing round order.
-    /// Empty unless a delay adversary is configured.
-    pub late_deliveries: Vec<(u64, u64)>,
-}
-
-impl RunOutcome {
-    /// The elected node, if *exactly one* node holds status `Leader`.
-    pub fn leader(&self) -> Option<NodeId> {
-        let mut it = self
-            .statuses
-            .iter()
-            .enumerate()
-            .filter(|(_, s)| **s == Status::Leader);
-        match (it.next(), it.next()) {
-            (Some((v, _)), None) => Some(v),
-            _ => None,
-        }
-    }
-
-    /// Number of nodes holding status `Leader`.
-    pub fn leader_count(&self) -> usize {
-        self.statuses
-            .iter()
-            .filter(|s| **s == Status::Leader)
-            .count()
-    }
-
-    /// Whether node `v` fail-stopped during the run.
-    pub fn is_crashed(&self, v: NodeId) -> bool {
-        self.crashed.binary_search(&v).is_ok()
-    }
-
-    /// The paper's success predicate for implicit leader election: exactly
-    /// one `Leader`, every other node `NonLeader` (nobody `Undecided`).
-    ///
-    /// Under a fault adversary the predicate is evaluated over the
-    /// *surviving* nodes: crashed nodes are exempt from deciding and a
-    /// crashed `Leader` does not count (its survivors must re-elect). A
-    /// run that ended [`Termination::AllCrashed`] never succeeds. With no
-    /// crashes this is exactly the historical predicate.
-    pub fn election_succeeded(&self) -> bool {
-        if self.termination == Termination::AllCrashed {
-            return false;
-        }
-        let mut leaders = 0usize;
-        for (v, s) in self.statuses.iter().enumerate() {
-            if !self.crashed.is_empty() && self.is_crashed(v) {
-                continue;
-            }
-            match s {
-                Status::Undecided => return false,
-                Status::Leader => leaders += 1,
-                Status::NonLeader => {}
-            }
-        }
-        leaders == 1
-    }
-
-    /// Count of still-undecided nodes.
-    pub fn undecided_count(&self) -> usize {
-        self.statuses
-            .iter()
-            .filter(|s| matches!(s, Status::Undecided))
-            .count()
-    }
-
-    /// Total messages sent in rounds `<= round` — the quantity the
-    /// Lemma 3.5 counting argument bounds from below at a bridge crossing.
-    pub fn messages_through(&self, round: u64) -> u64 {
-        match self.round_totals.binary_search_by_key(&round, |&(r, _)| r) {
-            Ok(i) => self.round_totals[i].1,
-            Err(0) => 0,
-            Err(i) => self.round_totals[i - 1].1,
-        }
-    }
-}
-
-pub(crate) fn splitmix64(mut x: u64) -> u64 {
-    x = x.wrapping_add(0x9E3779B97F4A7C15);
-    x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
-    x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
-    x ^ (x >> 31)
-}
-
-/// Seed of node `node`'s private RNG stream in a run seeded with `seed`.
-///
-/// Derivation is *chained*: hash the run seed, add the node index, hash
-/// again. The historical derivation XOR-combined the two
-/// (`seed ^ splitmix64(node + 0x5151)`), under which distinct
-/// `(seed, node)` pairs collide onto identical streams — for any nodes
-/// `u != v`, running with seed `s ^ splitmix64(u + c) ^ splitmix64(v + c)`
-/// hands node `v` exactly the stream node `u` had under seed `s`, so
-/// seed sweeps silently reused coin flips across trials. Chaining has no
-/// such algebraic structure (pinned by `node_rng_streams_are_independent`).
-pub fn node_rng_seed(seed: u64, node: NodeId) -> u64 {
-    splitmix64(splitmix64(seed).wrapping_add(node as u64))
-}
-
-struct NodeSlot<P: Protocol> {
-    proto: P,
-    setup: NodeSetup,
-    rng: StdRng,
-    started: bool,
-    wake: Option<u64>,
-    inbox: Vec<(Port, P::Msg)>,
-    status: Status,
-}
-
-/// One message produced by a shard, carrying the metadata the merge phase
-/// needs to reproduce the sequential engine's accounting exactly.
-struct StagedSend<M> {
-    /// Sending node (for watch-edge lookup).
-    src: NodeId,
-    /// Receiving node.
-    dest: NodeId,
-    /// Port at which `dest` hears the message.
-    dest_port: Port,
-    /// Directed-edge index of the sending `(src, port)` pair.
-    didx: usize,
-    /// Wire size, computed on the shard thread.
-    bits: u64,
-    msg: M,
-}
-
-/// Everything a shard reports back to the merge phase.
-struct ShardOut<M> {
-    /// Sends in sequential order (ascending node, then send order).
-    sends: Vec<StagedSend<M>>,
-    /// `(round, node)` wakeup-heap entries armed by this shard's nodes.
-    wakes: Vec<(u64, NodeId)>,
-    /// Whether any node in the shard changed status this round.
-    status_changed: bool,
-}
-
-impl<M> ShardOut<M> {
-    fn new() -> Self {
-        ShardOut {
-            sends: Vec::new(),
-            wakes: Vec::new(),
-            status_changed: false,
-        }
-    }
-}
-
-/// All global per-message accounting of a run, plus the adversary that
-/// decides each message's fate. Every send — whether stepped inline or in
-/// a shard — funnels through [`Ledger::record`] on the sequential control
-/// thread, in stable merge order, so adversary decisions never run
-/// off-thread and the outcome is identical at any thread count.
-struct Ledger<M> {
-    budget: u64,
-    messages: u64,
-    bits: u64,
-    congest_violations: u64,
-    max_message_bits: u64,
-    first_directed_use: Vec<u64>,
-    directed_message_counts: Vec<u64>,
-    /// Normalized watched edge → indices into `watch_hits` (duplicates
-    /// supported: one crossing fills them all).
-    watch_index: HashMap<(NodeId, NodeId), Vec<usize>>,
-    watch_hits: Vec<Option<WatchHit>>,
-    /// Delivery queue keyed by delivery round; within a round, insertion
-    /// order is global send order (the synchronous engine's inbox order).
-    pending: BTreeMap<u64, Vec<(NodeId, Port, M)>>,
-    /// Fast path for the dominant synchronous case: deliveries due exactly
-    /// at `next_round` (= the round being stepped + 1) skip the tree and
-    /// land here, in send order. Drained at the very next round — by then
-    /// any same-round entries in `pending` were sent *earlier* (a message
-    /// delayed into this round predates every message sent last round),
-    /// so draining `pending` first, then `next`, preserves the global
-    /// send-order invariant.
-    next: Vec<(NodeId, Port, M)>,
-    next_round: u64,
-    messages_dropped: u64,
-    late: BTreeMap<u64, u64>,
-    seq: u64,
-    /// True under the default [`Adversary::Lockstep`]: every fate is the
-    /// identity (deliver next round, nothing crashes), so the per-message
-    /// schedule call is skipped. `tests/properties.rs` pins this shortcut
-    /// against the general path (`Compose([Lockstep])`,
-    /// `BoundedDelay { max_delay: 0 }` take the general path and must
-    /// produce identical outcomes).
-    synchronous: bool,
-    schedule: Box<dyn Schedule>,
-    /// Precomputed fail-stop round per node (queried once at run setup).
-    crash_round: Vec<Option<u64>>,
-    /// Latest crash round whose *effect* the run observed (a suppressed
-    /// wakeup or a dropped delivery); extends the horizon that decides
-    /// which crashes are reported as fired.
-    crash_horizon: u64,
-}
-
-impl<M> Ledger<M> {
-    /// Accounts one send and decides its fate. Mirrors the historical
-    /// sequential accounting exactly when every fate is "deliver next
-    /// round".
-    fn record(&mut self, round: u64, s: StagedSend<M>) {
-        self.messages += 1;
-        self.bits += s.bits;
-        self.max_message_bits = self.max_message_bits.max(s.bits);
-        if s.bits > self.budget {
-            self.congest_violations += 1;
-        }
-        self.directed_message_counts[s.didx] += 1;
-        if self.first_directed_use[s.didx] == u64::MAX {
-            self.first_directed_use[s.didx] = round;
-        }
-        let at = if self.synchronous {
-            // Lockstep identity fate, skipped wholesale: deliver next
-            // round, nothing drops, nothing crashes.
-            self.seq += 1;
-            round + 1
-        } else {
-            let fate = self.schedule.message_fate(&SendView {
-                round,
-                seq: self.seq,
-                src: s.src,
-                dest: s.dest,
-                didx: s.didx,
-            });
-            self.seq += 1;
-            let at = match fate {
-                Fate::Dropped => {
-                    self.messages_dropped += 1;
-                    return;
-                }
-                Fate::Deliver { round: at } => at,
-            };
-            assert!(
-                at > round,
-                "Schedule bug: message sent in round {round} scheduled for delivery at round {at}"
-            );
-            if let Some(c) = self.crash_round[s.dest] {
-                if c <= at {
-                    // Dead on arrival: the destination fail-stops at or
-                    // before the delivery round.
-                    self.messages_dropped += 1;
-                    self.crash_horizon = self.crash_horizon.max(c);
-                    return;
-                }
-            }
-            if at > round + 1 {
-                *self.late.entry(at).or_insert(0) += 1;
-            }
-            at
-        };
-        if !self.watch_index.is_empty() {
-            if let Some(hits) = self
-                .watch_index
-                .get(&(s.src.min(s.dest), s.src.max(s.dest)))
-            {
-                for &i in hits {
-                    if self.watch_hits[i].is_none() {
-                        self.watch_hits[i] = Some(WatchHit {
-                            round,
-                            messages_before: self.messages - 1,
-                        });
-                    }
-                }
-            }
-        }
-        if at == self.next_round {
-            self.next.push((s.dest, s.dest_port, s.msg));
-        } else {
-            self.pending
-                .entry(at)
-                .or_default()
-                .push((s.dest, s.dest_port, s.msg));
-        }
-    }
-}
+use ule_graph::{Graph, NodeId};
 
 /// Steps the active nodes of one shard for one round.
 ///
@@ -423,61 +97,20 @@ fn step_shard<P: Protocol>(
     nodes: &[NodeId],
     out: &mut ShardOut<P::Msg>,
 ) {
-    let mut inbox_scratch: Vec<(Port, P::Msg)> = Vec::new();
-    let mut outbox: Vec<(Port, P::Msg)> = Vec::new();
-    let mut sent_on: Vec<bool> = Vec::new();
+    let mut scratch = StepScratch::default();
     for &v in nodes {
-        let slot = &mut slots[v - base];
-        if slot.wake.is_some_and(|w| w <= round) {
-            slot.wake = None;
+        let effects = step_node(
+            graph,
+            round,
+            v,
+            &mut slots[v - base],
+            &mut scratch,
+            &mut out.sends,
+        );
+        if let Some(w) = effects.rearmed {
+            out.wakes.push((w, v));
         }
-        let armed_wake = slot.wake;
-        let first_activation = !slot.started;
-        slot.started = true;
-
-        inbox_scratch.clear();
-        inbox_scratch.append(&mut slot.inbox);
-
-        outbox.clear();
-        sent_on.clear();
-        sent_on.resize(slot.setup.degree, false);
-        let mut wake = slot.wake;
-        {
-            let mut ctx = Context {
-                round,
-                setup: &slot.setup,
-                first_activation,
-                rng: &mut slot.rng,
-                outbox: &mut outbox,
-                sent_on: &mut sent_on,
-                wake: &mut wake,
-            };
-            slot.proto.on_round(&mut ctx, &inbox_scratch);
-        }
-        slot.wake = wake;
-        if let Some(w) = wake {
-            if armed_wake != Some(w) {
-                out.wakes.push((w, v));
-            }
-        }
-
-        let new_status = slot.proto.status();
-        if new_status != slot.status {
-            slot.status = new_status;
-            out.status_changed = true;
-        }
-
-        for (port, msg) in outbox.drain(..) {
-            let (dest, dest_port, didx) = graph.endpoint_indexed(v, port);
-            out.sends.push(StagedSend {
-                src: v,
-                dest,
-                dest_port,
-                didx,
-                bits: msg.size_bits(),
-                msg,
-            });
-        }
+        out.status_changed |= effects.status_changed;
     }
 }
 
@@ -496,9 +129,9 @@ fn step_shard<P: Protocol>(
 ///
 /// # Panics
 ///
-/// Panics if an explicit [`IdMode`] assignment does not cover the graph, if
-/// the config is invalid ([`Wakeup::Adversarial`] naming a node `>= n`, a
-/// watched edge that is not an edge of the graph, or an
+/// Panics if an explicit [`crate::IdMode`] assignment does not cover the
+/// graph, if the config is invalid ([`crate::Wakeup::Adversarial`] naming a
+/// node `>= n`, a watched edge that is not an edge of the graph, or an
 /// [`crate::Adversary`] schedule naming an out-of-range node or a
 /// non-edge), or on protocol API misuse (double-send on a port, past
 /// wakeups).
@@ -528,44 +161,16 @@ fn step_shard<P: Protocol>(
 /// assert_eq!(outcome.rounds, 2);
 /// # Ok::<(), ule_graph::GraphError>(())
 /// ```
-pub fn run<P, F>(graph: &Graph, config: &SimConfig, mut factory: F) -> RunOutcome
+pub fn run<P, F>(graph: &Graph, config: &SimConfig, factory: F) -> RunOutcome
 where
     P: Protocol,
     F: FnMut(NodeId, &NodeSetup, &mut StdRng) -> P,
 {
     let n = graph.len();
-    let budget = config.model.bit_budget(n);
     let threads = config.parallelism.effective_threads(n);
     let min_shard_nodes = config.parallelism.min_shard_nodes();
 
-    let ids: Vec<Option<u64>> = match &config.ids {
-        IdMode::Anonymous => vec![None; n],
-        IdMode::Explicit(a) => {
-            assert_eq!(a.len(), n, "identifier assignment does not cover the graph");
-            a.iter().map(|&id| Some(id)).collect()
-        }
-    };
-
-    let mut slots: Vec<NodeSlot<P>> = (0..n)
-        .map(|v| {
-            let setup = NodeSetup {
-                degree: graph.degree(v),
-                id: ids[v],
-                knowledge: config.knowledge,
-            };
-            let mut rng = StdRng::seed_from_u64(node_rng_seed(config.seed, v));
-            let proto = factory(v, &setup, &mut rng);
-            NodeSlot {
-                proto,
-                setup,
-                rng,
-                started: false,
-                wake: None,
-                inbox: Vec::new(),
-                status: Status::Undecided,
-            }
-        })
-        .collect();
+    let mut slots: Vec<NodeSlot<P>> = init_slots(graph, config, factory);
 
     // Pending wakeups, min-first. Entries are lazily invalidated: an entry
     // `(w, v)` is genuine iff `slots[v].wake == Some(w)` when popped (a
@@ -573,15 +178,7 @@ where
     let mut wake_heap: BinaryHeap<Reverse<(u64, NodeId)>> = BinaryHeap::new();
 
     // Legacy wakeup validation: the panic messages are part of the API.
-    if let Wakeup::Adversarial(set) = &config.wakeup {
-        assert!(!set.is_empty(), "at least one node must wake initially");
-        for &v in set {
-            assert!(
-                v < n,
-                "Wakeup::Adversarial names node {v}, but the graph has only {n} nodes"
-            );
-        }
-    }
+    validate_wakeup(config, n);
     // The run's execution model: the wakeup discipline stacked with the
     // configured adversary (see `crate::adversary`). Every wakeup,
     // liveness, and message-fate decision flows through these schedules,
@@ -592,59 +189,18 @@ where
     // per-message path consults the adversary alone, with identical
     // semantics (pinned by `tests/properties.rs`).
     let mut wakeup_schedule = config.wakeup.as_schedule();
-    let mut schedule: Box<dyn Schedule> = config.adversary.build(config.seed, graph);
-    let crash_round: Vec<Option<u64>> = (0..n).map(|v| schedule.crash_round(v)).collect();
 
-    let watch: Vec<(NodeId, NodeId)> = config
-        .watch_edges
-        .iter()
-        .map(|&(a, b)| (a.min(b), a.max(b)))
-        .collect();
-    // Normalized edge → indices into `watch` (duplicate watch entries are
-    // supported: one crossing fills them all). One hash lookup per sent
-    // message replaces the historical O(|watch|) scan per message.
-    let mut watch_index: HashMap<(NodeId, NodeId), Vec<usize>> = HashMap::new();
-    for (i, &(a, b)) in watch.iter().enumerate() {
-        assert!(
-            graph.has_edge(a, b),
-            "watch edge ({a}, {b}) is not an edge of the graph"
-        );
-        watch_index.entry((a, b)).or_default().push(i);
-    }
-
-    let mut ledger: Ledger<P::Msg> = Ledger {
-        budget,
-        messages: 0,
-        bits: 0,
-        congest_violations: 0,
-        max_message_bits: 0,
-        first_directed_use: vec![u64::MAX; graph.directed_edge_count()],
-        directed_message_counts: vec![0u64; graph.directed_edge_count()],
-        watch_index,
-        watch_hits: vec![None; watch.len()],
-        pending: BTreeMap::new(),
-        next: Vec::new(),
-        next_round: 1,
-        messages_dropped: 0,
-        late: BTreeMap::new(),
-        seq: 0,
-        synchronous: config.adversary == Adversary::Lockstep,
-        schedule,
-        crash_round,
-        crash_horizon: 0,
-    };
+    let mut ledger: Ledger<P::Msg> = Ledger::new(graph, config);
 
     let mut last_status_change: Option<u64> = None;
     let mut round_totals: Vec<(u64, u64)> = Vec::new();
 
-    let mut outbox: Vec<(Port, P::Msg)> = Vec::new();
-    let mut sent_on: Vec<bool> = Vec::new();
+    let mut scratch: StepScratch<P::Msg> = StepScratch::default();
     // The round's active set (small for sparse protocols) and the dedup
     // bitmap guarding it; due deliveries and wakeups join at the top of
     // the loop.
     let mut active: Vec<NodeId> = Vec::new();
     let mut in_active: Vec<bool> = vec![false; n];
-    let mut inbox_scratch: Vec<(Port, P::Msg)> = Vec::new();
 
     // Arm the spontaneous wakeups the schedule grants. Round-0 wakeups
     // seed the active set directly: routing them through the heap would be
@@ -681,7 +237,7 @@ where
 
     let mut round: u64 = 0;
     let mut rounds_used: u64 = 0;
-    let mut termination;
+    let termination;
 
     'rounds: loop {
         if round >= config.max_rounds {
@@ -837,62 +393,20 @@ where
             }
         } else {
             for &v in &active {
-                let slot = &mut slots[v];
-                if slot.wake.is_some_and(|w| w <= round) {
-                    slot.wake = None;
-                }
-                let armed_wake = slot.wake;
-                let first_activation = !slot.started;
-                slot.started = true;
-
-                inbox_scratch.clear();
-                inbox_scratch.append(&mut slot.inbox);
-
-                outbox.clear();
-                sent_on.clear();
-                sent_on.resize(slot.setup.degree, false);
-                let mut wake = slot.wake;
-                {
-                    let mut ctx = Context {
+                let effects = {
+                    let mut sink = LedgerSink {
+                        ledger: &mut ledger,
                         round,
-                        setup: &slot.setup,
-                        first_activation,
-                        rng: &mut slot.rng,
-                        outbox: &mut outbox,
-                        sent_on: &mut sent_on,
-                        wake: &mut wake,
                     };
-                    slot.proto.on_round(&mut ctx, &inbox_scratch);
+                    step_node(graph, round, v, &mut slots[v], &mut scratch, &mut sink)
+                };
+                // A changed timer needs a heap entry; the stale entry for
+                // the previously armed round (if any) stays in the heap.
+                if let Some(w) = effects.rearmed {
+                    wake_heap.push(Reverse((w, v)));
                 }
-                slot.wake = wake;
-                // A changed timer needs a heap entry; the `armed_wake` entry
-                // (if any) is still in the heap and becomes stale.
-                if let Some(w) = wake {
-                    if armed_wake != Some(w) {
-                        wake_heap.push(Reverse((w, v)));
-                    }
-                }
-
-                let new_status = slot.proto.status();
-                if new_status != slot.status {
-                    slot.status = new_status;
+                if effects.status_changed {
                     last_status_change = Some(round);
-                }
-
-                for (port, msg) in outbox.drain(..) {
-                    let (dest, dest_port, didx) = graph.endpoint_indexed(v, port);
-                    let bits = msg.size_bits();
-                    ledger.record(
-                        round,
-                        StagedSend {
-                            src: v,
-                            dest,
-                            dest_port,
-                            didx,
-                            bits,
-                            msg,
-                        },
-                    );
                 }
             }
         }
@@ -906,35 +420,14 @@ where
         round += 1;
     }
 
-    // Which scheduled crashes fired: everything at or before the last
-    // round the run reached, extended by crashes whose effect (a
-    // suppressed wakeup, a dropped delivery) was already observed.
-    let end = round.max(ledger.crash_horizon);
-    let crashed: Vec<NodeId> = (0..n)
-        .filter(|&v| ledger.crash_round[v].is_some_and(|c| c <= end))
-        .collect();
-    if termination == Termination::Quiescent && crashed.len() == n && n > 0 {
-        termination = Termination::AllCrashed;
-    }
-    let late_deliveries: Vec<(u64, u64)> = ledger.late.into_iter().collect();
-
-    RunOutcome {
-        rounds: rounds_used,
-        messages: ledger.messages,
-        bits: ledger.bits,
-        statuses: slots.iter().map(|s| s.status).collect(),
+    ledger.finish(
+        &slots,
+        rounds_used,
+        round,
         termination,
-        congest_violations: ledger.congest_violations,
-        max_message_bits: ledger.max_message_bits,
-        watch_hits: ledger.watch_hits,
-        first_directed_use: ledger.first_directed_use,
-        directed_message_counts: ledger.directed_message_counts,
         last_status_change,
         round_totals,
-        crashed,
-        messages_dropped: ledger.messages_dropped,
-        late_deliveries,
-    }
+    )
 }
 
 #[cfg(test)]

@@ -1,0 +1,668 @@
+//! The runtime-independent execution core.
+//!
+//! Everything in this module is shared verbatim by every runtime that can
+//! drive a [`Protocol`]: the lockstep round engine ([`crate::run`], a
+//! *scheduler policy* layered on this core) and the async threads+channels
+//! runtime ([`crate::rt`]). It owns:
+//!
+//! * **node-state storage** — `NodeSlot`: the protocol instance, its
+//!   private RNG stream ([`node_rng_seed`]), setup, wakeup timer, inbox and
+//!   status, constructed identically by every runtime (`init_slots`);
+//! * **protocol stepping** — `step_node`: the one activation sequence
+//!   (clear a due timer, drain the inbox, run `on_round`, report re-armed
+//!   timers and status changes, stage sends), parameterized over a
+//!   `SendSink` so each runtime decides where staged sends go without
+//!   re-implementing the stepping rules;
+//! * **message accounting** — `Ledger`: message/bit totals, CONGEST
+//!   budget checks, per-directed-edge statistics, watch-edge crossings,
+//!   adversary fates and delivery queueing;
+//! * **outcome assembly** — [`RunOutcome`] and the final crash/termination
+//!   bookkeeping (`Ledger::finish`).
+//!
+//! What is *not* here is exactly what distinguishes runtimes: the decision
+//! of **when** a node steps (the lockstep engine's active set, wakeup heap
+//! and fast-forward live in `engine`; the async runtime's per-edge clocks
+//! and quiescence arbiter live in `rt`), and the transport that moves a
+//! staged send to its destination inbox (the engine delivers through the
+//! ledger's queues; the async runtime ships frames over `std::sync::mpsc`
+//! channels). Both scheduling policies execute the same core in the same
+//! order, which is why their outcomes agree exactly (pinned by
+//! `tests/async_conformance.rs`).
+
+use crate::adversary::{Adversary, Fate, Schedule, SendView};
+use crate::config::{IdMode, SimConfig, Wakeup};
+use crate::message::Message;
+use crate::protocol::{Context, NodeSetup, Protocol, Status};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::{BTreeMap, HashMap};
+use ule_graph::{Graph, NodeId, Port};
+
+/// Why the run stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Termination {
+    /// No messages in flight and no scheduled wakeups — the execution is
+    /// over for good.
+    Quiescent,
+    /// The round cap was reached; statuses are a truncation snapshot.
+    RoundLimit,
+    /// The execution went quiescent because every node fail-stopped
+    /// (see [`crate::adversary::CrashStop`]); nobody is left to decide.
+    AllCrashed,
+}
+
+/// First crossing of a watched edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WatchHit {
+    /// Round in which the first message crossed the edge.
+    pub round: u64,
+    /// Number of messages sent anywhere in the network strictly before
+    /// that message — the "cost until bridge crossing" of Theorem 3.1.
+    pub messages_before: u64,
+}
+
+/// Everything measured during one execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunOutcome {
+    /// Number of rounds with activity (the last active round + 1).
+    pub rounds: u64,
+    /// Total messages sent.
+    pub messages: u64,
+    /// Total payload bits sent.
+    pub bits: u64,
+    /// Final status of every node.
+    pub statuses: Vec<Status>,
+    /// Why the run stopped.
+    pub termination: Termination,
+    /// Messages whose size exceeded the CONGEST budget.
+    pub congest_violations: u64,
+    /// Largest single message, in bits.
+    pub max_message_bits: u64,
+    /// Per watched edge (same order as `SimConfig::watch_edges`): the first
+    /// crossing, if any.
+    pub watch_hits: Vec<Option<WatchHit>>,
+    /// Round of first use of each directed edge (`u64::MAX` = never),
+    /// indexed by [`Graph::directed_index`]. Drives the Lemma 3.5
+    /// edge-ordering experiment.
+    pub first_directed_use: Vec<u64>,
+    /// Message count per directed edge, same indexing.
+    pub directed_message_counts: Vec<u64>,
+    /// The last round in which any node changed status (`None` if no node
+    /// ever decided).
+    pub last_status_change: Option<u64>,
+    /// Cumulative message totals at the end of each *active* round,
+    /// as `(round, total)` pairs in increasing round order. Supports the
+    /// Lemma 3.5 accounting, which counts messages sent up to and
+    /// including a crossing round.
+    pub round_totals: Vec<(u64, u64)>,
+    /// Nodes whose fail-stop crash fired by the end of the run, ascending.
+    /// Empty under the default [`crate::Adversary::Lockstep`] schedule.
+    pub crashed: Vec<NodeId>,
+    /// Sends the adversary discarded in flight (link failures, deliveries
+    /// into crashed nodes). Dropped sends still count toward
+    /// [`RunOutcome::messages`] — the sender paid for them.
+    pub messages_dropped: u64,
+    /// Messages delivered later than the synchronous `send + 1` round,
+    /// as `(delivery round, count)` pairs in increasing round order.
+    /// Empty unless a delay adversary is configured.
+    pub late_deliveries: Vec<(u64, u64)>,
+}
+
+impl RunOutcome {
+    /// The elected node, if *exactly one* node holds status `Leader`.
+    pub fn leader(&self) -> Option<NodeId> {
+        let mut it = self
+            .statuses
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| **s == Status::Leader);
+        match (it.next(), it.next()) {
+            (Some((v, _)), None) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Number of nodes holding status `Leader`.
+    pub fn leader_count(&self) -> usize {
+        self.statuses
+            .iter()
+            .filter(|s| **s == Status::Leader)
+            .count()
+    }
+
+    /// Whether node `v` fail-stopped during the run.
+    pub fn is_crashed(&self, v: NodeId) -> bool {
+        self.crashed.binary_search(&v).is_ok()
+    }
+
+    /// The paper's success predicate for implicit leader election: exactly
+    /// one `Leader`, every other node `NonLeader` (nobody `Undecided`).
+    ///
+    /// Under a fault adversary the predicate is evaluated over the
+    /// *surviving* nodes: crashed nodes are exempt from deciding and a
+    /// crashed `Leader` does not count (its survivors must re-elect). A
+    /// run that ended [`Termination::AllCrashed`] never succeeds. With no
+    /// crashes this is exactly the historical predicate.
+    pub fn election_succeeded(&self) -> bool {
+        if self.termination == Termination::AllCrashed {
+            return false;
+        }
+        let mut leaders = 0usize;
+        for (v, s) in self.statuses.iter().enumerate() {
+            if !self.crashed.is_empty() && self.is_crashed(v) {
+                continue;
+            }
+            match s {
+                Status::Undecided => return false,
+                Status::Leader => leaders += 1,
+                Status::NonLeader => {}
+            }
+        }
+        leaders == 1
+    }
+
+    /// Count of still-undecided nodes.
+    pub fn undecided_count(&self) -> usize {
+        self.statuses
+            .iter()
+            .filter(|s| matches!(s, Status::Undecided))
+            .count()
+    }
+
+    /// Total messages sent in rounds `<= round` — the quantity the
+    /// Lemma 3.5 counting argument bounds from below at a bridge crossing.
+    pub fn messages_through(&self, round: u64) -> u64 {
+        match self.round_totals.binary_search_by_key(&round, |&(r, _)| r) {
+            Ok(i) => self.round_totals[i].1,
+            Err(0) => 0,
+            Err(i) => self.round_totals[i - 1].1,
+        }
+    }
+}
+
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E3779B97F4A7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
+    x ^ (x >> 31)
+}
+
+/// Seed of node `node`'s private RNG stream in a run seeded with `seed`.
+///
+/// Derivation is *chained*: hash the run seed, add the node index, hash
+/// again. The historical derivation XOR-combined the two
+/// (`seed ^ splitmix64(node + 0x5151)`), under which distinct
+/// `(seed, node)` pairs collide onto identical streams — for any nodes
+/// `u != v`, running with seed `s ^ splitmix64(u + c) ^ splitmix64(v + c)`
+/// hands node `v` exactly the stream node `u` had under seed `s`, so
+/// seed sweeps silently reused coin flips across trials. Chaining has no
+/// such algebraic structure (pinned by `node_rng_streams_are_independent`).
+pub fn node_rng_seed(seed: u64, node: NodeId) -> u64 {
+    splitmix64(splitmix64(seed).wrapping_add(node as u64))
+}
+
+/// Per-node execution state: the protocol instance and everything a
+/// runtime must store between activations. Runtime-independent — both the
+/// lockstep engine and the async runtime drive a `Vec<NodeSlot<P>>` built
+/// by [`init_slots`].
+pub(crate) struct NodeSlot<P: Protocol> {
+    pub(crate) proto: P,
+    pub(crate) setup: NodeSetup,
+    pub(crate) rng: StdRng,
+    pub(crate) started: bool,
+    pub(crate) wake: Option<u64>,
+    pub(crate) inbox: Vec<(Port, P::Msg)>,
+    pub(crate) status: Status,
+}
+
+/// One message produced by a stepped node, carrying the metadata the
+/// accounting phase needs to reproduce the sequential engine's bookkeeping
+/// exactly.
+pub(crate) struct StagedSend<M> {
+    /// Sending node (for watch-edge lookup).
+    pub(crate) src: NodeId,
+    /// Receiving node.
+    pub(crate) dest: NodeId,
+    /// Port at which `dest` hears the message.
+    pub(crate) dest_port: Port,
+    /// Directed-edge index of the sending `(src, port)` pair.
+    pub(crate) didx: usize,
+    /// Wire size, computed where the message was built.
+    pub(crate) bits: u64,
+    pub(crate) msg: M,
+}
+
+/// Everything a shard reports back to the lockstep engine's merge phase.
+pub(crate) struct ShardOut<M> {
+    /// Sends in sequential order (ascending node, then send order).
+    pub(crate) sends: Vec<StagedSend<M>>,
+    /// `(round, node)` wakeup-heap entries armed by this shard's nodes.
+    pub(crate) wakes: Vec<(u64, NodeId)>,
+    /// Whether any node in the shard changed status this round.
+    pub(crate) status_changed: bool,
+}
+
+impl<M> ShardOut<M> {
+    pub(crate) fn new() -> Self {
+        ShardOut {
+            sends: Vec::new(),
+            wakes: Vec::new(),
+            status_changed: false,
+        }
+    }
+}
+
+/// Where [`step_node`] delivers the sends a node stages: the lockstep
+/// engine's shard path collects them into a `Vec` for the merge phase, its
+/// inline path records them straight into the [`Ledger`] (no intermediate
+/// buffer — the reference code path stays allocation-free), and the async
+/// runtime ships them into `mpsc` channels. Monomorphized: the stepping
+/// loop pays no dispatch cost.
+pub(crate) trait SendSink<M> {
+    /// Accepts one staged send, in the node's emission order.
+    fn accept(&mut self, send: StagedSend<M>);
+}
+
+impl<M> SendSink<M> for Vec<StagedSend<M>> {
+    fn accept(&mut self, send: StagedSend<M>) {
+        self.push(send);
+    }
+}
+
+/// The inline-path sink: every send goes straight to [`Ledger::record`],
+/// exactly as the historical sequential engine interleaved it.
+pub(crate) struct LedgerSink<'a, M> {
+    pub(crate) ledger: &'a mut Ledger<M>,
+    pub(crate) round: u64,
+}
+
+impl<M> SendSink<M> for LedgerSink<'_, M> {
+    fn accept(&mut self, send: StagedSend<M>) {
+        self.ledger.record(self.round, send);
+    }
+}
+
+/// Reusable per-step buffers, so stepping a node allocates nothing in the
+/// steady state.
+pub(crate) struct StepScratch<M> {
+    pub(crate) inbox: Vec<(Port, M)>,
+    pub(crate) outbox: Vec<(Port, M)>,
+    pub(crate) sent_on: Vec<bool>,
+}
+
+impl<M> Default for StepScratch<M> {
+    fn default() -> Self {
+        StepScratch {
+            inbox: Vec::new(),
+            outbox: Vec::new(),
+            sent_on: Vec::new(),
+        }
+    }
+}
+
+/// What one activation changed, beyond the sends (which went to the sink):
+/// the scheduling facts a runtime must react to.
+pub(crate) struct StepEffects {
+    /// `Some(w)` iff the node's timer changed to `w` during this step — the
+    /// runtime must (re-)schedule the wakeup. A timer that survives
+    /// unchanged needs nothing (the engine's heap entry is still there).
+    pub(crate) rearmed: Option<u64>,
+    /// Whether the node's status changed this round.
+    pub(crate) status_changed: bool,
+}
+
+/// Executes one activation of node `v` at `round`: the single stepping
+/// sequence every runtime shares. Clears a due timer, drains the inbox,
+/// runs the protocol, reports re-armed timers and status changes, and
+/// stages each send (with its destination endpoint and wire size resolved)
+/// into `sink`, in emission order.
+pub(crate) fn step_node<P: Protocol, S: SendSink<P::Msg>>(
+    graph: &Graph,
+    round: u64,
+    v: NodeId,
+    slot: &mut NodeSlot<P>,
+    scratch: &mut StepScratch<P::Msg>,
+    sink: &mut S,
+) -> StepEffects {
+    if slot.wake.is_some_and(|w| w <= round) {
+        slot.wake = None;
+    }
+    let armed_wake = slot.wake;
+    let first_activation = !slot.started;
+    slot.started = true;
+
+    scratch.inbox.clear();
+    scratch.inbox.append(&mut slot.inbox);
+
+    scratch.outbox.clear();
+    scratch.sent_on.clear();
+    scratch.sent_on.resize(slot.setup.degree, false);
+    let mut wake = slot.wake;
+    {
+        let mut ctx = Context {
+            round,
+            setup: &slot.setup,
+            first_activation,
+            rng: &mut slot.rng,
+            outbox: &mut scratch.outbox,
+            sent_on: &mut scratch.sent_on,
+            wake: &mut wake,
+        };
+        slot.proto.on_round(&mut ctx, &scratch.inbox);
+    }
+    slot.wake = wake;
+    let rearmed = match wake {
+        Some(w) if armed_wake != Some(w) => Some(w),
+        _ => None,
+    };
+
+    let new_status = slot.proto.status();
+    let status_changed = new_status != slot.status;
+    if status_changed {
+        slot.status = new_status;
+    }
+
+    for (port, msg) in scratch.outbox.drain(..) {
+        let (dest, dest_port, didx) = graph.endpoint_indexed(v, port);
+        sink.accept(StagedSend {
+            src: v,
+            dest,
+            dest_port,
+            didx,
+            bits: msg.size_bits(),
+            msg,
+        });
+    }
+
+    StepEffects {
+        rearmed,
+        status_changed,
+    }
+}
+
+/// Builds the per-node slots for a run: resolves identifiers, seeds each
+/// node's private RNG stream and calls `factory` once per node **in index
+/// order** — the order is part of the determinism contract, shared by every
+/// runtime, so a protocol's coin flips are identical wherever it runs.
+///
+/// # Panics
+///
+/// Panics if an explicit [`IdMode`] assignment does not cover the graph.
+pub(crate) fn init_slots<P, F>(
+    graph: &Graph,
+    config: &SimConfig,
+    mut factory: F,
+) -> Vec<NodeSlot<P>>
+where
+    P: Protocol,
+    F: FnMut(NodeId, &NodeSetup, &mut StdRng) -> P,
+{
+    let n = graph.len();
+    let ids: Vec<Option<u64>> = match &config.ids {
+        IdMode::Anonymous => vec![None; n],
+        IdMode::Explicit(a) => {
+            assert_eq!(a.len(), n, "identifier assignment does not cover the graph");
+            a.iter().map(|&id| Some(id)).collect()
+        }
+    };
+    (0..n)
+        .map(|v| {
+            let setup = NodeSetup {
+                degree: graph.degree(v),
+                id: ids[v],
+                knowledge: config.knowledge,
+            };
+            let mut rng = StdRng::seed_from_u64(node_rng_seed(config.seed, v));
+            let proto = factory(v, &setup, &mut rng);
+            NodeSlot {
+                proto,
+                setup,
+                rng,
+                started: false,
+                wake: None,
+                inbox: Vec::new(),
+                status: Status::Undecided,
+            }
+        })
+        .collect()
+}
+
+/// Legacy wakeup validation, shared by every runtime: the panic messages
+/// are part of the API.
+pub(crate) fn validate_wakeup(config: &SimConfig, n: usize) {
+    if let Wakeup::Adversarial(set) = &config.wakeup {
+        assert!(!set.is_empty(), "at least one node must wake initially");
+        for &v in set {
+            assert!(
+                v < n,
+                "Wakeup::Adversarial names node {v}, but the graph has only {n} nodes"
+            );
+        }
+    }
+}
+
+/// All global per-message accounting of a run, plus the adversary that
+/// decides each message's fate. Every send — whether stepped inline or in
+/// a shard — funnels through [`Ledger::record`] on the sequential control
+/// thread, in stable merge order, so adversary decisions never run
+/// off-thread and the outcome is identical at any thread count.
+pub(crate) struct Ledger<M> {
+    pub(crate) budget: u64,
+    pub(crate) messages: u64,
+    pub(crate) bits: u64,
+    pub(crate) congest_violations: u64,
+    pub(crate) max_message_bits: u64,
+    pub(crate) first_directed_use: Vec<u64>,
+    pub(crate) directed_message_counts: Vec<u64>,
+    /// Normalized watched edge → indices into `watch_hits` (duplicates
+    /// supported: one crossing fills them all).
+    pub(crate) watch_index: HashMap<(NodeId, NodeId), Vec<usize>>,
+    pub(crate) watch_hits: Vec<Option<WatchHit>>,
+    /// Delivery queue keyed by delivery round; within a round, insertion
+    /// order is global send order (the synchronous engine's inbox order).
+    pub(crate) pending: BTreeMap<u64, Vec<(NodeId, Port, M)>>,
+    /// Fast path for the dominant synchronous case: deliveries due exactly
+    /// at `next_round` (= the round being stepped + 1) skip the tree and
+    /// land here, in send order. Drained at the very next round — by then
+    /// any same-round entries in `pending` were sent *earlier* (a message
+    /// delayed into this round predates every message sent last round),
+    /// so draining `pending` first, then `next`, preserves the global
+    /// send-order invariant.
+    pub(crate) next: Vec<(NodeId, Port, M)>,
+    pub(crate) next_round: u64,
+    pub(crate) messages_dropped: u64,
+    pub(crate) late: BTreeMap<u64, u64>,
+    pub(crate) seq: u64,
+    /// True under the default [`Adversary::Lockstep`]: every fate is the
+    /// identity (deliver next round, nothing crashes), so the per-message
+    /// schedule call is skipped. `tests/properties.rs` pins this shortcut
+    /// against the general path (`Compose([Lockstep])`,
+    /// `BoundedDelay { max_delay: 0 }` take the general path and must
+    /// produce identical outcomes).
+    pub(crate) synchronous: bool,
+    pub(crate) schedule: Box<dyn Schedule>,
+    /// Precomputed fail-stop round per node (queried once at run setup).
+    pub(crate) crash_round: Vec<Option<u64>>,
+    /// Latest crash round whose *effect* the run observed (a suppressed
+    /// wakeup or a dropped delivery); extends the horizon that decides
+    /// which crashes are reported as fired.
+    pub(crate) crash_horizon: u64,
+}
+
+impl<M> Ledger<M> {
+    /// A fresh ledger for a run of `config` on `graph`: builds the
+    /// adversary schedule, precomputes crash rounds, normalizes and
+    /// indexes the watched edges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a watched edge is not an edge of the graph (the panic
+    /// message is part of the API).
+    pub(crate) fn new(graph: &Graph, config: &SimConfig) -> Self {
+        let n = graph.len();
+        let mut schedule: Box<dyn Schedule> = config.adversary.build(config.seed, graph);
+        let crash_round: Vec<Option<u64>> = (0..n).map(|v| schedule.crash_round(v)).collect();
+
+        let watch: Vec<(NodeId, NodeId)> = config
+            .watch_edges
+            .iter()
+            .map(|&(a, b)| (a.min(b), a.max(b)))
+            .collect();
+        // Normalized edge → indices into `watch` (duplicate watch entries
+        // are supported: one crossing fills them all). One hash lookup per
+        // sent message replaces the historical O(|watch|) scan per message.
+        let mut watch_index: HashMap<(NodeId, NodeId), Vec<usize>> = HashMap::new();
+        for (i, &(a, b)) in watch.iter().enumerate() {
+            assert!(
+                graph.has_edge(a, b),
+                "watch edge ({a}, {b}) is not an edge of the graph"
+            );
+            watch_index.entry((a, b)).or_default().push(i);
+        }
+
+        Ledger {
+            budget: config.model.bit_budget(n),
+            messages: 0,
+            bits: 0,
+            congest_violations: 0,
+            max_message_bits: 0,
+            first_directed_use: vec![u64::MAX; graph.directed_edge_count()],
+            directed_message_counts: vec![0u64; graph.directed_edge_count()],
+            watch_index,
+            watch_hits: vec![None; watch.len()],
+            pending: BTreeMap::new(),
+            next: Vec::new(),
+            next_round: 1,
+            messages_dropped: 0,
+            late: BTreeMap::new(),
+            seq: 0,
+            synchronous: config.adversary == Adversary::Lockstep,
+            schedule,
+            crash_round,
+            crash_horizon: 0,
+        }
+    }
+
+    /// Accounts one send and decides its fate. Mirrors the historical
+    /// sequential accounting exactly when every fate is "deliver next
+    /// round".
+    pub(crate) fn record(&mut self, round: u64, s: StagedSend<M>) {
+        self.messages += 1;
+        self.bits += s.bits;
+        self.max_message_bits = self.max_message_bits.max(s.bits);
+        if s.bits > self.budget {
+            self.congest_violations += 1;
+        }
+        self.directed_message_counts[s.didx] += 1;
+        if self.first_directed_use[s.didx] == u64::MAX {
+            self.first_directed_use[s.didx] = round;
+        }
+        let at = if self.synchronous {
+            // Lockstep identity fate, skipped wholesale: deliver next
+            // round, nothing drops, nothing crashes.
+            self.seq += 1;
+            round + 1
+        } else {
+            let fate = self.schedule.message_fate(&SendView {
+                round,
+                seq: self.seq,
+                src: s.src,
+                dest: s.dest,
+                didx: s.didx,
+            });
+            self.seq += 1;
+            let at = match fate {
+                Fate::Dropped => {
+                    self.messages_dropped += 1;
+                    return;
+                }
+                Fate::Deliver { round: at } => at,
+            };
+            assert!(
+                at > round,
+                "Schedule bug: message sent in round {round} scheduled for delivery at round {at}"
+            );
+            if let Some(c) = self.crash_round[s.dest] {
+                if c <= at {
+                    // Dead on arrival: the destination fail-stops at or
+                    // before the delivery round.
+                    self.messages_dropped += 1;
+                    self.crash_horizon = self.crash_horizon.max(c);
+                    return;
+                }
+            }
+            if at > round + 1 {
+                *self.late.entry(at).or_insert(0) += 1;
+            }
+            at
+        };
+        if !self.watch_index.is_empty() {
+            if let Some(hits) = self
+                .watch_index
+                .get(&(s.src.min(s.dest), s.src.max(s.dest)))
+            {
+                for &i in hits {
+                    if self.watch_hits[i].is_none() {
+                        self.watch_hits[i] = Some(WatchHit {
+                            round,
+                            messages_before: self.messages - 1,
+                        });
+                    }
+                }
+            }
+        }
+        if at == self.next_round {
+            self.next.push((s.dest, s.dest_port, s.msg));
+        } else {
+            self.pending
+                .entry(at)
+                .or_default()
+                .push((s.dest, s.dest_port, s.msg));
+        }
+    }
+
+    /// Final crash/termination bookkeeping and outcome assembly, shared by
+    /// every runtime: decides which scheduled crashes are reported as
+    /// fired (everything at or before `end_round`, extended by crashes
+    /// whose effect — a suppressed wakeup, a dropped delivery — was
+    /// already observed), and downgrades a quiescent run in which every
+    /// node died to [`Termination::AllCrashed`].
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn finish<P: Protocol<Msg = M>>(
+        self,
+        slots: &[NodeSlot<P>],
+        rounds_used: u64,
+        end_round: u64,
+        mut termination: Termination,
+        last_status_change: Option<u64>,
+        round_totals: Vec<(u64, u64)>,
+    ) -> RunOutcome {
+        let n = slots.len();
+        let end = end_round.max(self.crash_horizon);
+        let crashed: Vec<NodeId> = (0..n)
+            .filter(|&v| self.crash_round[v].is_some_and(|c| c <= end))
+            .collect();
+        if termination == Termination::Quiescent && crashed.len() == n && n > 0 {
+            termination = Termination::AllCrashed;
+        }
+        let late_deliveries: Vec<(u64, u64)> = self.late.into_iter().collect();
+
+        RunOutcome {
+            rounds: rounds_used,
+            messages: self.messages,
+            bits: self.bits,
+            statuses: slots.iter().map(|s| s.status).collect(),
+            termination,
+            congest_violations: self.congest_violations,
+            max_message_bits: self.max_message_bits,
+            watch_hits: self.watch_hits,
+            first_directed_use: self.first_directed_use,
+            directed_message_counts: self.directed_message_counts,
+            last_status_change,
+            round_totals,
+            crashed,
+            messages_dropped: self.messages_dropped,
+            late_deliveries,
+        }
+    }
+}

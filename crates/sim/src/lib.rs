@@ -77,14 +77,18 @@
 pub mod adversary;
 mod config;
 mod engine;
+pub mod exec;
 pub mod harness;
 pub mod message;
 pub mod outbox;
 mod protocol;
+pub mod rt;
 pub mod transport;
 
 pub use adversary::{Adversary, Fate, Schedule, SendView};
 pub use config::{IdMode, Model, Parallelism, SimConfig, Wakeup};
-pub use engine::{node_rng_seed, run, RunOutcome, Termination, WatchHit};
+pub use engine::run;
+pub use exec::{node_rng_seed, RunOutcome, Termination, WatchHit};
 pub use outbox::PortOutbox;
 pub use protocol::{Context, Knowledge, NodeSetup, Protocol, Status};
+pub use rt::{replay, run_async, run_on, AsyncRun, DeliveryTrace, RtError, RuntimeKind};

@@ -1,0 +1,1269 @@
+//! The async threads+channels runtime: real message passing, no round
+//! barrier.
+//!
+//! Drives the *same* [`Protocol`] implementations as the lockstep engine
+//! ([`crate::run`]), but over `std::sync::mpsc` channels: the nodes are
+//! partitioned across a worker thread pool, every message crosses a
+//! channel wrapped in a [`Frame`] whose sequence
+//! number is gated on arrival ([`crate::transport::LinkGate`]), and there
+//! is no global round loop — a node runs whenever its inputs are ready,
+//! and idle stretches are crossed by an **arbiter handshake** instead of a
+//! clock (round-free wakeups).
+//!
+//! # Conservative scheduling and the exactness guarantee
+//!
+//! This is a conservative parallel discrete-event simulation in the
+//! Chandy–Misra tradition, with the engine's round numbers as virtual
+//! time. Each node tracks a per-port **clock**: the latest delivery round
+//! it has seen on that port (per-edge FIFO delivery — enforced by the
+//! frame gates — makes that a lower bound on anything still in flight,
+//! because a sender's rounds only increase). A node executes its next
+//! event (earliest pending delivery or its own wakeup timer) only once
+//! every in-port clock has reached that round, so no earlier input can
+//! still arrive. When nothing is executable anywhere and no frame is in
+//! flight, the last worker to block computes the globally earliest next
+//! event `r*` and broadcasts an advance to `r*` (or stops the run:
+//! quiescence / round cap) — the async analogue of the engine's
+//! fast-forward, with the same semantics: skipped rounds count as model
+//! time but cost no work.
+//!
+//! Because each activation consumes exactly the inputs the synchronous
+//! model prescribes for that round — with inboxes ordered by `(sender,
+//! emission index)`, the engine's global send order, and identical
+//! per-node RNG streams from `crate::exec::init_slots` — the runtime
+//! *reproduces the synchronous execution exactly*. The [`RunOutcome`] of
+//! [`run_async`] is **equal** to the engine's, field for field: same
+//! leader, same message/bit totals, same rounds, same per-edge statistics
+//! (`tests/async_conformance.rs` pins all 12 registry algorithms). This is
+//! deliberately stronger than "message totals within tolerance": agreement
+//! validates the simulator's accounting against real concurrent execution.
+//!
+//! # Determinism and the delivery trace
+//!
+//! The outcome is deterministic at any worker count for the same reason
+//! the engine is at any thread count: scheduling freedom moves wall-clock,
+//! never the computation. In addition, a run records a [`DeliveryTrace`] —
+//! which node ran at which round, what it consumed and what it emitted —
+//! and [`replay`] re-executes a trace sequentially, verifying every step
+//! and rebuilding the identical outcome and trace byte for byte.
+//!
+//! # What the runtime does not support (yet)
+//!
+//! Only the default [`Adversary::Lockstep`] execution model: delay, crash
+//! and link-failure adversaries are decided per-message on the engine's
+//! sequential control thread, which has no analogue here yet
+//! ([`RtError::UnsupportedAdversary`]). Watch-edge bookkeeping needs the
+//! global send *interleaving* (its `messages_before` field), which a
+//! distributed execution deliberately does not construct
+//! ([`RtError::UnsupportedWatchEdges`]).
+
+use crate::adversary::{Adversary, Schedule};
+use crate::config::SimConfig;
+use crate::exec::{
+    init_slots, step_node, validate_wakeup, NodeSlot, RunOutcome, SendSink, StagedSend,
+    StepScratch, Termination,
+};
+use crate::protocol::{NodeSetup, Protocol};
+use crate::transport::{Frame, LinkGate, LinkSeq};
+use rand::rngs::StdRng;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::mpsc::{channel, Receiver, Sender, TryRecvError};
+use std::sync::Mutex;
+use ule_graph::{Graph, NodeId, Port};
+
+/// Which runtime drives a run: the lockstep round simulator or the async
+/// threads+channels runtime. Both execute the identical protocol code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RuntimeKind {
+    /// The synchronous round engine ([`crate::run`]): sequential reference
+    /// semantics, optional sharded-parallel stepping, full adversary and
+    /// watch-edge support.
+    #[default]
+    Sim,
+    /// The async threads+channels runtime ([`run_async`]): real message
+    /// passing over `mpsc` channels, exact-conformant with the engine
+    /// under the lockstep execution model.
+    Async,
+}
+
+impl RuntimeKind {
+    /// Stable lower-case name, as spelled in `ule-xp` specs.
+    pub fn name(self) -> &'static str {
+        match self {
+            RuntimeKind::Sim => "sim",
+            RuntimeKind::Async => "async",
+        }
+    }
+}
+
+/// Why a configuration cannot run on the async runtime.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RtError {
+    /// The configured execution-model adversary is not supported: the
+    /// async runtime implements only the default
+    /// [`Adversary::Lockstep`] model so far.
+    UnsupportedAdversary {
+        /// Debug rendering of the offending adversary.
+        adversary: String,
+    },
+    /// Watch-edge bookkeeping requires the global send interleaving
+    /// (each hit records how many messages preceded it anywhere in the
+    /// network), which a distributed execution does not construct.
+    UnsupportedWatchEdges,
+}
+
+impl std::fmt::Display for RtError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RtError::UnsupportedAdversary { adversary } => write!(
+                f,
+                "the async runtime supports only Adversary::Lockstep (got {adversary}); \
+                 run this configuration on the sim runtime"
+            ),
+            RtError::UnsupportedWatchEdges => write!(
+                f,
+                "watch edges are not supported on the async runtime \
+                 (their accounting needs the global send order)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RtError {}
+
+/// One activation in a [`DeliveryTrace`]: node `node` ran at `round`,
+/// consumed `delivered` and emitted `sent`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// The (virtual-time) round of the activation.
+    pub round: u64,
+    /// The activated node.
+    pub node: NodeId,
+    /// Deliveries consumed, in inbox order: `(in-port, sender, emission
+    /// index within the sender's activation)`.
+    pub delivered: Vec<(Port, NodeId, u64)>,
+    /// Frames emitted, in emission order: `(directed-edge index, frame
+    /// sequence number on that link)`.
+    pub sent: Vec<(usize, u64)>,
+}
+
+/// The delivery log of a deterministic-seed async run: every activation,
+/// with what it consumed and emitted, sorted by `(round, node)` — the
+/// engine's execution order. [`replay`] re-executes a trace sequentially
+/// and must reproduce both the outcome and the trace byte for byte.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DeliveryTrace {
+    /// The activations, sorted by `(round, node)`.
+    pub events: Vec<TraceEvent>,
+}
+
+/// An async run's results: the outcome (equal to the engine's for the
+/// same graph, config and factory) plus the delivery trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsyncRun {
+    /// Everything measured, field-for-field comparable with
+    /// [`crate::run`]'s outcome.
+    pub outcome: RunOutcome,
+    /// The delivery log (empty if trace recording was disabled).
+    pub trace: DeliveryTrace,
+}
+
+/// Configuration of the async runtime: worker-pool size and trace
+/// recording. The defaults ([`run_async`]) record a trace and size the
+/// pool to the machine (one worker inside a
+/// [`crate::harness::parallel_trials`] fan-out, where the cores are
+/// already saturated).
+#[derive(Debug, Clone, Default)]
+pub struct AsyncRuntime {
+    workers: Option<usize>,
+    no_trace: bool,
+}
+
+impl AsyncRuntime {
+    /// The default configuration.
+    pub fn new() -> Self {
+        AsyncRuntime::default()
+    }
+
+    /// Pins the worker-pool size (must be nonzero; values above `n` are
+    /// clamped). The outcome is identical at any worker count.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        assert!(workers > 0, "the worker pool needs at least one thread");
+        self.workers = Some(workers);
+        self
+    }
+
+    /// Disables delivery-trace recording (the outcome is unaffected).
+    pub fn without_trace(mut self) -> Self {
+        self.no_trace = true;
+        self
+    }
+
+    /// Runs `factory`-created protocol instances on `graph` under
+    /// `config`, over channels. See [`run_async`].
+    ///
+    /// # Errors
+    ///
+    /// [`RtError::UnsupportedAdversary`] unless `config.adversary` is
+    /// [`Adversary::Lockstep`]; [`RtError::UnsupportedWatchEdges`] if
+    /// `config.watch_edges` is non-empty.
+    ///
+    /// # Panics
+    ///
+    /// As [`crate::run`]: invalid configs and protocol API misuse panic
+    /// (the panic surfaces on the main thread).
+    pub fn run<P, F>(
+        &self,
+        graph: &Graph,
+        config: &SimConfig,
+        factory: F,
+    ) -> Result<AsyncRun, RtError>
+    where
+        P: Protocol,
+        F: FnMut(NodeId, &NodeSetup, &mut StdRng) -> P,
+    {
+        if config.adversary != Adversary::Lockstep {
+            return Err(RtError::UnsupportedAdversary {
+                adversary: format!("{:?}", config.adversary),
+            });
+        }
+        if !config.watch_edges.is_empty() {
+            return Err(RtError::UnsupportedWatchEdges);
+        }
+        let n = graph.len();
+        validate_wakeup(config, n);
+        let mut slots: Vec<NodeSlot<P>> = init_slots(graph, config, factory);
+        if n == 0 {
+            return Ok(AsyncRun {
+                outcome: assemble(Vec::new(), &slots, Termination::Quiescent).0,
+                trace: DeliveryTrace::default(),
+            });
+        }
+        // Arm the spontaneous wakeups. The adversary is Lockstep (its
+        // `wake_round` is `Some(0)` everywhere), so the engine's stacked
+        // wakeup rule reduces to the wakeup discipline alone.
+        let mut wakeup_schedule = config.wakeup.as_schedule();
+        for (v, slot) in slots.iter_mut().enumerate() {
+            slot.wake = wakeup_schedule.wake_round(v);
+        }
+
+        let workers = self.workers.unwrap_or_else(|| default_workers(n)).min(n);
+        let chunk = n.div_ceil(workers);
+        let n_workers = n.div_ceil(chunk);
+        let budget = config.model.bit_budget(n);
+        let dcount = graph.directed_edge_count();
+
+        let mut stats: Vec<WorkerStats> =
+            (0..n_workers).map(|_| WorkerStats::new(dcount)).collect();
+        let coord = Mutex::new(Coord {
+            blocked: 0,
+            in_flight: 0,
+            next_event: vec![u64::MAX; n_workers],
+            last_exec: vec![None; n_workers],
+            termination: None,
+        });
+        let mut senders: Vec<Sender<Packet<P::Msg>>> = Vec::with_capacity(n_workers);
+        let mut receivers: Vec<Receiver<Packet<P::Msg>>> = Vec::with_capacity(n_workers);
+        for _ in 0..n_workers {
+            let (tx, rx) = channel();
+            senders.push(tx);
+            receivers.push(rx);
+        }
+
+        std::thread::scope(|scope| {
+            let mut rest: &mut [NodeSlot<P>] = &mut slots;
+            let coord = &coord;
+            let record_trace = !self.no_trace;
+            for ((w, stat), rx) in stats.iter_mut().enumerate().zip(receivers) {
+                let lo = w * chunk;
+                let hi = ((w + 1) * chunk).min(n);
+                let (mine, rem) = rest.split_at_mut(hi - lo);
+                rest = rem;
+                let senders = senders.clone();
+                scope.spawn(move || {
+                    let worker = Worker {
+                        w,
+                        lo,
+                        hi,
+                        chunk,
+                        cap: config.max_rounds,
+                        budget,
+                        n_workers,
+                        record_trace,
+                        graph,
+                        slots: mine,
+                        rt: (lo..hi).map(|v| NodeRt::new(graph.degree(v))).collect(),
+                        stats: stat,
+                        senders,
+                        coord,
+                        scratch: StepScratch::default(),
+                    };
+                    worker.run(rx)
+                });
+            }
+        });
+        drop(senders);
+
+        let termination = lock(&coord)
+            .termination
+            .expect("workers stopped without an arbiter decision");
+        let (outcome, mut events) = assemble(stats, &slots, termination);
+        events.sort_by_key(|e| (e.round, e.node));
+        Ok(AsyncRun {
+            outcome,
+            trace: DeliveryTrace { events },
+        })
+    }
+}
+
+/// Runs `factory`-created protocol instances on `graph` under `config`
+/// over the async threads+channels runtime, with default settings. The
+/// contract of [`crate::run`] applies unchanged — factory call order,
+/// per-node RNG streams, determinism — and the outcome equals the
+/// engine's exactly (see the module docs).
+///
+/// # Errors
+///
+/// See [`AsyncRuntime::run`].
+///
+/// # Examples
+///
+/// ```
+/// use ule_sim::{run, run_async, SimConfig, Protocol, Context, Status, message::Signal};
+/// use ule_graph::gen;
+///
+/// struct Demo { done: bool }
+/// impl Protocol for Demo {
+///     type Msg = Signal;
+///     fn on_round(&mut self, ctx: &mut Context<'_, Signal>, inbox: &[(usize, Signal)]) {
+///         if ctx.first_activation() { ctx.broadcast(Signal); }
+///         if !inbox.is_empty() { self.done = true; }
+///     }
+///     fn status(&self) -> Status {
+///         if self.done { Status::NonLeader } else { Status::Undecided }
+///     }
+/// }
+///
+/// let g = gen::cycle(8)?;
+/// let cfg = SimConfig::seeded(1);
+/// let over_channels = run_async(&g, &cfg, |_, _, _| Demo { done: false }).unwrap();
+/// let lockstep = run(&g, &cfg, |_, _, _| Demo { done: false });
+/// assert_eq!(over_channels.outcome, lockstep);
+/// # Ok::<(), ule_graph::GraphError>(())
+/// ```
+pub fn run_async<P, F>(graph: &Graph, config: &SimConfig, factory: F) -> Result<AsyncRun, RtError>
+where
+    P: Protocol,
+    F: FnMut(NodeId, &NodeSetup, &mut StdRng) -> P,
+{
+    AsyncRuntime::new().run(graph, config, factory)
+}
+
+/// Runs on the runtime selected by `kind`: [`crate::run`] for
+/// [`RuntimeKind::Sim`] (infallible), [`run_async`] for
+/// [`RuntimeKind::Async`] (the trace is discarded).
+///
+/// # Errors
+///
+/// See [`AsyncRuntime::run`]; the sim runtime never errors.
+pub fn run_on<P, F>(
+    kind: RuntimeKind,
+    graph: &Graph,
+    config: &SimConfig,
+    factory: F,
+) -> Result<RunOutcome, RtError>
+where
+    P: Protocol,
+    F: FnMut(NodeId, &NodeSetup, &mut StdRng) -> P,
+{
+    match kind {
+        RuntimeKind::Sim => Ok(crate::engine::run(graph, config, factory)),
+        RuntimeKind::Async => run_async(graph, config, factory).map(|r| r.outcome),
+    }
+}
+
+/// Re-executes a recorded [`DeliveryTrace`] sequentially: every activation
+/// is replayed in `(round, node)` order, its consumed deliveries and
+/// emitted frames are verified against the trace, and the identical
+/// [`AsyncRun`] — outcome *and* regenerated trace — is rebuilt byte for
+/// byte. `graph`, `config` and `factory` must be those of the recorded
+/// run.
+///
+/// # Errors
+///
+/// See [`AsyncRuntime::run`] (the same configurations are replayable).
+///
+/// # Panics
+///
+/// Panics if the trace does not match the execution (a divergence means
+/// the trace, the config or the protocol changed since recording).
+pub fn replay<P, F>(
+    graph: &Graph,
+    config: &SimConfig,
+    factory: F,
+    trace: &DeliveryTrace,
+) -> Result<AsyncRun, RtError>
+where
+    P: Protocol,
+    F: FnMut(NodeId, &NodeSetup, &mut StdRng) -> P,
+{
+    if config.adversary != Adversary::Lockstep {
+        return Err(RtError::UnsupportedAdversary {
+            adversary: format!("{:?}", config.adversary),
+        });
+    }
+    if !config.watch_edges.is_empty() {
+        return Err(RtError::UnsupportedWatchEdges);
+    }
+    let n = graph.len();
+    validate_wakeup(config, n);
+    let mut slots: Vec<NodeSlot<P>> = init_slots(graph, config, factory);
+    let mut wakeup_schedule = config.wakeup.as_schedule();
+    for (v, slot) in slots.iter_mut().enumerate() {
+        slot.wake = wakeup_schedule.wake_round(v);
+    }
+    let cap = config.max_rounds;
+    let budget = config.model.bit_budget(n);
+    let mut rt: Vec<NodeRt<P::Msg>> = (0..n).map(|v| NodeRt::new(graph.degree(v))).collect();
+    let mut stats = WorkerStats::new(graph.directed_edge_count());
+    let mut scratch: StepScratch<P::Msg> = StepScratch::default();
+    // A replay is a one-worker execution with no channels: every delivery
+    // is local, so the sink's sender list and arbiter are never touched.
+    let senders: Vec<Sender<Packet<P::Msg>>> = Vec::new();
+    let coord = Mutex::new(Coord {
+        blocked: 0,
+        in_flight: 0,
+        next_event: Vec::new(),
+        last_exec: Vec::new(),
+        termination: None,
+    });
+
+    for ev in &trace.events {
+        let (v, e) = (ev.node, ev.round);
+        assert!(
+            v < n,
+            "replay: trace names node {v}, but the graph has {n} nodes"
+        );
+        assert!(
+            e < cap,
+            "replay: trace activates node {v} at round {e}, at or past the round cap {cap}"
+        );
+        let mut due = rt[v].pending.remove(&e).unwrap_or_default();
+        due.sort_by_key(|a| (a.0, a.1));
+        if due.is_empty() {
+            assert_eq!(
+                slots[v].wake,
+                Some(e),
+                "replay: node {v} has no delivery and no timer due at round {e}"
+            );
+        }
+        let delivered: Vec<(Port, NodeId, u64)> = due
+            .iter()
+            .map(|&(src, emit, port, _)| (port, src, emit))
+            .collect();
+        assert_eq!(
+            delivered, ev.delivered,
+            "replay divergence: node {v} at round {e} consumes different deliveries"
+        );
+        slots[v]
+            .inbox
+            .extend(due.into_iter().map(|(_, _, port, msg)| (port, msg)));
+        let mut sink = ChannelSink {
+            round: e,
+            lo: 0,
+            hi: n,
+            chunk: n,
+            budget,
+            rt: &mut rt,
+            stats: &mut stats,
+            senders: &senders,
+            coord: &coord,
+            emit: 0,
+            sent_log: Vec::new(),
+            record_trace: true,
+        };
+        let effects = step_node(graph, e, v, &mut slots[v], &mut scratch, &mut sink);
+        let sent = std::mem::take(&mut sink.sent_log);
+        assert_eq!(
+            sent, ev.sent,
+            "replay divergence: node {v} at round {e} emits different frames"
+        );
+        stats.note_exec(e, v, delivered, sent, effects.status_changed, true);
+    }
+
+    // The trace carries no termination verdict; re-derive it the way the
+    // arbiter did. Any event left executable below the cap means the
+    // trace is truncated — that is a divergence, not a verdict.
+    let r_next = (0..n)
+        .map(|v| next_event_round(&slots[v], &rt[v]))
+        .min()
+        .unwrap_or(u64::MAX);
+    let rounds_done = stats.last_exec.map_or(0, |r| r + 1);
+    let termination = if r_next == u64::MAX {
+        if rounds_done >= cap {
+            Termination::RoundLimit
+        } else {
+            Termination::Quiescent
+        }
+    } else {
+        assert!(
+            r_next >= cap,
+            "replay: trace ended with an executable event at round {r_next} (cap {cap})"
+        );
+        Termination::RoundLimit
+    };
+    let (outcome, mut events) = assemble(vec![stats], &slots, termination);
+    events.sort_by_key(|e| (e.round, e.node));
+    Ok(AsyncRun {
+        outcome,
+        trace: DeliveryTrace { events },
+    })
+}
+
+/// Worker-pool size when the caller does not pin one: the machine's
+/// parallelism, except inside a trial fan-out (cores already saturated).
+fn default_workers(n: usize) -> usize {
+    if crate::harness::in_trial_fanout() {
+        1
+    } else {
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+            .min(n)
+    }
+}
+
+/// Locks ignoring poisoning: the arbiter state stays consistent because
+/// every critical section is a few counter updates; on a worker panic the
+/// run is abandoned (the panic propagates) and the state is only read for
+/// cleanup.
+fn lock(coord: &Mutex<Coord>) -> std::sync::MutexGuard<'_, Coord> {
+    coord
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// What crosses the worker channels.
+enum Packet<M> {
+    /// One protocol message: the [`Frame`] carries the link sequence
+    /// number (gated on arrival) and the delivery metadata
+    /// `[delivery round, sender, emission index]`; the protocol payload
+    /// rides alongside, untouched.
+    Payload {
+        dest: NodeId,
+        port: Port,
+        frame: Frame,
+        msg: M,
+    },
+    /// Arbiter broadcast: no frame below round `upto` is outstanding
+    /// anywhere — every in-port clock may advance to it.
+    Advance { upto: u64 },
+    /// Arbiter broadcast: the run is over.
+    Stop,
+}
+
+/// The arbiter state: who is blocked, what is in flight, and each
+/// worker's report. A worker that blocks with every peer blocked and
+/// nothing in flight performs the advance/stop decision itself — there is
+/// no dedicated coordinator thread.
+struct Coord {
+    blocked: usize,
+    /// Packets sent but not yet processed (incremented *before* the send).
+    in_flight: u64,
+    /// Per worker: earliest next event round (`u64::MAX` = none).
+    next_event: Vec<u64>,
+    /// Per worker: latest executed round.
+    last_exec: Vec<Option<u64>>,
+    termination: Option<Termination>,
+}
+
+/// Per-node runtime state beyond the [`NodeSlot`].
+struct NodeRt<M> {
+    /// Deliveries by round; entries are `(sender, emission index, port,
+    /// message)`, sorted at activation into the engine's inbox order.
+    pending: BTreeMap<u64, Vec<(NodeId, u64, Port, M)>>,
+    /// Per in-port clock: no delivery at or below this round is still in
+    /// flight on that port.
+    in_clock: Vec<u64>,
+    /// Frame-sequence gate over the in-ports.
+    gate: LinkGate,
+}
+
+impl<M> NodeRt<M> {
+    fn new(degree: usize) -> Self {
+        NodeRt {
+            pending: BTreeMap::new(),
+            in_clock: vec![0; degree],
+            gate: LinkGate::new(degree),
+        }
+    }
+}
+
+/// The earliest round node `v` has any reason to run: its timer or its
+/// earliest queued delivery.
+fn next_event_round<P: Protocol>(slot: &NodeSlot<P>, rt: &NodeRt<P::Msg>) -> u64 {
+    let wake = slot.wake.unwrap_or(u64::MAX);
+    let delivery = rt.pending.keys().next().copied().unwrap_or(u64::MAX);
+    wake.min(delivery)
+}
+
+/// Gates, decodes and queues one frame at its destination.
+fn deliver_frame<M>(dest: &mut NodeRt<M>, port: Port, frame: &Frame, msg: M) {
+    let words = dest.gate.accept(port, frame);
+    debug_assert_eq!(words.len(), 3, "delivery frame carries [round, src, emit]");
+    let (round, src, emit) = (words[0], words[1] as NodeId, words[2]);
+    dest.in_clock[port] = dest.in_clock[port].max(round);
+    dest.pending
+        .entry(round)
+        .or_default()
+        .push((src, emit, port, msg));
+}
+
+/// Per-worker accounting, merged into the [`RunOutcome`] after the pool
+/// joins. Workers own disjoint node ranges, so per-directed-edge entries
+/// never collide (a node's out-edges belong to its owner).
+struct WorkerStats {
+    messages: u64,
+    bits: u64,
+    congest_violations: u64,
+    max_message_bits: u64,
+    first_directed_use: Vec<u64>,
+    directed_message_counts: Vec<u64>,
+    /// Outgoing link sequencers, by directed-edge index.
+    link_seq: Vec<LinkSeq>,
+    /// Messages sent per round (for the cumulative `round_totals`).
+    sends_per_round: BTreeMap<u64, u64>,
+    /// Rounds in which any owned node ran (the active rounds).
+    executed: BTreeSet<u64>,
+    last_status_change: Option<u64>,
+    last_exec: Option<u64>,
+    events: Vec<TraceEvent>,
+}
+
+impl WorkerStats {
+    fn new(dcount: usize) -> Self {
+        WorkerStats {
+            messages: 0,
+            bits: 0,
+            congest_violations: 0,
+            max_message_bits: 0,
+            first_directed_use: vec![u64::MAX; dcount],
+            directed_message_counts: vec![0u64; dcount],
+            link_seq: (0..dcount).map(|_| LinkSeq::new()).collect(),
+            sends_per_round: BTreeMap::new(),
+            executed: BTreeSet::new(),
+            last_status_change: None,
+            last_exec: None,
+            events: Vec::new(),
+        }
+    }
+
+    /// Books one activation of `node` at `round`.
+    fn note_exec(
+        &mut self,
+        round: u64,
+        node: NodeId,
+        delivered: Vec<(Port, NodeId, u64)>,
+        sent: Vec<(usize, u64)>,
+        status_changed: bool,
+        record_trace: bool,
+    ) {
+        self.executed.insert(round);
+        self.last_exec = Some(self.last_exec.map_or(round, |r| r.max(round)));
+        if status_changed {
+            self.last_status_change = Some(self.last_status_change.map_or(round, |r| r.max(round)));
+        }
+        if record_trace {
+            self.events.push(TraceEvent {
+                round,
+                node,
+                delivered,
+                sent,
+            });
+        }
+    }
+}
+
+/// The [`SendSink`] of the async runtime: accounts each send, stamps it
+/// into a [`Frame`] on its link, and either queues it locally (the
+/// destination shares this worker) or ships it over the destination
+/// worker's channel.
+struct ChannelSink<'a, M> {
+    round: u64,
+    /// This worker's node range (`lo..hi`); `rt` is indexed by `v - lo`.
+    lo: NodeId,
+    hi: NodeId,
+    chunk: usize,
+    budget: u64,
+    rt: &'a mut [NodeRt<M>],
+    stats: &'a mut WorkerStats,
+    senders: &'a [Sender<Packet<M>>],
+    coord: &'a Mutex<Coord>,
+    /// Emission index within the current activation.
+    emit: u64,
+    /// `(directed-edge index, frame seq)` log of the current activation.
+    sent_log: Vec<(usize, u64)>,
+    record_trace: bool,
+}
+
+impl<M> SendSink<M> for ChannelSink<'_, M> {
+    fn accept(&mut self, send: StagedSend<M>) {
+        let emit = self.emit;
+        self.emit += 1;
+        let st = &mut *self.stats;
+        st.messages += 1;
+        st.bits += send.bits;
+        st.max_message_bits = st.max_message_bits.max(send.bits);
+        if send.bits > self.budget {
+            st.congest_violations += 1;
+        }
+        st.directed_message_counts[send.didx] += 1;
+        if st.first_directed_use[send.didx] == u64::MAX {
+            st.first_directed_use[send.didx] = self.round;
+        }
+        *st.sends_per_round.entry(self.round).or_insert(0) += 1;
+
+        let deliver_at = self.round + 1;
+        let frame = st.link_seq[send.didx].stamp(vec![deliver_at, send.src as u64, emit]);
+        if self.record_trace {
+            self.sent_log.push((send.didx, frame.seq));
+        }
+        if send.dest >= self.lo && send.dest < self.hi {
+            // The destination shares this worker: queue it directly —
+            // through the same gate the channel path uses.
+            deliver_frame(
+                &mut self.rt[send.dest - self.lo],
+                send.dest_port,
+                &frame,
+                send.msg,
+            );
+        } else {
+            {
+                let mut c = lock(self.coord);
+                c.in_flight += 1;
+            }
+            self.senders[send.dest / self.chunk]
+                .send(Packet::Payload {
+                    dest: send.dest,
+                    port: send.dest_port,
+                    frame,
+                    msg: send.msg,
+                })
+                .expect("a worker channel closed mid-run");
+        }
+    }
+}
+
+/// What the arbiter decided at a global block.
+enum Decision {
+    Advance(u64),
+    Stop,
+}
+
+/// One pool worker: owns the contiguous node range `lo..hi`.
+struct Worker<'env, P: Protocol> {
+    w: usize,
+    lo: NodeId,
+    hi: NodeId,
+    chunk: usize,
+    cap: u64,
+    budget: u64,
+    n_workers: usize,
+    record_trace: bool,
+    graph: &'env Graph,
+    slots: &'env mut [NodeSlot<P>],
+    rt: Vec<NodeRt<P::Msg>>,
+    stats: &'env mut WorkerStats,
+    senders: Vec<Sender<Packet<P::Msg>>>,
+    coord: &'env Mutex<Coord>,
+    scratch: StepScratch<P::Msg>,
+}
+
+impl<P: Protocol> Worker<'_, P> {
+    fn run(mut self, rx: Receiver<Packet<P::Msg>>) {
+        // A protocol panic must not strand the peers in `recv` forever:
+        // broadcast Stop, then let the panic propagate through the scope.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.drive(&rx)));
+        if let Err(payload) = result {
+            {
+                let mut c = lock(self.coord);
+                c.in_flight += self.n_workers as u64;
+            }
+            for s in &self.senders {
+                let _ = s.send(Packet::Stop);
+            }
+            std::panic::resume_unwind(payload);
+        }
+    }
+
+    fn drive(&mut self, rx: &Receiver<Packet<P::Msg>>) {
+        loop {
+            // Drain the channel without blocking.
+            let mut got = false;
+            loop {
+                match rx.try_recv() {
+                    Ok(pkt) => {
+                        got = true;
+                        if self.handle(pkt) {
+                            return;
+                        }
+                    }
+                    Err(TryRecvError::Empty) => break,
+                    Err(TryRecvError::Disconnected) => return,
+                }
+            }
+            // Execute everything executable; local deliveries can unlock
+            // earlier nodes, so sweep until a full pass does nothing.
+            let mut ran = false;
+            loop {
+                let mut pass = false;
+                for i in 0..(self.hi - self.lo) {
+                    while let Some(e) = self.executable(i) {
+                        self.execute(i, e);
+                        pass = true;
+                    }
+                }
+                if !pass {
+                    break;
+                }
+                ran = true;
+            }
+            if got || ran {
+                continue;
+            }
+            // Nothing to do: report, maybe arbitrate, then block.
+            if self.block(rx) {
+                return;
+            }
+        }
+    }
+
+    /// The round node `lo + i` can execute now, if any: its next event,
+    /// provided every in-port clock has reached it and it is below the
+    /// round cap.
+    fn executable(&self, i: usize) -> Option<u64> {
+        let e = next_event_round(&self.slots[i], &self.rt[i]);
+        if e == u64::MAX || e >= self.cap {
+            return None;
+        }
+        if self.rt[i].in_clock.iter().all(|&c| c >= e) {
+            Some(e)
+        } else {
+            None
+        }
+    }
+
+    /// Executes node `lo + i` at round `e`.
+    fn execute(&mut self, i: usize, e: u64) {
+        let v = self.lo + i;
+        let mut due = self.rt[i].pending.remove(&e).unwrap_or_default();
+        // The engine's inbox order: ascending sender, then the sender's
+        // emission order.
+        due.sort_by_key(|a| (a.0, a.1));
+        let delivered: Vec<(Port, NodeId, u64)> = if self.record_trace {
+            due.iter()
+                .map(|&(src, emit, port, _)| (port, src, emit))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        self.slots[i]
+            .inbox
+            .extend(due.into_iter().map(|(_, _, port, msg)| (port, msg)));
+        let mut sink = ChannelSink {
+            round: e,
+            lo: self.lo,
+            hi: self.hi,
+            chunk: self.chunk,
+            budget: self.budget,
+            rt: &mut self.rt,
+            stats: self.stats,
+            senders: &self.senders,
+            coord: self.coord,
+            emit: 0,
+            sent_log: Vec::new(),
+            record_trace: self.record_trace,
+        };
+        let effects = step_node(
+            self.graph,
+            e,
+            v,
+            &mut self.slots[i],
+            &mut self.scratch,
+            &mut sink,
+        );
+        let sent = std::mem::take(&mut sink.sent_log);
+        self.stats.note_exec(
+            e,
+            v,
+            delivered,
+            sent,
+            effects.status_changed,
+            self.record_trace,
+        );
+    }
+
+    /// Reports this worker idle and blocks on the channel; the last
+    /// worker to block (with nothing in flight) arbitrates. Returns true
+    /// when the run is over.
+    fn block(&mut self, rx: &Receiver<Packet<P::Msg>>) -> bool {
+        let decision = {
+            let mut c = lock(self.coord);
+            c.blocked += 1;
+            c.next_event[self.w] = (0..(self.hi - self.lo))
+                .map(|i| next_event_round(&self.slots[i], &self.rt[i]))
+                .min()
+                .unwrap_or(u64::MAX);
+            c.last_exec[self.w] = self.stats.last_exec;
+            if c.blocked == self.n_workers && c.in_flight == 0 {
+                let r_star = c.next_event.iter().copied().min().unwrap_or(u64::MAX);
+                let rounds_done = c
+                    .last_exec
+                    .iter()
+                    .filter_map(|&r| r)
+                    .max()
+                    .map_or(0, |r| r + 1);
+                let decision = if r_star == u64::MAX {
+                    // Quiescent — unless the run *ended at* the cap, which
+                    // the engine reports as a truncation.
+                    if rounds_done >= self.cap {
+                        c.termination = Some(Termination::RoundLimit);
+                        Decision::Stop
+                    } else {
+                        c.termination = Some(Termination::Quiescent);
+                        Decision::Stop
+                    }
+                } else if r_star >= self.cap {
+                    c.termination = Some(Termination::RoundLimit);
+                    Decision::Stop
+                } else {
+                    Decision::Advance(r_star)
+                };
+                c.in_flight += self.n_workers as u64;
+                Some(decision)
+            } else {
+                None
+            }
+        };
+        if let Some(d) = decision {
+            for s in &self.senders {
+                let pkt = match d {
+                    Decision::Advance(upto) => Packet::Advance { upto },
+                    Decision::Stop => Packet::Stop,
+                };
+                s.send(pkt).expect("a worker channel closed mid-run");
+            }
+        }
+        match rx.recv() {
+            Ok(pkt) => {
+                {
+                    let mut c = lock(self.coord);
+                    c.blocked -= 1;
+                }
+                self.handle(pkt)
+            }
+            Err(_) => true,
+        }
+    }
+
+    /// Processes one packet; returns true on Stop.
+    fn handle(&mut self, pkt: Packet<P::Msg>) -> bool {
+        match pkt {
+            Packet::Payload {
+                dest,
+                port,
+                frame,
+                msg,
+            } => {
+                deliver_frame(&mut self.rt[dest - self.lo], port, &frame, msg);
+                let mut c = lock(self.coord);
+                c.in_flight -= 1;
+                false
+            }
+            Packet::Advance { upto } => {
+                for node in self.rt.iter_mut() {
+                    for clock in node.in_clock.iter_mut() {
+                        *clock = (*clock).max(upto);
+                    }
+                }
+                let mut c = lock(self.coord);
+                c.in_flight -= 1;
+                false
+            }
+            Packet::Stop => true,
+        }
+    }
+}
+
+/// Merges per-worker accounting into the [`RunOutcome`] (plus the raw,
+/// unsorted trace events).
+fn assemble<P: Protocol>(
+    stats: Vec<WorkerStats>,
+    slots: &[NodeSlot<P>],
+    termination: Termination,
+) -> (RunOutcome, Vec<TraceEvent>) {
+    let dcount = stats.first().map_or(0, |s| s.first_directed_use.len());
+    let mut messages = 0u64;
+    let mut bits = 0u64;
+    let mut congest_violations = 0u64;
+    let mut max_message_bits = 0u64;
+    let mut first_directed_use = vec![u64::MAX; dcount];
+    let mut directed_message_counts = vec![0u64; dcount];
+    let mut sends_per_round: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut executed: BTreeSet<u64> = BTreeSet::new();
+    let mut last_status_change: Option<u64> = None;
+    let mut last_exec: Option<u64> = None;
+    let mut events: Vec<TraceEvent> = Vec::new();
+    for st in stats {
+        messages += st.messages;
+        bits += st.bits;
+        congest_violations += st.congest_violations;
+        max_message_bits = max_message_bits.max(st.max_message_bits);
+        for (acc, v) in first_directed_use.iter_mut().zip(st.first_directed_use) {
+            *acc = (*acc).min(v);
+        }
+        for (acc, v) in directed_message_counts
+            .iter_mut()
+            .zip(st.directed_message_counts)
+        {
+            *acc += v;
+        }
+        for (r, c) in st.sends_per_round {
+            *sends_per_round.entry(r).or_insert(0) += c;
+        }
+        executed.extend(st.executed);
+        last_status_change = match (last_status_change, st.last_status_change) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            (a, b) => a.or(b),
+        };
+        last_exec = match (last_exec, st.last_exec) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            (a, b) => a.or(b),
+        };
+        events.extend(st.events);
+    }
+    let mut round_totals: Vec<(u64, u64)> = Vec::with_capacity(executed.len());
+    let mut cumulative = 0u64;
+    for r in executed {
+        cumulative += sends_per_round.get(&r).copied().unwrap_or(0);
+        round_totals.push((r, cumulative));
+    }
+    let outcome = RunOutcome {
+        rounds: last_exec.map_or(0, |r| r + 1),
+        messages,
+        bits,
+        statuses: slots.iter().map(|s| s.status).collect(),
+        termination,
+        congest_violations,
+        max_message_bits,
+        watch_hits: Vec::new(),
+        first_directed_use,
+        directed_message_counts,
+        last_status_change,
+        round_totals,
+        crashed: Vec::new(),
+        messages_dropped: 0,
+        late_deliveries: Vec::new(),
+    };
+    (outcome, events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Wakeup;
+    use crate::engine::run;
+    use crate::message::{id_bits, Message, Signal};
+    use crate::protocol::{Context, Status};
+    use ule_graph::{gen, IdAssignment};
+
+    /// Floods the maximum identifier for `deadline` rounds (mini FloodMax).
+    struct MiniFloodMax {
+        best: u64,
+        deadline: u64,
+        decided: Status,
+    }
+
+    #[derive(Debug, Clone)]
+    struct IdMsg(u64);
+    impl Message for IdMsg {
+        fn size_bits(&self) -> u64 {
+            id_bits(self.0)
+        }
+    }
+
+    impl Protocol for MiniFloodMax {
+        type Msg = IdMsg;
+        fn on_round(&mut self, ctx: &mut Context<'_, IdMsg>, inbox: &[(usize, IdMsg)]) {
+            if ctx.first_activation() {
+                self.best = ctx.require_id();
+                ctx.broadcast(IdMsg(self.best));
+            }
+            let mut improved = false;
+            for (_, IdMsg(x)) in inbox {
+                if *x > self.best {
+                    self.best = *x;
+                    improved = true;
+                }
+            }
+            if improved {
+                ctx.broadcast(IdMsg(self.best));
+            }
+            if ctx.round() + 1 >= self.deadline {
+                self.decided = if self.best == ctx.require_id() {
+                    Status::Leader
+                } else {
+                    Status::NonLeader
+                };
+            } else {
+                ctx.wake_next();
+            }
+        }
+        fn status(&self) -> Status {
+            self.decided
+        }
+    }
+
+    fn mk(deadline: u64) -> impl FnMut(NodeId, &NodeSetup, &mut StdRng) -> MiniFloodMax {
+        move |_, _, _| MiniFloodMax {
+            best: 0,
+            deadline,
+            decided: Status::Undecided,
+        }
+    }
+
+    fn cfg(n: usize, seed: u64) -> SimConfig {
+        SimConfig::seeded(seed)
+            .with_ids(IdAssignment::sequential(n))
+            .with_max_rounds(10_000)
+    }
+
+    #[test]
+    fn matches_engine_exactly_at_any_worker_count() {
+        let g = gen::cycle(9).unwrap();
+        let reference = run(&g, &cfg(9, 3), mk(8));
+        for workers in [1, 2, 3, 8] {
+            let a = AsyncRuntime::new()
+                .with_workers(workers)
+                .run(&g, &cfg(9, 3), mk(8))
+                .unwrap();
+            assert_eq!(a.outcome, reference, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn adversarial_wakeup_and_round_limit_conform() {
+        let g = gen::path(7).unwrap();
+        let base = cfg(7, 0).with_wakeup(Wakeup::Adversarial(vec![0]));
+        let reference = run(&g, &base, mk(10));
+        let a = run_async(&g, &base, mk(10)).unwrap();
+        assert_eq!(a.outcome, reference);
+        // Truncation: same snapshot, same verdict.
+        let cut = base.clone().with_max_rounds(3);
+        assert_eq!(
+            run_async(&g, &cut, mk(10)).unwrap().outcome,
+            run(&g, &cut, mk(10))
+        );
+    }
+
+    #[test]
+    fn replay_reproduces_the_run_byte_for_byte() {
+        let g = gen::torus(3, 3).unwrap();
+        let recorded = AsyncRuntime::new()
+            .with_workers(3)
+            .run(&g, &cfg(9, 11), mk(7))
+            .unwrap();
+        assert!(!recorded.trace.events.is_empty());
+        let replayed = replay(&g, &cfg(9, 11), mk(7), &recorded.trace).unwrap();
+        assert_eq!(replayed, recorded);
+    }
+
+    #[test]
+    fn unsupported_configs_error_cleanly() {
+        let g = gen::path(3).unwrap();
+        let delayed = cfg(3, 0).with_adversary(Adversary::BoundedDelay { max_delay: 2 });
+        match run_async(&g, &delayed, mk(4)) {
+            Err(RtError::UnsupportedAdversary { adversary }) => {
+                assert!(adversary.contains("BoundedDelay"));
+            }
+            other => panic!("expected UnsupportedAdversary, got {other:?}"),
+        }
+        let watched = cfg(3, 0).watching(&[(0, 1)]);
+        assert_eq!(
+            run_async(&g, &watched, mk(4)).unwrap_err(),
+            RtError::UnsupportedWatchEdges
+        );
+        assert!(format!("{}", RtError::UnsupportedWatchEdges).contains("watch edges"));
+    }
+
+    #[test]
+    fn run_on_dispatches_both_runtimes() {
+        let g = gen::cycle(6).unwrap();
+        let sim = run_on(RuntimeKind::Sim, &g, &cfg(6, 2), mk(6)).unwrap();
+        let asy = run_on(RuntimeKind::Async, &g, &cfg(6, 2), mk(6)).unwrap();
+        assert_eq!(sim, asy);
+        assert_eq!(RuntimeKind::Sim.name(), "sim");
+        assert_eq!(RuntimeKind::Async.name(), "async");
+    }
+
+    /// A sleeper exercising the arbiter's fast-forward (round-free
+    /// wakeups): long idle stretches must cost no work and the round
+    /// accounting must match the engine's.
+    struct Sleeper {
+        until: u64,
+        fired: bool,
+    }
+    impl Protocol for Sleeper {
+        type Msg = Signal;
+        fn on_round(&mut self, ctx: &mut Context<'_, Signal>, _inbox: &[(usize, Signal)]) {
+            if ctx.first_activation() {
+                ctx.wake_at(self.until);
+            } else if ctx.round() == self.until {
+                self.fired = true;
+            }
+        }
+        fn status(&self) -> Status {
+            if self.fired {
+                Status::NonLeader
+            } else {
+                Status::Undecided
+            }
+        }
+    }
+
+    #[test]
+    fn arbiter_fast_forwards_idle_stretches() {
+        let g = gen::path(2).unwrap();
+        let c = SimConfig::seeded(0).with_max_rounds(u64::MAX);
+        let start = std::time::Instant::now();
+        let a = run_async(&g, &c, |_, _, _| Sleeper {
+            until: 1_000_000_000,
+            fired: false,
+        })
+        .unwrap();
+        assert!(
+            start.elapsed().as_secs() < 5,
+            "advance failed to skip ahead"
+        );
+        assert_eq!(a.outcome.rounds, 1_000_000_001);
+        assert_eq!(a.outcome.termination, Termination::Quiescent);
+        let reference = run(&g, &c, |_, _, _| Sleeper {
+            until: 1_000_000_000,
+            fired: false,
+        });
+        assert_eq!(a.outcome, reference);
+    }
+
+    #[test]
+    fn congest_accounting_conforms() {
+        let g = gen::path(3).unwrap();
+        let c = SimConfig::seeded(0)
+            .with_ids(IdAssignment::new(vec![1 << 40, 2, 3]))
+            .with_model(crate::Model::Congest { factor: 1 })
+            .with_max_rounds(100);
+        let reference = run(&g, &c, mk(4));
+        let a = run_async(&g, &c, mk(4)).unwrap();
+        assert_eq!(a.outcome, reference);
+        assert!(a.outcome.congest_violations > 0);
+    }
+}

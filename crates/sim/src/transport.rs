@@ -7,6 +7,12 @@
 //! CONGEST-sized [`Frame`]s, and [`Assembler`] reassembles frames arriving
 //! on a port back into the original payload. Protocols embed [`Frame`] in
 //! their message enum and drain one frame per port per round.
+//!
+//! [`Frame`] is also the wire format of the async threads+channels runtime
+//! ([`crate::rt`]): every delivery crosses its `mpsc` channel wrapped in a
+//! frame whose `u64` sequence number ([`LinkSeq`]) is checked on arrival
+//! ([`LinkGate`]), making the per-edge FIFO guarantee of the execution
+//! model an enforced invariant rather than an assumption.
 
 use crate::message::{uint_bits, Message, TAG_BITS};
 use std::collections::VecDeque;
@@ -122,13 +128,86 @@ impl Assembler {
     }
 }
 
+/// Sender side of a FIFO link discipline: stamps each outgoing [`Frame`]
+/// on one directed link with the next `u64` sequence number.
+///
+/// This is how the async threads+channels runtime ([`crate::rt`]) ships
+/// deliveries: every protocol message crosses its channel wrapped in a
+/// frame whose `words` carry the delivery metadata and whose `seq` proves
+/// per-edge FIFO order to the receiving [`LinkGate`]. One stamper per
+/// directed edge.
+#[derive(Debug, Default)]
+pub struct LinkSeq {
+    next: u64,
+}
+
+impl LinkSeq {
+    /// A stamper starting at sequence number 0.
+    pub fn new() -> Self {
+        LinkSeq::default()
+    }
+
+    /// Wraps `words` in the next in-order frame for this link.
+    pub fn stamp(&mut self, words: Vec<u64>) -> Frame {
+        let seq = self.next;
+        self.next += 1;
+        Frame {
+            seq,
+            last: true,
+            words,
+        }
+    }
+}
+
+/// Receiver side of the FIFO link discipline: verifies that the frames
+/// arriving on each port carry consecutive sequence numbers, i.e. that the
+/// transport really delivered the link's frames in order. The async
+/// runtime routes every channel delivery through a gate; a violation would
+/// mean the per-edge FIFO guarantee the execution model rests on is broken.
+#[derive(Debug)]
+pub struct LinkGate {
+    expect: Vec<u64>,
+}
+
+impl LinkGate {
+    /// A gate for a node with `degree` ports.
+    pub fn new(degree: usize) -> Self {
+        LinkGate {
+            expect: vec![0; degree],
+        }
+    }
+
+    /// Accepts one frame from `port` and returns its payload words.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-order frame (a transport bug — the message
+    /// matches [`Assembler::accept`]) or an out-of-range port.
+    pub fn accept<'f>(&mut self, port: Port, frame: &'f Frame) -> &'f [u64] {
+        assert!(
+            frame.seq == self.expect[port],
+            "out-of-order frame on port {port}: got {}, expected {}",
+            frame.seq,
+            self.expect[port]
+        );
+        self.expect[port] += 1;
+        &frame.words
+    }
+}
+
 /// A per-port outgoing frame queue: enqueue whole payloads, drain one frame
 /// per round (respecting the one-message-per-edge-per-round rule).
+#[deprecated(
+    since = "0.6.0",
+    note = "no protocol drains frames round-by-round anymore; the channel \
+            runtime sequences links with `LinkSeq`/`LinkGate` instead"
+)]
 #[derive(Debug)]
 pub struct FrameQueue {
     queues: Vec<VecDeque<Frame>>,
 }
 
+#[allow(deprecated)]
 impl FrameQueue {
     /// A queue set for a node with `degree` ports.
     pub fn new(degree: usize) -> Self {
@@ -210,6 +289,33 @@ mod tests {
     }
 
     #[test]
+    fn link_seq_and_gate_enforce_fifo() {
+        let mut seq = LinkSeq::new();
+        let mut gate = LinkGate::new(2);
+        for i in 0..5u64 {
+            let f = seq.stamp(vec![i, 100 + i]);
+            assert_eq!(f.seq, i);
+            assert!(f.last);
+            assert_eq!(gate.accept(1, &f), &[i, 100 + i]);
+        }
+        // The other port has its own, independent expectation.
+        let f0 = LinkSeq::new().stamp(vec![7]);
+        assert_eq!(gate.accept(0, &f0), &[7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out-of-order frame on port 0: got 3, expected 0")]
+    fn link_gate_rejects_skipped_frames() {
+        let mut seq = LinkSeq::new();
+        seq.stamp(vec![]);
+        seq.stamp(vec![]);
+        seq.stamp(vec![]);
+        let f = seq.stamp(vec![1]);
+        LinkGate::new(1).accept(0, &f);
+    }
+
+    #[test]
+    #[allow(deprecated)]
     fn frame_queue_drains_one_per_round() {
         let mut q = FrameQueue::new(2);
         q.enqueue(0, &[1, 2, 3, 4], 2);

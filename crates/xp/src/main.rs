@@ -33,6 +33,10 @@ USAGE:
                           (N = 0 forces the sequential reference engine;
                           outcomes are identical at any N, only wall-clock
                           and throughput change)
+        --runtime R       override every group's runtime: sim (the round
+                          engine) or async (the threads+channels runtime;
+                          lockstep groups only — same outcomes by the
+                          conformance contract)
 
   ule-xp compare BASELINE.json NEW.json [OPTIONS]
       Diff two result files (campaign format or legacy BENCH array).
@@ -89,6 +93,7 @@ fn cmd_run(args: &[String]) -> Result<ExitCode, XpError> {
     let mut no_table = false;
     let mut quiet = false;
     let mut threads: Option<u64> = None;
+    let mut runtime: Option<ule_sim::RuntimeKind> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -111,6 +116,18 @@ fn cmd_run(args: &[String]) -> Result<ExitCode, XpError> {
                     )));
                 }
                 threads = Some(t);
+            }
+            "--runtime" => {
+                let r = take_value(args, &mut i, "--runtime")?;
+                runtime = Some(match r.as_str() {
+                    "sim" => ule_sim::RuntimeKind::Sim,
+                    "async" => ule_sim::RuntimeKind::Async,
+                    other => {
+                        return Err(XpError::new(format!(
+                            "--runtime: unknown runtime `{other}` (sim | async)"
+                        )))
+                    }
+                });
             }
             other => return Err(XpError::new(format!("run: unknown option `{other}`"))),
         }
@@ -139,6 +156,28 @@ fn cmd_run(args: &[String]) -> Result<ExitCode, XpError> {
         // group's knob), anything else pins every group to t threads.
         for group in &mut spec.groups {
             group.threads = if t == 0 { None } else { Some(t) };
+        }
+    }
+    if let Some(r) = runtime {
+        // Mirror of the spec-level `runtime` field. Fail fast with the
+        // offending group rather than mid-campaign: the async runtime
+        // has no adversary support.
+        if r == ule_sim::RuntimeKind::Async {
+            if let Some(group) = spec
+                .groups
+                .iter()
+                .find(|g| g.adversary != ule_xp::spec::AdversaryProfile::Lockstep)
+            {
+                return Err(XpError::new(format!(
+                    "--runtime async: the async runtime supports only the lockstep execution \
+                     model, but a group uses adversary profile `{}`; rerun on --runtime sim or \
+                     drop the profile",
+                    group.adversary.name()
+                )));
+            }
+        }
+        for group in &mut spec.groups {
+            group.runtime = r;
         }
     }
 

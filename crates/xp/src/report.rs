@@ -102,6 +102,7 @@ mod tests {
                 timed: true,
                 threads: None,
                 adversary: AdversaryProfile::Lockstep,
+                runtime: ule_sim::RuntimeKind::Sim,
             }],
         };
         let result = execute(&spec, RunMeta::fixed(), false).unwrap();

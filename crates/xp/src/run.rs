@@ -14,7 +14,7 @@ use ule_core::Algorithm;
 use ule_graph::gen::{workload_graph, Family};
 use ule_graph::{analysis, Graph, IdAssignment, IdSpace};
 use ule_sim::harness::{parallel_trials, Summary};
-use ule_sim::{Knowledge, Parallelism, SimConfig, Wakeup};
+use ule_sim::{Knowledge, Parallelism, RuntimeKind, SimConfig, Wakeup};
 
 /// Version of the result-JSON schema; bump on any breaking field change so
 /// `compare` can refuse mismatched inputs. Version 2 added the per-cell
@@ -125,6 +125,11 @@ pub struct CellResult {
     /// adversary *changes* measured costs, so `compare` warns when it
     /// diffs two cells recorded under different profiles.
     pub adversary: AdversaryProfile,
+    /// Runtime the cell ran on. Like `threads`, pure provenance: under
+    /// the lockstep model both runtimes measure identical costs (the
+    /// cross-runtime conformance contract), so sim and async cells stay
+    /// comparable and sim cells stay byte-stable without the field.
+    pub runtime: RuntimeKind,
 }
 
 /// A completed campaign: the spec that produced it, provenance, and every
@@ -210,6 +215,16 @@ pub fn execute(
 ) -> Result<CampaignResult, XpError> {
     let mut cells = Vec::new();
     for group in &spec.groups {
+        // The spec parser enforces this too; re-check here so
+        // programmatically built specs fail with coordinates instead of
+        // panicking mid-grid inside a trial closure.
+        if group.runtime == RuntimeKind::Async && group.adversary != AdversaryProfile::Lockstep {
+            return Err(XpError::new(format!(
+                "group with adversary `{}`: the async runtime supports only the lockstep \
+                 execution model",
+                group.adversary.name()
+            )));
+        }
         for &family in &group.families {
             for &n in &group.sizes {
                 let g = workload_graph(spec.graph_seed, family, n).map_err(|e| {
@@ -239,7 +254,9 @@ pub fn execute(
                     }
                     let start = Instant::now();
                     let outs = parallel_trials(group.trials, |t| {
-                        algorithm.run_with(&g, &cell_config(&job, &g, d, t))
+                        algorithm
+                            .run_on(group.runtime, &g, &cell_config(&job, &g, d, t))
+                            .expect("unsupported runtime/adversary combinations are rejected above")
                     });
                     let elapsed = start.elapsed().as_secs_f64();
                     let summary = Summary::from_outcomes(&outs);
@@ -258,6 +275,7 @@ pub fn execute(
                         msgs_per_s: group.timed.then_some(total_messages / elapsed.max(1e-9)),
                         threads: group.threads,
                         adversary: group.adversary,
+                        runtime: group.runtime,
                         summary,
                     });
                 }
@@ -325,6 +343,10 @@ impl CellResult {
         if self.adversary != AdversaryProfile::Lockstep {
             fields.push(("adversary".into(), Json::Str(self.adversary.name())));
         }
+        // Same rule: sim cells stay byte-identical to pre-runtime results.
+        if self.runtime == RuntimeKind::Async {
+            fields.push(("runtime".into(), Json::Str(self.runtime.name().into())));
+        }
         Json::Obj(fields)
     }
 }
@@ -374,6 +396,7 @@ mod tests {
                 timed: false,
                 threads: None,
                 adversary: AdversaryProfile::Lockstep,
+                runtime: RuntimeKind::Sim,
             }],
         }
     }
@@ -483,6 +506,35 @@ mod tests {
     }
 
     #[test]
+    fn async_runtime_groups_reproduce_sim_cells() {
+        // The cross-runtime conformance contract at the campaign layer:
+        // under lockstep, an async-runtime group measures the same
+        // summary numbers as the sim group; the cell records which
+        // runtime it ran on, and sim cells stay byte-stable without it.
+        let sim = execute(&tiny_spec(), RunMeta::fixed(), false).unwrap();
+        let mut spec = tiny_spec();
+        spec.groups[0].runtime = RuntimeKind::Async;
+        let asynch = execute(&spec, RunMeta::fixed(), false).unwrap();
+        for (s, a) in sim.cells.iter().zip(&asynch.cells) {
+            assert_eq!(s.summary, a.summary, "{}", s.workload);
+            assert!(s.to_json().get("runtime").is_none());
+            assert_eq!(
+                a.to_json().get("runtime").and_then(Json::as_str),
+                Some("async")
+            );
+        }
+    }
+
+    #[test]
+    fn async_runtime_rejects_adversary_groups() {
+        let mut spec = tiny_spec();
+        spec.groups[0].runtime = RuntimeKind::Async;
+        spec.groups[0].adversary = AdversaryProfile::BoundedDelay { max_delay: 2 };
+        let err = execute(&spec, RunMeta::fixed(), false).unwrap_err();
+        assert!(err.to_string().contains("lockstep"), "{err}");
+    }
+
+    #[test]
     fn timed_groups_record_throughput() {
         let mut spec = tiny_spec();
         spec.groups[0].timed = true;
@@ -510,6 +562,7 @@ mod tests {
                 timed: false,
                 threads: None,
                 adversary: AdversaryProfile::Lockstep,
+                runtime: RuntimeKind::Sim,
             }],
         };
         let result = execute(&spec, RunMeta::fixed(), false).unwrap();

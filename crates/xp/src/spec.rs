@@ -13,6 +13,7 @@ use crate::json::Json;
 use crate::XpError;
 use ule_core::Algorithm;
 use ule_graph::gen::{Family, WORKLOAD_BASE_SEED};
+use ule_sim::RuntimeKind;
 
 /// Upper sanity bound on a group's `threads`: the engine honors whatever
 /// it is told and spawns up to `min(threads, active nodes)` OS threads per
@@ -150,6 +151,12 @@ pub struct JobGroup {
     /// model, and the only profile pre-adversary specs could express, so
     /// legacy spec files serialize and hash byte-identically).
     pub adversary: AdversaryProfile,
+    /// Which runtime executes every cell in this group:
+    /// [`RuntimeKind::Sim`] (the round engine; the default, omitted in
+    /// JSON so legacy spec files serialize and hash byte-identically) or
+    /// [`RuntimeKind::Async`] (the threads+channels runtime — lockstep
+    /// profile only, same outcomes by the conformance contract).
+    pub runtime: RuntimeKind,
 }
 
 /// A whole campaign: named, seeded, and a union of job groups.
@@ -335,6 +342,11 @@ fn group_to_json(g: &JobGroup) -> Json {
     if let Some(t) = g.threads {
         fields.push(("threads".into(), Json::Num(t as f64)));
     }
+    // Same byte-stability rule: the sim runtime is the default and is
+    // never emitted.
+    if g.runtime == RuntimeKind::Async {
+        fields.push(("runtime".into(), Json::Str("async".into())));
+    }
     // Same byte-stability rule: lockstep (the only pre-adversary model) is
     // the default and is never emitted.
     match g.adversary {
@@ -488,6 +500,22 @@ fn group_from_json(v: &Json) -> Result<JobGroup, XpError> {
         None => AdversaryProfile::Lockstep,
         Some(a) => adversary_from_json(a)?,
     };
+    let runtime = match v.get("runtime").and_then(Json::as_str) {
+        None | Some("sim") => RuntimeKind::Sim,
+        Some("async") => RuntimeKind::Async,
+        Some(other) => {
+            return Err(XpError::new(format!(
+                "group: unknown runtime `{other}` (sim | async)"
+            )))
+        }
+    };
+    if runtime == RuntimeKind::Async && adversary != AdversaryProfile::Lockstep {
+        return Err(XpError::new(format!(
+            "group: the async runtime supports only the lockstep execution model \
+             (got adversary profile `{}`); drop the `adversary` field or run on `\"runtime\": \"sim\"`",
+            adversary.name()
+        )));
+    }
     Ok(JobGroup {
         algorithms,
         families,
@@ -499,6 +527,7 @@ fn group_from_json(v: &Json) -> Result<JobGroup, XpError> {
         timed,
         threads,
         adversary,
+        runtime,
     })
 }
 
@@ -538,6 +567,7 @@ pub fn builtin(name: &str, quick: bool) -> Option<CampaignSpec> {
             timed: false,
             threads: None,
             adversary: AdversaryProfile::Lockstep,
+            runtime: RuntimeKind::Sim,
         };
     let spec = match name {
         "table1" => CampaignSpec {
@@ -598,6 +628,7 @@ pub fn builtin(name: &str, quick: bool) -> Option<CampaignSpec> {
                     timed: true,
                     threads: None,
                     adversary: AdversaryProfile::Lockstep,
+                    runtime: RuntimeKind::Sim,
                 },
                 JobGroup {
                     algorithms: vec![Algorithm::DfsAgent],
@@ -614,6 +645,7 @@ pub fn builtin(name: &str, quick: bool) -> Option<CampaignSpec> {
                     timed: true,
                     threads: None,
                     adversary: AdversaryProfile::Lockstep,
+                    runtime: RuntimeKind::Sim,
                 },
                 // The sharded-parallel counterpart of the FloodMax torus
                 // cells above: identical outcomes (the engine's
@@ -641,6 +673,7 @@ pub fn builtin(name: &str, quick: bool) -> Option<CampaignSpec> {
                     timed: true,
                     threads: Some(2),
                     adversary: AdversaryProfile::Lockstep,
+                    runtime: RuntimeKind::Sim,
                 },
                 // The bounded-delay counterpart (occurrence #3 of the
                 // torus key in both grids): same workload, sequential
@@ -663,6 +696,7 @@ pub fn builtin(name: &str, quick: bool) -> Option<CampaignSpec> {
                     timed: true,
                     threads: None,
                     adversary: AdversaryProfile::BoundedDelay { max_delay: 2 },
+                    runtime: RuntimeKind::Sim,
                 },
             ],
         },
@@ -691,6 +725,7 @@ pub fn builtin(name: &str, quick: bool) -> Option<CampaignSpec> {
                 timed: false,
                 threads: None,
                 adversary,
+                runtime: RuntimeKind::Sim,
             };
             CampaignSpec {
                 name: "resilience".into(),
@@ -797,6 +832,39 @@ mod tests {
         let spec = builtin("table1", true).unwrap();
         assert!(spec.groups.iter().all(|g| g.threads.is_none()));
         assert!(!spec.to_json().compact().contains("threads"));
+    }
+
+    #[test]
+    fn runtime_field_round_trips_and_validates() {
+        let text = r#"{"name":"r","groups":[{
+            "algorithms":["floodmax"],"families":["cycle"],"sizes":[16],
+            "trials":1,"runtime":"async"}]}"#;
+        let spec = CampaignSpec::from_json(&Json::parse(text).unwrap()).unwrap();
+        assert_eq!(spec.groups[0].runtime, RuntimeKind::Async);
+        let back = CampaignSpec::from_json(&spec.to_json()).unwrap();
+        assert_eq!(back, spec);
+        // `"sim"` is accepted explicitly and is the default.
+        let explicit = text.replace("async", "sim");
+        let spec = CampaignSpec::from_json(&Json::parse(&explicit).unwrap()).unwrap();
+        assert_eq!(spec.groups[0].runtime, RuntimeKind::Sim);
+        // Unknown runtimes and async+adversary combinations are refused.
+        let bad = text.replace("async", "tokio");
+        let err = CampaignSpec::from_json(&Json::parse(&bad).unwrap()).unwrap_err();
+        assert!(err.to_string().contains("sim | async"), "{err}");
+        let clash = r#"{"name":"r","groups":[{
+            "algorithms":["floodmax"],"families":["cycle"],"sizes":[16],"trials":1,
+            "runtime":"async","adversary":{"kind":"bounded-delay","max_delay":2}}]}"#;
+        let err = CampaignSpec::from_json(&Json::parse(clash).unwrap()).unwrap_err();
+        assert!(err.to_string().contains("lockstep"), "{err}");
+    }
+
+    #[test]
+    fn omitted_runtime_keeps_legacy_serialization_stable() {
+        // Pre-runtime specs must serialize (and hash) byte-identically:
+        // the sim runtime is the default and is never emitted.
+        let spec = builtin("engine-scale", true).unwrap();
+        assert!(spec.groups.iter().all(|g| g.runtime == RuntimeKind::Sim));
+        assert!(!spec.to_json().compact().contains("runtime"));
     }
 
     #[test]

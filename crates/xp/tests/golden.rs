@@ -30,6 +30,7 @@ fn golden_spec() -> CampaignSpec {
             timed: false,
             threads: None,
             adversary: AdversaryProfile::Lockstep,
+            runtime: ule_sim::RuntimeKind::Sim,
         }],
     }
 }

@@ -1,0 +1,103 @@
+//! Cross-runtime conformance: the async threads+channels runtime
+//! (`ule_sim::rt`) must reproduce the synchronous simulator exactly.
+//!
+//! Under the lockstep execution model the async runtime is a conservative
+//! re-execution of the same computation — same per-node RNG streams, same
+//! inbox ordering, same activation rounds — so its [`RunOutcome`] is
+//! asserted **equal**, field for field, to the engine's: same leader, same
+//! message and bit totals (exact, not within tolerance — every registry
+//! algorithm is deterministic given its seed), same rounds, same per-edge
+//! statistics. Any divergence is a bug in one of the runtimes.
+
+use ule_core::Algorithm;
+use ule_graph::dumbbell::Dumbbell;
+use ule_graph::{gen, Graph};
+use ule_sim::{replay, run_async, RuntimeKind, SimConfig};
+
+/// The three conformance workloads: a cycle, a torus, and the Theorem 3.1
+/// dumbbell (two complete halves joined by bridges — the least symmetric
+/// small graph the repo builds, so port-numbering mistakes would show).
+fn workloads() -> Vec<(String, Graph)> {
+    let dumbbell = {
+        let half = gen::complete(4).unwrap();
+        Dumbbell::build(&half, (0, 1), &half, (2, 3), Default::default())
+            .unwrap()
+            .graph
+    };
+    vec![
+        ("cycle/12".into(), gen::cycle(12).unwrap()),
+        ("torus/4x4".into(), gen::torus(4, 4).unwrap()),
+        ("dumbbell/8".into(), dumbbell),
+    ]
+}
+
+#[test]
+fn every_algorithm_conforms_on_every_workload() {
+    for (label, g) in workloads() {
+        for alg in Algorithm::ALL {
+            let cfg = alg.config_for(&g, 2);
+            let sim = alg.run_with(&g, &cfg);
+            let over_channels = alg
+                .run_on(RuntimeKind::Async, &g, &cfg)
+                .expect("lockstep configs run on the async runtime");
+            assert_eq!(
+                over_channels,
+                sim,
+                "{} diverges between runtimes on {label}",
+                alg.spec().name
+            );
+            // The equality above subsumes these, but state the headline
+            // claims explicitly so a failure names what broke.
+            assert_eq!(over_channels.leader(), sim.leader(), "{alg} on {label}");
+            assert_eq!(over_channels.messages, sim.messages, "{alg} on {label}");
+        }
+    }
+}
+
+#[test]
+fn round_limit_truncation_conforms() {
+    // Truncating a run mid-flood must snapshot the same state and report
+    // the same RoundLimit verdict on both runtimes.
+    let g = gen::torus(4, 4).unwrap();
+    let mut cfg = Algorithm::FloodMax.config_for(&g, 0);
+    cfg = cfg.with_max_rounds(2);
+    let sim = Algorithm::FloodMax.run_with(&g, &cfg);
+    let over_channels = Algorithm::FloodMax
+        .run_on(RuntimeKind::Async, &g, &cfg)
+        .unwrap();
+    assert_eq!(over_channels, sim);
+    assert_eq!(sim.termination, ule_sim::Termination::RoundLimit);
+}
+
+#[test]
+fn recorded_trace_replays_byte_for_byte() {
+    // A deterministic-seed async run logs its delivery trace; replaying
+    // the trace sequentially must verify every delivery and rebuild the
+    // identical outcome *and* trace.
+    let g = gen::torus(4, 4).unwrap();
+    let cfg = Algorithm::FloodMax.config_for(&g, 7);
+    let factory = |_: usize, _: &ule_sim::NodeSetup, _: &mut rand::rngs::StdRng| {
+        ule_core::baseline::FloodMax::new()
+    };
+    let recorded = run_async(&g, &cfg, factory).unwrap();
+    assert!(!recorded.trace.events.is_empty());
+    let replayed = replay(&g, &cfg, factory, &recorded.trace).unwrap();
+    assert_eq!(replayed, recorded);
+    // And the recorded run itself conforms to the simulator.
+    assert_eq!(recorded.outcome, Algorithm::FloodMax.run_with(&g, &cfg));
+}
+
+#[test]
+fn single_source_wakeup_conforms() {
+    // Adversarial wakeup exercises message-triggered first activations
+    // and the wake-timer path together.
+    let g = gen::cycle(12).unwrap();
+    let mut cfg = SimConfig::seeded(3).with_knowledge(ule_sim::Knowledge::n(12));
+    cfg.wakeup = ule_sim::Wakeup::Adversarial(vec![0]);
+    let sim = Algorithm::LeastElAll.run_with(&g, &cfg);
+    let over_channels = Algorithm::LeastElAll
+        .run_on(RuntimeKind::Async, &g, &cfg)
+        .unwrap();
+    assert_eq!(over_channels, sim);
+    assert!(sim.election_succeeded());
+}
