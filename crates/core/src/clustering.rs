@@ -34,7 +34,7 @@
 
 use crate::wave::{rank_space, Key, WaveCore, WaveMsg, WaveOutcome};
 use rand::Rng;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use ule_graph::Graph;
 use ule_sim::message::{id_bits, Message, TAG_BITS};
 use ule_sim::{Context, Model, PortOutbox, Protocol, RunOutcome, SimConfig, Status};
@@ -82,7 +82,7 @@ impl EdgeRecord {
 /// Keeps one record per cluster pair — the one with the smallest sorted
 /// tag pair (a globally agreed choice).
 pub fn sparsify(records: impl IntoIterator<Item = EdgeRecord>) -> Vec<EdgeRecord> {
-    let mut best: HashMap<(u64, u64), EdgeRecord> = HashMap::new();
+    let mut best: BTreeMap<(u64, u64), EdgeRecord> = BTreeMap::new();
     for r in records {
         best.entry((r.cluster_a, r.cluster_b))
             .and_modify(|cur| {
@@ -92,9 +92,9 @@ pub fn sparsify(records: impl IntoIterator<Item = EdgeRecord>) -> Vec<EdgeRecord
             })
             .or_insert(r);
     }
-    let mut out: Vec<EdgeRecord> = best.into_values().collect();
-    out.sort_by_key(|r| (r.cluster_a, r.cluster_b));
-    out
+    // BTreeMap yields ascending (cluster_a, cluster_b) — exactly the
+    // order the explicit sort used to impose, so no sort needed.
+    best.into_values().collect()
 }
 
 /// Messages of the clustering algorithm.

@@ -21,7 +21,7 @@
 //! The simulator's idle fast-forwarding makes the exponential schedule
 //! simulable: engine work is proportional to agent *moves*, not rounds.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use ule_graph::{Graph, Id};
 use ule_sim::message::{id_bits, Message, TAG_BITS};
 use ule_sim::{Context, PortOutbox, Protocol, RunOutcome, SimConfig, Status};
@@ -86,8 +86,8 @@ pub struct DfsAgent {
     send_wakeup: bool,
     own: Id,
     min_seen: Id,
-    entries: HashMap<Id, AgentEntry>,
-    hosted: HashMap<Id, (Pending, u64)>,
+    entries: BTreeMap<Id, AgentEntry>,
+    hosted: BTreeMap<Id, (Pending, u64)>,
     out: PortOutbox<DfsMsg>,
     status: Status,
 }
@@ -101,8 +101,8 @@ impl DfsAgent {
             send_wakeup,
             own,
             min_seen: Id::MAX,
-            entries: HashMap::new(),
-            hosted: HashMap::new(),
+            entries: BTreeMap::new(),
+            hosted: BTreeMap::new(),
             out: PortOutbox::new(degree),
             status: Status::Undecided,
         }
@@ -242,14 +242,14 @@ impl Protocol for DfsAgent {
             }
         }
 
-        // Fire all due moves (ticks <= round), smallest agent first.
-        let mut due: Vec<Id> = self
+        // Fire all due moves (ticks <= round), smallest agent first —
+        // BTreeMap iteration is already ascending by agent id.
+        let due: Vec<Id> = self
             .hosted
             .iter()
             .filter(|(_, &(_, tick))| tick <= round)
             .map(|(&id, _)| id)
             .collect();
-        due.sort_unstable();
         for agent in due {
             let (pending, _) = self.hosted.remove(&agent).expect("due agent vanished");
             if agent > self.min_seen {

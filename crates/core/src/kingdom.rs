@@ -99,8 +99,12 @@ pub enum KMsg {
     Elect {
         /// The candidate identifier owning the kingdom.
         kingdom: Id,
-        /// Sender's distance from the candidate.
-        depth: u32,
+        /// Sender's distance from the candidate. Full width: under the
+        /// doubling schedule the radius reaches 2^60, and truncating this
+        /// to u32 would wrap depths on paths longer than 2^32 (same bug
+        /// class as the PR 4 frame-seq truncation). `size_bits` charges
+        /// by value, so widening costs no wire bits.
+        depth: u64,
     },
     /// Stage 1: "you are my parent".
     Ack1,
@@ -131,9 +135,7 @@ pub enum KMsg {
 impl Message for KMsg {
     fn size_bits(&self) -> u64 {
         match self {
-            KMsg::Elect { kingdom, depth } => {
-                TAG_BITS + id_bits(*kingdom) + uint_bits(*depth as u64)
-            }
+            KMsg::Elect { kingdom, depth } => TAG_BITS + id_bits(*kingdom) + uint_bits(*depth),
             KMsg::Ack1 => TAG_BITS,
             KMsg::Ack2 { max_foreign, .. } => TAG_BITS + id_bits(*max_foreign) + 1,
             KMsg::Confirm { winner, .. } => TAG_BITS + id_bits(*winner) + 1,
@@ -237,15 +239,15 @@ impl Kingdom {
             KMsg::Elect { kingdom, depth } => {
                 match self.st.owner {
                     None => {
-                        if (depth as u64) < radius {
+                        if depth < radius {
                             // Adopt: first Elect wins (port order on ties).
                             self.st.owner = Some(kingdom);
                             self.st.parent = Some(port);
-                            self.st.depth = depth as u64 + 1;
+                            self.st.depth = depth + 1;
                             self.out.push(port, KMsg::Ack1);
                             let announce = KMsg::Elect {
                                 kingdom,
-                                depth: self.st.depth as u32,
+                                depth: self.st.depth,
                             };
                             for p in 0..self.degree {
                                 if p != port {
@@ -706,7 +708,7 @@ mod tests {
         ids[0] = 1;
         ids[9] = 10;
         // ids: node0=1 (hub), node9=10 (leaf)
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         let ids: Vec<u64> = ids
             .into_iter()
             .map(|x| {
@@ -729,5 +731,38 @@ mod tests {
             .map(|(i, _)| i)
             .unwrap();
         assert_eq!(out.leader(), Some(argmax));
+    }
+
+    #[test]
+    fn elect_depth_survives_beyond_u32() {
+        // Regression: the re-announced Elect depth used to be truncated
+        // through u32 (`self.st.depth as u32`), so an adoption at depth
+        // ≥ 2^32 − 1 would wrap the depth carried to the next hop — the
+        // same bug class as the PR 4 frame-seq truncation. The doubling
+        // schedule reaches radius 2^60, so such depths are reachable in
+        // principle even though no simulated graph gets there.
+        let mut node = Kingdom::new(RadiusSchedule::Doubling, 5, 2);
+        node.lose(); // non-candidate: adoption path, owner starts None
+        node.reset_phase(0);
+        let big = (1u64 << 32) + 7;
+        node.handle_message(
+            0,
+            KMsg::Elect {
+                kingdom: 1,
+                depth: big,
+            },
+            0,
+            u64::MAX,
+        );
+        assert_eq!(node.st.depth, big + 1);
+        assert_eq!(node.out.pop(0), Some(KMsg::Ack1));
+        assert_eq!(
+            node.out.pop(1),
+            Some(KMsg::Elect {
+                kingdom: 1,
+                depth: big + 1
+            }),
+            "announced depth must not wrap modulo 2^32"
+        );
     }
 }

@@ -28,7 +28,7 @@
 //! code runs on the full graph, on a spanner subgraph (Corollary 4.2), or
 //! on the clustering overlay (Theorem 4.7).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use ule_graph::Port;
 use ule_sim::message::{id_bits, Message, TAG_BITS};
 use ule_sim::PortOutbox;
@@ -121,7 +121,7 @@ pub struct WaveCore {
     objective: Objective,
     best: Option<Key>,
     own: Option<Key>,
-    waves: HashMap<Key, WaveState>,
+    waves: BTreeMap<Key, WaveState>,
     outcome: Option<WaveOutcome>,
     adoptions: usize,
 }
@@ -141,7 +141,7 @@ impl WaveCore {
             objective: Objective::Minimize,
             best: None,
             own: None,
-            waves: HashMap::new(),
+            waves: BTreeMap::new(),
             outcome: None,
             adoptions: 0,
         }

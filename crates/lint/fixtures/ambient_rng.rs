@@ -1,0 +1,5 @@
+// Seeded hazard: an RNG stream not derived from the run seed.
+pub fn jitter() -> u64 {
+    let mut rng = rand::thread_rng();
+    rng.next_u64()
+}

@@ -1,0 +1,11 @@
+// Deliberately tricky but CLEAN: every hazard-looking token below is
+// inside a string, comment, or is a benign construct. The analyzer must
+// report nothing here.
+/* HashMap in a block comment /* nested: Instant::now() */ still comment */
+pub fn describe<'a>(tag: &'a str) -> String {
+    let doc = r#"HashMap and SystemTime and thread_rng, all in a raw string"#;
+    let ch = 'x'; // not a lifetime; and this HashSet is in a line comment
+    let widened = 7u32 as u64; // widening, not truncating
+    let masked = 0xFFu64 ^ 0x5A; // xor of literals, no seed involved
+    format!("{tag}{doc}{ch}{widened}{masked}")
+}

@@ -1,0 +1,4 @@
+// Seeded hazard: a suppression with no reason must itself be flagged,
+// and must not actually suppress.
+// ule-lint: allow(unordered-iter)
+pub type Index = std::collections::HashMap<u64, u64>;

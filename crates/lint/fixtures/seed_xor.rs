@@ -1,0 +1,8 @@
+// Seeded hazard: the PR 4 RNG stream collision class.
+pub fn node_stream(seed: u64, node: u64) -> u64 {
+    seed ^ splitmix64(node)
+}
+
+fn splitmix64(x: u64) -> u64 {
+    x.wrapping_mul(0x9E3779B97F4A7C15)
+}

@@ -1,0 +1,3 @@
+// A correctly suppressed hazard: flagged, but not gating.
+// ule-lint: allow(unordered-iter, reason = "fixture: lookup-only map, never iterated")
+pub type Index = std::collections::HashMap<u64, u64>;

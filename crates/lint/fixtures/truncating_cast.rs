@@ -1,0 +1,4 @@
+// Seeded hazard: the PR 4 frame-seq truncation class.
+pub fn frame_header(frame_seq: u64, round: u64) -> (u32, u16) {
+    (frame_seq as u32, round as u16)
+}

@@ -1,0 +1,7 @@
+// Seeded hazard: hash-ordered iteration feeding an outcome.
+use std::collections::HashMap;
+
+pub fn first_winner(votes: &HashMap<u64, u64>) -> Option<u64> {
+    // Iteration order decides the winner on ties — nondeterministic.
+    votes.iter().max_by_key(|(_, &v)| v).map(|(&k, _)| k)
+}

@@ -1,0 +1,4 @@
+// Seeded hazard: unsafe outside the (empty) allowlist.
+pub fn peek(v: &[u64]) -> u64 {
+    unsafe { *v.get_unchecked(0) }
+}

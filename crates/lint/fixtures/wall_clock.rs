@@ -1,0 +1,10 @@
+// Seeded hazard: real time read inside simulation code.
+pub fn measure() -> u64 {
+    let t0 = std::time::Instant::now();
+    busy();
+    t0.elapsed().as_nanos() as u64
+}
+
+pub fn stamp() -> std::time::SystemTime {
+    std::time::SystemTime::now()
+}

@@ -1,0 +1,438 @@
+//! A hand-rolled token-level lexer for Rust source.
+//!
+//! The determinism rules in [`crate::rules`] only need to see *identifier*
+//! and *punctuation* tokens with accurate line numbers — but getting those
+//! right requires correctly skipping everything that merely *looks* like
+//! code: string literals (`"HashMap"`), raw strings (`r#"Instant::now"#`),
+//! char literals (`'^'`), and comments, including Rust's nested block
+//! comments (`/* /* */ */`). The subtle cases this lexer handles, each
+//! pinned by `tests/lexer_edge_cases.rs`:
+//!
+//! * **raw strings** — `r"…"`, `r#"…"#` with any number of hashes, plus the
+//!   byte variants `b"…"`, `br#"…"#`; the closing quote must be followed by
+//!   the opening hash count;
+//! * **raw identifiers** — `r#match` is an identifier, not a raw string;
+//! * **char vs lifetime** — `'a` is a lifetime, `'a'` is a char literal,
+//!   `'\''` and `'\u{1F600}'` are escaped char literals;
+//! * **nested block comments** — `/* /* */ */` needs depth counting; an
+//!   unterminated comment consumes the rest of the file (matching rustc);
+//! * **line comments** — kept as tokens (not discarded) because the
+//!   suppression syntax (`// ule-lint: allow(…)`) lives in them.
+//!
+//! The lexer is *lossy* where the rules don't care: numeric literals are
+//! lexed as one `Number` token without suffix validation, and multi-char
+//! operators arrive as single-char [`TokKind::Punct`] tokens.
+
+/// What a token is, as far as the rule engine cares.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`HashMap`, `as`, `unsafe`, `r#match`).
+    Ident,
+    /// A lifetime (`'a`, `'static`) — *not* a char literal.
+    Lifetime,
+    /// Numeric literal (`42`, `0x5A5A`, `1_000u64`).
+    Number,
+    /// String literal of any flavour: `"…"`, `r#"…"#`, `b"…"`, `br"…"`.
+    Str,
+    /// Char or byte-char literal: `'x'`, `'\''`, `b'\n'`.
+    Char,
+    /// One punctuation character (`^`, `:`, `(`, …).
+    Punct,
+    /// A `// …` comment, text includes the slashes.
+    LineComment,
+    /// A `/* … */` comment (nesting handled), text includes delimiters.
+    BlockComment,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tok {
+    /// Token class.
+    pub kind: TokKind,
+    /// Source text. For `Punct` this is the single character; for comments
+    /// and strings it includes the delimiters.
+    pub text: String,
+    /// 1-based line the token *starts* on.
+    pub line: usize,
+}
+
+impl Tok {
+    fn new(kind: TokKind, text: impl Into<String>, line: usize) -> Tok {
+        Tok {
+            kind,
+            text: text.into(),
+            line,
+        }
+    }
+}
+
+struct Cursor<'a> {
+    chars: std::str::Chars<'a>,
+    peeked: Option<char>,
+    line: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(src: &'a str) -> Cursor<'a> {
+        Cursor {
+            chars: src.chars(),
+            peeked: None,
+            line: 1,
+        }
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        if self.peeked.is_none() {
+            self.peeked = self.chars.next();
+        }
+        self.peeked
+    }
+
+    /// Peek one past [`Cursor::peek`] without consuming either.
+    fn peek2(&mut self) -> Option<char> {
+        self.peek();
+        self.chars.clone().next()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peeked.take().or_else(|| self.chars.next());
+        if c == Some('\n') {
+            self.line += 1;
+        }
+        c
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c == '_' || c.is_alphabetic()
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c == '_' || c.is_alphanumeric()
+}
+
+/// Lexes `src` into tokens. Never fails: malformed input degrades to
+/// punctuation tokens rather than aborting the scan (a linter must keep
+/// going on code rustc would reject).
+pub fn lex(src: &str) -> Vec<Tok> {
+    let mut cur = Cursor::new(src);
+    let mut out = Vec::new();
+
+    while let Some(c) = cur.peek() {
+        let line = cur.line;
+        match c {
+            c if c.is_whitespace() => {
+                cur.bump();
+            }
+            '/' => match cur.peek2() {
+                Some('/') => out.push(lex_line_comment(&mut cur, line)),
+                Some('*') => out.push(lex_block_comment(&mut cur, line)),
+                _ => {
+                    cur.bump();
+                    out.push(Tok::new(TokKind::Punct, "/", line));
+                }
+            },
+            '"' => out.push(lex_string(&mut cur, line)),
+            '\'' => out.push(lex_quote(&mut cur, line)),
+            c if c.is_ascii_digit() => out.push(lex_number(&mut cur, line)),
+            c if is_ident_start(c) => {
+                if let Some(tok) = lex_maybe_prefixed(&mut cur, line) {
+                    out.push(tok);
+                }
+            }
+            _ => {
+                cur.bump();
+                out.push(Tok::new(TokKind::Punct, c.to_string(), line));
+            }
+        }
+    }
+    out
+}
+
+fn lex_line_comment(cur: &mut Cursor<'_>, line: usize) -> Tok {
+    let mut text = String::new();
+    while let Some(c) = cur.peek() {
+        if c == '\n' {
+            break;
+        }
+        text.push(c);
+        cur.bump();
+    }
+    Tok::new(TokKind::LineComment, text, line)
+}
+
+fn lex_block_comment(cur: &mut Cursor<'_>, line: usize) -> Tok {
+    let mut text = String::new();
+    // Consume the opening `/*`.
+    text.push(cur.bump().expect("peeked '/'"));
+    text.push(cur.bump().expect("peeked '*'"));
+    let mut depth = 1usize;
+    while depth > 0 {
+        match cur.bump() {
+            None => break, // unterminated: swallow to EOF, as rustc does
+            Some('/') if cur.peek() == Some('*') => {
+                text.push('/');
+                text.push(cur.bump().expect("peeked '*'"));
+                depth += 1;
+            }
+            Some('*') if cur.peek() == Some('/') => {
+                text.push('*');
+                text.push(cur.bump().expect("peeked '/'"));
+                depth -= 1;
+            }
+            Some(c) => text.push(c),
+        }
+    }
+    Tok::new(TokKind::BlockComment, text, line)
+}
+
+/// Lexes a non-raw string literal starting at `"`, honouring escapes.
+fn lex_string(cur: &mut Cursor<'_>, line: usize) -> Tok {
+    let mut text = String::new();
+    text.push(cur.bump().expect("peeked '\"'"));
+    while let Some(c) = cur.bump() {
+        text.push(c);
+        match c {
+            '\\' => {
+                if let Some(e) = cur.bump() {
+                    text.push(e);
+                }
+            }
+            '"' => break,
+            _ => {}
+        }
+    }
+    Tok::new(TokKind::Str, text, line)
+}
+
+/// Lexes a raw string body once positioned at the opening `#`s or `"`.
+/// `text` already holds the prefix (`r`, `br`, …).
+fn lex_raw_string(cur: &mut Cursor<'_>, mut text: String, line: usize) -> Tok {
+    let mut hashes = 0usize;
+    while cur.peek() == Some('#') {
+        text.push(cur.bump().expect("peeked '#'"));
+        hashes += 1;
+    }
+    if cur.peek() == Some('"') {
+        text.push(cur.bump().expect("peeked '\"'"));
+        'body: while let Some(c) = cur.bump() {
+            text.push(c);
+            if c == '"' {
+                // A close candidate: need `hashes` hashes right after.
+                let mut seen = 0usize;
+                while seen < hashes && cur.peek() == Some('#') {
+                    text.push(cur.bump().expect("peeked '#'"));
+                    seen += 1;
+                }
+                if seen == hashes {
+                    break 'body;
+                }
+            }
+        }
+    }
+    Tok::new(TokKind::Str, text, line)
+}
+
+/// Lexes `'…`: a lifetime (`'a`, `'static`) or a char literal (`'x'`,
+/// `'\''`, `'\u{1F600}'`). Disambiguation: after the quote, an
+/// identifier-shaped run that is *not* closed by another quote is a
+/// lifetime; anything else is a char literal.
+fn lex_quote(cur: &mut Cursor<'_>, line: usize) -> Tok {
+    let mut text = String::new();
+    text.push(cur.bump().expect("peeked '\\''"));
+    match cur.peek() {
+        Some('\\') => {
+            // Escaped char literal: consume the escape, then to the close.
+            text.push(cur.bump().expect("peeked '\\\\'"));
+            if let Some(e) = cur.bump() {
+                text.push(e);
+            }
+            while let Some(c) = cur.bump() {
+                text.push(c);
+                if c == '\'' {
+                    break;
+                }
+            }
+            Tok::new(TokKind::Char, text, line)
+        }
+        Some(c) if is_ident_start(c) => {
+            // Could be `'a'` (char) or `'a` / `'abc` (lifetime).
+            text.push(cur.bump().expect("peeked ident start"));
+            while let Some(n) = cur.peek() {
+                if is_ident_continue(n) {
+                    text.push(cur.bump().expect("peeked continue"));
+                } else {
+                    break;
+                }
+            }
+            if cur.peek() == Some('\'') {
+                text.push(cur.bump().expect("peeked close quote"));
+                Tok::new(TokKind::Char, text, line)
+            } else {
+                Tok::new(TokKind::Lifetime, text, line)
+            }
+        }
+        Some(_) => {
+            // Non-identifier char literal: `'^'`, `'0'`, `' '`.
+            if let Some(c) = cur.bump() {
+                text.push(c);
+            }
+            if cur.peek() == Some('\'') {
+                text.push(cur.bump().expect("peeked close quote"));
+            }
+            Tok::new(TokKind::Char, text, line)
+        }
+        None => Tok::new(TokKind::Punct, text, line),
+    }
+}
+
+fn lex_number(cur: &mut Cursor<'_>, line: usize) -> Tok {
+    let mut text = String::new();
+    while let Some(c) = cur.peek() {
+        if is_ident_continue(c) {
+            text.push(cur.bump().expect("peeked alnum"));
+        } else {
+            break;
+        }
+    }
+    Tok::new(TokKind::Number, text, line)
+}
+
+/// Lexes an identifier, or the string literal it prefixes: `r"…"`,
+/// `r#"…"#`, `b"…"`, `br"…"`, `b'…'`, plus raw identifiers (`r#match`).
+fn lex_maybe_prefixed(cur: &mut Cursor<'_>, line: usize) -> Option<Tok> {
+    let first = cur.bump().expect("peeked ident start");
+    // Raw-string / byte-string prefixes before a quote.
+    match (first, cur.peek()) {
+        ('r', Some('"')) | ('r', Some('#')) => {
+            if first == 'r' && cur.peek() == Some('#') && cur.peek2().is_some_and(is_ident_start) {
+                // Raw identifier `r#match`: lex the ident after the hash.
+                let mut text = String::from("r");
+                text.push(cur.bump().expect("peeked '#'"));
+                while let Some(c) = cur.peek() {
+                    if is_ident_continue(c) {
+                        text.push(cur.bump().expect("peeked continue"));
+                    } else {
+                        break;
+                    }
+                }
+                return Some(Tok::new(TokKind::Ident, text, line));
+            }
+            return Some(lex_raw_string(cur, String::from("r"), line));
+        }
+        ('b', Some('"')) => return Some(lex_string_prefixed(cur, String::from("b"), line)),
+        ('b', Some('\'')) => {
+            // Byte char literal `b'x'`: delegate to the quote lexer.
+            let tok = lex_quote(cur, line);
+            return Some(Tok::new(tok.kind, format!("b{}", tok.text), line));
+        }
+        ('b', Some('r')) => {
+            // Possibly `br"…"` / `br#"…"#`; otherwise an ident like `brk`.
+            if matches!(cur.peek2(), Some('"') | Some('#')) {
+                let mut text = String::from("b");
+                text.push(cur.bump().expect("peeked 'r'"));
+                return Some(lex_raw_string(cur, text, line));
+            }
+        }
+        _ => {}
+    }
+    // Plain identifier.
+    let mut text = String::new();
+    text.push(first);
+    while let Some(c) = cur.peek() {
+        if is_ident_continue(c) {
+            text.push(cur.bump().expect("peeked continue"));
+        } else {
+            break;
+        }
+    }
+    Some(Tok::new(TokKind::Ident, text, line))
+}
+
+fn lex_string_prefixed(cur: &mut Cursor<'_>, prefix: String, line: usize) -> Tok {
+    let tok = lex_string(cur, line);
+    Tok::new(TokKind::Str, format!("{prefix}{}", tok.text), line)
+}
+
+/// Splits an identifier into lowercase name segments: `frame_seq` →
+/// `["frame", "seq"]`, `nextRoundIdx` → `["next", "round", "idx"]`. Rules
+/// match *segments* exactly, so `round` matches `wake_round` but not
+/// `background`.
+pub fn name_segments(ident: &str) -> Vec<String> {
+    let mut segs = Vec::new();
+    let mut cur = String::new();
+    let mut prev_lower = false;
+    for c in ident.chars() {
+        if c == '_' {
+            if !cur.is_empty() {
+                segs.push(std::mem::take(&mut cur));
+            }
+            prev_lower = false;
+        } else if c.is_uppercase() && prev_lower {
+            if !cur.is_empty() {
+                segs.push(std::mem::take(&mut cur));
+            }
+            cur.extend(c.to_lowercase());
+            prev_lower = false;
+        } else {
+            prev_lower = c.is_lowercase() || c.is_ascii_digit();
+            cur.extend(c.to_lowercase());
+        }
+    }
+    if !cur.is_empty() {
+        segs.push(cur);
+    }
+    segs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_and_puncts() {
+        let toks = kinds("let x = a ^ b;");
+        assert_eq!(
+            toks,
+            vec![
+                (TokKind::Ident, "let".into()),
+                (TokKind::Ident, "x".into()),
+                (TokKind::Punct, "=".into()),
+                (TokKind::Ident, "a".into()),
+                (TokKind::Punct, "^".into()),
+                (TokKind::Ident, "b".into()),
+                (TokKind::Punct, ";".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn line_numbers_advance() {
+        let toks = lex("a\nb\n\nc");
+        assert_eq!(
+            toks.iter().map(|t| t.line).collect::<Vec<_>>(),
+            vec![1, 2, 4]
+        );
+    }
+
+    #[test]
+    fn string_escapes_do_not_terminate_early() {
+        let toks = kinds(r#"let s = "he said \"HashMap\""; x"#);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Str && t.contains("HashMap")));
+        assert_eq!(toks.last().unwrap(), &(TokKind::Ident, "x".to_string()));
+    }
+
+    #[test]
+    fn name_segments_split() {
+        assert_eq!(name_segments("frame_seq"), vec!["frame", "seq"]);
+        assert_eq!(name_segments("nextRoundIdx"), vec!["next", "round", "idx"]);
+        assert_eq!(name_segments("background"), vec!["background"]);
+        assert_eq!(name_segments("SEED"), vec!["seed"]);
+    }
+}

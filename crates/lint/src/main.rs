@@ -1,0 +1,106 @@
+//! `ule-lint` CLI.
+//!
+//! ```text
+//! cargo run -p ule-lint -- check                 # human output, exit 1 on findings
+//! cargo run -p ule-lint -- check --json          # JSON to stdout
+//! cargo run -p ule-lint -- check --out report.json   # JSON artifact + human output
+//! cargo run -p ule-lint -- check --root /path/to/ws
+//! cargo run -p ule-lint -- rules                 # list rules and what they encode
+//! ```
+//!
+//! Exit status: 0 when the tree is clean (no unsuppressed error-severity
+//! findings), 1 when it is not, 2 on usage/IO errors.
+
+use std::env;
+use std::fs;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use ule_lint::{rule_summary, scan_tree, to_json, unsuppressed, ALL_RULES};
+
+fn usage() -> ExitCode {
+    eprintln!("usage: ule-lint check [--json] [--root DIR] [--out FILE]\n       ule-lint rules");
+    ExitCode::from(2)
+}
+
+/// Workspace root: `--root` if given, else the manifest dir's
+/// grandparent (this crate lives at `<ws>/crates/lint`), else cwd.
+fn default_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(|p| p.parent())
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("."))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("rules") => {
+            for r in ALL_RULES {
+                println!("{r:16} {}", rule_summary(r));
+            }
+            ExitCode::SUCCESS
+        }
+        Some("check") => run_check(&args[1..]),
+        _ => usage(),
+    }
+}
+
+fn run_check(args: &[String]) -> ExitCode {
+    let mut json = false;
+    let mut root = default_root();
+    let mut out: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => json = true,
+            "--root" => match it.next() {
+                Some(d) => root = PathBuf::from(d),
+                None => return usage(),
+            },
+            "--out" => match it.next() {
+                Some(f) => out = Some(PathBuf::from(f)),
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+
+    let findings = match scan_tree(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("ule-lint: scan failed under {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    let gating = unsuppressed(&findings);
+
+    if let Some(path) = &out {
+        if let Err(e) = fs::write(path, to_json(&findings)) {
+            eprintln!("ule-lint: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+    if json {
+        print!("{}", to_json(&findings));
+    } else {
+        for f in &findings {
+            println!("{}", f.human());
+        }
+        let suppressed = findings.iter().filter(|f| f.suppressed).count();
+        println!(
+            "ule-lint: {} finding(s), {} unsuppressed, {} suppressed",
+            findings.len(),
+            gating.len(),
+            suppressed
+        );
+    }
+
+    if gating.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,155 @@
+//! Finding representation and rendering: human one-liners for terminals,
+//! hand-rolled JSON (std-only, same discipline as `crates/xp`'s writer)
+//! for CI artifacts.
+
+use std::fmt;
+
+/// Per-rule severity. Only `Error` findings gate `ule-lint -- check` and
+/// the `lint_clean` workspace test; `Warning` is reserved for rules being
+/// phased in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    Error,
+    Warning,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Error => write!(f, "error"),
+            Severity::Warning => write!(f, "warning"),
+        }
+    }
+}
+
+/// Severity assignment per rule. Every current rule encodes a bug class
+/// that has already bitten (or provably could), so all gate as errors;
+/// this function is the hook for phasing future rules in as warnings.
+pub fn severity_for(_rule: &str) -> Severity {
+    Severity::Error
+}
+
+/// One finding: a rule firing at a file:line, possibly suppressed by an
+/// inline `// ule-lint: allow(...)` with its recorded reason.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    pub rule: String,
+    pub file: String,
+    pub line: usize,
+    pub message: String,
+    pub severity: Severity,
+    pub suppressed: bool,
+    /// The reason string from the suppression that covered this finding.
+    pub reason: Option<String>,
+}
+
+impl Finding {
+    pub fn new(rule: &str, file: &str, line: usize, message: impl Into<String>) -> Self {
+        Finding {
+            rule: rule.to_string(),
+            file: file.to_string(),
+            line,
+            message: message.into(),
+            severity: severity_for(rule),
+            suppressed: false,
+            reason: None,
+        }
+    }
+
+    /// `error[seed-xor] crates/sim/src/exec.rs:97: ...` — grep- and
+    /// editor-friendly.
+    pub fn human(&self) -> String {
+        let mut s = format!(
+            "{}[{}] {}:{}: {}",
+            self.severity, self.rule, self.file, self.line, self.message
+        );
+        if self.suppressed {
+            s.push_str(&format!(
+                " (suppressed: {})",
+                self.reason.as_deref().unwrap_or("?")
+            ));
+        }
+        s
+    }
+}
+
+/// Minimal JSON string escaping — the same subset `crates/xp` emits.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders the full report as a stable, pretty-printed JSON document:
+/// summary counts first, then findings in scan order.
+pub fn to_json(findings: &[Finding]) -> String {
+    let unsuppressed = findings
+        .iter()
+        .filter(|f| !f.suppressed && f.severity == Severity::Error)
+        .count();
+    let suppressed = findings.iter().filter(|f| f.suppressed).count();
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"tool\": \"ule-lint\",\n");
+    out.push_str("  \"schema\": 1,\n");
+    out.push_str(&format!("  \"total\": {},\n", findings.len()));
+    out.push_str(&format!("  \"unsuppressed\": {unsuppressed},\n"));
+    out.push_str(&format!("  \"suppressed\": {suppressed},\n"));
+    out.push_str("  \"findings\": [");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    {");
+        out.push_str(&format!("\"rule\": \"{}\", ", esc(&f.rule)));
+        out.push_str(&format!("\"severity\": \"{}\", ", f.severity));
+        out.push_str(&format!("\"file\": \"{}\", ", esc(&f.file)));
+        out.push_str(&format!("\"line\": {}, ", f.line));
+        out.push_str(&format!("\"suppressed\": {}, ", f.suppressed));
+        match &f.reason {
+            Some(r) => out.push_str(&format!("\"reason\": \"{}\", ", esc(r))),
+            None => out.push_str("\"reason\": null, "),
+        }
+        out.push_str(&format!("\"message\": \"{}\"}}", esc(&f.message)));
+    }
+    if !findings.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escapes_and_counts() {
+        let mut f = Finding::new("seed-xor", "a/b.rs", 7, "bad \"xor\"");
+        let clean = to_json(std::slice::from_ref(&f));
+        assert!(clean.contains("\"unsuppressed\": 1"));
+        assert!(clean.contains("bad \\\"xor\\\""));
+        f.suppressed = true;
+        f.reason = Some("why".into());
+        let sup = to_json(&[f]);
+        assert!(sup.contains("\"unsuppressed\": 0"));
+        assert!(sup.contains("\"reason\": \"why\""));
+    }
+
+    #[test]
+    fn empty_report_is_valid() {
+        let j = to_json(&[]);
+        assert!(j.contains("\"findings\": []"));
+        assert!(j.contains("\"total\": 0"));
+    }
+}

@@ -1,0 +1,398 @@
+//! The determinism rule set and the suppression discipline.
+//!
+//! Each rule encodes one *historical or anticipated* nondeterminism bug
+//! class of this repository (see README § Static analysis for the incident
+//! citations):
+//!
+//! | rule | hazard |
+//! |------|--------|
+//! | `wall-clock` | `Instant::now` / `SystemTime` in `crates/sim` or `crates/core`: real time leaking into simulated time |
+//! | `unordered-iter` | `HashMap` / `HashSet` in deterministic-path files: iteration order can reach a `RunOutcome` |
+//! | `truncating-cast` | `as u32`/`u16`/`u8` on seq/seed/round/index/depth-named values (the PR 4 frame-seq truncation class) |
+//! | `seed-xor` | `^` combining a seed-named value with a non-literal (the PR 4 RNG stream collision class) |
+//! | `ambient-rng` | RNG construction not derived from the run seed (`thread_rng`, `from_entropy`, `OsRng`) |
+//! | `unsafe-block` | `unsafe` outside allowlisted crates |
+//!
+//! **Suppressions** are inline comments:
+//!
+//! ```text
+//! // ule-lint: allow(unordered-iter, reason = "lookup-only; never iterated")
+//! ```
+//!
+//! A suppression covers findings of the named rule on its own line and on
+//! the line directly below (so it works both trailing and standalone). A
+//! suppression *without a reason* is itself a finding (`suppression`), as
+//! is one naming an unknown rule — the ledger of exceptions must stay
+//! auditable.
+
+use crate::lexer::{lex, name_segments, Tok, TokKind};
+use crate::report::{Finding, Severity};
+
+/// Identifier segments that mark a value as sequence-critical for the
+/// `truncating-cast` rule.
+const SEQ_SEGMENTS: &[&str] = &["seq", "seed", "round", "idx", "index", "depth"];
+
+/// RNG constructors that bypass the run seed (`ambient-rng`).
+const AMBIENT_RNG_IDENTS: &[&str] = &["thread_rng", "ThreadRng", "from_entropy", "OsRng"];
+
+/// Crates allowed to contain `unsafe` blocks. Currently none: every
+/// `unsafe` in the tree needs an inline reasoned suppression.
+const UNSAFE_ALLOWED_CRATES: &[&str] = &[];
+
+/// `crates/sim` files whose iteration order can reach a [`RunOutcome`]:
+/// the execution core, both schedulers, and the adversary layer. All of
+/// `crates/core` is deterministic-path by definition (protocol logic).
+///
+/// [`RunOutcome`]: https://docs.rs/…
+const SIM_DETERMINISTIC_FILES: &[&str] = &["exec.rs", "engine.rs", "adversary.rs", "rt.rs"];
+
+/// Every rule the pass knows, in reporting order.
+pub const ALL_RULES: &[&str] = &[
+    "wall-clock",
+    "unordered-iter",
+    "truncating-cast",
+    "seed-xor",
+    "ambient-rng",
+    "unsafe-block",
+    "suppression",
+];
+
+/// One-line description per rule, for `ule-lint rules` and the README.
+pub fn rule_summary(rule: &str) -> &'static str {
+    match rule {
+        "wall-clock" => "Instant::now/SystemTime in crates/sim or crates/core (real time must not reach simulated time)",
+        "unordered-iter" => "HashMap/HashSet in deterministic-path files (iteration order can reach a RunOutcome)",
+        "truncating-cast" => "`as u32`/`u16`/`u8` on seq/seed/round/index/depth-named values (PR 4 frame-seq class)",
+        "seed-xor" => "`^` combining a seed-named value with a non-literal (PR 4 RNG collision class)",
+        "ambient-rng" => "RNG construction not derived from the run seed (thread_rng/from_entropy/OsRng)",
+        "unsafe-block" => "`unsafe` outside allowlisted crates (currently: none allowlisted)",
+        "suppression" => "malformed suppression: missing reason or unknown rule name",
+        _ => "unknown rule",
+    }
+}
+
+/// Path classification, derived from the workspace-relative path.
+#[derive(Debug, Clone, Copy)]
+struct FileClass {
+    /// Under `crates/sim/` or `crates/core/`.
+    sim_or_core: bool,
+    /// Iteration order can reach a `RunOutcome` here (see
+    /// [`SIM_DETERMINISTIC_FILES`]).
+    deterministic: bool,
+    /// Crate may contain `unsafe` without a suppression.
+    unsafe_allowed: bool,
+}
+
+fn classify(rel_path: &str) -> FileClass {
+    let p = rel_path.replace('\\', "/");
+    let file = p.rsplit('/').next().unwrap_or(&p);
+    let in_sim = p.contains("crates/sim/");
+    let in_core = p.contains("crates/core/");
+    let crate_name = p
+        .strip_prefix("crates/")
+        .and_then(|rest| rest.split('/').next())
+        .unwrap_or("");
+    FileClass {
+        sim_or_core: in_sim || in_core,
+        deterministic: in_core || (in_sim && SIM_DETERMINISTIC_FILES.contains(&file)),
+        unsafe_allowed: UNSAFE_ALLOWED_CRATES.contains(&crate_name),
+    }
+}
+
+/// A parsed `// ule-lint: allow(rule, reason = "…")` comment.
+#[derive(Debug, Clone)]
+struct Suppression {
+    rule: String,
+    reason: Option<String>,
+    line: usize,
+    used: bool,
+}
+
+/// Parses a line comment into a suppression, if it is one.
+/// Returns `Some((rule, reason))`; a missing/empty reason is `None`.
+fn parse_suppression(comment: &str) -> Option<(String, Option<String>)> {
+    let body = comment.trim_start_matches('/').trim();
+    let rest = body.strip_prefix("ule-lint:")?.trim();
+    let args = rest.strip_prefix("allow(")?.strip_suffix(')')?;
+    let (rule, tail) = match args.split_once(',') {
+        Some((r, t)) => (r.trim(), t.trim()),
+        None => (args.trim(), ""),
+    };
+    let reason = tail
+        .strip_prefix("reason")
+        .map(|t| t.trim_start().trim_start_matches('=').trim())
+        .map(|t| t.trim_matches('"').trim())
+        .filter(|t| !t.is_empty())
+        .map(str::to_string);
+    Some((rule.to_string(), reason))
+}
+
+/// Scans one file's source. `rel_path` is the workspace-relative path the
+/// file *claims* — rule scoping keys off it, so tests can scan fixture
+/// content under a virtual deterministic path.
+pub fn scan_source(rel_path: &str, src: &str) -> Vec<Finding> {
+    let class = classify(rel_path);
+    let toks = lex(src);
+    let mut findings = Vec::new();
+    let mut sups: Vec<Suppression> = Vec::new();
+
+    // Pass 1: collect suppressions and validate them.
+    for t in &toks {
+        if t.kind != TokKind::LineComment {
+            continue;
+        }
+        let Some((rule, reason)) = parse_suppression(&t.text) else {
+            continue;
+        };
+        if !ALL_RULES.contains(&rule.as_str()) {
+            findings.push(Finding::new(
+                "suppression",
+                rel_path,
+                t.line,
+                format!("suppression names unknown rule `{rule}`"),
+            ));
+            continue;
+        }
+        if reason.is_none() {
+            findings.push(Finding::new(
+                "suppression",
+                rel_path,
+                t.line,
+                format!("suppression of `{rule}` has no reason — `allow({rule}, reason = \"…\")` is required"),
+            ));
+            // Reasonless suppressions still do not suppress.
+            continue;
+        }
+        sups.push(Suppression {
+            rule,
+            reason,
+            line: t.line,
+            used: false,
+        });
+    }
+
+    // Pass 2: the rules, over the comment-free token stream.
+    let code: Vec<&Tok> = toks
+        .iter()
+        .filter(|t| !matches!(t.kind, TokKind::LineComment | TokKind::BlockComment))
+        .collect();
+    for (i, t) in code.iter().enumerate() {
+        match t.kind {
+            TokKind::Ident => {
+                rule_wall_clock(&code, i, class, rel_path, &mut findings);
+                rule_unordered_iter(t, class, rel_path, &mut findings);
+                rule_truncating_cast(&code, i, rel_path, &mut findings);
+                rule_ambient_rng(t, rel_path, &mut findings);
+                rule_unsafe(t, class, rel_path, &mut findings);
+            }
+            TokKind::Punct if t.text == "^" => {
+                rule_seed_xor(&code, i, rel_path, &mut findings);
+            }
+            _ => {}
+        }
+    }
+
+    // Pass 3: apply suppressions. A suppression covers its own line and
+    // the next line; `suppression` findings themselves cannot be
+    // suppressed.
+    for f in &mut findings {
+        if f.rule == "suppression" {
+            continue;
+        }
+        if let Some(s) = sups
+            .iter_mut()
+            .find(|s| s.rule == f.rule && (s.line == f.line || s.line + 1 == f.line))
+        {
+            s.used = true;
+            f.suppressed = true;
+            f.reason = s.reason.clone();
+        }
+    }
+
+    findings
+}
+
+fn rule_wall_clock(
+    code: &[&Tok],
+    i: usize,
+    class: FileClass,
+    path: &str,
+    findings: &mut Vec<Finding>,
+) {
+    if !class.sim_or_core {
+        return;
+    }
+    let t = code[i];
+    if t.text == "SystemTime" {
+        findings.push(Finding::new(
+            "wall-clock",
+            path,
+            t.line,
+            "SystemTime read in simulation code: wall-clock state must never reach deterministic paths",
+        ));
+    } else if t.text == "Instant"
+        && code.get(i + 1).is_some_and(|t| t.text == ":")
+        && code.get(i + 2).is_some_and(|t| t.text == ":")
+        && code.get(i + 3).is_some_and(|t| t.text == "now")
+    {
+        findings.push(Finding::new(
+            "wall-clock",
+            path,
+            t.line,
+            "Instant::now() in simulation code: only allowlisted throughput-timing sites may read real time",
+        ));
+    }
+}
+
+fn rule_unordered_iter(t: &Tok, class: FileClass, path: &str, findings: &mut Vec<Finding>) {
+    if !class.deterministic {
+        return;
+    }
+    if t.text == "HashMap" || t.text == "HashSet" {
+        findings.push(Finding::new(
+            "unordered-iter",
+            path,
+            t.line,
+            format!(
+                "{} in a deterministic-path file: iteration order can reach a RunOutcome — use BTreeMap/BTreeSet or sorted iteration, or suppress with a proof of order-insensitivity",
+                t.text
+            ),
+        ));
+    }
+}
+
+fn rule_truncating_cast(code: &[&Tok], i: usize, path: &str, findings: &mut Vec<Finding>) {
+    let t = code[i];
+    if t.text != "as" {
+        return;
+    }
+    let Some(target) = code.get(i + 1) else {
+        return;
+    };
+    if !matches!(target.text.as_str(), "u32" | "u16" | "u8") {
+        return;
+    }
+    let Some(value) = i.checked_sub(1).and_then(|j| code.get(j)) else {
+        return;
+    };
+    if value.kind != TokKind::Ident {
+        return;
+    }
+    let segs = name_segments(&value.text);
+    if segs.iter().any(|s| SEQ_SEGMENTS.contains(&s.as_str())) {
+        findings.push(Finding::new(
+            "truncating-cast",
+            path,
+            t.line,
+            format!(
+                "`{} as {}` truncates a sequence-critical value (the PR 4 frame-seq bug class) — widen the type or use try_into",
+                value.text, target.text
+            ),
+        ));
+    }
+}
+
+fn rule_seed_xor(code: &[&Tok], i: usize, path: &str, findings: &mut Vec<Finding>) {
+    let is_seed_ident =
+        |t: &&Tok| t.kind == TokKind::Ident && name_segments(&t.text).iter().any(|s| s == "seed");
+    let prev = i.checked_sub(1).and_then(|j| code.get(j));
+    let next = code.get(i + 1);
+    // `seed ^ <literal>` is domain separation and allowed; the hazard is
+    // XOR with another *value* (the PR 4 collision: seed ^ splitmix64(v)).
+    let hazard = match (prev, next) {
+        (Some(p), Some(n)) if is_seed_ident(p) => n.kind != TokKind::Number,
+        (Some(p), Some(n)) if is_seed_ident(n) => p.kind != TokKind::Number,
+        _ => false,
+    };
+    if hazard {
+        findings.push(Finding::new(
+            "seed-xor",
+            path,
+            code[i].line,
+            "XOR-combining a seed with a non-literal value: distinct (seed, entity) pairs can collide onto identical RNG streams (the PR 4 bug) — chain through splitmix64 instead",
+        ));
+    }
+}
+
+fn rule_ambient_rng(t: &Tok, path: &str, findings: &mut Vec<Finding>) {
+    if AMBIENT_RNG_IDENTS.contains(&t.text.as_str()) {
+        findings.push(Finding::new(
+            "ambient-rng",
+            path,
+            t.line,
+            format!(
+                "`{}` constructs an RNG not derived from the run seed: every stream must chain from SimConfig::seed",
+                t.text
+            ),
+        ));
+    }
+}
+
+fn rule_unsafe(t: &Tok, class: FileClass, path: &str, findings: &mut Vec<Finding>) {
+    if t.text == "unsafe" && !class.unsafe_allowed {
+        findings.push(Finding::new(
+            "unsafe-block",
+            path,
+            t.line,
+            "`unsafe` in a non-allowlisted crate: the workspace is #![forbid(unsafe)]-spirited — justify with a suppression or move behind a vetted abstraction",
+        ));
+    }
+}
+
+/// Convenience: only the findings that actually gate (unsuppressed, error
+/// severity).
+pub fn unsuppressed(findings: &[Finding]) -> Vec<&Finding> {
+    findings
+        .iter()
+        .filter(|f| !f.suppressed && f.severity == Severity::Error)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classify_paths() {
+        let c = classify("crates/sim/src/engine.rs");
+        assert!(c.sim_or_core && c.deterministic);
+        let c = classify("crates/sim/src/harness.rs");
+        assert!(c.sim_or_core && !c.deterministic);
+        let c = classify("crates/core/src/wave.rs");
+        assert!(c.sim_or_core && c.deterministic);
+        let c = classify("crates/graph/src/gen.rs");
+        assert!(!c.sim_or_core && !c.deterministic);
+    }
+
+    #[test]
+    fn suppression_parses_with_and_without_reason() {
+        let (rule, reason) =
+            parse_suppression("// ule-lint: allow(seed-xor, reason = \"test-local\")").unwrap();
+        assert_eq!(rule, "seed-xor");
+        assert_eq!(reason.as_deref(), Some("test-local"));
+        let (rule, reason) = parse_suppression("// ule-lint: allow(wall-clock)").unwrap();
+        assert_eq!(rule, "wall-clock");
+        assert!(reason.is_none());
+        assert!(parse_suppression("// a normal comment").is_none());
+    }
+
+    #[test]
+    fn seed_xor_literal_is_exempt() {
+        let f = scan_source("crates/core/src/x.rs", "let r = seed ^ 0x5A5A;");
+        assert!(f.iter().all(|f| f.rule != "seed-xor"), "{f:?}");
+        let f = scan_source("crates/core/src/x.rs", "let r = seed ^ splitmix64(v);");
+        assert!(f.iter().any(|f| f.rule == "seed-xor"), "{f:?}");
+        let f = scan_source("crates/core/src/x.rs", "let r = h(v) ^ my_seed;");
+        assert!(f.iter().any(|f| f.rule == "seed-xor"), "{f:?}");
+    }
+
+    #[test]
+    fn truncating_cast_matches_segments_not_substrings() {
+        let f = scan_source("src/x.rs", "let a = frame_seq as u32;");
+        assert!(f.iter().any(|f| f.rule == "truncating-cast"));
+        let f = scan_source("src/x.rs", "let a = background as u32;");
+        assert!(f.iter().all(|f| f.rule != "truncating-cast"));
+        let f = scan_source("src/x.rs", "let a = depth as u64;");
+        assert!(f.iter().all(|f| f.rule != "truncating-cast"), "u64 widens");
+    }
+}

@@ -1,0 +1,111 @@
+//! Every seeded-hazard fixture must be flagged with exactly the rule it
+//! seeds, and the deliberately tricky clean fixture must stay silent.
+//! Fixtures are scanned under a *virtual* deterministic path
+//! (`crates/sim/src/exec.rs`) so path-scoped rules apply; the real
+//! workspace walker skips `fixtures/` directories entirely.
+
+use std::fs;
+use std::path::PathBuf;
+
+use ule_lint::{scan_source, unsuppressed};
+
+const VIRTUAL_PATH: &str = "crates/sim/src/exec.rs";
+
+fn scan_fixture(name: &str) -> Vec<ule_lint::Finding> {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(name);
+    let src =
+        fs::read_to_string(&path).unwrap_or_else(|e| panic!("fixture {name} unreadable: {e}"));
+    scan_source(VIRTUAL_PATH, &src)
+}
+
+/// Asserts the fixture produces at least one *unsuppressed* finding of
+/// `rule`, and no findings of any other rule (except where noted).
+fn assert_flags(name: &str, rule: &str, min: usize) {
+    let findings = scan_fixture(name);
+    let hits = findings
+        .iter()
+        .filter(|f| f.rule == rule && !f.suppressed)
+        .count();
+    assert!(
+        hits >= min,
+        "{name}: expected ≥{min} unsuppressed `{rule}` findings, got {hits}: {findings:?}"
+    );
+}
+
+#[test]
+fn wall_clock_fixture_flagged() {
+    assert_flags("wall_clock.rs", "wall-clock", 2); // Instant::now + SystemTime
+}
+
+#[test]
+fn unordered_iter_fixture_flagged() {
+    assert_flags("unordered_iter.rs", "unordered-iter", 1);
+}
+
+#[test]
+fn truncating_cast_fixture_flagged() {
+    // Both `frame_seq as u32` and `round as u16`.
+    assert_flags("truncating_cast.rs", "truncating-cast", 2);
+}
+
+#[test]
+fn seed_xor_fixture_flagged() {
+    assert_flags("seed_xor.rs", "seed-xor", 1);
+}
+
+#[test]
+fn ambient_rng_fixture_flagged() {
+    assert_flags("ambient_rng.rs", "ambient-rng", 1);
+}
+
+#[test]
+fn unsafe_block_fixture_flagged() {
+    assert_flags("unsafe_block.rs", "unsafe-block", 1);
+}
+
+#[test]
+fn reasonless_suppression_fixture_flagged() {
+    // The malformed suppression reports AND the hazard still gates.
+    assert_flags("reasonless_suppression.rs", "suppression", 1);
+    assert_flags("reasonless_suppression.rs", "unordered-iter", 1);
+}
+
+#[test]
+fn suppressed_fixture_reports_but_does_not_gate() {
+    let findings = scan_fixture("suppressed_ok.rs");
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.rule == "unordered-iter" && f.suppressed),
+        "{findings:?}"
+    );
+    assert!(unsuppressed(&findings).is_empty(), "{findings:?}");
+}
+
+#[test]
+fn clean_tricky_fixture_is_silent() {
+    let findings = scan_fixture("clean_tricky.rs");
+    assert!(findings.is_empty(), "false positives: {findings:?}");
+}
+
+#[test]
+fn every_hazard_fixture_gates() {
+    // Belt and braces: each seeded-hazard file must fail a check run.
+    for name in [
+        "wall_clock.rs",
+        "unordered_iter.rs",
+        "truncating_cast.rs",
+        "seed_xor.rs",
+        "ambient_rng.rs",
+        "unsafe_block.rs",
+        "reasonless_suppression.rs",
+    ] {
+        let findings = scan_fixture(name);
+        assert!(
+            !unsuppressed(&findings).is_empty(),
+            "{name} did not gate: {findings:?}"
+        );
+    }
+}

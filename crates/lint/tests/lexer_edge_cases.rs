@@ -1,0 +1,140 @@
+//! The lexer edge cases that make a token-level pass trustworthy: the
+//! rules must never fire on text inside strings or comments, never
+//! confuse a lifetime with a char literal, and must survive nested block
+//! comments — otherwise the lint would cry wolf on its own source.
+
+use ule_lint::lexer::{lex, name_segments, TokKind};
+use ule_lint::scan_source;
+
+/// A virtual path that puts the source under every rule's scope.
+const DET: &str = "crates/sim/src/exec.rs";
+
+fn rules_fired(src: &str) -> Vec<String> {
+    scan_source(DET, src).into_iter().map(|f| f.rule).collect()
+}
+
+#[test]
+fn hashmap_inside_string_is_not_flagged() {
+    assert!(rules_fired(r#"let s = "uses HashMap internally";"#).is_empty());
+    assert!(rules_fired("let s = \"Instant::now\";").is_empty());
+}
+
+#[test]
+fn hashmap_inside_raw_string_is_not_flagged() {
+    let src = r###"let s = r#"let m: HashMap<u64, u64> = HashMap::new();"#;"###;
+    assert!(rules_fired(src).is_empty(), "raw string content leaked");
+    // ...and the token after the raw string is still lexed correctly.
+    let src = r###"let s = r#"HashMap"#; let m = HashMap::new();"###;
+    assert_eq!(rules_fired(src), vec!["unordered-iter"]);
+}
+
+#[test]
+fn raw_string_with_extra_hashes_and_byte_strings() {
+    let src = r####"let s = r##"ends with "# but not here"##; HashSet"####;
+    assert_eq!(rules_fired(src), vec!["unordered-iter"]);
+    assert!(rules_fired(r#"let b = b"HashMap"; let c = br"HashSet";"#).is_empty());
+}
+
+#[test]
+fn lifetime_vs_char_literal() {
+    // `'a` is a lifetime; `'x'` is a char. A naive quote-matcher would
+    // treat `'a` as an unterminated string and swallow the rest of the
+    // file — hiding the HashMap that follows.
+    let src = "fn f<'a>(x: &'a u64) { let c = 'x'; let m = HashMap::new(); }";
+    assert_eq!(rules_fired(src), vec!["unordered-iter"]);
+    let toks = lex(src);
+    assert!(toks
+        .iter()
+        .any(|t| t.kind == TokKind::Lifetime && t.text == "'a"));
+    assert!(toks
+        .iter()
+        .any(|t| t.kind == TokKind::Char && t.text == "'x'"));
+    // Escaped char literals, including an escaped quote.
+    let toks = lex(r"let a = '\''; let b = '\n'; let l = 'static;");
+    assert_eq!(toks.iter().filter(|t| t.kind == TokKind::Char).count(), 2);
+    assert!(toks
+        .iter()
+        .any(|t| t.kind == TokKind::Lifetime && t.text == "'static"));
+}
+
+#[test]
+fn nested_block_comments() {
+    // Rust block comments nest: a single `*/` does NOT close the outer
+    // comment here. The HashMap below is commented out at depth 2.
+    let src = "/* outer /* inner HashMap */ still a comment HashSet */ let x = 1;";
+    assert!(rules_fired(src).is_empty(), "nested comment leaked");
+    // An unterminated comment swallows to EOF rather than panicking.
+    assert!(rules_fired("/* /* HashMap */ still open...").is_empty());
+    // Line numbers survive multi-line comments.
+    let toks = lex("/* line1\nline2\n*/\nHashMap");
+    let t = toks.iter().find(|t| t.text == "HashMap").unwrap();
+    assert_eq!(t.line, 4);
+}
+
+#[test]
+fn line_comment_code_is_not_flagged() {
+    assert!(rules_fired("// let m = HashMap::new();\nlet x = 1;").is_empty());
+}
+
+#[test]
+fn suppression_with_reason_suppresses_same_and_next_line() {
+    let trailing = "let m = HashMap::new(); // ule-lint: allow(unordered-iter, reason = \"test\")";
+    let f = scan_source(DET, trailing);
+    assert_eq!(f.len(), 1);
+    assert!(f[0].suppressed && f[0].reason.as_deref() == Some("test"));
+
+    let standalone =
+        "// ule-lint: allow(unordered-iter, reason = \"test\")\nlet m = HashMap::new();";
+    let f = scan_source(DET, standalone);
+    assert_eq!(f.len(), 1);
+    assert!(f[0].suppressed);
+
+    // Two lines below: out of range, finding still gates.
+    let far = "// ule-lint: allow(unordered-iter, reason = \"test\")\nlet x = 1;\nlet m = HashMap::new();";
+    let f = scan_source(DET, far);
+    assert_eq!(f.len(), 1);
+    assert!(!f[0].suppressed);
+}
+
+#[test]
+fn suppression_without_reason_is_itself_a_finding() {
+    let src = "// ule-lint: allow(unordered-iter)\nlet m = HashMap::new();";
+    let f = scan_source(DET, src);
+    // The reasonless suppression reports AND fails to suppress.
+    let rules: Vec<&str> = f.iter().map(|f| f.rule.as_str()).collect();
+    assert!(rules.contains(&"suppression"));
+    assert!(f
+        .iter()
+        .any(|f| f.rule == "unordered-iter" && !f.suppressed));
+}
+
+#[test]
+fn suppression_of_unknown_rule_is_a_finding() {
+    let f = scan_source(DET, "// ule-lint: allow(no-such-rule, reason = \"x\")\n");
+    assert_eq!(f.len(), 1);
+    assert_eq!(f[0].rule, "suppression");
+    assert!(f[0].message.contains("no-such-rule"));
+}
+
+#[test]
+fn suppression_only_covers_its_named_rule() {
+    let src = "// ule-lint: allow(wall-clock, reason = \"x\")\nlet m = HashMap::new();";
+    let f = scan_source(DET, src);
+    assert!(f
+        .iter()
+        .any(|f| f.rule == "unordered-iter" && !f.suppressed));
+}
+
+#[test]
+fn raw_identifiers_and_name_segments() {
+    // `r#match` is a raw identifier, not the start of a raw string.
+    let toks = lex("let r#match = 1; let s = r#\"raw\"#;");
+    assert!(toks
+        .iter()
+        .any(|t| t.kind == TokKind::Ident && t.text == "r#match"));
+    assert!(toks.iter().any(|t| t.kind == TokKind::Str));
+    // Segment matching: no substring false positives.
+    assert_eq!(name_segments("frame_seq"), vec!["frame", "seq"]);
+    assert_eq!(name_segments("nextRoundIdx"), vec!["next", "round", "idx"]);
+    assert_eq!(name_segments("background"), vec!["background"]);
+}

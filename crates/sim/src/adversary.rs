@@ -48,7 +48,7 @@
 //! [`crate::RunOutcome::late_deliveries`].
 
 use crate::engine::splitmix64;
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 use ule_graph::{Graph, NodeId};
 
 /// Domain-separation tag for the [`BoundedDelay`] delay stream (distinct
@@ -202,7 +202,7 @@ impl Schedule for CrashStop {
 /// round and drops everything sent over it from then on, both directions.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LinkFailure {
-    death: HashMap<(NodeId, NodeId), u64>,
+    death: BTreeMap<(NodeId, NodeId), u64>,
 }
 
 impl LinkFailure {
@@ -213,7 +213,7 @@ impl LinkFailure {
     ///
     /// Panics when a scheduled edge is not an edge of `graph`.
     pub fn new(graph: &Graph, schedule: &[((NodeId, NodeId), u64)]) -> LinkFailure {
-        let mut death = HashMap::new();
+        let mut death = BTreeMap::new();
         for &((u, v), r) in schedule {
             assert!(
                 graph.has_edge(u, v),
@@ -246,7 +246,7 @@ impl Schedule for LinkFailure {
 /// the listed nodes do, the rest wake on first message receipt.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct WakeupSchedule {
-    awake: Option<HashSet<NodeId>>,
+    awake: Option<BTreeSet<NodeId>>,
 }
 
 impl WakeupSchedule {

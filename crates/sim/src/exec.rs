@@ -35,6 +35,7 @@ use crate::message::Message;
 use crate::protocol::{Context, NodeSetup, Protocol, Status};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+// ule-lint: allow(unordered-iter, reason = "HashMap import used only for watch_index, which is lookup-only (see its suppressions)")
 use std::collections::{BTreeMap, HashMap};
 use ule_graph::{Graph, NodeId, Port};
 
@@ -456,6 +457,7 @@ pub(crate) struct Ledger<M> {
     pub(crate) directed_message_counts: Vec<u64>,
     /// Normalized watched edge → indices into `watch_hits` (duplicates
     /// supported: one crossing fills them all).
+    // ule-lint: allow(unordered-iter, reason = "lookup-only per-message hot path (get); never iterated, so order cannot reach a RunOutcome")
     pub(crate) watch_index: HashMap<(NodeId, NodeId), Vec<usize>>,
     pub(crate) watch_hits: Vec<Option<WatchHit>>,
     /// Delivery queue keyed by delivery round; within a round, insertion
@@ -511,6 +513,7 @@ impl<M> Ledger<M> {
         // Normalized edge → indices into `watch` (duplicate watch entries
         // are supported: one crossing fills them all). One hash lookup per
         // sent message replaces the historical O(|watch|) scan per message.
+        // ule-lint: allow(unordered-iter, reason = "built once, then lookup-only; never iterated, so order cannot reach a RunOutcome")
         let mut watch_index: HashMap<(NodeId, NodeId), Vec<usize>> = HashMap::new();
         for (i, &(a, b)) in watch.iter().enumerate() {
             assert!(

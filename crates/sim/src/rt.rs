@@ -1235,6 +1235,7 @@ mod tests {
     fn arbiter_fast_forwards_idle_stretches() {
         let g = gen::path(2).unwrap();
         let c = SimConfig::seeded(0).with_max_rounds(u64::MAX);
+        // ule-lint: allow(wall-clock, reason = "throughput timing of the arbiter fast-forward; elapsed time never reaches simulated state")
         let start = std::time::Instant::now();
         let a = run_async(&g, &c, |_, _, _| Sleeper {
             until: 1_000_000_000,

@@ -1,0 +1,54 @@
+//! The determinism lint, enforced by plain `cargo test`: scans every
+//! `.rs` file under `crates/` and `src/` (plus `tests/` and `examples/`)
+//! and fails on any unsuppressed finding. CI runs the same pass via
+//! `cargo run -p ule-lint -- check`; this test makes the gate local.
+
+use ule_lint::{scan_tree, unsuppressed};
+
+#[test]
+fn workspace_has_no_unsuppressed_findings() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
+    let findings = scan_tree(root).expect("workspace scan failed");
+    let gating = unsuppressed(&findings);
+    assert!(
+        gating.is_empty(),
+        "unsuppressed determinism findings:\n{}",
+        gating
+            .iter()
+            .map(|f| f.human())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn suppressions_in_tree_are_the_known_set() {
+    // The ledger of exceptions is small and audited: the two
+    // throughput-timing Instant::now sites and the lookup-only
+    // watch_index HashMap. Growing this list should be a deliberate,
+    // reviewed act — update this test when you do.
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
+    let findings = scan_tree(root).expect("workspace scan failed");
+    let mut suppressed: Vec<(String, String)> = findings
+        .iter()
+        .filter(|f| f.suppressed)
+        .map(|f| (f.rule.clone(), f.file.clone()))
+        .collect();
+    suppressed.sort();
+    suppressed.dedup();
+    assert_eq!(
+        suppressed,
+        vec![
+            (
+                "unordered-iter".to_string(),
+                "crates/sim/src/exec.rs".to_string()
+            ),
+            (
+                "wall-clock".to_string(),
+                "crates/sim/src/engine.rs".to_string()
+            ),
+            ("wall-clock".to_string(), "crates/sim/src/rt.rs".to_string()),
+        ],
+        "the suppression ledger changed — audit the new entries"
+    );
+}
