@@ -24,7 +24,7 @@ use rand::Rng;
 use ule_graph::{Graph, Id};
 use ule_sim::message::{id_bits, Message, TAG_BITS};
 use ule_sim::{
-    run_on, Context, PortOutbox, Protocol, RtError, RunOutcome, RuntimeKind, SimConfig, Status,
+    Context, PortOutbox, Protocol, RtError, RunOutcome, Runner, RuntimeKind, SimConfig, Status,
 };
 
 /// FloodMax message: the largest identifier seen so far.
@@ -124,13 +124,15 @@ pub fn flood_max(graph: &Graph, sim: &SimConfig) -> RunOutcome {
 ///
 /// # Errors
 ///
-/// See [`ule_sim::run_on`]; [`RuntimeKind::Sim`] never errors.
+/// See [`ule_sim::Runner::run`]; [`RuntimeKind::Sim`] never errors.
 pub fn flood_max_on(
     kind: RuntimeKind,
     graph: &Graph,
     sim: &SimConfig,
 ) -> Result<RunOutcome, RtError> {
-    run_on(kind, graph, sim, |_, _, _| FloodMax::new())
+    Runner::new(graph, sim)
+        .runtime(kind)
+        .run(|_, _, _| FloodMax::new())
 }
 
 /// Time-optimal election à la Peleg \[20\]: deterministic, `O(D)` rounds,
@@ -204,9 +206,11 @@ pub fn tole(graph: &Graph, sim: &SimConfig) -> RunOutcome {
 ///
 /// # Errors
 ///
-/// See [`ule_sim::run_on`]; [`RuntimeKind::Sim`] never errors.
+/// See [`ule_sim::Runner::run`]; [`RuntimeKind::Sim`] never errors.
 pub fn tole_on(kind: RuntimeKind, graph: &Graph, sim: &SimConfig) -> Result<RunOutcome, RtError> {
-    run_on(kind, graph, sim, |_, setup, _| Tole::new(setup.degree))
+    Runner::new(graph, sim)
+        .runtime(kind)
+        .run(|_, setup, _| Tole::new(setup.degree))
 }
 
 /// The 1/n coin-flip "algorithm": self-elect with probability `1/n`,
@@ -260,13 +264,15 @@ pub fn coin_flip(graph: &Graph, sim: &SimConfig) -> RunOutcome {
 ///
 /// # Errors
 ///
-/// See [`ule_sim::run_on`]; [`RuntimeKind::Sim`] never errors.
+/// See [`ule_sim::Runner::run`]; [`RuntimeKind::Sim`] never errors.
 pub fn coin_flip_on(
     kind: RuntimeKind,
     graph: &Graph,
     sim: &SimConfig,
 ) -> Result<RunOutcome, RtError> {
-    run_on(kind, graph, sim, |_, _, _| CoinFlip::new())
+    Runner::new(graph, sim)
+        .runtime(kind)
+        .run(|_, _, _| CoinFlip::new())
 }
 
 #[cfg(test)]

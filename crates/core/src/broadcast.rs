@@ -101,7 +101,9 @@ pub fn majority_informed(outcome: &RunOutcome) -> bool {
 /// ```
 pub fn flood_broadcast(graph: &Graph, sim: &SimConfig, source: NodeId) -> RunOutcome {
     assert!(source < graph.len(), "source out of range");
-    ule_sim::run(graph, sim, |v, _, _| FloodBroadcast::new(v == source))
+    ule_sim::Runner::new(graph, sim)
+        .run(|v, _, _| FloodBroadcast::new(v == source))
+        .expect("the sim runtime is infallible")
 }
 
 #[cfg(test)]

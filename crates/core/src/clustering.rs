@@ -400,7 +400,7 @@ pub fn elect(graph: &Graph, sim: &SimConfig) -> RunOutcome {
 ///
 /// # Errors
 ///
-/// See [`ule_sim::run_on`]; [`ule_sim::RuntimeKind::Sim`] never errors.
+/// See [`ule_sim::Runner::run`]; [`ule_sim::RuntimeKind::Sim`] never errors.
 pub fn elect_on(
     kind: ule_sim::RuntimeKind,
     graph: &Graph,
@@ -412,9 +412,9 @@ pub fn elect_on(
             factor: factor.max(32),
         };
     }
-    ule_sim::run_on(kind, graph, &sim, |_, setup, _| {
-        Clustering::new(setup.degree)
-    })
+    ule_sim::Runner::new(graph, &sim)
+        .runtime(kind)
+        .run(|_, setup, _| Clustering::new(setup.degree))
 }
 
 #[cfg(test)]

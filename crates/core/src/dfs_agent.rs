@@ -311,20 +311,22 @@ pub fn elect(graph: &Graph, sim: &SimConfig, send_wakeup: bool) -> RunOutcome {
 ///
 /// # Errors
 ///
-/// See [`ule_sim::run_on`]; [`ule_sim::RuntimeKind::Sim`] never errors.
+/// See [`ule_sim::Runner::run`]; [`ule_sim::RuntimeKind::Sim`] never errors.
 pub fn elect_on(
     kind: ule_sim::RuntimeKind,
     graph: &Graph,
     sim: &SimConfig,
     send_wakeup: bool,
 ) -> Result<RunOutcome, ule_sim::RtError> {
-    ule_sim::run_on(kind, graph, sim, |_, setup, _| {
-        DfsAgent::new(
-            setup.id.expect("DFS agents require unique identifiers"),
-            setup.degree,
-            send_wakeup,
-        )
-    })
+    ule_sim::Runner::new(graph, sim)
+        .runtime(kind)
+        .run(|_, setup, _| {
+            DfsAgent::new(
+                setup.id.expect("DFS agents require unique identifiers"),
+                setup.degree,
+                send_wakeup,
+            )
+        })
 }
 
 #[cfg(test)]
@@ -374,20 +376,22 @@ mod tests {
         // Shifting all identifiers up by k multiplies the time by ~2^k but
         // leaves the message count identical (same walk, slower clock).
         let g = gen::cycle(10).unwrap();
-        let lo = ule_sim::run(
+        let lo = ule_sim::Runner::new(
             &g,
             &SimConfig::seeded(0)
                 .with_ids(IdAssignment::sequential_from(1, 10))
                 .with_max_rounds(u64::MAX / 4),
-            |_, setup, _| DfsAgent::new(setup.id.unwrap(), setup.degree, false),
-        );
-        let hi = ule_sim::run(
+        )
+        .run(|_, setup, _| DfsAgent::new(setup.id.unwrap(), setup.degree, false))
+        .unwrap();
+        let hi = ule_sim::Runner::new(
             &g,
             &SimConfig::seeded(0)
                 .with_ids(IdAssignment::sequential_from(5, 10))
                 .with_max_rounds(u64::MAX / 4),
-            |_, setup, _| DfsAgent::new(setup.id.unwrap(), setup.degree, false),
-        );
+        )
+        .run(|_, setup, _| DfsAgent::new(setup.id.unwrap(), setup.degree, false))
+        .unwrap();
         assert!(lo.election_succeeded() && hi.election_succeeded());
         assert_eq!(lo.messages, hi.messages, "same walk, different clock");
         assert!(
@@ -404,13 +408,14 @@ mod tests {
         let g = gen::path(16).unwrap();
         let mut ids: Vec<u64> = (2..=16).collect();
         ids.push(1); // node 15 holds the minimum
-        let out = ule_sim::run(
+        let out = ule_sim::Runner::new(
             &g,
             &SimConfig::seeded(0)
                 .with_ids(IdAssignment::new(ids))
                 .with_max_rounds(u64::MAX / 4),
-            |_, setup, _| DfsAgent::new(setup.id.unwrap(), setup.degree, false),
-        );
+        )
+        .run(|_, setup, _| DfsAgent::new(setup.id.unwrap(), setup.degree, false))
+        .unwrap();
         assert!(out.election_succeeded());
         assert_eq!(out.leader(), Some(15));
         assert!(out.messages <= 4 * g.edge_count() as u64 + 2 * g.len() as u64);

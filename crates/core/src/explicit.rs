@@ -175,9 +175,11 @@ pub fn elect_explicit(
     cfg: &LeastElConfig,
 ) -> (RunOutcome, Vec<Option<Id>>) {
     let probe: LeaderProbe = Arc::new(Mutex::new(vec![None; graph.len()]));
-    let out = ule_sim::run(graph, sim, |v, setup, _| {
-        ExplicitElect::new(cfg.clone(), v, setup.degree).with_probe(Arc::clone(&probe))
-    });
+    let out = ule_sim::Runner::new(graph, sim)
+        .run(|v, setup, _| {
+            ExplicitElect::new(cfg.clone(), v, setup.degree).with_probe(Arc::clone(&probe))
+        })
+        .expect("the sim runtime is infallible");
     let learned = probe.lock().expect("probe poisoned").clone();
     (out, learned)
 }

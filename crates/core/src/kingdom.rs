@@ -465,19 +465,21 @@ pub fn elect_known_diameter(graph: &Graph, sim: &SimConfig) -> RunOutcome {
 ///
 /// # Errors
 ///
-/// See [`ule_sim::run_on`]; [`ule_sim::RuntimeKind::Sim`] never errors.
+/// See [`ule_sim::Runner::run`]; [`ule_sim::RuntimeKind::Sim`] never errors.
 pub fn elect_known_diameter_on(
     kind: ule_sim::RuntimeKind,
     graph: &Graph,
     sim: &SimConfig,
 ) -> Result<RunOutcome, ule_sim::RtError> {
-    ule_sim::run_on(kind, graph, sim, |_, setup, _| {
-        Kingdom::new(
-            RadiusSchedule::KnownDiameter,
-            setup.id.expect("kingdom election requires identifiers"),
-            setup.degree,
-        )
-    })
+    ule_sim::Runner::new(graph, sim)
+        .runtime(kind)
+        .run(|_, setup, _| {
+            Kingdom::new(
+                RadiusSchedule::KnownDiameter,
+                setup.id.expect("kingdom election requires identifiers"),
+                setup.degree,
+            )
+        })
 }
 
 /// Runs the doubling-radius variant: deterministic, no knowledge of `n`,
@@ -492,19 +494,21 @@ pub fn elect_doubling(graph: &Graph, sim: &SimConfig) -> RunOutcome {
 ///
 /// # Errors
 ///
-/// See [`ule_sim::run_on`]; [`ule_sim::RuntimeKind::Sim`] never errors.
+/// See [`ule_sim::Runner::run`]; [`ule_sim::RuntimeKind::Sim`] never errors.
 pub fn elect_doubling_on(
     kind: ule_sim::RuntimeKind,
     graph: &Graph,
     sim: &SimConfig,
 ) -> Result<RunOutcome, ule_sim::RtError> {
-    ule_sim::run_on(kind, graph, sim, |_, setup, _| {
-        Kingdom::new(
-            RadiusSchedule::Doubling,
-            setup.id.expect("kingdom election requires identifiers"),
-            setup.degree,
-        )
-    })
+    ule_sim::Runner::new(graph, sim)
+        .runtime(kind)
+        .run(|_, setup, _| {
+            Kingdom::new(
+                RadiusSchedule::Doubling,
+                setup.id.expect("kingdom election requires identifiers"),
+                setup.degree,
+            )
+        })
 }
 
 #[cfg(test)]

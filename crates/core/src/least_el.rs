@@ -215,16 +215,16 @@ pub fn elect(graph: &Graph, sim: &SimConfig, cfg: &LeastElConfig) -> RunOutcome 
 ///
 /// # Errors
 ///
-/// See [`ule_sim::run_on`]; [`ule_sim::RuntimeKind::Sim`] never errors.
+/// See [`ule_sim::Runner::run`]; [`ule_sim::RuntimeKind::Sim`] never errors.
 pub fn elect_on(
     kind: ule_sim::RuntimeKind,
     graph: &Graph,
     sim: &SimConfig,
     cfg: &LeastElConfig,
 ) -> Result<RunOutcome, ule_sim::RtError> {
-    ule_sim::run_on(kind, graph, sim, |_, setup, _| {
-        LeastEl::new(cfg.clone(), setup.degree)
-    })
+    ule_sim::Runner::new(graph, sim)
+        .runtime(kind)
+        .run(|_, setup, _| LeastEl::new(cfg.clone(), setup.degree))
 }
 
 /// Convenience used by tests and harnesses: draw a fresh key outside a

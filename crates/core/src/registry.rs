@@ -309,7 +309,7 @@ impl Algorithm {
     ///
     /// # Errors
     ///
-    /// See [`ule_sim::run_on`]; [`RuntimeKind::Sim`] never errors.
+    /// See [`ule_sim::Runner::run`]; [`RuntimeKind::Sim`] never errors.
     pub fn run_on(
         self,
         kind: RuntimeKind,

@@ -192,15 +192,15 @@ pub fn elect(graph: &Graph, sim: &SimConfig) -> RunOutcome {
 ///
 /// # Errors
 ///
-/// See [`ule_sim::run_on`]; [`ule_sim::RuntimeKind::Sim`] never errors.
+/// See [`ule_sim::Runner::run`]; [`ule_sim::RuntimeKind::Sim`] never errors.
 pub fn elect_on(
     kind: ule_sim::RuntimeKind,
     graph: &Graph,
     sim: &SimConfig,
 ) -> Result<RunOutcome, ule_sim::RtError> {
-    ule_sim::run_on(kind, graph, sim, |_, setup, _| {
-        SizeEstimateElect::new(setup.degree)
-    })
+    ule_sim::Runner::new(graph, sim)
+        .runtime(kind)
+        .run(|_, setup, _| SizeEstimateElect::new(setup.degree))
 }
 
 #[cfg(test)]

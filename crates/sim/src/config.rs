@@ -3,6 +3,7 @@
 
 use crate::adversary::{Adversary, WakeupSchedule};
 use crate::protocol::Knowledge;
+use crate::rt::{RtError, RuntimeKind};
 use ule_graph::{IdAssignment, NodeId};
 
 /// The communication model of a run.
@@ -215,6 +216,14 @@ impl SimConfig {
         }
     }
 
+    /// A typed builder that validates the configuration against its
+    /// intended runtime at build time (see [`SimConfigBuilder`]) — the
+    /// incompatibilities the async runtime would otherwise reject at run
+    /// time surface here, with the same [`RtError`] variants.
+    pub fn builder() -> SimConfigBuilder {
+        SimConfigBuilder::default()
+    }
+
     /// Builder-style: set knowledge.
     pub fn with_knowledge(mut self, k: Knowledge) -> Self {
         self.knowledge = k;
@@ -261,6 +270,130 @@ impl SimConfig {
     pub fn with_adversary(mut self, adversary: Adversary) -> Self {
         self.adversary = adversary;
         self
+    }
+}
+
+/// Typed builder for [`SimConfig`], created by [`SimConfig::builder`].
+///
+/// Unlike the `with_*` chain on [`SimConfig`] itself, the builder knows
+/// which runtime the config is destined for ([`SimConfigBuilder::runtime`])
+/// and validates incompatible combinations at *build* time —
+/// [`RtError::UnsupportedAdversary`] for a non-lockstep adversary on the
+/// async runtime, [`RtError::UnsupportedWatchEdges`] for watch edges there —
+/// instead of deep inside the runtime at run time. The variants are exactly
+/// those [`crate::Runner::run`] would return, so a successful
+/// [`SimConfigBuilder::build`] for a runtime guarantees the run will not be
+/// rejected for configuration reasons.
+///
+/// ```
+/// use ule_sim::{Adversary, RtError, RuntimeKind, SimConfig};
+///
+/// let cfg = SimConfig::builder()
+///     .seed(7)
+///     .adversary(Adversary::BoundedDelay { max_delay: 2 })
+///     .build()
+///     .expect("the sim runtime supports every adversary");
+/// assert_eq!(cfg.seed, 7);
+///
+/// let err = SimConfig::builder()
+///     .adversary(Adversary::BoundedDelay { max_delay: 2 })
+///     .runtime(RuntimeKind::Async)
+///     .build()
+///     .unwrap_err();
+/// assert!(matches!(err, RtError::UnsupportedAdversary { .. }));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SimConfigBuilder {
+    config: SimConfig,
+    runtime: RuntimeKind,
+}
+
+impl SimConfigBuilder {
+    /// Seed for all node RNG streams.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Communication model (default CONGEST with factor 16).
+    pub fn model(mut self, model: Model) -> Self {
+        self.config.model = model;
+        self
+    }
+
+    /// What the nodes know (default: nothing).
+    pub fn knowledge(mut self, k: Knowledge) -> Self {
+        self.config.knowledge = k;
+        self
+    }
+
+    /// Explicit unique identifiers (default: anonymous).
+    pub fn ids(mut self, ids: IdAssignment) -> Self {
+        self.config.ids = IdMode::Explicit(ids);
+        self
+    }
+
+    /// Wakeup discipline (default: simultaneous).
+    pub fn wakeup(mut self, wakeup: Wakeup) -> Self {
+        self.config.wakeup = wakeup;
+        self
+    }
+
+    /// Hard cap on simulated rounds.
+    pub fn max_rounds(mut self, max_rounds: u64) -> Self {
+        self.config.max_rounds = max_rounds;
+        self
+    }
+
+    /// Watches edges for first crossing (appends).
+    pub fn watching(mut self, edges: &[(NodeId, NodeId)]) -> Self {
+        self.config.watch_edges.extend_from_slice(edges);
+        self
+    }
+
+    /// Intra-run parallelism (default [`Parallelism::Auto`]).
+    pub fn parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.config.parallelism = parallelism;
+        self
+    }
+
+    /// The execution-model adversary (default [`Adversary::Lockstep`]).
+    pub fn adversary(mut self, adversary: Adversary) -> Self {
+        self.config.adversary = adversary;
+        self
+    }
+
+    /// Declares the runtime this config is destined for (default
+    /// [`RuntimeKind::Sim`]), so [`SimConfigBuilder::build`] can reject
+    /// combinations that runtime does not support. The declaration is
+    /// validation-only: the runtime a run actually uses is selected on
+    /// [`crate::Runner::runtime`].
+    pub fn runtime(mut self, kind: RuntimeKind) -> Self {
+        self.runtime = kind;
+        self
+    }
+
+    /// Validates the configuration against the declared runtime and
+    /// returns it.
+    ///
+    /// # Errors
+    ///
+    /// For [`RuntimeKind::Async`]: [`RtError::UnsupportedAdversary`] if
+    /// the adversary is not [`Adversary::Lockstep`], and
+    /// [`RtError::UnsupportedWatchEdges`] if watch edges are configured.
+    /// The sim runtime accepts every configuration.
+    pub fn build(self) -> Result<SimConfig, RtError> {
+        if self.runtime == RuntimeKind::Async {
+            if self.config.adversary != Adversary::Lockstep {
+                return Err(RtError::UnsupportedAdversary {
+                    adversary: format!("{:?}", self.config.adversary),
+                });
+            }
+            if !self.config.watch_edges.is_empty() {
+                return Err(RtError::UnsupportedWatchEdges);
+            }
+        }
+        Ok(self.config)
     }
 }
 
@@ -343,5 +476,57 @@ mod tests {
     #[should_panic(expected = "Parallelism::Threads(0)")]
     fn zero_threads_panics() {
         Parallelism::Threads(0).effective_threads(10);
+    }
+
+    #[test]
+    fn typed_builder_builds_and_validates() {
+        let cfg = SimConfig::builder()
+            .seed(3)
+            .knowledge(Knowledge::n(9))
+            .ids(IdAssignment::sequential(9))
+            .max_rounds(50)
+            .model(Model::Local)
+            .wakeup(Wakeup::Adversarial(vec![0]))
+            .parallelism(Parallelism::Off)
+            .adversary(Adversary::BoundedDelay { max_delay: 1 })
+            .watching(&[(0, 1)])
+            .build()
+            .expect("sim runtime supports everything");
+        assert_eq!(cfg.seed, 3);
+        assert_eq!(cfg.knowledge.n, Some(9));
+        assert_eq!(cfg.max_rounds, 50);
+        assert_eq!(cfg.model, Model::Local);
+        assert_eq!(cfg.parallelism, Parallelism::Off);
+        assert_eq!(cfg.adversary, Adversary::BoundedDelay { max_delay: 1 });
+        assert_eq!(cfg.watch_edges, vec![(0, 1)]);
+    }
+
+    #[test]
+    fn typed_builder_rejects_async_incompatibilities_at_build_time() {
+        match SimConfig::builder()
+            .adversary(Adversary::CrashStop {
+                schedule: vec![(0, 1)],
+            })
+            .runtime(RuntimeKind::Async)
+            .build()
+        {
+            Err(RtError::UnsupportedAdversary { adversary }) => {
+                assert!(adversary.contains("CrashStop"));
+            }
+            other => panic!("expected UnsupportedAdversary, got {other:?}"),
+        }
+        assert_eq!(
+            SimConfig::builder()
+                .watching(&[(0, 1)])
+                .runtime(RuntimeKind::Async)
+                .build()
+                .unwrap_err(),
+            RtError::UnsupportedWatchEdges
+        );
+        // Lockstep + no watch edges is fine on either runtime.
+        assert!(SimConfig::builder()
+            .runtime(RuntimeKind::Async)
+            .build()
+            .is_ok());
     }
 }

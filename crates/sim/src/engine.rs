@@ -39,6 +39,18 @@
 //! deterministic and `RunOutcome`s are reproducible across engine versions
 //! (see `tests/scheduler_equivalence.rs`).
 //!
+//! # Flat-memory hot path
+//!
+//! The per-round machinery walks flat arrays, not pointer-chased trees:
+//! deliveries queue in the ledger's [`crate::calendar::CalendarQueue`]
+//! (a power-of-two ring of buckets indexed by `delivery_round & mask`,
+//! with a `BTreeMap` overflow tier only for deliveries beyond the ring
+//! horizon), node bookkeeping is struct-of-arrays
+//! ([`crate::exec::NodeStore`]: timers, started bits, statuses and
+//! inboxes as parallel flat arrays), and the sharded path's per-shard
+//! outboxes and scratch buffers are arenas owned by the engine and reused
+//! across rounds — a steady-state round allocates nothing per message.
+//!
 //! # Round counting under fast-forward
 //!
 //! Fast-forwarding is an accounting device, not a semantic change: idle
@@ -53,7 +65,7 @@
 //! active sets are stepped by several threads. The sorted active list is
 //! partitioned into **contiguous shards** (so concatenating shard outputs
 //! in shard order reproduces the sequential ascending-node-index order);
-//! each shard steps its nodes into a *shard-local* outbox — protocol
+//! each shard steps its nodes into a *shard-local* outbox arena — protocol
 //! execution, coin flips, and message construction all run off the main
 //! thread — and then a sequential **merge phase** walks the shards in
 //! stable shard order, performing every piece of global accounting
@@ -72,7 +84,8 @@ use crate::adversary::Schedule;
 use crate::config::SimConfig;
 pub(crate) use crate::exec::splitmix64;
 use crate::exec::{
-    init_slots, step_node, validate_wakeup, Ledger, LedgerSink, NodeSlot, ShardOut, StepScratch,
+    init_store, step_node, validate_wakeup, Ledger, LedgerSink, ShardOut, StepScratch,
+    StoreSliceMut,
 };
 #[allow(unused_imports)] // re-exported for in-crate users of the old paths
 pub use crate::exec::{node_rng_seed, RunOutcome, Termination, WatchHit};
@@ -84,27 +97,29 @@ use ule_graph::{Graph, NodeId};
 
 /// Steps the active nodes of one shard for one round.
 ///
-/// `slots` is the contiguous slice of node slots covering this shard's
-/// node-index range, offset by `base` (`nodes` are ascending global
-/// indices, all within `base..base + slots.len()`). Mirrors the sequential
-/// stepping loop exactly, except that global accounting is deferred to the
-/// merge phase via `out`.
+/// `store` is the contiguous store view covering this shard's node-index
+/// range, offset by `base` (`nodes` are ascending global indices, all
+/// within `base..base + store len`). Mirrors the sequential stepping loop
+/// exactly, except that global accounting is deferred to the merge phase
+/// via `out`. `scratch` and `out` are per-shard arenas owned by the
+/// caller, reused across rounds.
 fn step_shard<P: Protocol>(
     graph: &Graph,
     round: u64,
     base: NodeId,
-    slots: &mut [NodeSlot<P>],
+    mut store: StoreSliceMut<'_, P>,
     nodes: &[NodeId],
+    scratch: &mut StepScratch<P::Msg>,
     out: &mut ShardOut<P::Msg>,
 ) {
-    let mut scratch = StepScratch::default();
     for &v in nodes {
         let effects = step_node(
             graph,
             round,
             v,
-            &mut slots[v - base],
-            &mut scratch,
+            &mut store,
+            v - base,
+            scratch,
             &mut out.sends,
         );
         if let Some(w) = effects.rearmed {
@@ -116,11 +131,10 @@ fn step_shard<P: Protocol>(
 
 /// Runs `factory`-created protocol instances on `graph` under `config`.
 ///
-/// `factory` is called once per node, in index order, with the node's
-/// index, its [`NodeSetup`], and its private RNG (already seeded); protocol
-/// logic must depend on the index only where the harness legitimately
-/// distinguishes roles (e.g. the designated broadcast source) — election
-/// protocols should ignore it.
+/// This is the engine behind [`crate::Runner`] on
+/// [`crate::RuntimeKind::Sim`]; see the `Runner` docs for the public
+/// contract. `factory` is called once per node, in index order, with the
+/// node's index, its [`NodeSetup`], and its private RNG (already seeded).
 ///
 /// Under [`crate::Parallelism`] settings other than `Off`, rounds with enough
 /// active nodes are stepped by several shard threads and merged
@@ -135,33 +149,7 @@ fn step_shard<P: Protocol>(
 /// [`crate::Adversary`] schedule naming an out-of-range node or a
 /// non-edge), or on protocol API misuse (double-send on a port, past
 /// wakeups).
-///
-/// # Examples
-///
-/// ```
-/// use ule_sim::{run, SimConfig, Protocol, Context, Status, message::Signal};
-/// use ule_graph::gen;
-///
-/// // A protocol that floods one signal and decides by degree parity.
-/// struct Demo { done: bool }
-/// impl Protocol for Demo {
-///     type Msg = Signal;
-///     fn on_round(&mut self, ctx: &mut Context<'_, Signal>, inbox: &[(usize, Signal)]) {
-///         if ctx.first_activation() { ctx.broadcast(Signal); }
-///         if !inbox.is_empty() { self.done = true; }
-///     }
-///     fn status(&self) -> Status {
-///         if self.done { Status::NonLeader } else { Status::Undecided }
-///     }
-/// }
-///
-/// let g = gen::cycle(8)?;
-/// let outcome = run(&g, &SimConfig::seeded(1), |_, _, _| Demo { done: false });
-/// assert_eq!(outcome.messages, 16);
-/// assert_eq!(outcome.rounds, 2);
-/// # Ok::<(), ule_graph::GraphError>(())
-/// ```
-pub fn run<P, F>(graph: &Graph, config: &SimConfig, factory: F) -> RunOutcome
+pub(crate) fn run_sim<P, F>(graph: &Graph, config: &SimConfig, factory: F) -> RunOutcome
 where
     P: Protocol,
     F: FnMut(NodeId, &NodeSetup, &mut StdRng) -> P,
@@ -170,10 +158,10 @@ where
     let threads = config.parallelism.effective_threads(n);
     let min_shard_nodes = config.parallelism.min_shard_nodes();
 
-    let mut slots: Vec<NodeSlot<P>> = init_slots(graph, config, factory);
+    let mut store = init_store(graph, config, factory);
 
     // Pending wakeups, min-first. Entries are lazily invalidated: an entry
-    // `(w, v)` is genuine iff `slots[v].wake == Some(w)` when popped (a
+    // `(w, v)` is genuine iff `store.wake[v] == Some(w)` when popped (a
     // node that re-arms its timer leaves the superseded entry behind).
     let mut wake_heap: BinaryHeap<Reverse<(u64, NodeId)>> = BinaryHeap::new();
 
@@ -196,6 +184,12 @@ where
     let mut round_totals: Vec<(u64, u64)> = Vec::new();
 
     let mut scratch: StepScratch<P::Msg> = StepScratch::default();
+    // Per-shard arenas for the parallel path, reused across rounds: a
+    // steady-state sharded round reuses each shard's send/wake capacity
+    // and scratch buffers instead of allocating fresh ones.
+    let mut outs: Vec<ShardOut<P::Msg>> = (0..threads).map(|_| ShardOut::new()).collect();
+    let mut scratches: Vec<StepScratch<P::Msg>> =
+        (0..threads).map(|_| StepScratch::default()).collect();
     // The round's active set (small for sparse protocols) and the dedup
     // bitmap guarding it; due deliveries and wakeups join at the top of
     // the loop.
@@ -208,6 +202,7 @@ where
     // and the round-0 execution clears the `wake = Some(0)` markers before
     // any heap lookup could expect entries for them. A node that crashes
     // at or before its wakeup round never participates at all.
+    #[allow(clippy::needless_range_loop)] // v is a node id indexing parallel columns
     for v in 0..n {
         // The Compose rule for wakeups, inlined over the two-schedule
         // stack: a node wakes spontaneously only if both halves allow it,
@@ -223,7 +218,7 @@ where
                     continue;
                 }
             }
-            slots[v].wake = Some(w);
+            store.wake[v] = Some(w);
             if w == 0 {
                 if !in_active[v] {
                     in_active[v] = true;
@@ -245,32 +240,25 @@ where
             break;
         }
 
-        // Deliver every message due this round (inbox insertion order is
-        // global send order: tree-queued messages predate the fast-path
-        // batch, which holds last round's synchronous sends) and schedule
-        // the recipients. Deliveries into crashed nodes were already
-        // discarded at fate time.
-        while let Some((&r, _)) = ledger.pending.first_key_value() {
-            if r > round {
-                break;
-            }
-            debug_assert_eq!(r, round, "fast-forward skipped a delivery round");
-            for (dest, port, msg) in ledger.pending.remove(&r).expect("key just seen") {
-                slots[dest].inbox.push((port, msg));
+        // Deliver every message due this round and schedule the
+        // recipients. `advance_to` anchors the calendar ring at the
+        // current round (migrating any overflow-tier deliveries that just
+        // entered the horizon); the drained bucket holds the round's
+        // messages in global send order — delayed messages queued in
+        // earlier rounds precede last round's synchronous batch, each in
+        // send order. Deliveries into crashed nodes were already discarded
+        // at fate time.
+        ledger.queue.advance_to(round);
+        if ledger.queue.next_event_round() == Some(round) {
+            let mut batch = ledger.queue.take_at(round);
+            for (dest, port, msg) in batch.drain(..) {
+                store.inboxes[dest].push((port, msg));
                 if !in_active[dest] {
                     in_active[dest] = true;
                     active.push(dest);
                 }
             }
-        }
-        if ledger.next_round == round {
-            for (dest, port, msg) in ledger.next.drain(..) {
-                slots[dest].inbox.push((port, msg));
-                if !in_active[dest] {
-                    in_active[dest] = true;
-                    active.push(dest);
-                }
-            }
+            ledger.queue.recycle(batch);
         }
 
         // Admit every wakeup due this round; drop superseded entries and
@@ -280,7 +268,7 @@ where
                 break;
             }
             wake_heap.pop();
-            if slots[v].wake == Some(w)
+            if store.wake[v] == Some(w)
                 && !in_active[v]
                 && ledger.crash_round[v].map_or(true, |c| c > round)
             {
@@ -292,14 +280,10 @@ where
         if active.is_empty() {
             // Fast-forward to the next event: the earliest pending
             // delivery or the next genuine wakeup, whichever comes first.
-            // The fast-path batch is always drained by now — it delivers
-            // at the round immediately after the round that filled it, and
-            // that round ran with a non-empty active set.
-            debug_assert!(ledger.next.is_empty());
-            let next_delivery = ledger.pending.keys().next().copied();
+            let next_delivery = ledger.queue.next_event_round();
             let mut next_wake = None;
             while let Some(&Reverse((w, v))) = wake_heap.peek() {
-                if slots[v].wake != Some(w) {
+                if store.wake[v] != Some(w) {
                     wake_heap.pop();
                     continue;
                 }
@@ -308,7 +292,7 @@ where
                         // Genuine wakeup, but its owner dies first: the
                         // crash resolves the timer.
                         ledger.crash_horizon = ledger.crash_horizon.max(c);
-                        slots[v].wake = None;
+                        store.wake[v] = None;
                         wake_heap.pop();
                         continue;
                     }
@@ -338,8 +322,6 @@ where
         // the historical full scan; the set is small, so the sort is cheap.
         active.sort_unstable();
         rounds_used = round + 1;
-        // Sends recorded below with a synchronous fate target this batch.
-        ledger.next_round = round + 1;
 
         // Shard the round when the active set is large enough to amortize
         // per-round thread coordination (the policy lives on
@@ -356,31 +338,35 @@ where
         if shards > 1 {
             // Contiguous chunks of the sorted active list: shard s covers
             // an ascending, disjoint node-index range, so handing each
-            // shard the matching sub-slice of `slots` is a plain split and
-            // concatenating shard outputs in shard order reproduces the
-            // sequential execution order.
+            // shard the matching sub-range of the store view is a plain
+            // split and concatenating shard outputs in shard order
+            // reproduces the sequential execution order.
             let chunk = active.len().div_ceil(shards);
-            let mut outs: Vec<ShardOut<P::Msg>> = (0..active.len().div_ceil(chunk))
-                .map(|_| ShardOut::new())
-                .collect();
+            let used = active.len().div_ceil(chunk);
             std::thread::scope(|scope| {
-                let mut rest: &mut [NodeSlot<P>] = &mut slots;
+                let mut rest = store.as_mut();
                 let mut base: NodeId = 0;
-                for (nodes, out) in active.chunks(chunk).zip(outs.iter_mut()) {
+                for ((nodes, out), scratch) in active
+                    .chunks(chunk)
+                    .zip(outs.iter_mut())
+                    .zip(scratches.iter_mut())
+                {
                     let hi = nodes[nodes.len() - 1] + 1;
                     let (mine, rem) = rest.split_at_mut(hi - base);
                     rest = rem;
                     let lo = base;
                     base = hi;
                     let graph_ref = graph;
-                    scope.spawn(move || step_shard(graph_ref, round, lo, mine, nodes, out));
+                    scope
+                        .spawn(move || step_shard(graph_ref, round, lo, mine, nodes, scratch, out));
                 }
             });
             // Deterministic merge, stable shard order: all global
             // accounting — including every adversary fate decision —
             // happens here, in exactly the order the sequential engine
-            // interleaves it.
-            for out in &mut outs {
+            // interleaves it. Each arena is cleared (capacity kept) for
+            // the next round.
+            for out in &mut outs[..used] {
                 if out.status_changed {
                     last_status_change = Some(round);
                 }
@@ -390,15 +376,17 @@ where
                 for s in out.sends.drain(..) {
                     ledger.record(round, s);
                 }
+                out.clear();
             }
         } else {
+            let mut view = store.as_mut();
             for &v in &active {
                 let effects = {
                     let mut sink = LedgerSink {
                         ledger: &mut ledger,
                         round,
                     };
-                    step_node(graph, round, v, &mut slots[v], &mut scratch, &mut sink)
+                    step_node(graph, round, v, &mut view, v, &mut scratch, &mut sink)
                 };
                 // A changed timer needs a heap entry; the stale entry for
                 // the previously armed round (if any) stays in the heap.
@@ -421,7 +409,7 @@ where
     }
 
     ledger.finish(
-        &slots,
+        &store.statuses,
         rounds_used,
         round,
         termination,
@@ -430,8 +418,52 @@ where
     )
 }
 
+/// Runs `factory`-created protocol instances on `graph` under `config` on
+/// the synchronous engine.
+///
+/// Deprecated: construct a [`crate::Runner`] instead — it is the single
+/// entrypoint for every runtime:
+///
+/// ```
+/// use ule_sim::{Runner, SimConfig, Protocol, Context, Status, message::Signal};
+/// use ule_graph::gen;
+///
+/// // A protocol that floods one signal and decides by degree parity.
+/// struct Demo { done: bool }
+/// impl Protocol for Demo {
+///     type Msg = Signal;
+///     fn on_round(&mut self, ctx: &mut Context<'_, Signal>, inbox: &[(usize, Signal)]) {
+///         if ctx.first_activation() { ctx.broadcast(Signal); }
+///         if !inbox.is_empty() { self.done = true; }
+///     }
+///     fn status(&self) -> Status {
+///         if self.done { Status::NonLeader } else { Status::Undecided }
+///     }
+/// }
+///
+/// let g = gen::cycle(8)?;
+/// let outcome = Runner::new(&g, &SimConfig::seeded(1))
+///     .run(|_, _, _| Demo { done: false })
+///     .expect("sim runtime accepts every config");
+/// assert_eq!(outcome.messages, 16);
+/// assert_eq!(outcome.rounds, 2);
+/// # Ok::<(), ule_graph::GraphError>(())
+/// ```
+#[deprecated(
+    since = "0.7.0",
+    note = "use `Runner::new(graph, config).run(factory)` — the unified entrypoint for every runtime"
+)]
+pub fn run<P, F>(graph: &Graph, config: &SimConfig, factory: F) -> RunOutcome
+where
+    P: Protocol,
+    F: FnMut(NodeId, &NodeSetup, &mut StdRng) -> P,
+{
+    run_sim(graph, config, factory)
+}
+
 #[cfg(test)]
 mod tests {
+    use super::run_sim as run;
     use super::*;
     use crate::config::{Model, Parallelism, SimConfig, Wakeup};
     use crate::message::{id_bits, Message, Signal};

@@ -1,21 +1,26 @@
 //! The runtime-independent execution core.
 //!
 //! Everything in this module is shared verbatim by every runtime that can
-//! drive a [`Protocol`]: the lockstep round engine ([`crate::run`], a
-//! *scheduler policy* layered on this core) and the async threads+channels
-//! runtime ([`crate::rt`]). It owns:
+//! drive a [`Protocol`]: the lockstep round engine ([`crate::Runner`] on
+//! the sim runtime, a *scheduler policy* layered on this core) and the
+//! async threads+channels runtime ([`crate::rt`]). It owns:
 //!
-//! * **node-state storage** — `NodeSlot`: the protocol instance, its
-//!   private RNG stream ([`node_rng_seed`]), setup, wakeup timer, inbox and
-//!   status, constructed identically by every runtime (`init_slots`);
+//! * **node-state storage** — `NodeStore`: struct-of-arrays bookkeeping
+//!   for every node (protocol instances, private RNG streams seeded by
+//!   [`node_rng_seed`], setups, wakeup timers, inboxes and statuses as
+//!   parallel flat arrays), constructed identically by every runtime
+//!   (`init_store`) and sliced contiguously across shard/worker threads
+//!   (`StoreSliceMut`);
 //! * **protocol stepping** — `step_node`: the one activation sequence
-//!   (clear a due timer, drain the inbox, run `on_round`, report re-armed
-//!   timers and status changes, stage sends), parameterized over a
-//!   `SendSink` so each runtime decides where staged sends go without
-//!   re-implementing the stepping rules;
+//!   (clear a due timer, consume the inbox in place, run `on_round`,
+//!   report re-armed timers and status changes, stage sends),
+//!   parameterized over a `SendSink` so each runtime decides where staged
+//!   sends go without re-implementing the stepping rules;
 //! * **message accounting** — `Ledger`: message/bit totals, CONGEST
 //!   budget checks, per-directed-edge statistics, watch-edge crossings,
-//!   adversary fates and delivery queueing;
+//!   adversary fates, and delivery queueing through a flat
+//!   [`CalendarQueue`] (ring buffer for the near-future window, `BTreeMap`
+//!   overflow tier for far-future deliveries);
 //! * **outcome assembly** — [`RunOutcome`] and the final crash/termination
 //!   bookkeeping (`Ledger::finish`).
 //!
@@ -24,19 +29,20 @@
 //! and fast-forward live in `engine`; the async runtime's per-edge clocks
 //! and quiescence arbiter live in `rt`), and the transport that moves a
 //! staged send to its destination inbox (the engine delivers through the
-//! ledger's queues; the async runtime ships frames over `std::sync::mpsc`
-//! channels). Both scheduling policies execute the same core in the same
-//! order, which is why their outcomes agree exactly (pinned by
-//! `tests/async_conformance.rs`).
+//! ledger's calendar queue; the async runtime ships frames over
+//! `std::sync::mpsc` channels). Both scheduling policies execute the same
+//! core in the same order, which is why their outcomes agree exactly
+//! (pinned by `tests/async_conformance.rs`).
 
 use crate::adversary::{Adversary, Fate, Schedule, SendView};
+use crate::calendar::CalendarQueue;
 use crate::config::{IdMode, SimConfig, Wakeup};
 use crate::message::Message;
 use crate::protocol::{Context, NodeSetup, Protocol, Status};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 // ule-lint: allow(unordered-iter, reason = "HashMap import used only for watch_index, which is lookup-only (see its suppressions)")
-use std::collections::{BTreeMap, HashMap};
+use std::collections::HashMap;
 use ule_graph::{Graph, NodeId, Port};
 
 /// Why the run stopped.
@@ -202,18 +208,86 @@ pub fn node_rng_seed(seed: u64, node: NodeId) -> u64 {
     splitmix64(splitmix64(seed).wrapping_add(node as u64))
 }
 
-/// Per-node execution state: the protocol instance and everything a
-/// runtime must store between activations. Runtime-independent — both the
-/// lockstep engine and the async runtime drive a `Vec<NodeSlot<P>>` built
-/// by [`init_slots`].
-pub(crate) struct NodeSlot<P: Protocol> {
-    pub(crate) proto: P,
-    pub(crate) setup: NodeSetup,
-    pub(crate) rng: StdRng,
-    pub(crate) started: bool,
-    pub(crate) wake: Option<u64>,
-    pub(crate) inbox: Vec<(Port, P::Msg)>,
-    pub(crate) status: Status,
+/// Struct-of-arrays node bookkeeping: everything a runtime must store per
+/// node between activations, as parallel flat arrays indexed by node.
+/// Protocol state stays boxed behind `protos[v]` (a protocol is arbitrary
+/// user data), but the fields the scheduler actually touches per event —
+/// timers, started bits, statuses, inboxes — are contiguous, so a
+/// round's delivery/wakeup sweep walks flat memory instead of hopping
+/// through an array of structs. Runtime-independent: both the lockstep
+/// engine and the async runtime drive a `NodeStore<P>` built by
+/// [`init_store`].
+pub(crate) struct NodeStore<P: Protocol> {
+    pub(crate) protos: Vec<P>,
+    pub(crate) setups: Vec<NodeSetup>,
+    pub(crate) rngs: Vec<StdRng>,
+    pub(crate) started: Vec<bool>,
+    pub(crate) wake: Vec<Option<u64>>,
+    pub(crate) inboxes: Vec<Vec<(Port, P::Msg)>>,
+    pub(crate) statuses: Vec<Status>,
+}
+
+impl<P: Protocol> NodeStore<P> {
+    /// A mutable whole-store view, sliceable across threads.
+    pub(crate) fn as_mut(&mut self) -> StoreSliceMut<'_, P> {
+        StoreSliceMut {
+            protos: &mut self.protos,
+            setups: &self.setups,
+            rngs: &mut self.rngs,
+            started: &mut self.started,
+            wake: &mut self.wake,
+            inboxes: &mut self.inboxes,
+            statuses: &mut self.statuses,
+        }
+    }
+}
+
+/// A mutable view over a contiguous node range of a [`NodeStore`]. The
+/// sharded engine and the async worker pool hand each thread a disjoint
+/// slice via [`StoreSliceMut::split_at_mut`] — the SoA equivalent of
+/// splitting a `&mut [NodeSlot]`.
+pub(crate) struct StoreSliceMut<'a, P: Protocol> {
+    pub(crate) protos: &'a mut [P],
+    pub(crate) setups: &'a [NodeSetup],
+    pub(crate) rngs: &'a mut [StdRng],
+    pub(crate) started: &'a mut [bool],
+    pub(crate) wake: &'a mut [Option<u64>],
+    pub(crate) inboxes: &'a mut [Vec<(Port, P::Msg)>],
+    pub(crate) statuses: &'a mut [Status],
+}
+
+impl<'a, P: Protocol> StoreSliceMut<'a, P> {
+    /// Splits the view at `mid` into two disjoint views (every parallel
+    /// array split at the same index).
+    pub(crate) fn split_at_mut(self, mid: usize) -> (StoreSliceMut<'a, P>, StoreSliceMut<'a, P>) {
+        let (protos_l, protos_r) = self.protos.split_at_mut(mid);
+        let (setups_l, setups_r) = self.setups.split_at(mid);
+        let (rngs_l, rngs_r) = self.rngs.split_at_mut(mid);
+        let (started_l, started_r) = self.started.split_at_mut(mid);
+        let (wake_l, wake_r) = self.wake.split_at_mut(mid);
+        let (inboxes_l, inboxes_r) = self.inboxes.split_at_mut(mid);
+        let (statuses_l, statuses_r) = self.statuses.split_at_mut(mid);
+        (
+            StoreSliceMut {
+                protos: protos_l,
+                setups: setups_l,
+                rngs: rngs_l,
+                started: started_l,
+                wake: wake_l,
+                inboxes: inboxes_l,
+                statuses: statuses_l,
+            },
+            StoreSliceMut {
+                protos: protos_r,
+                setups: setups_r,
+                rngs: rngs_r,
+                started: started_r,
+                wake: wake_r,
+                inboxes: inboxes_r,
+                statuses: statuses_r,
+            },
+        )
+    }
 }
 
 /// One message produced by a stepped node, carrying the metadata the
@@ -234,6 +308,9 @@ pub(crate) struct StagedSend<M> {
 }
 
 /// Everything a shard reports back to the lockstep engine's merge phase.
+/// Instances live in a per-shard arena owned by the engine and are reused
+/// across rounds (capacity-retaining [`ShardOut::clear`]), so steady-state
+/// rounds allocate nothing per message.
 pub(crate) struct ShardOut<M> {
     /// Sends in sequential order (ascending node, then send order).
     pub(crate) sends: Vec<StagedSend<M>>,
@@ -250,6 +327,13 @@ impl<M> ShardOut<M> {
             wakes: Vec::new(),
             status_changed: false,
         }
+    }
+
+    /// Empties the shard report for the next round, keeping capacity.
+    pub(crate) fn clear(&mut self) {
+        self.sends.clear();
+        self.wakes.clear();
+        self.status_changed = false;
     }
 }
 
@@ -284,9 +368,9 @@ impl<M> SendSink<M> for LedgerSink<'_, M> {
 }
 
 /// Reusable per-step buffers, so stepping a node allocates nothing in the
-/// steady state.
+/// steady state. (The inbox needs no buffer: [`step_node`] hands the
+/// node's own inbox array to the protocol in place, then clears it.)
 pub(crate) struct StepScratch<M> {
-    pub(crate) inbox: Vec<(Port, M)>,
     pub(crate) outbox: Vec<(Port, M)>,
     pub(crate) sent_on: Vec<bool>,
 }
@@ -294,7 +378,6 @@ pub(crate) struct StepScratch<M> {
 impl<M> Default for StepScratch<M> {
     fn default() -> Self {
         StepScratch {
-            inbox: Vec::new(),
             outbox: Vec::new(),
             sent_on: Vec::new(),
         }
@@ -313,54 +396,55 @@ pub(crate) struct StepEffects {
 }
 
 /// Executes one activation of node `v` at `round`: the single stepping
-/// sequence every runtime shares. Clears a due timer, drains the inbox,
-/// runs the protocol, reports re-armed timers and status changes, and
-/// stages each send (with its destination endpoint and wire size resolved)
-/// into `sink`, in emission order.
+/// sequence every runtime shares. `i` indexes `v` within `store` (a view
+/// that may cover a sub-range of the nodes). Clears a due timer, hands the
+/// inbox to the protocol in place (no copy) and clears it afterwards, runs
+/// the protocol, reports re-armed timers and status changes, and stages
+/// each send (with its destination endpoint and wire size resolved) into
+/// `sink`, in emission order.
 pub(crate) fn step_node<P: Protocol, S: SendSink<P::Msg>>(
     graph: &Graph,
     round: u64,
     v: NodeId,
-    slot: &mut NodeSlot<P>,
+    store: &mut StoreSliceMut<'_, P>,
+    i: usize,
     scratch: &mut StepScratch<P::Msg>,
     sink: &mut S,
 ) -> StepEffects {
-    if slot.wake.is_some_and(|w| w <= round) {
-        slot.wake = None;
+    if store.wake[i].is_some_and(|w| w <= round) {
+        store.wake[i] = None;
     }
-    let armed_wake = slot.wake;
-    let first_activation = !slot.started;
-    slot.started = true;
-
-    scratch.inbox.clear();
-    scratch.inbox.append(&mut slot.inbox);
+    let armed_wake = store.wake[i];
+    let first_activation = !store.started[i];
+    store.started[i] = true;
 
     scratch.outbox.clear();
     scratch.sent_on.clear();
-    scratch.sent_on.resize(slot.setup.degree, false);
-    let mut wake = slot.wake;
+    scratch.sent_on.resize(store.setups[i].degree, false);
+    let mut wake = store.wake[i];
     {
         let mut ctx = Context {
             round,
-            setup: &slot.setup,
+            setup: &store.setups[i],
             first_activation,
-            rng: &mut slot.rng,
+            rng: &mut store.rngs[i],
             outbox: &mut scratch.outbox,
             sent_on: &mut scratch.sent_on,
             wake: &mut wake,
         };
-        slot.proto.on_round(&mut ctx, &scratch.inbox);
+        store.protos[i].on_round(&mut ctx, &store.inboxes[i]);
     }
-    slot.wake = wake;
+    store.inboxes[i].clear();
+    store.wake[i] = wake;
     let rearmed = match wake {
         Some(w) if armed_wake != Some(w) => Some(w),
         _ => None,
     };
 
-    let new_status = slot.proto.status();
-    let status_changed = new_status != slot.status;
+    let new_status = store.protos[i].status();
+    let status_changed = new_status != store.statuses[i];
     if status_changed {
-        slot.status = new_status;
+        store.statuses[i] = new_status;
     }
 
     for (port, msg) in scratch.outbox.drain(..) {
@@ -381,7 +465,7 @@ pub(crate) fn step_node<P: Protocol, S: SendSink<P::Msg>>(
     }
 }
 
-/// Builds the per-node slots for a run: resolves identifiers, seeds each
+/// Builds the node store for a run: resolves identifiers, seeds each
 /// node's private RNG stream and calls `factory` once per node **in index
 /// order** — the order is part of the determinism contract, shared by every
 /// runtime, so a protocol's coin flips are identical wherever it runs.
@@ -389,11 +473,7 @@ pub(crate) fn step_node<P: Protocol, S: SendSink<P::Msg>>(
 /// # Panics
 ///
 /// Panics if an explicit [`IdMode`] assignment does not cover the graph.
-pub(crate) fn init_slots<P, F>(
-    graph: &Graph,
-    config: &SimConfig,
-    mut factory: F,
-) -> Vec<NodeSlot<P>>
+pub(crate) fn init_store<P, F>(graph: &Graph, config: &SimConfig, mut factory: F) -> NodeStore<P>
 where
     P: Protocol,
     F: FnMut(NodeId, &NodeSetup, &mut StdRng) -> P,
@@ -406,26 +486,29 @@ where
             a.iter().map(|&id| Some(id)).collect()
         }
     };
-    (0..n)
-        .map(|v| {
-            let setup = NodeSetup {
-                degree: graph.degree(v),
-                id: ids[v],
-                knowledge: config.knowledge,
-            };
-            let mut rng = StdRng::seed_from_u64(node_rng_seed(config.seed, v));
-            let proto = factory(v, &setup, &mut rng);
-            NodeSlot {
-                proto,
-                setup,
-                rng,
-                started: false,
-                wake: None,
-                inbox: Vec::new(),
-                status: Status::Undecided,
-            }
-        })
-        .collect()
+    let mut store = NodeStore {
+        protos: Vec::with_capacity(n),
+        setups: Vec::with_capacity(n),
+        rngs: Vec::with_capacity(n),
+        started: vec![false; n],
+        wake: vec![None; n],
+        inboxes: (0..n).map(|_| Vec::new()).collect(),
+        statuses: vec![Status::Undecided; n],
+    };
+    #[allow(clippy::needless_range_loop)] // v is a node id indexing parallel columns
+    for v in 0..n {
+        let setup = NodeSetup {
+            degree: graph.degree(v),
+            id: ids[v],
+            knowledge: config.knowledge,
+        };
+        let mut rng = StdRng::seed_from_u64(node_rng_seed(config.seed, v));
+        let proto = factory(v, &setup, &mut rng);
+        store.protos.push(proto);
+        store.setups.push(setup);
+        store.rngs.push(rng);
+    }
+    store
 }
 
 /// Legacy wakeup validation, shared by every runtime: the panic messages
@@ -460,20 +543,17 @@ pub(crate) struct Ledger<M> {
     // ule-lint: allow(unordered-iter, reason = "lookup-only per-message hot path (get); never iterated, so order cannot reach a RunOutcome")
     pub(crate) watch_index: HashMap<(NodeId, NodeId), Vec<usize>>,
     pub(crate) watch_hits: Vec<Option<WatchHit>>,
-    /// Delivery queue keyed by delivery round; within a round, insertion
-    /// order is global send order (the synchronous engine's inbox order).
-    pub(crate) pending: BTreeMap<u64, Vec<(NodeId, Port, M)>>,
-    /// Fast path for the dominant synchronous case: deliveries due exactly
-    /// at `next_round` (= the round being stepped + 1) skip the tree and
-    /// land here, in send order. Drained at the very next round — by then
-    /// any same-round entries in `pending` were sent *earlier* (a message
-    /// delayed into this round predates every message sent last round),
-    /// so draining `pending` first, then `next`, preserves the global
-    /// send-order invariant.
-    pub(crate) next: Vec<(NodeId, Port, M)>,
-    pub(crate) next_round: u64,
+    /// The delivery queue: a flat calendar (ring + overflow tier) keyed by
+    /// delivery round. Within a round, item order is push order, and
+    /// pushes happen on the sequential control thread in global send
+    /// order; items delayed into a round from earlier stepping rounds
+    /// migrate in before any same-round push can reach the ring (see
+    /// [`CalendarQueue`]), so the drained batch reproduces the historical
+    /// inbox order exactly: delayed messages first, then last round's
+    /// synchronous batch, each in send order.
+    pub(crate) queue: CalendarQueue<(NodeId, Port, M)>,
     pub(crate) messages_dropped: u64,
-    pub(crate) late: BTreeMap<u64, u64>,
+    pub(crate) late: Vec<(u64, u64)>,
     pub(crate) seq: u64,
     /// True under the default [`Adversary::Lockstep`]: every fate is the
     /// identity (deliver next round, nothing crashes), so the per-message
@@ -533,11 +613,9 @@ impl<M> Ledger<M> {
             directed_message_counts: vec![0u64; graph.directed_edge_count()],
             watch_index,
             watch_hits: vec![None; watch.len()],
-            pending: BTreeMap::new(),
-            next: Vec::new(),
-            next_round: 1,
+            queue: CalendarQueue::new(),
             messages_dropped: 0,
-            late: BTreeMap::new(),
+            late: Vec::new(),
             seq: 0,
             synchronous: config.adversary == Adversary::Lockstep,
             schedule,
@@ -595,7 +673,15 @@ impl<M> Ledger<M> {
                 }
             }
             if at > round + 1 {
-                *self.late.entry(at).or_insert(0) += 1;
+                // Late-delivery tally, ascending by round. Fates for one
+                // stepping round never decrease below `round + 1`, but a
+                // later round's near fate can undercut an earlier round's
+                // far fate, so insertion sort by round (the tail case is
+                // the common one).
+                match self.late.binary_search_by_key(&at, |&(r, _)| r) {
+                    Ok(i) => self.late[i].1 += 1,
+                    Err(i) => self.late.insert(i, (at, 1)),
+                }
             }
             at
         };
@@ -614,14 +700,7 @@ impl<M> Ledger<M> {
                 }
             }
         }
-        if at == self.next_round {
-            self.next.push((s.dest, s.dest_port, s.msg));
-        } else {
-            self.pending
-                .entry(at)
-                .or_default()
-                .push((s.dest, s.dest_port, s.msg));
-        }
+        self.queue.push(at, (s.dest, s.dest_port, s.msg));
     }
 
     /// Final crash/termination bookkeeping and outcome assembly, shared by
@@ -630,17 +709,16 @@ impl<M> Ledger<M> {
     /// whose effect — a suppressed wakeup, a dropped delivery — was
     /// already observed), and downgrades a quiescent run in which every
     /// node died to [`Termination::AllCrashed`].
-    #[allow(clippy::too_many_arguments)]
-    pub(crate) fn finish<P: Protocol<Msg = M>>(
+    pub(crate) fn finish(
         self,
-        slots: &[NodeSlot<P>],
+        statuses: &[Status],
         rounds_used: u64,
         end_round: u64,
         mut termination: Termination,
         last_status_change: Option<u64>,
         round_totals: Vec<(u64, u64)>,
     ) -> RunOutcome {
-        let n = slots.len();
+        let n = statuses.len();
         let end = end_round.max(self.crash_horizon);
         let crashed: Vec<NodeId> = (0..n)
             .filter(|&v| self.crash_round[v].is_some_and(|c| c <= end))
@@ -648,13 +726,12 @@ impl<M> Ledger<M> {
         if termination == Termination::Quiescent && crashed.len() == n && n > 0 {
             termination = Termination::AllCrashed;
         }
-        let late_deliveries: Vec<(u64, u64)> = self.late.into_iter().collect();
 
         RunOutcome {
             rounds: rounds_used,
             messages: self.messages,
             bits: self.bits,
-            statuses: slots.iter().map(|s| s.status).collect(),
+            statuses: statuses.to_vec(),
             termination,
             congest_violations: self.congest_violations,
             max_message_bits: self.max_message_bits,
@@ -665,7 +742,7 @@ impl<M> Ledger<M> {
             round_totals,
             crashed,
             messages_dropped: self.messages_dropped,
-            late_deliveries,
+            late_deliveries: self.late,
         }
     }
 }

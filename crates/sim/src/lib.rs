@@ -49,10 +49,12 @@
 //! ## Writing a protocol
 //!
 //! Implement [`Protocol`] with a message enum implementing
-//! [`message::Message`], then call [`run`]:
+//! [`message::Message`], then run it through a [`Runner`] — the single
+//! entrypoint for every runtime (the in-process simulator and the async
+//! threads+channels runtime, selected with [`Runner::runtime`]):
 //!
 //! ```
-//! use ule_sim::{run, SimConfig, Protocol, Context, Status, message::Signal};
+//! use ule_sim::{Runner, SimConfig, Protocol, Context, Status, message::Signal};
 //! use ule_graph::gen;
 //!
 //! struct Ping;
@@ -67,7 +69,9 @@
 //! }
 //!
 //! let g = gen::cycle(4)?;
-//! let out = run(&g, &SimConfig::seeded(0), |_, _, _| Ping);
+//! let out = Runner::new(&g, &SimConfig::seeded(0))
+//!     .run(|_, _, _| Ping)
+//!     .expect("sim runtime accepts every config");
 //! assert_eq!(out.messages, 4);
 //! # Ok::<(), ule_graph::GraphError>(())
 //! ```
@@ -75,6 +79,7 @@
 #![warn(missing_docs)]
 
 pub mod adversary;
+pub mod calendar;
 mod config;
 mod engine;
 pub mod exec;
@@ -83,12 +88,18 @@ pub mod message;
 pub mod outbox;
 mod protocol;
 pub mod rt;
+mod runner;
 pub mod transport;
 
 pub use adversary::{Adversary, Fate, Schedule, SendView};
-pub use config::{IdMode, Model, Parallelism, SimConfig, Wakeup};
+pub use calendar::CalendarQueue;
+pub use config::{IdMode, Model, Parallelism, SimConfig, SimConfigBuilder, Wakeup};
+#[allow(deprecated)]
 pub use engine::run;
 pub use exec::{node_rng_seed, RunOutcome, Termination, WatchHit};
 pub use outbox::PortOutbox;
 pub use protocol::{Context, Knowledge, NodeSetup, Protocol, Status};
-pub use rt::{replay, run_async, run_on, AsyncRun, DeliveryTrace, RtError, RuntimeKind};
+pub use rt::{replay, AsyncRun, AsyncRuntime, DeliveryTrace, RtError, RuntimeKind};
+#[allow(deprecated)]
+pub use rt::{run_async, run_on};
+pub use runner::{RunError, Runner};

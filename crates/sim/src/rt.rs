@@ -30,9 +30,9 @@
 //! Because each activation consumes exactly the inputs the synchronous
 //! model prescribes for that round — with inboxes ordered by `(sender,
 //! emission index)`, the engine's global send order, and identical
-//! per-node RNG streams from `crate::exec::init_slots` — the runtime
+//! per-node RNG streams from `crate::exec::init_store` — the runtime
 //! *reproduces the synchronous execution exactly*. The [`RunOutcome`] of
-//! [`run_async`] is **equal** to the engine's, field for field: same
+//! [`AsyncRuntime::run`] is **equal** to the engine's, field for field: same
 //! leader, same message/bit totals, same rounds, same per-edge statistics
 //! (`tests/async_conformance.rs` pins all 12 registry algorithms). This is
 //! deliberately stronger than "message totals within tolerance": agreement
@@ -58,12 +58,13 @@
 //! ([`RtError::UnsupportedWatchEdges`]).
 
 use crate::adversary::{Adversary, Schedule};
+use crate::calendar::CalendarQueue;
 use crate::config::SimConfig;
 use crate::exec::{
-    init_slots, step_node, validate_wakeup, NodeSlot, RunOutcome, SendSink, StagedSend,
-    StepScratch, Termination,
+    init_store, step_node, validate_wakeup, RunOutcome, SendSink, StagedSend, StepScratch,
+    StoreSliceMut, Termination,
 };
-use crate::protocol::{NodeSetup, Protocol};
+use crate::protocol::{NodeSetup, Protocol, Status};
 use crate::transport::{Frame, LinkGate, LinkSeq};
 use rand::rngs::StdRng;
 use std::collections::{BTreeMap, BTreeSet};
@@ -232,10 +233,10 @@ impl AsyncRuntime {
         }
         let n = graph.len();
         validate_wakeup(config, n);
-        let mut slots: Vec<NodeSlot<P>> = init_slots(graph, config, factory);
+        let mut store = init_store(graph, config, factory);
         if n == 0 {
             return Ok(AsyncRun {
-                outcome: assemble(Vec::new(), &slots, Termination::Quiescent).0,
+                outcome: assemble(Vec::new(), &store.statuses, Termination::Quiescent).0,
                 trace: DeliveryTrace::default(),
             });
         }
@@ -243,8 +244,8 @@ impl AsyncRuntime {
         // `wake_round` is `Some(0)` everywhere), so the engine's stacked
         // wakeup rule reduces to the wakeup discipline alone.
         let mut wakeup_schedule = config.wakeup.as_schedule();
-        for (v, slot) in slots.iter_mut().enumerate() {
-            slot.wake = wakeup_schedule.wake_round(v);
+        for v in 0..n {
+            store.wake[v] = wakeup_schedule.wake_round(v);
         }
 
         let workers = self.workers.unwrap_or_else(|| default_workers(n)).min(n);
@@ -271,7 +272,7 @@ impl AsyncRuntime {
         }
 
         std::thread::scope(|scope| {
-            let mut rest: &mut [NodeSlot<P>] = &mut slots;
+            let mut rest = store.as_mut();
             let coord = &coord;
             let record_trace = !self.no_trace;
             for ((w, stat), rx) in stats.iter_mut().enumerate().zip(receivers) {
@@ -291,7 +292,7 @@ impl AsyncRuntime {
                         n_workers,
                         record_trace,
                         graph,
-                        slots: mine,
+                        store: mine,
                         rt: (lo..hi).map(|v| NodeRt::new(graph.degree(v))).collect(),
                         stats: stat,
                         senders,
@@ -307,7 +308,7 @@ impl AsyncRuntime {
         let termination = lock(&coord)
             .termination
             .expect("workers stopped without an arbiter decision");
-        let (outcome, mut events) = assemble(stats, &slots, termination);
+        let (outcome, mut events) = assemble(stats, &store.statuses, termination);
         events.sort_by_key(|e| (e.round, e.node));
         Ok(AsyncRun {
             outcome,
@@ -317,40 +318,19 @@ impl AsyncRuntime {
 }
 
 /// Runs `factory`-created protocol instances on `graph` under `config`
-/// over the async threads+channels runtime, with default settings. The
-/// contract of [`crate::run`] applies unchanged — factory call order,
-/// per-node RNG streams, determinism — and the outcome equals the
-/// engine's exactly (see the module docs).
+/// over the async threads+channels runtime, with default settings.
+///
+/// Deprecated: use [`crate::Runner`] with
+/// [`RuntimeKind::Async`] for the outcome, or [`AsyncRuntime::run`]
+/// directly when the delivery trace is needed.
 ///
 /// # Errors
 ///
 /// See [`AsyncRuntime::run`].
-///
-/// # Examples
-///
-/// ```
-/// use ule_sim::{run, run_async, SimConfig, Protocol, Context, Status, message::Signal};
-/// use ule_graph::gen;
-///
-/// struct Demo { done: bool }
-/// impl Protocol for Demo {
-///     type Msg = Signal;
-///     fn on_round(&mut self, ctx: &mut Context<'_, Signal>, inbox: &[(usize, Signal)]) {
-///         if ctx.first_activation() { ctx.broadcast(Signal); }
-///         if !inbox.is_empty() { self.done = true; }
-///     }
-///     fn status(&self) -> Status {
-///         if self.done { Status::NonLeader } else { Status::Undecided }
-///     }
-/// }
-///
-/// let g = gen::cycle(8)?;
-/// let cfg = SimConfig::seeded(1);
-/// let over_channels = run_async(&g, &cfg, |_, _, _| Demo { done: false }).unwrap();
-/// let lockstep = run(&g, &cfg, |_, _, _| Demo { done: false });
-/// assert_eq!(over_channels.outcome, lockstep);
-/// # Ok::<(), ule_graph::GraphError>(())
-/// ```
+#[deprecated(
+    since = "0.7.0",
+    note = "use `Runner::new(graph, config).runtime(RuntimeKind::Async).run(factory)`, or `AsyncRuntime::run` for the delivery trace"
+)]
 pub fn run_async<P, F>(graph: &Graph, config: &SimConfig, factory: F) -> Result<AsyncRun, RtError>
 where
     P: Protocol,
@@ -359,13 +339,19 @@ where
     AsyncRuntime::new().run(graph, config, factory)
 }
 
-/// Runs on the runtime selected by `kind`: [`crate::run`] for
-/// [`RuntimeKind::Sim`] (infallible), [`run_async`] for
-/// [`RuntimeKind::Async`] (the trace is discarded).
+/// Runs on the runtime selected by `kind`.
+///
+/// Deprecated: use [`crate::Runner`], the unified entrypoint —
+/// `Runner::new(graph, config).runtime(kind).run(factory)` is the exact
+/// replacement.
 ///
 /// # Errors
 ///
 /// See [`AsyncRuntime::run`]; the sim runtime never errors.
+#[deprecated(
+    since = "0.7.0",
+    note = "use `Runner::new(graph, config).runtime(kind).run(factory)` — the unified entrypoint for every runtime"
+)]
 pub fn run_on<P, F>(
     kind: RuntimeKind,
     graph: &Graph,
@@ -377,8 +363,10 @@ where
     F: FnMut(NodeId, &NodeSetup, &mut StdRng) -> P,
 {
     match kind {
-        RuntimeKind::Sim => Ok(crate::engine::run(graph, config, factory)),
-        RuntimeKind::Async => run_async(graph, config, factory).map(|r| r.outcome),
+        RuntimeKind::Sim => Ok(crate::engine::run_sim(graph, config, factory)),
+        RuntimeKind::Async => AsyncRuntime::new()
+            .run(graph, config, factory)
+            .map(|r| r.outcome),
     }
 }
 
@@ -417,10 +405,10 @@ where
     }
     let n = graph.len();
     validate_wakeup(config, n);
-    let mut slots: Vec<NodeSlot<P>> = init_slots(graph, config, factory);
+    let mut store = init_store(graph, config, factory);
     let mut wakeup_schedule = config.wakeup.as_schedule();
-    for (v, slot) in slots.iter_mut().enumerate() {
-        slot.wake = wakeup_schedule.wake_round(v);
+    for v in 0..n {
+        store.wake[v] = wakeup_schedule.wake_round(v);
     }
     let cap = config.max_rounds;
     let budget = config.model.bit_budget(n);
@@ -438,64 +426,66 @@ where
         termination: None,
     });
 
-    for ev in &trace.events {
-        let (v, e) = (ev.node, ev.round);
-        assert!(
-            v < n,
-            "replay: trace names node {v}, but the graph has {n} nodes"
-        );
-        assert!(
-            e < cap,
-            "replay: trace activates node {v} at round {e}, at or past the round cap {cap}"
-        );
-        let mut due = rt[v].pending.remove(&e).unwrap_or_default();
-        due.sort_by_key(|a| (a.0, a.1));
-        if due.is_empty() {
-            assert_eq!(
-                slots[v].wake,
-                Some(e),
-                "replay: node {v} has no delivery and no timer due at round {e}"
+    {
+        let mut view = store.as_mut();
+        for ev in &trace.events {
+            let (v, e) = (ev.node, ev.round);
+            assert!(
+                v < n,
+                "replay: trace names node {v}, but the graph has {n} nodes"
             );
+            assert!(
+                e < cap,
+                "replay: trace activates node {v} at round {e}, at or past the round cap {cap}"
+            );
+            let mut due = rt[v].pending.take_at(e);
+            due.sort_by_key(|a| (a.0, a.1));
+            if due.is_empty() {
+                assert_eq!(
+                    view.wake[v],
+                    Some(e),
+                    "replay: node {v} has no delivery and no timer due at round {e}"
+                );
+            }
+            let delivered: Vec<(Port, NodeId, u64)> = due
+                .iter()
+                .map(|&(src, emit, port, _)| (port, src, emit))
+                .collect();
+            assert_eq!(
+                delivered, ev.delivered,
+                "replay divergence: node {v} at round {e} consumes different deliveries"
+            );
+            view.inboxes[v].extend(due.drain(..).map(|(_, _, port, msg)| (port, msg)));
+            rt[v].pending.recycle(due);
+            let mut sink = ChannelSink {
+                round: e,
+                lo: 0,
+                hi: n,
+                chunk: n,
+                budget,
+                rt: &mut rt,
+                stats: &mut stats,
+                senders: &senders,
+                coord: &coord,
+                emit: 0,
+                sent_log: Vec::new(),
+                record_trace: true,
+            };
+            let effects = step_node(graph, e, v, &mut view, v, &mut scratch, &mut sink);
+            let sent = std::mem::take(&mut sink.sent_log);
+            assert_eq!(
+                sent, ev.sent,
+                "replay divergence: node {v} at round {e} emits different frames"
+            );
+            stats.note_exec(e, v, delivered, sent, effects.status_changed, true);
         }
-        let delivered: Vec<(Port, NodeId, u64)> = due
-            .iter()
-            .map(|&(src, emit, port, _)| (port, src, emit))
-            .collect();
-        assert_eq!(
-            delivered, ev.delivered,
-            "replay divergence: node {v} at round {e} consumes different deliveries"
-        );
-        slots[v]
-            .inbox
-            .extend(due.into_iter().map(|(_, _, port, msg)| (port, msg)));
-        let mut sink = ChannelSink {
-            round: e,
-            lo: 0,
-            hi: n,
-            chunk: n,
-            budget,
-            rt: &mut rt,
-            stats: &mut stats,
-            senders: &senders,
-            coord: &coord,
-            emit: 0,
-            sent_log: Vec::new(),
-            record_trace: true,
-        };
-        let effects = step_node(graph, e, v, &mut slots[v], &mut scratch, &mut sink);
-        let sent = std::mem::take(&mut sink.sent_log);
-        assert_eq!(
-            sent, ev.sent,
-            "replay divergence: node {v} at round {e} emits different frames"
-        );
-        stats.note_exec(e, v, delivered, sent, effects.status_changed, true);
     }
 
     // The trace carries no termination verdict; re-derive it the way the
     // arbiter did. Any event left executable below the cap means the
     // trace is truncated — that is a divergence, not a verdict.
     let r_next = (0..n)
-        .map(|v| next_event_round(&slots[v], &rt[v]))
+        .map(|v| next_event_round(store.wake[v], &mut rt[v]))
         .min()
         .unwrap_or(u64::MAX);
     let rounds_done = stats.last_exec.map_or(0, |r| r + 1);
@@ -512,7 +502,7 @@ where
         );
         Termination::RoundLimit
     };
-    let (outcome, mut events) = assemble(vec![stats], &slots, termination);
+    let (outcome, mut events) = assemble(vec![stats], &store.statuses, termination);
     events.sort_by_key(|e| (e.round, e.node));
     Ok(AsyncRun {
         outcome,
@@ -577,11 +567,19 @@ struct Coord {
     termination: Option<Termination>,
 }
 
-/// Per-node runtime state beyond the [`NodeSlot`].
+/// Horizon of each node's delivery calendar: under the lockstep model
+/// every delivery lands one round ahead, so a tiny ring suffices — and at
+/// `n = 10⁶+` nodes a per-node ring must stay small (the overflow tier
+/// catches anything beyond it).
+const NODE_CALENDAR_HORIZON: usize = 8;
+
+/// Per-node runtime state beyond the [`crate::exec::NodeStore`] entry.
 struct NodeRt<M> {
-    /// Deliveries by round; entries are `(sender, emission index, port,
-    /// message)`, sorted at activation into the engine's inbox order.
-    pending: BTreeMap<u64, Vec<(NodeId, u64, Port, M)>>,
+    /// Deliveries by round, in a flat calendar ring (the node's base round
+    /// advances as it executes); entries are `(sender, emission index,
+    /// port, message)`, sorted at activation into the engine's inbox
+    /// order.
+    pending: CalendarQueue<(NodeId, u64, Port, M)>,
     /// Per in-port clock: no delivery at or below this round is still in
     /// flight on that port.
     in_clock: Vec<u64>,
@@ -592,18 +590,18 @@ struct NodeRt<M> {
 impl<M> NodeRt<M> {
     fn new(degree: usize) -> Self {
         NodeRt {
-            pending: BTreeMap::new(),
+            pending: CalendarQueue::with_horizon(NODE_CALENDAR_HORIZON),
             in_clock: vec![0; degree],
             gate: LinkGate::new(degree),
         }
     }
 }
 
-/// The earliest round node `v` has any reason to run: its timer or its
-/// earliest queued delivery.
-fn next_event_round<P: Protocol>(slot: &NodeSlot<P>, rt: &NodeRt<P::Msg>) -> u64 {
-    let wake = slot.wake.unwrap_or(u64::MAX);
-    let delivery = rt.pending.keys().next().copied().unwrap_or(u64::MAX);
+/// The earliest round a node has any reason to run: its timer (`wake`) or
+/// its earliest queued delivery.
+fn next_event_round<M>(wake: Option<u64>, rt: &mut NodeRt<M>) -> u64 {
+    let wake = wake.unwrap_or(u64::MAX);
+    let delivery = rt.pending.next_event_round().unwrap_or(u64::MAX);
     wake.min(delivery)
 }
 
@@ -613,10 +611,7 @@ fn deliver_frame<M>(dest: &mut NodeRt<M>, port: Port, frame: &Frame, msg: M) {
     debug_assert_eq!(words.len(), 3, "delivery frame carries [round, src, emit]");
     let (round, src, emit) = (words[0], words[1] as NodeId, words[2]);
     dest.in_clock[port] = dest.in_clock[port].max(round);
-    dest.pending
-        .entry(round)
-        .or_default()
-        .push((src, emit, port, msg));
+    dest.pending.push(round, (src, emit, port, msg));
 }
 
 /// Per-worker accounting, merged into the [`RunOutcome`] after the pool
@@ -771,7 +766,7 @@ struct Worker<'env, P: Protocol> {
     n_workers: usize,
     record_trace: bool,
     graph: &'env Graph,
-    slots: &'env mut [NodeSlot<P>],
+    store: StoreSliceMut<'env, P>,
     rt: Vec<NodeRt<P::Msg>>,
     stats: &'env mut WorkerStats,
     senders: Vec<Sender<Packet<P::Msg>>>,
@@ -841,8 +836,8 @@ impl<P: Protocol> Worker<'_, P> {
     /// The round node `lo + i` can execute now, if any: its next event,
     /// provided every in-port clock has reached it and it is below the
     /// round cap.
-    fn executable(&self, i: usize) -> Option<u64> {
-        let e = next_event_round(&self.slots[i], &self.rt[i]);
+    fn executable(&mut self, i: usize) -> Option<u64> {
+        let e = next_event_round(self.store.wake[i], &mut self.rt[i]);
         if e == u64::MAX || e >= self.cap {
             return None;
         }
@@ -856,7 +851,7 @@ impl<P: Protocol> Worker<'_, P> {
     /// Executes node `lo + i` at round `e`.
     fn execute(&mut self, i: usize, e: u64) {
         let v = self.lo + i;
-        let mut due = self.rt[i].pending.remove(&e).unwrap_or_default();
+        let mut due = self.rt[i].pending.take_at(e);
         // The engine's inbox order: ascending sender, then the sender's
         // emission order.
         due.sort_by_key(|a| (a.0, a.1));
@@ -867,9 +862,8 @@ impl<P: Protocol> Worker<'_, P> {
         } else {
             Vec::new()
         };
-        self.slots[i]
-            .inbox
-            .extend(due.into_iter().map(|(_, _, port, msg)| (port, msg)));
+        self.store.inboxes[i].extend(due.drain(..).map(|(_, _, port, msg)| (port, msg)));
+        self.rt[i].pending.recycle(due);
         let mut sink = ChannelSink {
             round: e,
             lo: self.lo,
@@ -888,7 +882,8 @@ impl<P: Protocol> Worker<'_, P> {
             self.graph,
             e,
             v,
-            &mut self.slots[i],
+            &mut self.store,
+            i,
             &mut self.scratch,
             &mut sink,
         );
@@ -911,7 +906,7 @@ impl<P: Protocol> Worker<'_, P> {
             let mut c = lock(self.coord);
             c.blocked += 1;
             c.next_event[self.w] = (0..(self.hi - self.lo))
-                .map(|i| next_event_round(&self.slots[i], &self.rt[i]))
+                .map(|i| next_event_round(self.store.wake[i], &mut self.rt[i]))
                 .min()
                 .unwrap_or(u64::MAX);
             c.last_exec[self.w] = self.stats.last_exec;
@@ -997,9 +992,9 @@ impl<P: Protocol> Worker<'_, P> {
 
 /// Merges per-worker accounting into the [`RunOutcome`] (plus the raw,
 /// unsorted trace events).
-fn assemble<P: Protocol>(
+fn assemble(
     stats: Vec<WorkerStats>,
-    slots: &[NodeSlot<P>],
+    statuses: &[Status],
     termination: Termination,
 ) -> (RunOutcome, Vec<TraceEvent>) {
     let dcount = stats.first().map_or(0, |s| s.first_directed_use.len());
@@ -1052,7 +1047,7 @@ fn assemble<P: Protocol>(
         rounds: last_exec.map_or(0, |r| r + 1),
         messages,
         bits,
-        statuses: slots.iter().map(|s| s.status).collect(),
+        statuses: statuses.to_vec(),
         termination,
         congest_violations,
         max_message_bits,
@@ -1070,9 +1065,13 @@ fn assemble<P: Protocol>(
 
 #[cfg(test)]
 mod tests {
+    // The deprecated free functions (`run_async`, `run_on`) are exercised
+    // on purpose: they must keep working until removal.
+    #![allow(deprecated)]
+
     use super::*;
     use crate::config::Wakeup;
-    use crate::engine::run;
+    use crate::engine::run_sim as run;
     use crate::message::{id_bits, Message, Signal};
     use crate::protocol::{Context, Status};
     use ule_graph::{gen, IdAssignment};

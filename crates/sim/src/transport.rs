@@ -15,7 +15,6 @@
 //! model an enforced invariant rather than an assumption.
 
 use crate::message::{uint_bits, Message, TAG_BITS};
-use std::collections::VecDeque;
 use ule_graph::Port;
 
 /// One chunk of a multi-round payload transfer.
@@ -195,43 +194,6 @@ impl LinkGate {
     }
 }
 
-/// A per-port outgoing frame queue: enqueue whole payloads, drain one frame
-/// per round (respecting the one-message-per-edge-per-round rule).
-#[deprecated(
-    since = "0.6.0",
-    note = "no protocol drains frames round-by-round anymore; the channel \
-            runtime sequences links with `LinkSeq`/`LinkGate` instead"
-)]
-#[derive(Debug)]
-pub struct FrameQueue {
-    queues: Vec<VecDeque<Frame>>,
-}
-
-#[allow(deprecated)]
-impl FrameQueue {
-    /// A queue set for a node with `degree` ports.
-    pub fn new(degree: usize) -> Self {
-        FrameQueue {
-            queues: vec![VecDeque::new(); degree],
-        }
-    }
-
-    /// Enqueues `payload` for transmission on `port`.
-    pub fn enqueue(&mut self, port: Port, payload: &[u64], words_per_frame: usize) {
-        self.queues[port].extend(split_payload(payload, words_per_frame));
-    }
-
-    /// Pops the next frame to send on `port` this round, if any.
-    pub fn pop(&mut self, port: Port) -> Option<Frame> {
-        self.queues[port].pop_front()
-    }
-
-    /// Whether any port still has frames queued.
-    pub fn is_idle(&self) -> bool {
-        self.queues.iter().all(VecDeque::is_empty)
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -312,20 +274,6 @@ mod tests {
         seq.stamp(vec![]);
         let f = seq.stamp(vec![1]);
         LinkGate::new(1).accept(0, &f);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn frame_queue_drains_one_per_round() {
-        let mut q = FrameQueue::new(2);
-        q.enqueue(0, &[1, 2, 3, 4], 2);
-        q.enqueue(1, &[7], 2);
-        assert!(!q.is_idle());
-        assert_eq!(q.pop(0).unwrap().words, vec![1, 2]);
-        assert_eq!(q.pop(1).unwrap().words, vec![7]);
-        assert_eq!(q.pop(1), None);
-        assert_eq!(q.pop(0).unwrap().words, vec![3, 4]);
-        assert!(q.is_idle());
     }
 
     #[test]

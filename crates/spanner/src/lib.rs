@@ -388,9 +388,9 @@ impl Protocol for SpannerElect {
 
 /// Runs the Corollary 4.2 election (requires knowledge of `n`).
 pub fn elect(graph: &Graph, sim: &SimConfig, cfg: &SpannerConfig) -> RunOutcome {
-    ule_sim::run(graph, sim, |v, setup, _| {
-        SpannerElect::new(*cfg, v, setup.degree)
-    })
+    ule_sim::Runner::new(graph, sim)
+        .run(|v, setup, _| SpannerElect::new(*cfg, v, setup.degree))
+        .expect("the sim runtime is infallible")
 }
 
 /// Runs the election with a probe attached and returns the outcome plus
@@ -401,9 +401,9 @@ pub fn elect_probed(
     cfg: &SpannerConfig,
 ) -> (RunOutcome, Vec<(NodeId, NodeId)>) {
     let probe: SpannerProbe = Arc::new(Mutex::new(HashSet::new()));
-    let out = ule_sim::run(graph, sim, |v, setup, _| {
-        SpannerElect::new(*cfg, v, setup.degree).with_probe(Arc::clone(&probe))
-    });
+    let out = ule_sim::Runner::new(graph, sim)
+        .run(|v, setup, _| SpannerElect::new(*cfg, v, setup.degree).with_probe(Arc::clone(&probe)))
+        .expect("the sim runtime is infallible");
     let edges = probe_edges(graph, &probe);
     (out, edges)
 }

@@ -17,6 +17,10 @@
 //!   the thread-count determinism gate: a merge-phase bug that *loses*
 //!   messages is exactly as much a regression as one that duplicates
 //!   them.
+//! * **peak RSS** (`peak_rss_bytes`, schema-3 timed cells): *growth*
+//!   beyond the warn factor warns; an optional fail factor (CI's
+//!   engine-scale gate passes `--fail-rss 1.5`) makes it a hard failure.
+//!   Growth-only, like throughput — shrinking memory never regresses.
 //! * **success rate**: a drop of more than 0.1 warns.
 //!
 //! Inputs may be campaign records ([`crate::run::CampaignResult`] JSON) or
@@ -39,6 +43,14 @@ pub struct Tolerances {
     /// (`None` = cost drift never fails). Two-sided: deterministic counts
     /// drifting *down* is as much a regression as drifting up.
     pub fail_cost: Option<f64>,
+    /// Warn when `new/old` peak RSS exceeds this factor (growth only —
+    /// shrinking memory is never a regression). Compared only when both
+    /// cells recorded `peak_rss_bytes`.
+    pub warn_rss: f64,
+    /// Fail when `new/old` peak RSS exceeds this factor (`None` = memory
+    /// growth never fails; CI's engine-scale gate opts in with
+    /// `--fail-rss`).
+    pub fail_rss: Option<f64>,
 }
 
 impl Default for Tolerances {
@@ -48,6 +60,8 @@ impl Default for Tolerances {
             fail_throughput: 2.0,
             warn_cost: 0.10,
             fail_cost: None,
+            warn_rss: 1.25,
+            fail_rss: None,
         }
     }
 }
@@ -193,6 +207,9 @@ pub struct CellMetrics {
     pub mean_messages: f64,
     /// Throughput, when the cell was timed.
     pub msgs_per_s: Option<f64>,
+    /// Peak RSS in bytes, when the cell recorded it (schema ≥ 3 timed
+    /// cells on Linux).
+    pub peak_rss_bytes: Option<f64>,
     /// Empirical success rate, when trial counts are known.
     pub success_rate: Option<f64>,
     /// Execution-model profile name the cell was recorded under. `None`
@@ -285,6 +302,7 @@ pub fn parse_cells(v: &Json) -> Result<BTreeMap<String, CellMetrics>, XpError> {
                 mean_rounds,
                 mean_messages,
                 msgs_per_s: cell.get("msgs_per_s").and_then(Json::as_f64),
+                peak_rss_bytes: cell.get("peak_rss_bytes").and_then(Json::as_f64),
                 success_rate,
                 adversary: cell
                     .get("adversary")
@@ -373,6 +391,22 @@ pub fn compare(
                 ),
             });
         }
+        if let (Some(or), Some(nr)) = (o.peak_rss_bytes, n.peak_rss_bytes) {
+            // Growth-only, like throughput: using *less* memory never
+            // regresses. The band is a ratio because peak RSS scales with
+            // the largest cell, not with noise-sized absolutes.
+            let growth = nr / or.max(1.0);
+            deltas.push(Delta {
+                cell: key.clone(),
+                metric: "peak_rss_bytes",
+                old: or,
+                new: nr,
+                verdict: band(
+                    tol.fail_rss.is_some_and(|f| growth > f),
+                    growth > tol.warn_rss,
+                ),
+            });
+        }
         if let (Some(os), Some(ns)) = (o.success_rate, n.success_rate) {
             if ns < os - 0.1 {
                 deltas.push(Delta {
@@ -412,6 +446,7 @@ mod tests {
             mean_rounds: rounds,
             mean_messages: messages,
             msgs_per_s: tput,
+            peak_rss_bytes: None,
             success_rate: Some(1.0),
             adversary: None,
         }
@@ -484,6 +519,54 @@ mod tests {
         assert_eq!(
             compare(&old, &shrank, &Tolerances::default()).verdict(),
             Verdict::Warn
+        );
+    }
+
+    #[test]
+    fn rss_growth_warns_and_fails_only_when_opted_in() {
+        let with_rss = |bytes: f64| {
+            let mut m = one("a @ w", cell(1000.0, 50.0, None));
+            m.get_mut("a @ w").unwrap().peak_rss_bytes = Some(bytes);
+            m
+        };
+        let old = with_rss(1.0e9);
+        // Small growth passes; 1.4x warns under defaults but does not fail.
+        assert_eq!(
+            compare(&old, &with_rss(1.1e9), &Tolerances::default()).verdict(),
+            Verdict::Pass
+        );
+        let grown = with_rss(1.4e9);
+        assert_eq!(
+            compare(&old, &grown, &Tolerances::default()).verdict(),
+            Verdict::Warn
+        );
+        // CI opts into the hard gate with --fail-rss 1.5.
+        let gated = Tolerances {
+            fail_rss: Some(1.5),
+            ..Tolerances::default()
+        };
+        assert_eq!(compare(&old, &grown, &gated).verdict(), Verdict::Warn);
+        let report = compare(&old, &with_rss(1.6e9), &gated);
+        assert_eq!(report.verdict(), Verdict::Fail);
+        assert_eq!(
+            report
+                .deltas
+                .iter()
+                .find(|d| d.verdict == Verdict::Fail)
+                .unwrap()
+                .metric,
+            "peak_rss_bytes"
+        );
+        // Growth-only: shrinking memory never regresses.
+        assert_eq!(
+            compare(&old, &with_rss(0.3e9), &gated).verdict(),
+            Verdict::Pass
+        );
+        // Cells without the metric (older schemas) are simply not compared.
+        let bare = one("a @ w", cell(1000.0, 50.0, None));
+        assert_eq!(
+            compare(&bare, &with_rss(9e9), &gated).verdict(),
+            Verdict::Pass
         );
     }
 

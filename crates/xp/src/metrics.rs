@@ -1,0 +1,130 @@
+//! Process-level resource metrics for timed campaign cells.
+//!
+//! Two memory-side metrics complement the wall-clock throughput gate:
+//!
+//! * **`peak_rss_bytes`** — the process's resident-set high-water mark
+//!   (`VmHWM` from `/proc/self/status`). It is *monotone over the process
+//!   lifetime*, so a campaign attributes to each timed cell the high-water
+//!   mark **as of that cell's end**; the first cell to touch a new peak is
+//!   the one that pays for it, which is exactly the attribution a
+//!   flat-memory regression gate wants (the engine-scale campaign runs one
+//!   giant cell). On non-Linux targets the probe returns `None` and the
+//!   field is simply omitted.
+//! * **`allocs_per_message`** — heap allocations per simulated message,
+//!   measured by a counting [`std::alloc::GlobalAlloc`] wrapper compiled in
+//!   only under the `count-allocs` cargo feature (counting every allocation
+//!   on the hot path is itself a tax, so default builds never pay it).
+//!   With the calendar-queue/arena engine the steady-state figure is ~0.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The process's peak resident set size in bytes (`VmHWM`), or `None` when
+/// the probe is unavailable (non-Linux, or `/proc` unreadable).
+///
+/// The value is a process-lifetime high-water mark: it never decreases, so
+/// per-cell readings are only meaningful as "the peak as of this point".
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kib: u64 = rest.trim().strip_suffix("kB")?.trim().parse().ok()?;
+            return Some(kib * 1024);
+        }
+    }
+    None
+}
+
+#[cfg(feature = "count-allocs")]
+mod counting {
+    use super::ALLOCATIONS;
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::sync::atomic::Ordering;
+
+    /// [`System`] plus a relaxed allocation counter. Deallocations are not
+    /// counted: the metric is allocation *pressure*, and the engine's
+    /// arena contract ("zero allocations per message in steady state") is
+    /// about never hitting the allocator at all.
+    struct CountingAlloc;
+
+    // SAFETY: delegates allocation and deallocation verbatim to `System`;
+    // the counter increment has no effect on the returned memory.
+    // ule-lint: allow(unsafe-block, reason = "GlobalAlloc is an unsafe trait; verbatim System delegate")
+    unsafe impl GlobalAlloc for CountingAlloc {
+        // ule-lint: allow(unsafe-block, reason = "unsafe fn signature required by GlobalAlloc")
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+            System.alloc(layout)
+        }
+
+        // ule-lint: allow(unsafe-block, reason = "unsafe fn signature required by GlobalAlloc")
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            System.dealloc(ptr, layout)
+        }
+
+        // ule-lint: allow(unsafe-block, reason = "unsafe fn signature required by GlobalAlloc")
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+            System.realloc(ptr, layout, new_size)
+        }
+    }
+
+    #[global_allocator]
+    static GLOBAL: CountingAlloc = CountingAlloc;
+}
+
+/// Global allocation counter; only advanced when the `count-allocs`
+/// feature installs the counting allocator.
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+/// The number of heap allocations the process has performed so far, or
+/// `None` when the build does not carry the `count-allocs` feature (the
+/// counter would read a frozen zero, which is not a measurement).
+///
+/// Subtract two readings to attribute allocations to a region of work.
+pub fn alloc_count() -> Option<u64> {
+    if cfg!(feature = "count-allocs") {
+        Some(ALLOCATIONS.load(Ordering::Relaxed))
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peak_rss_probe_reports_on_linux() {
+        let rss = peak_rss_bytes();
+        if cfg!(target_os = "linux") {
+            let bytes = rss.expect("VmHWM must parse on Linux");
+            // A running test binary holds at least a few hundred KiB and
+            // (sanity bound) under a terabyte.
+            assert!(bytes > 100 * 1024, "implausibly small peak: {bytes}");
+            assert!(bytes < 1 << 40, "implausibly large peak: {bytes}");
+        }
+    }
+
+    #[test]
+    fn peak_rss_is_monotone() {
+        let before = peak_rss_bytes();
+        // Force a real resident allocation, then re-read.
+        let block = vec![1u8; 4 << 20];
+        std::hint::black_box(&block);
+        let after = peak_rss_bytes();
+        if let (Some(b), Some(a)) = (before, after) {
+            assert!(a >= b, "high-water mark decreased: {b} -> {a}");
+        }
+    }
+
+    #[test]
+    fn alloc_count_matches_feature_gate() {
+        let first = alloc_count();
+        assert_eq!(first.is_some(), cfg!(feature = "count-allocs"));
+        if let Some(before) = first {
+            let boxed = Box::new(42u64);
+            std::hint::black_box(&boxed);
+            assert!(alloc_count().unwrap() > before);
+        }
+    }
+}

@@ -18,9 +18,11 @@ use ule_sim::{Knowledge, Parallelism, RuntimeKind, SimConfig, Wakeup};
 
 /// Version of the result-JSON schema; bump on any breaking field change so
 /// `compare` can refuse mismatched inputs. Version 2 added the per-cell
-/// `adversary` execution-model profile (absent = lockstep); `compare`
-/// still accepts version-1 files ([`crate::compare::parse_cells`]).
-pub const SCHEMA_VERSION: u64 = 2;
+/// `adversary` execution-model profile (absent = lockstep); version 3
+/// added the optional memory metrics on timed cells (`peak_rss_bytes`,
+/// `allocs_per_message`). `compare` still accepts files of every earlier
+/// version ([`crate::compare::parse_cells`]).
+pub const SCHEMA_VERSION: u64 = 3;
 
 /// Provenance stamped into every result record.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -115,6 +117,15 @@ pub struct CellResult {
     pub elapsed_s: Option<f64>,
     /// Simulated messages per wall-clock second (timed groups only).
     pub msgs_per_s: Option<f64>,
+    /// Process peak RSS as of the cell's end (timed groups only, Linux
+    /// only). The high-water mark is monotone over the process, so the
+    /// first cell to touch a new peak is the one that pays for it — see
+    /// [`crate::metrics::peak_rss_bytes`].
+    pub peak_rss_bytes: Option<u64>,
+    /// Heap allocations per simulated message across the cell's trials
+    /// (timed groups only, and only in `count-allocs` builds — see
+    /// [`crate::metrics::alloc_count`]).
+    pub allocs_per_message: Option<f64>,
     /// Engine shard threads the cell ran with (`None` = sequential).
     /// Provenance only: `compare` matches cells on `(algorithm,
     /// workload)` regardless, so a sequential baseline stays comparable
@@ -252,6 +263,7 @@ pub fn execute(
                             group.trials
                         );
                     }
+                    let allocs_before = crate::metrics::alloc_count();
                     let start = Instant::now();
                     let outs = parallel_trials(group.trials, |t| {
                         algorithm
@@ -262,6 +274,9 @@ pub fn execute(
                     let summary = Summary::from_outcomes(&outs);
                     let (ts, ms) = algorithm.claimed_shape(g.len(), g.edge_count(), d);
                     let total_messages = summary.mean_messages * summary.trials as f64;
+                    let allocs_per_message = crate::metrics::alloc_count()
+                        .zip(allocs_before)
+                        .map(|(after, before)| (after - before) as f64 / total_messages.max(1.0));
                     cells.push(CellResult {
                         algorithm,
                         family,
@@ -273,6 +288,16 @@ pub fn execute(
                         msg_ratio: summary.mean_messages / ms,
                         elapsed_s: group.timed.then_some(elapsed),
                         msgs_per_s: group.timed.then_some(total_messages / elapsed.max(1e-9)),
+                        peak_rss_bytes: if group.timed {
+                            crate::metrics::peak_rss_bytes()
+                        } else {
+                            None
+                        },
+                        allocs_per_message: if group.timed {
+                            allocs_per_message
+                        } else {
+                            None
+                        },
                         threads: group.threads,
                         adversary: group.adversary,
                         runtime: group.runtime,
@@ -335,6 +360,14 @@ impl CellResult {
         }
         if let Some(tput) = self.msgs_per_s {
             fields.push(("msgs_per_s".into(), Json::Num(tput.round())));
+        }
+        // Both memory metrics are best-effort probes: absent (and therefore
+        // byte-invisible) off Linux / outside `count-allocs` builds.
+        if let Some(rss) = self.peak_rss_bytes {
+            fields.push(("peak_rss_bytes".into(), Json::Num(rss as f64)));
+        }
+        if let Some(apm) = self.allocs_per_message {
+            fields.push(("allocs_per_message".into(), Json::Num(apm)));
         }
         if let Some(threads) = self.threads {
             fields.push(("threads".into(), Json::Num(threads as f64)));

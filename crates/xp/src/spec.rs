@@ -609,10 +609,8 @@ pub fn builtin(name: &str, quick: bool) -> Option<CampaignSpec> {
                 ],
             }
         }
-        "engine-scale" => CampaignSpec {
-            name: "engine-scale".into(),
-            graph_seed: WORKLOAD_BASE_SEED,
-            groups: vec![
+        "engine-scale" => {
+            let mut groups = vec![
                 JobGroup {
                     algorithms: vec![Algorithm::FloodMax],
                     families: vec![Family::Cycle, Family::Torus, Family::SparseRandom],
@@ -698,8 +696,33 @@ pub fn builtin(name: &str, quick: bool) -> Option<CampaignSpec> {
                     adversary: AdversaryProfile::BoundedDelay { max_delay: 2 },
                     runtime: RuntimeKind::Sim,
                 },
-            ],
-        },
+            ];
+            // The flat-memory headline cell, full grid only: FloodMax on a
+            // 10⁷-node cycle. Feasible precisely because the engine's hot
+            // path is flat (calendar delivery ring, SoA node store, arena
+            // outboxes); its `peak_rss_bytes` is what CI's `--fail-rss`
+            // gate anchors on.
+            if !quick {
+                groups.push(JobGroup {
+                    algorithms: vec![Algorithm::FloodMax],
+                    families: vec![Family::Cycle],
+                    sizes: vec![10_000_000],
+                    trials: 1,
+                    diameter: DiameterMode::UpperBound,
+                    knowledge: KnowledgeMode::NAndDiameter,
+                    wakeup: WakeupMode::Simultaneous,
+                    timed: true,
+                    threads: None,
+                    adversary: AdversaryProfile::Lockstep,
+                    runtime: RuntimeKind::Sim,
+                });
+            }
+            CampaignSpec {
+                name: "engine-scale".into(),
+                graph_seed: WORKLOAD_BASE_SEED,
+                groups,
+            }
+        }
         "resilience" => {
             // The execution-model sweep the adversary layer exists for:
             // deadline-driven (floodmax, kingdom(D)) and restart-driven

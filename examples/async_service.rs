@@ -19,7 +19,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use ule_core::Algorithm;
 use ule_graph::gen;
-use ule_sim::{replay, run_async, NodeSetup, RuntimeKind};
+use ule_sim::{replay, AsyncRuntime, NodeSetup, RuntimeKind};
 
 fn main() {
     // A 64-node random overlay, as a membership service might form.
@@ -37,11 +37,14 @@ fn main() {
     );
 
     // Run the election on the async runtime. `Algorithm::run_on` is the
-    // registry door; here we call `run_async` directly to keep the trace.
+    // registry door and `Runner` the plain entrypoint; here we drive
+    // `AsyncRuntime` directly to keep the delivery trace.
     let factory = |_: usize, setup: &NodeSetup, _: &mut StdRng| {
         ule_core::size_estimate::SizeEstimateElect::new(setup.degree)
     };
-    let service = run_async(&g, &cfg, factory).expect("lockstep configs run over channels");
+    let service = AsyncRuntime::new()
+        .run(&g, &cfg, factory)
+        .expect("lockstep configs run over channels");
     let leader = service
         .outcome
         .leader()

@@ -12,7 +12,7 @@
 use ule_core::Algorithm;
 use ule_graph::dumbbell::Dumbbell;
 use ule_graph::{gen, Graph};
-use ule_sim::{replay, run_async, RuntimeKind, SimConfig};
+use ule_sim::{replay, AsyncRuntime, RuntimeKind, SimConfig};
 
 /// The three conformance workloads: a cycle, a torus, and the Theorem 3.1
 /// dumbbell (two complete halves joined by bridges — the least symmetric
@@ -79,7 +79,7 @@ fn recorded_trace_replays_byte_for_byte() {
     let factory = |_: usize, _: &ule_sim::NodeSetup, _: &mut rand::rngs::StdRng| {
         ule_core::baseline::FloodMax::new()
     };
-    let recorded = run_async(&g, &cfg, factory).unwrap();
+    let recorded = AsyncRuntime::new().run(&g, &cfg, factory).unwrap();
     assert!(!recorded.trace.events.is_empty());
     let replayed = replay(&g, &cfg, factory, &recorded.trace).unwrap();
     assert_eq!(replayed, recorded);

@@ -257,6 +257,113 @@ proptest! {
     }
 
     #[test]
+    fn calendar_queue_matches_a_btreemap_reference(
+        len in 1usize..120,
+        ops_seed in 0u64..100_000,
+        horizon_pow in 1u32..7,
+    ) {
+        // The flat-memory delivery queue's ordering contract, sampled: a
+        // random interleaving of pushes and earliest-round drains through
+        // `CalendarQueue` must produce the identical (round, push-order)
+        // item sequence as a plain `BTreeMap<round, Vec<_>>` reference.
+        // Horizons of 2..=64 against offsets up to 200 force items
+        // through the overflow tier and back into the ring on advance —
+        // the boundary the engine crosses under long adversary delays.
+        use rand::{Rng, SeedableRng};
+        use std::collections::BTreeMap;
+        let mut op_rng = rand::rngs::StdRng::seed_from_u64(ops_seed);
+        let horizon = 1usize << horizon_pow;
+        let mut cal: ule_sim::CalendarQueue<(u64, u8)> =
+            ule_sim::CalendarQueue::with_horizon(horizon);
+        let mut reference: BTreeMap<u64, Vec<(u64, u8)>> = BTreeMap::new();
+        let (mut now, mut seq) = (0u64, 0u64);
+        let mut cal_drained = Vec::new();
+        let mut ref_drained = Vec::new();
+        let drain_earliest = |cal: &mut ule_sim::CalendarQueue<(u64, u8)>,
+                                  reference: &mut BTreeMap<u64, Vec<(u64, u8)>>,
+                                  cal_drained: &mut Vec<(u64, u8)>,
+                                  ref_drained: &mut Vec<(u64, u8)>|
+         -> Option<u64> {
+            let next = cal.next_event_round();
+            assert_eq!(next, reference.keys().next().copied());
+            let r = next?;
+            let bucket = cal.take_at(r);
+            cal_drained.extend(bucket.iter().copied());
+            cal.recycle(bucket);
+            ref_drained.extend(reference.remove(&r).unwrap());
+            Some(r)
+        };
+        for _ in 0..len {
+            let (offset, payload, drain): (u64, u8, bool) =
+                (op_rng.gen_range(0..200), op_rng.gen(), op_rng.gen());
+            let round = now + offset;
+            cal.push(round, (seq, payload));
+            reference.entry(round).or_default().push((seq, payload));
+            seq += 1;
+            if drain {
+                if let Some(r) = drain_earliest(
+                    &mut cal, &mut reference, &mut cal_drained, &mut ref_drained,
+                ) {
+                    now = r;
+                }
+            }
+        }
+        while drain_earliest(&mut cal, &mut reference, &mut cal_drained, &mut ref_drained)
+            .is_some()
+        {}
+        prop_assert!(cal.is_empty() && reference.is_empty());
+        prop_assert_eq!(cal_drained, ref_drained);
+    }
+
+    #[test]
+    fn delay_past_the_calendar_horizon_is_thread_count_invariant(
+        fam_idx in 0usize..6,
+        n in 8usize..48,
+        seed in 0u64..1000,
+        max_delay in 65u64..160,
+        threads in 2usize..6,
+    ) {
+        // The overflow boundary at engine level: a bounded-delay
+        // adversary with max_delay past the calendar's default horizon
+        // (64) routes deliveries through the BTreeMap overflow tier and
+        // back into the ring via migration. The determinism contract
+        // must hold across that boundary: outcomes byte-identical at any
+        // thread count. FloodMax is the one registry algorithm whose
+        // correctness survives arbitrary delays (the phase-structured
+        // protocols assert lockstep arrival), so it carries the sweep
+        // across every family.
+        let alg = Algorithm::FloodMax;
+        let fam = [
+            gen::Family::Cycle,
+            gen::Family::Torus,
+            gen::Family::SparseRandom,
+            gen::Family::Star,
+            gen::Family::Hypercube,
+            gen::Family::Lollipop,
+        ][fam_idx];
+        let g = gen::workload_graph(seed, fam, n).unwrap();
+        let mut cfg = alg.config_for(&g, seed);
+        cfg.adversary = ule_sim::Adversary::BoundedDelay { max_delay };
+        // Stretch the known diameter so FloodMax's deadline covers the
+        // worst-case delayed flood: every hop may sit max_delay extra
+        // rounds in the queue.
+        cfg.knowledge.diameter = cfg
+            .knowledge
+            .diameter
+            .map(|d| d * (max_delay as usize + 1));
+        cfg.parallelism = ule_sim::Parallelism::Off;
+        let sequential = alg.run_with(&g, &cfg);
+        cfg.parallelism = ule_sim::Parallelism::Threads(threads);
+        let parallel = alg.run_with(&g, &cfg);
+        prop_assert_eq!(
+            parallel, sequential,
+            "{} on {}/{} seed {} delay {} diverged at {} threads",
+            alg, fam, n, seed, max_delay, threads
+        );
+        prop_assert!(sequential.election_succeeded());
+    }
+
+    #[test]
     fn truncation_never_reports_quiescence_early(g in arb_graph(), t in 1u64..10) {
         let mut cfg = Algorithm::LeastElAll.config_for(&g, 3);
         cfg.max_rounds = t;

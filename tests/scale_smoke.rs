@@ -43,6 +43,35 @@ fn floodmax_on_a_million_node_cycle() {
 
 #[test]
 #[ignore = "large-n perf smoke; run with --release -- --ignored"]
+fn floodmax_on_a_ten_million_node_cycle() {
+    // The flat-memory headline: 10⁷ nodes is an order of magnitude past
+    // the test above and only fits the budget (and a CI runner's memory)
+    // because the engine's hot path is flat — calendar delivery ring,
+    // struct-of-arrays node store, arena-reused outboxes. A per-node
+    // allocation regression shows up here as an OOM or a wall-clock
+    // blowup long before the perf-gate's `--fail-rss` band catches it.
+    let n = 10_000_000;
+    let g = gen::cycle(n).unwrap();
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let cfg = SimConfig::seeded(1)
+        .with_ids(IdSpace::standard(n).sample(n, &mut rng))
+        .with_knowledge(Knowledge::n_and_diameter(n, n / 2))
+        .with_max_rounds(u64::MAX / 4);
+    let start = Instant::now();
+    let out = baseline::flood_max(&g, &cfg);
+    assert!(
+        start.elapsed() < BUDGET,
+        "FloodMax on the 10^7 cycle took {:?} — scheduler regression",
+        start.elapsed()
+    );
+    assert!(out.election_succeeded());
+    assert_eq!(out.termination, Termination::Quiescent);
+    assert_eq!(out.rounds, n as u64 / 2 + 1);
+}
+
+#[test]
+#[ignore = "large-n perf smoke; run with --release -- --ignored"]
 fn dfs_agent_on_a_ten_thousand_node_path() {
     let n = 10_000;
     let g = gen::path(n).unwrap();
