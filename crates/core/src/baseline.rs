@@ -24,7 +24,7 @@ use rand::Rng;
 use ule_graph::{Graph, Id};
 use ule_sim::message::{id_bits, Message, TAG_BITS};
 use ule_sim::{
-    Context, PortOutbox, Protocol, RtError, RunOutcome, Runner, RuntimeKind, SimConfig, Status,
+    Context, PortOutbox, Protocol, RunOutcome, Runner, RuntimeKind, SimConfig, Status,
 };
 
 /// FloodMax message: the largest identifier seen so far.
@@ -117,19 +117,15 @@ impl Protocol for FloodMax {
 /// # Ok::<(), ule_graph::GraphError>(())
 /// ```
 pub fn flood_max(graph: &Graph, sim: &SimConfig) -> RunOutcome {
-    flood_max_on(RuntimeKind::Sim, graph, sim).expect("the sim runtime is infallible")
+    flood_max_on(RuntimeKind::Sim, graph, sim)
 }
 
 /// [`flood_max`] on a caller-selected runtime.
-///
-/// # Errors
-///
-/// See [`ule_sim::Runner::run`]; [`RuntimeKind::Sim`] never errors.
 pub fn flood_max_on(
     kind: RuntimeKind,
     graph: &Graph,
     sim: &SimConfig,
-) -> Result<RunOutcome, RtError> {
+) -> RunOutcome {
     Runner::new(graph, sim)
         .runtime(kind)
         .run(|_, _, _| FloodMax::new())
@@ -199,15 +195,11 @@ impl Protocol for Tole {
 /// # Ok::<(), ule_graph::GraphError>(())
 /// ```
 pub fn tole(graph: &Graph, sim: &SimConfig) -> RunOutcome {
-    tole_on(RuntimeKind::Sim, graph, sim).expect("the sim runtime is infallible")
+    tole_on(RuntimeKind::Sim, graph, sim)
 }
 
 /// [`tole`] on a caller-selected runtime.
-///
-/// # Errors
-///
-/// See [`ule_sim::Runner::run`]; [`RuntimeKind::Sim`] never errors.
-pub fn tole_on(kind: RuntimeKind, graph: &Graph, sim: &SimConfig) -> Result<RunOutcome, RtError> {
+pub fn tole_on(kind: RuntimeKind, graph: &Graph, sim: &SimConfig) -> RunOutcome {
     Runner::new(graph, sim)
         .runtime(kind)
         .run(|_, setup, _| Tole::new(setup.degree))
@@ -257,19 +249,15 @@ impl Protocol for CoinFlip {
 
 /// Runs the coin-flip algorithm (`sim` must grant `n`).
 pub fn coin_flip(graph: &Graph, sim: &SimConfig) -> RunOutcome {
-    coin_flip_on(RuntimeKind::Sim, graph, sim).expect("the sim runtime is infallible")
+    coin_flip_on(RuntimeKind::Sim, graph, sim)
 }
 
 /// [`coin_flip`] on a caller-selected runtime.
-///
-/// # Errors
-///
-/// See [`ule_sim::Runner::run`]; [`RuntimeKind::Sim`] never errors.
 pub fn coin_flip_on(
     kind: RuntimeKind,
     graph: &Graph,
     sim: &SimConfig,
-) -> Result<RunOutcome, RtError> {
+) -> RunOutcome {
     Runner::new(graph, sim)
         .runtime(kind)
         .run(|_, _, _| CoinFlip::new())

@@ -304,20 +304,15 @@ impl Protocol for DfsAgent {
 /// ```
 pub fn elect(graph: &Graph, sim: &SimConfig, send_wakeup: bool) -> RunOutcome {
     elect_on(ule_sim::RuntimeKind::Sim, graph, sim, send_wakeup)
-        .expect("the sim runtime is infallible")
 }
 
 /// [`elect`] on a caller-selected runtime.
-///
-/// # Errors
-///
-/// See [`ule_sim::Runner::run`]; [`ule_sim::RuntimeKind::Sim`] never errors.
 pub fn elect_on(
     kind: ule_sim::RuntimeKind,
     graph: &Graph,
     sim: &SimConfig,
     send_wakeup: bool,
-) -> Result<RunOutcome, ule_sim::RtError> {
+) -> RunOutcome {
     ule_sim::Runner::new(graph, sim)
         .runtime(kind)
         .run(|_, setup, _| {
@@ -382,16 +377,14 @@ mod tests {
                 .with_ids(IdAssignment::sequential_from(1, 10))
                 .with_max_rounds(u64::MAX / 4),
         )
-        .run(|_, setup, _| DfsAgent::new(setup.id.unwrap(), setup.degree, false))
-        .unwrap();
+        .run(|_, setup, _| DfsAgent::new(setup.id.unwrap(), setup.degree, false));
         let hi = ule_sim::Runner::new(
             &g,
             &SimConfig::seeded(0)
                 .with_ids(IdAssignment::sequential_from(5, 10))
                 .with_max_rounds(u64::MAX / 4),
         )
-        .run(|_, setup, _| DfsAgent::new(setup.id.unwrap(), setup.degree, false))
-        .unwrap();
+        .run(|_, setup, _| DfsAgent::new(setup.id.unwrap(), setup.degree, false));
         assert!(lo.election_succeeded() && hi.election_succeeded());
         assert_eq!(lo.messages, hi.messages, "same walk, different clock");
         assert!(
@@ -414,8 +407,7 @@ mod tests {
                 .with_ids(IdAssignment::new(ids))
                 .with_max_rounds(u64::MAX / 4),
         )
-        .run(|_, setup, _| DfsAgent::new(setup.id.unwrap(), setup.degree, false))
-        .unwrap();
+        .run(|_, setup, _| DfsAgent::new(setup.id.unwrap(), setup.degree, false));
         assert!(out.election_succeeded());
         assert_eq!(out.leader(), Some(15));
         assert!(out.messages <= 4 * g.edge_count() as u64 + 2 * g.len() as u64);

@@ -178,8 +178,7 @@ pub fn elect_explicit(
     let out = ule_sim::Runner::new(graph, sim)
         .run(|v, setup, _| {
             ExplicitElect::new(cfg.clone(), v, setup.degree).with_probe(Arc::clone(&probe))
-        })
-        .expect("the sim runtime is infallible");
+        });
     let learned = probe.lock().expect("probe poisoned").clone();
     (out, learned)
 }

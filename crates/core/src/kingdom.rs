@@ -458,19 +458,14 @@ impl Protocol for Kingdom {
 /// ```
 pub fn elect_known_diameter(graph: &Graph, sim: &SimConfig) -> RunOutcome {
     elect_known_diameter_on(ule_sim::RuntimeKind::Sim, graph, sim)
-        .expect("the sim runtime is infallible")
 }
 
 /// [`elect_known_diameter`] on a caller-selected runtime.
-///
-/// # Errors
-///
-/// See [`ule_sim::Runner::run`]; [`ule_sim::RuntimeKind::Sim`] never errors.
 pub fn elect_known_diameter_on(
     kind: ule_sim::RuntimeKind,
     graph: &Graph,
     sim: &SimConfig,
-) -> Result<RunOutcome, ule_sim::RtError> {
+) -> RunOutcome {
     ule_sim::Runner::new(graph, sim)
         .runtime(kind)
         .run(|_, setup, _| {
@@ -487,19 +482,15 @@ pub fn elect_known_diameter_on(
 /// module documentation for why the synchronized variant pays the `O(n)`
 /// term).
 pub fn elect_doubling(graph: &Graph, sim: &SimConfig) -> RunOutcome {
-    elect_doubling_on(ule_sim::RuntimeKind::Sim, graph, sim).expect("the sim runtime is infallible")
+    elect_doubling_on(ule_sim::RuntimeKind::Sim, graph, sim)
 }
 
 /// [`elect_doubling`] on a caller-selected runtime.
-///
-/// # Errors
-///
-/// See [`ule_sim::Runner::run`]; [`ule_sim::RuntimeKind::Sim`] never errors.
 pub fn elect_doubling_on(
     kind: ule_sim::RuntimeKind,
     graph: &Graph,
     sim: &SimConfig,
-) -> Result<RunOutcome, ule_sim::RtError> {
+) -> RunOutcome {
     ule_sim::Runner::new(graph, sim)
         .runtime(kind)
         .run(|_, setup, _| {

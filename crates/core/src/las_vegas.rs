@@ -165,20 +165,16 @@ impl Protocol for LasVegasElect {
 /// # Ok::<(), ule_graph::GraphError>(())
 /// ```
 pub fn elect(graph: &Graph, sim: &SimConfig, cfg: &LasVegasConfig) -> RunOutcome {
-    elect_on(ule_sim::RuntimeKind::Sim, graph, sim, cfg).expect("the sim runtime is infallible")
+    elect_on(ule_sim::RuntimeKind::Sim, graph, sim, cfg)
 }
 
 /// [`elect`] on a caller-selected runtime.
-///
-/// # Errors
-///
-/// See [`ule_sim::Runner::run`]; [`ule_sim::RuntimeKind::Sim`] never errors.
 pub fn elect_on(
     kind: ule_sim::RuntimeKind,
     graph: &Graph,
     sim: &SimConfig,
     cfg: &LasVegasConfig,
-) -> Result<RunOutcome, ule_sim::RtError> {
+) -> RunOutcome {
     ule_sim::Runner::new(graph, sim)
         .runtime(kind)
         .run(|_, setup, _| LasVegasElect::new(*cfg, setup.degree))

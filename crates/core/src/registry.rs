@@ -10,7 +10,7 @@ use crate::{baseline, clustering, dfs_agent, kingdom, las_vegas, least_el, size_
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use ule_graph::{analysis, Graph, IdAssignment, IdSpace};
-use ule_sim::{Knowledge, RtError, RunOutcome, RuntimeKind, SimConfig};
+use ule_sim::{Knowledge, RunOutcome, RuntimeKind, SimConfig};
 
 /// Every election algorithm implemented from the paper (the spanner-based
 /// Corollary 4.2 lives in `ule-spanner`, which layers on this crate).
@@ -299,23 +299,18 @@ impl Algorithm {
     /// satisfy [`AlgorithmSpec`]'s requirements).
     pub fn run_with(self, graph: &Graph, cfg: &SimConfig) -> RunOutcome {
         self.run_on(RuntimeKind::Sim, graph, cfg)
-            .expect("the sim runtime is infallible")
     }
 
     /// [`Algorithm::run_with`] on a caller-selected runtime: the identical
     /// protocol code runs on the lockstep engine or over channels
     /// ([`ule_sim::rt`]), and under [`ule_sim::Adversary::Lockstep`] both
     /// produce the same [`RunOutcome`].
-    ///
-    /// # Errors
-    ///
-    /// See [`ule_sim::Runner::run`]; [`RuntimeKind::Sim`] never errors.
     pub fn run_on(
         self,
         kind: RuntimeKind,
         graph: &Graph,
         cfg: &SimConfig,
-    ) -> Result<RunOutcome, RtError> {
+    ) -> RunOutcome {
         match self {
             Algorithm::LeastElAll => {
                 least_el::elect_on(kind, graph, cfg, &least_el::LeastElConfig::all_candidates())

@@ -185,19 +185,15 @@ impl Protocol for SizeEstimateElect {
 /// # Ok::<(), ule_graph::GraphError>(())
 /// ```
 pub fn elect(graph: &Graph, sim: &SimConfig) -> RunOutcome {
-    elect_on(ule_sim::RuntimeKind::Sim, graph, sim).expect("the sim runtime is infallible")
+    elect_on(ule_sim::RuntimeKind::Sim, graph, sim)
 }
 
 /// [`elect`] on a caller-selected runtime.
-///
-/// # Errors
-///
-/// See [`ule_sim::Runner::run`]; [`ule_sim::RuntimeKind::Sim`] never errors.
 pub fn elect_on(
     kind: ule_sim::RuntimeKind,
     graph: &Graph,
     sim: &SimConfig,
-) -> Result<RunOutcome, ule_sim::RtError> {
+) -> RunOutcome {
     ule_sim::Runner::new(graph, sim)
         .runtime(kind)
         .run(|_, setup, _| SizeEstimateElect::new(setup.degree))

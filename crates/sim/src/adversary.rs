@@ -13,14 +13,23 @@
 //!
 //! Adversaries are **seeded and deterministic**: for a fixed graph,
 //! [`crate::SimConfig`], and [`Adversary`], every decision is a pure
-//! function of the run seed and the decision's coordinates. The engine
-//! consults the schedule only from its sequential phases — run setup and
-//! the stable-order merge phase — never from shard threads, so a run's
-//! [`crate::RunOutcome`] stays byte-for-byte identical at any
-//! [`crate::Parallelism`] setting. Randomized schedules
-//! ([`BoundedDelay`]) draw from a splitmix64 stream derived from the run
-//! seed and the message's global send index, which is itself independent
-//! of thread count.
+//! function of the run seed and the decision's coordinates. Message fates
+//! in particular are a pure function of `(run_seed, directed edge,
+//! per-edge send index)` — **never** of global merge order — so any
+//! runtime that tracks per-edge send counters (the engine's `Ledger`, the
+//! async runtime's per-edge `LinkSeq` stampers) reproduces the exact same
+//! decisions locally, with no sequential bottleneck. A run's
+//! [`crate::RunOutcome`] therefore stays byte-for-byte identical at any
+//! [`crate::Parallelism`] setting *and* across runtimes. Randomized
+//! schedules ([`BoundedDelay`]) draw from a chained splitmix64 stream:
+//!
+//! ```text
+//! stream      = splitmix64(splitmix64(seed) ^ DELAY_STREAM_TAG)
+//! edge_stream = splitmix64(stream.wrapping_add(didx))
+//! delay       = splitmix64(edge_stream.wrapping_add(edge_seq)) % (max_delay + 1)
+//! ```
+//!
+//! (chained, not XOR'd — XOR'd streams collide across nearby indices).
 //!
 //! # Model semantics
 //!
@@ -71,15 +80,16 @@ pub enum Fate {
     Dropped,
 }
 
-/// The engine-side view of one send, as presented to
+/// The runtime-side view of one send, as presented to
 /// [`Schedule::message_fate`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SendView {
     /// Round the message was sent in.
     pub round: u64,
-    /// Global send index within the run (0-based, stable merge order —
-    /// independent of thread count).
-    pub seq: u64,
+    /// Per-edge send index: how many messages were sent over this directed
+    /// edge before this one (0-based). Local to `didx`, so any runtime
+    /// that counts sends per directed edge reproduces it exactly.
+    pub edge_seq: u64,
     /// Sending node.
     pub src: NodeId,
     /// Receiving node.
@@ -92,12 +102,13 @@ pub struct SendView {
 /// An execution-model adversary: decides wakeups, liveness, and message
 /// fates. All default methods implement the lockstep synchronous model.
 ///
-/// Implementations must be deterministic (see the module docs): the engine
-/// calls [`Schedule::wake_round`] and [`Schedule::crash_round`] once per
-/// node at run setup (ascending node order) and
-/// [`Schedule::message_fate`] once per sent message in stable merge order,
-/// always from the sequential control thread.
-pub trait Schedule: Send {
+/// Implementations must be deterministic (see the module docs): the
+/// runtime calls [`Schedule::wake_round`] and [`Schedule::crash_round`]
+/// once per node at run setup (ascending node order, sequential control
+/// thread), while [`Schedule::message_fate`] is a *pure* shared-state
+/// query — the async runtime invokes it concurrently from worker threads,
+/// hence the `Sync` bound and the `&self` receiver.
+pub trait Schedule: Send + Sync {
     /// Spontaneous wakeup round of node `v`, or `None` when the node wakes
     /// only on first message receipt. Lockstep default: everyone wakes at
     /// round 0.
@@ -115,9 +126,11 @@ pub trait Schedule: Send {
 
     /// Fate of one sent message. Lockstep default: deliver next round.
     ///
-    /// A returned [`Fate::Deliver`] round must be `> send.round`; the
-    /// engine panics on a schedule that delivers into the past.
-    fn message_fate(&mut self, send: &SendView) -> Fate {
+    /// Must be a pure function of the [`SendView`] (plus immutable
+    /// schedule state) — callable concurrently from any thread. A
+    /// returned [`Fate::Deliver`] round must be `> send.round`; the
+    /// runtime panics on a schedule that delivers into the past.
+    fn message_fate(&self, send: &SendView) -> Fate {
         Fate::Deliver {
             round: send.round + 1,
         }
@@ -134,8 +147,9 @@ pub struct Lockstep;
 impl Schedule for Lockstep {}
 
 /// Bounded-delay asynchrony: each message is assigned a delivery round in
-/// `[send + 1, send + 1 + max_delay]`, drawn from a splitmix64 stream
-/// derived from the run seed and the message's global send index.
+/// `[send + 1, send + 1 + max_delay]`, drawn from a per-edge splitmix64
+/// stream chained over the run seed, the directed-edge index, and the
+/// per-edge send index (see the module docs for the exact derivation).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BoundedDelay {
     max_delay: u64,
@@ -153,11 +167,12 @@ impl BoundedDelay {
 }
 
 impl Schedule for BoundedDelay {
-    fn message_fate(&mut self, send: &SendView) -> Fate {
+    fn message_fate(&self, send: &SendView) -> Fate {
         let delay = if self.max_delay == 0 {
             0
         } else {
-            splitmix64(self.stream.wrapping_add(send.seq)) % (self.max_delay + 1)
+            let edge_stream = splitmix64(self.stream.wrapping_add(send.didx as u64));
+            splitmix64(edge_stream.wrapping_add(send.edge_seq)) % (self.max_delay + 1)
         };
         Fate::Deliver {
             round: send.round + 1 + delay,
@@ -230,7 +245,7 @@ impl LinkFailure {
 }
 
 impl Schedule for LinkFailure {
-    fn message_fate(&mut self, send: &SendView) -> Fate {
+    fn message_fate(&self, send: &SendView) -> Fate {
         let key = (send.src.min(send.dest), send.src.max(send.dest));
         match self.death.get(&key) {
             Some(&dead) if send.round >= dead => Fate::Dropped,
@@ -308,9 +323,9 @@ impl Schedule for Compose {
         self.parts.iter_mut().filter_map(|p| p.crash_round(v)).min()
     }
 
-    fn message_fate(&mut self, send: &SendView) -> Fate {
+    fn message_fate(&self, send: &SendView) -> Fate {
         let mut round = send.round + 1;
-        for part in &mut self.parts {
+        for part in &self.parts {
             match part.message_fate(send) {
                 Fate::Dropped => return Fate::Dropped,
                 Fate::Deliver { round: r } => round = round.max(r),
@@ -390,13 +405,23 @@ mod tests {
     use super::*;
     use ule_graph::gen;
 
-    fn send(round: u64, seq: u64, src: NodeId, dest: NodeId) -> SendView {
+    fn send(round: u64, edge_seq: u64, src: NodeId, dest: NodeId) -> SendView {
         SendView {
             round,
-            seq,
+            edge_seq,
             src,
             dest,
             didx: 0,
+        }
+    }
+
+    fn send_on(didx: usize, round: u64, edge_seq: u64) -> SendView {
+        SendView {
+            round,
+            edge_seq,
+            src: 0,
+            dest: 1,
+            didx,
         }
     }
 
@@ -413,13 +438,13 @@ mod tests {
 
     #[test]
     fn bounded_delay_is_seeded_and_bounded() {
-        let mut a = BoundedDelay::new(42, 8);
-        let mut b = BoundedDelay::new(42, 8);
-        let mut other_seed = BoundedDelay::new(43, 8);
+        let a = BoundedDelay::new(42, 8);
+        let b = BoundedDelay::new(42, 8);
+        let other_seed = BoundedDelay::new(43, 8);
         let mut saw_late = false;
         let mut diverged = false;
-        for seq in 0..200 {
-            let sv = send(10, seq, 0, 1);
+        for edge_seq in 0..200 {
+            let sv = send(10, edge_seq, 0, 1);
             let fa = a.message_fate(&sv);
             assert_eq!(fa, b.message_fate(&sv), "same seed, same fate");
             let Fate::Deliver { round } = fa else {
@@ -434,8 +459,39 @@ mod tests {
     }
 
     #[test]
+    fn bounded_delay_fates_are_pure_per_edge_functions() {
+        let s = BoundedDelay::new(42, 8);
+        // Pure in (didx, edge_seq): re-querying in any order, the fate of a
+        // given coordinate never changes — the property that lets a
+        // distributed runtime reproduce engine decisions locally.
+        let forward: Vec<Fate> = (0..50).map(|q| s.message_fate(&send_on(3, 1, q))).collect();
+        let backward: Vec<Fate> = (0..50)
+            .rev()
+            .map(|q| s.message_fate(&send_on(3, 1, q)))
+            .collect();
+        assert_eq!(forward, backward.into_iter().rev().collect::<Vec<_>>());
+        // Distinct edges draw from distinct streams.
+        let mut edges_diverge = false;
+        for q in 0..50 {
+            edges_diverge |= s.message_fate(&send_on(0, 1, q)) != s.message_fate(&send_on(1, 1, q));
+        }
+        assert!(edges_diverge, "per-edge streams must be independent");
+        // Pin the chained derivation so both runtimes (and future
+        // refactors) agree on the exact stream.
+        let stream = splitmix64(splitmix64(42) ^ DELAY_STREAM_TAG);
+        let edge_stream = splitmix64(stream.wrapping_add(3));
+        let delay = splitmix64(edge_stream.wrapping_add(7)) % 9;
+        assert_eq!(
+            s.message_fate(&send_on(3, 10, 7)),
+            Fate::Deliver {
+                round: 11 + delay
+            }
+        );
+    }
+
+    #[test]
     fn zero_delay_is_synchronous() {
-        let mut s = BoundedDelay::new(7, 0);
+        let s = BoundedDelay::new(7, 0);
         for seq in 0..50 {
             assert_eq!(
                 s.message_fate(&send(seq, seq, 0, 1)),
@@ -461,7 +517,7 @@ mod tests {
     #[test]
     fn link_failure_drops_both_directions_from_death_round() {
         let g = gen::path(4).unwrap();
-        let mut s = LinkFailure::new(&g, &[((2, 1), 5)]);
+        let s = LinkFailure::new(&g, &[((2, 1), 5)]);
         assert_eq!(
             s.message_fate(&send(4, 0, 1, 2)),
             Fate::Deliver { round: 5 }
@@ -531,7 +587,7 @@ mod tests {
                 Adversary::CrashStop { schedule: vec![] },
             ]),
         ] {
-            let mut schedule = adv.build(9, &g);
+            let schedule = adv.build(9, &g);
             let _ = schedule.message_fate(&send(0, 0, 0, 1));
         }
         assert_eq!(Adversary::default(), Adversary::Lockstep);

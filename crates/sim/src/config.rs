@@ -3,7 +3,6 @@
 
 use crate::adversary::{Adversary, WakeupSchedule};
 use crate::protocol::Knowledge;
-use crate::rt::{RtError, RuntimeKind};
 use ule_graph::{IdAssignment, NodeId};
 
 /// The communication model of a run.
@@ -216,10 +215,9 @@ impl SimConfig {
         }
     }
 
-    /// A typed builder that validates the configuration against its
-    /// intended runtime at build time (see [`SimConfigBuilder`]) — the
-    /// incompatibilities the async runtime would otherwise reject at run
-    /// time surface here, with the same [`RtError`] variants.
+    /// A typed builder (see [`SimConfigBuilder`]). Every configuration
+    /// runs on every runtime — adversaries and watch edges included — so
+    /// [`SimConfigBuilder::build`] is infallible.
     pub fn builder() -> SimConfigBuilder {
         SimConfigBuilder::default()
     }
@@ -275,37 +273,24 @@ impl SimConfig {
 
 /// Typed builder for [`SimConfig`], created by [`SimConfig::builder`].
 ///
-/// Unlike the `with_*` chain on [`SimConfig`] itself, the builder knows
-/// which runtime the config is destined for ([`SimConfigBuilder::runtime`])
-/// and validates incompatible combinations at *build* time —
-/// [`RtError::UnsupportedAdversary`] for a non-lockstep adversary on the
-/// async runtime, [`RtError::UnsupportedWatchEdges`] for watch edges there —
-/// instead of deep inside the runtime at run time. The variants are exactly
-/// those [`crate::Runner::run`] would return, so a successful
-/// [`SimConfigBuilder::build`] for a runtime guarantees the run will not be
-/// rejected for configuration reasons.
+/// Since message fates became a pure function of `(seed, directed edge,
+/// per-edge send index)` (see [`crate::adversary`]), every configuration —
+/// adversaries and watch edges included — runs on every runtime with
+/// field-for-field equal outcomes, so there is nothing left to validate
+/// against a runtime choice and [`SimConfigBuilder::build`] is infallible.
 ///
 /// ```
-/// use ule_sim::{Adversary, RtError, RuntimeKind, SimConfig};
+/// use ule_sim::{Adversary, SimConfig};
 ///
 /// let cfg = SimConfig::builder()
 ///     .seed(7)
 ///     .adversary(Adversary::BoundedDelay { max_delay: 2 })
-///     .build()
-///     .expect("the sim runtime supports every adversary");
+///     .build();
 /// assert_eq!(cfg.seed, 7);
-///
-/// let err = SimConfig::builder()
-///     .adversary(Adversary::BoundedDelay { max_delay: 2 })
-///     .runtime(RuntimeKind::Async)
-///     .build()
-///     .unwrap_err();
-/// assert!(matches!(err, RtError::UnsupportedAdversary { .. }));
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct SimConfigBuilder {
     config: SimConfig,
-    runtime: RuntimeKind,
 }
 
 impl SimConfigBuilder {
@@ -363,37 +348,11 @@ impl SimConfigBuilder {
         self
     }
 
-    /// Declares the runtime this config is destined for (default
-    /// [`RuntimeKind::Sim`]), so [`SimConfigBuilder::build`] can reject
-    /// combinations that runtime does not support. The declaration is
-    /// validation-only: the runtime a run actually uses is selected on
-    /// [`crate::Runner::runtime`].
-    pub fn runtime(mut self, kind: RuntimeKind) -> Self {
-        self.runtime = kind;
-        self
-    }
-
-    /// Validates the configuration against the declared runtime and
-    /// returns it.
-    ///
-    /// # Errors
-    ///
-    /// For [`RuntimeKind::Async`]: [`RtError::UnsupportedAdversary`] if
-    /// the adversary is not [`Adversary::Lockstep`], and
-    /// [`RtError::UnsupportedWatchEdges`] if watch edges are configured.
-    /// The sim runtime accepts every configuration.
-    pub fn build(self) -> Result<SimConfig, RtError> {
-        if self.runtime == RuntimeKind::Async {
-            if self.config.adversary != Adversary::Lockstep {
-                return Err(RtError::UnsupportedAdversary {
-                    adversary: format!("{:?}", self.config.adversary),
-                });
-            }
-            if !self.config.watch_edges.is_empty() {
-                return Err(RtError::UnsupportedWatchEdges);
-            }
-        }
-        Ok(self.config)
+    /// Returns the finished configuration. Infallible: graph-dependent
+    /// validation (wakeup sets, watch edges, adversary schedules) happens
+    /// at run start, where the graph is known.
+    pub fn build(self) -> SimConfig {
+        self.config
     }
 }
 
@@ -479,7 +438,7 @@ mod tests {
     }
 
     #[test]
-    fn typed_builder_builds_and_validates() {
+    fn typed_builder_builds_every_combination() {
         let cfg = SimConfig::builder()
             .seed(3)
             .knowledge(Knowledge::n(9))
@@ -490,8 +449,7 @@ mod tests {
             .parallelism(Parallelism::Off)
             .adversary(Adversary::BoundedDelay { max_delay: 1 })
             .watching(&[(0, 1)])
-            .build()
-            .expect("sim runtime supports everything");
+            .build();
         assert_eq!(cfg.seed, 3);
         assert_eq!(cfg.knowledge.n, Some(9));
         assert_eq!(cfg.max_rounds, 50);
@@ -499,34 +457,5 @@ mod tests {
         assert_eq!(cfg.parallelism, Parallelism::Off);
         assert_eq!(cfg.adversary, Adversary::BoundedDelay { max_delay: 1 });
         assert_eq!(cfg.watch_edges, vec![(0, 1)]);
-    }
-
-    #[test]
-    fn typed_builder_rejects_async_incompatibilities_at_build_time() {
-        match SimConfig::builder()
-            .adversary(Adversary::CrashStop {
-                schedule: vec![(0, 1)],
-            })
-            .runtime(RuntimeKind::Async)
-            .build()
-        {
-            Err(RtError::UnsupportedAdversary { adversary }) => {
-                assert!(adversary.contains("CrashStop"));
-            }
-            other => panic!("expected UnsupportedAdversary, got {other:?}"),
-        }
-        assert_eq!(
-            SimConfig::builder()
-                .watching(&[(0, 1)])
-                .runtime(RuntimeKind::Async)
-                .build()
-                .unwrap_err(),
-            RtError::UnsupportedWatchEdges
-        );
-        // Lockstep + no watch edges is fine on either runtime.
-        assert!(SimConfig::builder()
-            .runtime(RuntimeKind::Async)
-            .build()
-            .is_ok());
     }
 }

@@ -261,17 +261,16 @@ where
             ledger.queue.recycle(batch);
         }
 
-        // Admit every wakeup due this round; drop superseded entries and
-        // wakeups whose owner has fail-stopped.
+        // Admit every wakeup due this round; drop superseded entries.
+        // Crashed owners need no check here: wakeups are crash-filtered
+        // *at arm time* (setup and the two rearm sites below), so every
+        // genuine heap entry outlives its owner's crash round.
         while let Some(&Reverse((w, v))) = wake_heap.peek() {
             if w > round {
                 break;
             }
             wake_heap.pop();
-            if store.wake[v] == Some(w)
-                && !in_active[v]
-                && ledger.crash_round[v].map_or(true, |c| c > round)
-            {
+            if store.wake[v] == Some(w) && !in_active[v] {
                 in_active[v] = true;
                 active.push(v);
             }
@@ -286,16 +285,6 @@ where
                 if store.wake[v] != Some(w) {
                     wake_heap.pop();
                     continue;
-                }
-                if let Some(c) = ledger.crash_round[v] {
-                    if c <= w {
-                        // Genuine wakeup, but its owner dies first: the
-                        // crash resolves the timer.
-                        ledger.crash_horizon = ledger.crash_horizon.max(c);
-                        store.wake[v] = None;
-                        wake_heap.pop();
-                        continue;
-                    }
                 }
                 next_wake = Some(w);
                 break;
@@ -371,7 +360,17 @@ where
                     last_status_change = Some(round);
                 }
                 for &(w, v) in &out.wakes {
-                    wake_heap.push(Reverse((w, v)));
+                    // Eager crash filtering, as at setup: a timer its
+                    // owner's crash outlives is never armed (the async
+                    // runtime makes the same arm-time decision, so the
+                    // reported crash horizons agree across runtimes).
+                    match ledger.crash_round[v] {
+                        Some(c) if c <= w => {
+                            ledger.crash_horizon = ledger.crash_horizon.max(c);
+                            store.wake[v] = None;
+                        }
+                        _ => wake_heap.push(Reverse((w, v))),
+                    }
                 }
                 for s in out.sends.drain(..) {
                     ledger.record(round, s);
@@ -390,8 +389,15 @@ where
                 };
                 // A changed timer needs a heap entry; the stale entry for
                 // the previously armed round (if any) stays in the heap.
+                // Crash-filtered eagerly, as at setup.
                 if let Some(w) = effects.rearmed {
-                    wake_heap.push(Reverse((w, v)));
+                    match ledger.crash_round[v] {
+                        Some(c) if c <= w => {
+                            ledger.crash_horizon = ledger.crash_horizon.max(c);
+                            view.wake[v] = None;
+                        }
+                        _ => wake_heap.push(Reverse((w, v))),
+                    }
                 }
                 if effects.status_changed {
                     last_status_change = Some(round);
@@ -416,49 +422,6 @@ where
         last_status_change,
         round_totals,
     )
-}
-
-/// Runs `factory`-created protocol instances on `graph` under `config` on
-/// the synchronous engine.
-///
-/// Deprecated: construct a [`crate::Runner`] instead — it is the single
-/// entrypoint for every runtime:
-///
-/// ```
-/// use ule_sim::{Runner, SimConfig, Protocol, Context, Status, message::Signal};
-/// use ule_graph::gen;
-///
-/// // A protocol that floods one signal and decides by degree parity.
-/// struct Demo { done: bool }
-/// impl Protocol for Demo {
-///     type Msg = Signal;
-///     fn on_round(&mut self, ctx: &mut Context<'_, Signal>, inbox: &[(usize, Signal)]) {
-///         if ctx.first_activation() { ctx.broadcast(Signal); }
-///         if !inbox.is_empty() { self.done = true; }
-///     }
-///     fn status(&self) -> Status {
-///         if self.done { Status::NonLeader } else { Status::Undecided }
-///     }
-/// }
-///
-/// let g = gen::cycle(8)?;
-/// let outcome = Runner::new(&g, &SimConfig::seeded(1))
-///     .run(|_, _, _| Demo { done: false })
-///     .expect("sim runtime accepts every config");
-/// assert_eq!(outcome.messages, 16);
-/// assert_eq!(outcome.rounds, 2);
-/// # Ok::<(), ule_graph::GraphError>(())
-/// ```
-#[deprecated(
-    since = "0.7.0",
-    note = "use `Runner::new(graph, config).run(factory)` — the unified entrypoint for every runtime"
-)]
-pub fn run<P, F>(graph: &Graph, config: &SimConfig, factory: F) -> RunOutcome
-where
-    P: Protocol,
-    F: FnMut(NodeId, &NodeSetup, &mut StdRng) -> P,
-{
-    run_sim(graph, config, factory)
 }
 
 #[cfg(test)]

@@ -528,8 +528,11 @@ pub(crate) fn validate_wakeup(config: &SimConfig, n: usize) {
 /// All global per-message accounting of a run, plus the adversary that
 /// decides each message's fate. Every send — whether stepped inline or in
 /// a shard — funnels through [`Ledger::record`] on the sequential control
-/// thread, in stable merge order, so adversary decisions never run
-/// off-thread and the outcome is identical at any thread count.
+/// thread, in stable merge order, so the accounting is identical at any
+/// thread count. Fates themselves are consulted per edge: the schedule
+/// sees `(round, didx, edge_seq)` where `edge_seq` is the per-edge send
+/// index, a derivation any runtime reproduces locally (the async runtime
+/// computes the very same fates on its worker threads).
 pub(crate) struct Ledger<M> {
     pub(crate) budget: u64,
     pub(crate) messages: u64,
@@ -554,7 +557,6 @@ pub(crate) struct Ledger<M> {
     pub(crate) queue: CalendarQueue<(NodeId, Port, M)>,
     pub(crate) messages_dropped: u64,
     pub(crate) late: Vec<(u64, u64)>,
-    pub(crate) seq: u64,
     /// True under the default [`Adversary::Lockstep`]: every fate is the
     /// identity (deliver next round, nothing crashes), so the per-message
     /// schedule call is skipped. `tests/properties.rs` pins this shortcut
@@ -616,7 +618,6 @@ impl<M> Ledger<M> {
             queue: CalendarQueue::new(),
             messages_dropped: 0,
             late: Vec::new(),
-            seq: 0,
             synchronous: config.adversary == Adversary::Lockstep,
             schedule,
             crash_round,
@@ -634,6 +635,11 @@ impl<M> Ledger<M> {
         if s.bits > self.budget {
             self.congest_violations += 1;
         }
+        // The per-edge send index (how many sends this directed edge saw
+        // before this one) — the schedule's stream coordinate. Captured
+        // before the increment so it matches the async runtime's `LinkSeq`
+        // frame counters exactly.
+        let edge_seq = self.directed_message_counts[s.didx];
         self.directed_message_counts[s.didx] += 1;
         if self.first_directed_use[s.didx] == u64::MAX {
             self.first_directed_use[s.didx] = round;
@@ -641,17 +647,15 @@ impl<M> Ledger<M> {
         let at = if self.synchronous {
             // Lockstep identity fate, skipped wholesale: deliver next
             // round, nothing drops, nothing crashes.
-            self.seq += 1;
             round + 1
         } else {
             let fate = self.schedule.message_fate(&SendView {
                 round,
-                seq: self.seq,
+                edge_seq,
                 src: s.src,
                 dest: s.dest,
                 didx: s.didx,
             });
-            self.seq += 1;
             let at = match fate {
                 Fate::Dropped => {
                     self.messages_dropped += 1;

@@ -44,7 +44,11 @@
 //! impose bounded message delays, fail-stop crashes, or permanent link
 //! failures below the [`Protocol`] trait, so every algorithm runs
 //! unchanged under every model. The default [`Adversary::Lockstep`] is the
-//! synchronous model above, byte-for-byte.
+//! synchronous model above, byte-for-byte. Message fates are a pure
+//! function of `(seed, directed edge, per-edge send index)`, so both the
+//! round engine and the async threads+channels runtime derive identical
+//! fates — every adversary runs on every runtime with field-for-field
+//! equal outcomes.
 //!
 //! ## Writing a protocol
 //!
@@ -69,9 +73,7 @@
 //! }
 //!
 //! let g = gen::cycle(4)?;
-//! let out = Runner::new(&g, &SimConfig::seeded(0))
-//!     .run(|_, _, _| Ping)
-//!     .expect("sim runtime accepts every config");
+//! let out = Runner::new(&g, &SimConfig::seeded(0)).run(|_, _, _| Ping);
 //! assert_eq!(out.messages, 4);
 //! # Ok::<(), ule_graph::GraphError>(())
 //! ```
@@ -94,12 +96,8 @@ pub mod transport;
 pub use adversary::{Adversary, Fate, Schedule, SendView};
 pub use calendar::CalendarQueue;
 pub use config::{IdMode, Model, Parallelism, SimConfig, SimConfigBuilder, Wakeup};
-#[allow(deprecated)]
-pub use engine::run;
 pub use exec::{node_rng_seed, RunOutcome, Termination, WatchHit};
 pub use outbox::PortOutbox;
 pub use protocol::{Context, Knowledge, NodeSetup, Protocol, Status};
-pub use rt::{replay, AsyncRun, AsyncRuntime, DeliveryTrace, RtError, RuntimeKind};
-#[allow(deprecated)]
-pub use rt::{run_async, run_on};
-pub use runner::{RunError, Runner};
+pub use rt::{replay, AsyncRun, AsyncRuntime, DeliveryTrace, RuntimeKind};
+pub use runner::Runner;

@@ -2,9 +2,9 @@
 //! barrier.
 //!
 //! Drives the *same* [`Protocol`] implementations as the lockstep engine
-//! ([`crate::run`]), but over `std::sync::mpsc` channels: the nodes are
-//! partitioned across a worker thread pool, every message crosses a
-//! channel wrapped in a [`Frame`] whose sequence
+//! ([`crate::Runner`] on [`RuntimeKind::Sim`]), but over `std::sync::mpsc`
+//! channels: the nodes are partitioned across a worker thread pool, every
+//! message crosses a channel wrapped in a [`Frame`] whose sequence
 //! number is gated on arrival ([`crate::transport::LinkGate`]), and there
 //! is no global round loop — a node runs whenever its inputs are ready,
 //! and idle stretches are crossed by an **arbiter handshake** instead of a
@@ -14,29 +14,48 @@
 //!
 //! This is a conservative parallel discrete-event simulation in the
 //! Chandy–Misra tradition, with the engine's round numbers as virtual
-//! time. Each node tracks a per-port **clock**: the latest delivery round
-//! it has seen on that port (per-edge FIFO delivery — enforced by the
-//! frame gates — makes that a lower bound on anything still in flight,
-//! because a sender's rounds only increase). A node executes its next
-//! event (earliest pending delivery or its own wakeup timer) only once
-//! every in-port clock has reached that round, so no earlier input can
-//! still arrive. When nothing is executable anywhere and no frame is in
-//! flight, the last worker to block computes the globally earliest next
-//! event `r*` and broadcasts an advance to `r*` (or stops the run:
-//! quiescence / round cap) — the async analogue of the engine's
-//! fast-forward, with the same semantics: skipped rounds count as model
-//! time but cost no work.
+//! time. Each node tracks a per-port **clock**: one past the latest *send*
+//! round it has seen on that port (per-edge FIFO delivery — enforced by
+//! the frame gates — makes that a lower bound on anything still in
+//! flight, because a sender's send rounds strictly increase, so every
+//! later frame on the port is delivered after its own send round). A node
+//! executes its next event (earliest pending delivery or its own wakeup
+//! timer) only once every in-port clock has reached that round, so no
+//! earlier input can still arrive. When nothing is executable anywhere
+//! and no frame is in flight, the last worker to block computes the
+//! globally earliest next event `r*` and broadcasts an advance to `r*`
+//! (or stops the run: quiescence / round cap) — the async analogue of the
+//! engine's fast-forward, with the same semantics: skipped rounds count
+//! as model time but cost no work.
 //!
 //! Because each activation consumes exactly the inputs the synchronous
-//! model prescribes for that round — with inboxes ordered by `(sender,
-//! emission index)`, the engine's global send order, and identical
-//! per-node RNG streams from `crate::exec::init_store` — the runtime
-//! *reproduces the synchronous execution exactly*. The [`RunOutcome`] of
-//! [`AsyncRuntime::run`] is **equal** to the engine's, field for field: same
-//! leader, same message/bit totals, same rounds, same per-edge statistics
-//! (`tests/async_conformance.rs` pins all 12 registry algorithms). This is
-//! deliberately stronger than "message totals within tolerance": agreement
-//! validates the simulator's accounting against real concurrent execution.
+//! model prescribes for that round — with inboxes ordered by `(send
+//! round, sender, emission index)`, the engine's global send order, and
+//! identical per-node RNG streams from `crate::exec::init_store` — the
+//! runtime *reproduces the synchronous execution exactly*. The
+//! [`RunOutcome`] of [`AsyncRuntime::run`] is **equal** to the engine's,
+//! field for field: same leader, same message/bit totals, same rounds,
+//! same per-edge statistics (`tests/async_conformance.rs` pins all 12
+//! registry algorithms, under every adversary). This is deliberately
+//! stronger than "message totals within tolerance": agreement validates
+//! the simulator's accounting against real concurrent execution.
+//!
+//! # Adversaries without a sequential bottleneck
+//!
+//! Delay, crash and link-failure adversaries run here with engine-equal
+//! outcomes because message fates are a pure function of `(run_seed,
+//! directed edge, per-edge send index)` (see [`crate::adversary`]): each
+//! worker derives the fate of its own sends locally from its per-edge
+//! [`LinkSeq`] counters — the same coordinates the engine's ledger feeds
+//! the schedule — so no global merge order is needed. Dropped sends still
+//! consume a frame sequence number (the receiving gate tolerates the
+//! gap), crashes suppress wakeups *at arm time* on both runtimes, and
+//! deliveries into a node at or past its crash round are discarded at the
+//! sender. Watch-edge accounting, whose `messages_before` field *is* a
+//! global-interleaving quantity, is reconstructed post-hoc from the
+//! delivery trace: events sorted by `(round, node)` are the engine's
+//! execution order, and replaying the fate derivation over the logged
+//! sends recovers exactly which send first crossed each watched edge.
 //!
 //! # Determinism and the delivery trace
 //!
@@ -46,23 +65,13 @@
 //! which node ran at which round, what it consumed and what it emitted —
 //! and [`replay`] re-executes a trace sequentially, verifying every step
 //! and rebuilding the identical outcome and trace byte for byte.
-//!
-//! # What the runtime does not support (yet)
-//!
-//! Only the default [`Adversary::Lockstep`] execution model: delay, crash
-//! and link-failure adversaries are decided per-message on the engine's
-//! sequential control thread, which has no analogue here yet
-//! ([`RtError::UnsupportedAdversary`]). Watch-edge bookkeeping needs the
-//! global send *interleaving* (its `messages_before` field), which a
-//! distributed execution deliberately does not construct
-//! ([`RtError::UnsupportedWatchEdges`]).
 
-use crate::adversary::{Adversary, Schedule};
+use crate::adversary::{Adversary, Fate, Schedule, SendView};
 use crate::calendar::CalendarQueue;
 use crate::config::SimConfig;
 use crate::exec::{
     init_store, step_node, validate_wakeup, RunOutcome, SendSink, StagedSend, StepScratch,
-    StoreSliceMut, Termination,
+    StoreSliceMut, Termination, WatchHit,
 };
 use crate::protocol::{NodeSetup, Protocol, Status};
 use crate::transport::{Frame, LinkGate, LinkSeq};
@@ -76,14 +85,13 @@ use ule_graph::{Graph, NodeId, Port};
 /// threads+channels runtime. Both execute the identical protocol code.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum RuntimeKind {
-    /// The synchronous round engine ([`crate::run`]): sequential reference
-    /// semantics, optional sharded-parallel stepping, full adversary and
-    /// watch-edge support.
+    /// The synchronous round engine: sequential reference semantics with
+    /// optional sharded-parallel stepping.
     #[default]
     Sim,
-    /// The async threads+channels runtime ([`run_async`]): real message
+    /// The async threads+channels runtime ([`AsyncRuntime`]): real message
     /// passing over `mpsc` channels, exact-conformant with the engine
-    /// under the lockstep execution model.
+    /// under every execution model.
     Async,
 }
 
@@ -96,41 +104,6 @@ impl RuntimeKind {
         }
     }
 }
-
-/// Why a configuration cannot run on the async runtime.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum RtError {
-    /// The configured execution-model adversary is not supported: the
-    /// async runtime implements only the default
-    /// [`Adversary::Lockstep`] model so far.
-    UnsupportedAdversary {
-        /// Debug rendering of the offending adversary.
-        adversary: String,
-    },
-    /// Watch-edge bookkeeping requires the global send interleaving
-    /// (each hit records how many messages preceded it anywhere in the
-    /// network), which a distributed execution does not construct.
-    UnsupportedWatchEdges,
-}
-
-impl std::fmt::Display for RtError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            RtError::UnsupportedAdversary { adversary } => write!(
-                f,
-                "the async runtime supports only Adversary::Lockstep (got {adversary}); \
-                 run this configuration on the sim runtime"
-            ),
-            RtError::UnsupportedWatchEdges => write!(
-                f,
-                "watch edges are not supported on the async runtime \
-                 (their accounting needs the global send order)"
-            ),
-        }
-    }
-}
-
-impl std::error::Error for RtError {}
 
 /// One activation in a [`DeliveryTrace`]: node `node` ran at `round`,
 /// consumed `delivered` and emitted `sent`.
@@ -162,18 +135,17 @@ pub struct DeliveryTrace {
 /// same graph, config and factory) plus the delivery trace.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AsyncRun {
-    /// Everything measured, field-for-field comparable with
-    /// [`crate::run`]'s outcome.
+    /// Everything measured, field-for-field comparable with the engine's
+    /// outcome for the same graph, config and factory.
     pub outcome: RunOutcome,
     /// The delivery log (empty if trace recording was disabled).
     pub trace: DeliveryTrace,
 }
 
 /// Configuration of the async runtime: worker-pool size and trace
-/// recording. The defaults ([`run_async`]) record a trace and size the
-/// pool to the machine (one worker inside a
-/// [`crate::harness::parallel_trials`] fan-out, where the cores are
-/// already saturated).
+/// recording. The defaults record a trace and size the pool to the
+/// machine (one worker inside a [`crate::harness::parallel_trials`]
+/// fan-out, where the cores are already saturated).
 #[derive(Debug, Clone, Default)]
 pub struct AsyncRuntime {
     workers: Option<usize>,
@@ -201,52 +173,53 @@ impl AsyncRuntime {
     }
 
     /// Runs `factory`-created protocol instances on `graph` under
-    /// `config`, over channels. See [`run_async`].
-    ///
-    /// # Errors
-    ///
-    /// [`RtError::UnsupportedAdversary`] unless `config.adversary` is
-    /// [`Adversary::Lockstep`]; [`RtError::UnsupportedWatchEdges`] if
-    /// `config.watch_edges` is non-empty.
+    /// `config`, over channels. Every execution model is supported; the
+    /// outcome equals the engine's field for field.
     ///
     /// # Panics
     ///
-    /// As [`crate::run`]: invalid configs and protocol API misuse panic
+    /// As the engine: invalid configs and protocol API misuse panic
     /// (the panic surfaces on the main thread).
-    pub fn run<P, F>(
-        &self,
-        graph: &Graph,
-        config: &SimConfig,
-        factory: F,
-    ) -> Result<AsyncRun, RtError>
+    pub fn run<P, F>(&self, graph: &Graph, config: &SimConfig, factory: F) -> AsyncRun
     where
         P: Protocol,
         F: FnMut(NodeId, &NodeSetup, &mut StdRng) -> P,
     {
-        if config.adversary != Adversary::Lockstep {
-            return Err(RtError::UnsupportedAdversary {
-                adversary: format!("{:?}", config.adversary),
-            });
-        }
-        if !config.watch_edges.is_empty() {
-            return Err(RtError::UnsupportedWatchEdges);
-        }
         let n = graph.len();
         validate_wakeup(config, n);
+        validate_watch_edges(graph, config);
         let mut store = init_store(graph, config, factory);
         if n == 0 {
-            return Ok(AsyncRun {
-                outcome: assemble(Vec::new(), &store.statuses, Termination::Quiescent).0,
+            return AsyncRun {
+                outcome: assemble(Vec::new(), &store.statuses, Termination::Quiescent, 0, &[], 0).0,
                 trace: DeliveryTrace::default(),
-            });
+            };
         }
-        // Arm the spontaneous wakeups. The adversary is Lockstep (its
-        // `wake_round` is `Some(0)` everywhere), so the engine's stacked
-        // wakeup rule reduces to the wakeup discipline alone.
+        // Build the adversary schedule on the main thread. Fate queries
+        // are pure (`message_fate(&self)`), so the workers share it by
+        // reference; `wake_round`/`crash_round` are consulted here only.
+        let mut schedule = config.adversary.build(config.seed, graph);
+        let synchronous = config.adversary == Adversary::Lockstep;
+        let crash_round: Vec<Option<u64>> = (0..n).map(|v| schedule.crash_round(v)).collect();
+        // Arm the spontaneous wakeups: the engine's stacked rule (wakeup
+        // discipline AND adversary must wake — later round wins), with
+        // crashes resolved eagerly at arm time exactly as the engine does.
+        let mut setup_horizon = 0u64;
         let mut wakeup_schedule = config.wakeup.as_schedule();
         for v in 0..n {
-            store.wake[v] = wakeup_schedule.wake_round(v);
+            let wake = match (wakeup_schedule.wake_round(v), schedule.wake_round(v)) {
+                (Some(a), Some(b)) => Some(a.max(b)),
+                _ => None,
+            };
+            if let Some(w) = wake {
+                match crash_round[v] {
+                    Some(c) if c <= w => setup_horizon = setup_horizon.max(c),
+                    _ => store.wake[v] = Some(w),
+                }
+            }
         }
+        let schedule: &dyn Schedule = &*schedule;
+        let crash_round = &crash_round[..];
 
         let workers = self.workers.unwrap_or_else(|| default_workers(n)).min(n);
         let chunk = n.div_ceil(workers);
@@ -262,6 +235,7 @@ impl AsyncRuntime {
             next_event: vec![u64::MAX; n_workers],
             last_exec: vec![None; n_workers],
             termination: None,
+            end_round: 0,
         });
         let mut senders: Vec<Sender<Packet<P::Msg>>> = Vec::with_capacity(n_workers);
         let mut receivers: Vec<Receiver<Packet<P::Msg>>> = Vec::with_capacity(n_workers);
@@ -271,10 +245,12 @@ impl AsyncRuntime {
             receivers.push(rx);
         }
 
+        // Watch-edge reconstruction needs the event log even when the
+        // caller asked for no public trace.
+        let record_trace = !self.no_trace || !config.watch_edges.is_empty();
         std::thread::scope(|scope| {
             let mut rest = store.as_mut();
             let coord = &coord;
-            let record_trace = !self.no_trace;
             for ((w, stat), rx) in stats.iter_mut().enumerate().zip(receivers) {
                 let lo = w * chunk;
                 let hi = ((w + 1) * chunk).min(n);
@@ -291,7 +267,10 @@ impl AsyncRuntime {
                         budget,
                         n_workers,
                         record_trace,
+                        synchronous,
                         graph,
+                        schedule,
+                        crash_round,
                         store: mine,
                         rt: (lo..hi).map(|v| NodeRt::new(graph.degree(v))).collect(),
                         stats: stat,
@@ -305,69 +284,127 @@ impl AsyncRuntime {
         });
         drop(senders);
 
-        let termination = lock(&coord)
-            .termination
-            .expect("workers stopped without an arbiter decision");
-        let (outcome, mut events) = assemble(stats, &store.statuses, termination);
+        let (termination, end_round) = {
+            let coord = lock(&coord);
+            (
+                coord
+                    .termination
+                    .expect("workers stopped without an arbiter decision"),
+                coord.end_round,
+            )
+        };
+        let (mut outcome, mut events) = assemble(
+            stats,
+            &store.statuses,
+            termination,
+            end_round,
+            crash_round,
+            setup_horizon,
+        );
         events.sort_by_key(|e| (e.round, e.node));
-        Ok(AsyncRun {
+        if !config.watch_edges.is_empty() {
+            outcome.watch_hits =
+                reconstruct_watch_hits(graph, config, &events, synchronous, schedule, crash_round);
+            if self.no_trace {
+                events.clear();
+            }
+        }
+        AsyncRun {
             outcome,
             trace: DeliveryTrace { events },
-        })
+        }
     }
 }
 
-/// Runs `factory`-created protocol instances on `graph` under `config`
-/// over the async threads+channels runtime, with default settings.
-///
-/// Deprecated: use [`crate::Runner`] with
-/// [`RuntimeKind::Async`] for the outcome, or [`AsyncRuntime::run`]
-/// directly when the delivery trace is needed.
-///
-/// # Errors
-///
-/// See [`AsyncRuntime::run`].
-#[deprecated(
-    since = "0.7.0",
-    note = "use `Runner::new(graph, config).runtime(RuntimeKind::Async).run(factory)`, or `AsyncRuntime::run` for the delivery trace"
-)]
-pub fn run_async<P, F>(graph: &Graph, config: &SimConfig, factory: F) -> Result<AsyncRun, RtError>
-where
-    P: Protocol,
-    F: FnMut(NodeId, &NodeSetup, &mut StdRng) -> P,
-{
-    AsyncRuntime::new().run(graph, config, factory)
+/// Panics (like the engine's ledger) if a configured watch edge is not an
+/// edge of `graph`.
+fn validate_watch_edges(graph: &Graph, config: &SimConfig) {
+    for &(a, b) in &config.watch_edges {
+        assert!(
+            graph.has_edge(a, b),
+            "watch edge ({a}, {b}) is not an edge of the graph"
+        );
+    }
 }
 
-/// Runs on the runtime selected by `kind`.
+/// Rebuilds the engine's watch-edge accounting from the delivery trace.
 ///
-/// Deprecated: use [`crate::Runner`], the unified entrypoint —
-/// `Runner::new(graph, config).runtime(kind).run(factory)` is the exact
-/// replacement.
-///
-/// # Errors
-///
-/// See [`AsyncRuntime::run`]; the sim runtime never errors.
-#[deprecated(
-    since = "0.7.0",
-    note = "use `Runner::new(graph, config).runtime(kind).run(factory)` — the unified entrypoint for every runtime"
-)]
-pub fn run_on<P, F>(
-    kind: RuntimeKind,
+/// `events` sorted by `(round, node)` is exactly the engine's execution
+/// order, and every activation logs *all* of its sends — including
+/// dropped ones — as `(directed edge, per-edge send index)`. Re-deriving
+/// each send's fate (plus the sender-side dead-on-arrival crash check)
+/// therefore recovers which sends the engine actually delivered, in the
+/// engine's global send order; `messages_before` counts every send —
+/// delivered or not — strictly before the first delivered crossing, which
+/// is what the ledger counts too.
+fn reconstruct_watch_hits(
     graph: &Graph,
     config: &SimConfig,
-    factory: F,
-) -> Result<RunOutcome, RtError>
-where
-    P: Protocol,
-    F: FnMut(NodeId, &NodeSetup, &mut StdRng) -> P,
-{
-    match kind {
-        RuntimeKind::Sim => Ok(crate::engine::run_sim(graph, config, factory)),
-        RuntimeKind::Async => AsyncRuntime::new()
-            .run(graph, config, factory)
-            .map(|r| r.outcome),
+    events: &[TraceEvent],
+    synchronous: bool,
+    schedule: &dyn Schedule,
+    crash_round: &[Option<u64>],
+) -> Vec<Option<WatchHit>> {
+    // Directed-edge index -> (src, dest), and normalized undirected edge
+    // -> positions in `config.watch_edges` (duplicates all resolve).
+    let mut endpoints = vec![(0 as NodeId, 0 as NodeId); graph.directed_edge_count()];
+    for v in 0..graph.len() {
+        for p in 0..graph.degree(v) {
+            let (dest, _rev, didx) = graph.endpoint_indexed(v, p);
+            endpoints[didx] = (v, dest);
+        }
     }
+    // Keyed exactly as the ledger keys its index: entries as configured,
+    // lookups normalized.
+    let mut watch_index: BTreeMap<(NodeId, NodeId), Vec<usize>> = BTreeMap::new();
+    for (i, &(a, b)) in config.watch_edges.iter().enumerate() {
+        watch_index.entry((a, b)).or_default().push(i);
+    }
+    let mut hits: Vec<Option<WatchHit>> = vec![None; config.watch_edges.len()];
+    let mut unresolved = hits.len();
+    let mut sent_so_far: u64 = 0;
+    'events: for ev in events {
+        for &(didx, edge_seq) in &ev.sent {
+            let (src, dest) = endpoints[didx];
+            let delivered = if synchronous {
+                true
+            } else {
+                let view = SendView {
+                    round: ev.round,
+                    edge_seq,
+                    src,
+                    dest,
+                    didx,
+                };
+                match schedule.message_fate(&view) {
+                    Fate::Dropped => false,
+                    Fate::Deliver { round: at } => {
+                        !crash_round[dest].is_some_and(|c| c <= at)
+                    }
+                }
+            };
+            sent_so_far += 1;
+            if !delivered {
+                continue;
+            }
+            let key = (src.min(dest), src.max(dest));
+            if let Some(indices) = watch_index.get(&key) {
+                for &i in indices {
+                    if hits[i].is_none() {
+                        hits[i] = Some(WatchHit {
+                            round: ev.round,
+                            messages_before: sent_so_far - 1,
+                        });
+                        unresolved -= 1;
+                    }
+                }
+                if unresolved == 0 {
+                    break 'events;
+                }
+            }
+        }
+    }
+    hits
 }
 
 /// Re-executes a recorded [`DeliveryTrace`] sequentially: every activation
@@ -377,39 +414,37 @@ where
 /// byte. `graph`, `config` and `factory` must be those of the recorded
 /// run.
 ///
-/// # Errors
-///
-/// See [`AsyncRuntime::run`] (the same configurations are replayable).
-///
 /// # Panics
 ///
 /// Panics if the trace does not match the execution (a divergence means
 /// the trace, the config or the protocol changed since recording).
-pub fn replay<P, F>(
-    graph: &Graph,
-    config: &SimConfig,
-    factory: F,
-    trace: &DeliveryTrace,
-) -> Result<AsyncRun, RtError>
+pub fn replay<P, F>(graph: &Graph, config: &SimConfig, factory: F, trace: &DeliveryTrace) -> AsyncRun
 where
     P: Protocol,
     F: FnMut(NodeId, &NodeSetup, &mut StdRng) -> P,
 {
-    if config.adversary != Adversary::Lockstep {
-        return Err(RtError::UnsupportedAdversary {
-            adversary: format!("{:?}", config.adversary),
-        });
-    }
-    if !config.watch_edges.is_empty() {
-        return Err(RtError::UnsupportedWatchEdges);
-    }
     let n = graph.len();
     validate_wakeup(config, n);
+    validate_watch_edges(graph, config);
     let mut store = init_store(graph, config, factory);
+    let mut schedule = config.adversary.build(config.seed, graph);
+    let synchronous = config.adversary == Adversary::Lockstep;
+    let crash_round: Vec<Option<u64>> = (0..n).map(|v| schedule.crash_round(v)).collect();
+    let mut setup_horizon = 0u64;
     let mut wakeup_schedule = config.wakeup.as_schedule();
     for v in 0..n {
-        store.wake[v] = wakeup_schedule.wake_round(v);
+        let wake = match (wakeup_schedule.wake_round(v), schedule.wake_round(v)) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            _ => None,
+        };
+        if let Some(w) = wake {
+            match crash_round[v] {
+                Some(c) if c <= w => setup_horizon = setup_horizon.max(c),
+                _ => store.wake[v] = Some(w),
+            }
+        }
     }
+    let schedule: &dyn Schedule = &*schedule;
     let cap = config.max_rounds;
     let budget = config.model.bit_budget(n);
     let mut rt: Vec<NodeRt<P::Msg>> = (0..n).map(|v| NodeRt::new(graph.degree(v))).collect();
@@ -424,6 +459,7 @@ where
         next_event: Vec::new(),
         last_exec: Vec::new(),
         termination: None,
+        end_round: 0,
     });
 
     {
@@ -439,7 +475,7 @@ where
                 "replay: trace activates node {v} at round {e}, at or past the round cap {cap}"
             );
             let mut due = rt[v].pending.take_at(e);
-            due.sort_by_key(|a| (a.0, a.1));
+            due.sort_by_key(|a| (a.0, a.1, a.2));
             if due.is_empty() {
                 assert_eq!(
                     view.wake[v],
@@ -449,13 +485,13 @@ where
             }
             let delivered: Vec<(Port, NodeId, u64)> = due
                 .iter()
-                .map(|&(src, emit, port, _)| (port, src, emit))
+                .map(|&(_, src, emit, port, _)| (port, src, emit))
                 .collect();
             assert_eq!(
                 delivered, ev.delivered,
                 "replay divergence: node {v} at round {e} consumes different deliveries"
             );
-            view.inboxes[v].extend(due.drain(..).map(|(_, _, port, msg)| (port, msg)));
+            view.inboxes[v].extend(due.drain(..).map(|(_, _, _, port, msg)| (port, msg)));
             rt[v].pending.recycle(due);
             let mut sink = ChannelSink {
                 round: e,
@@ -463,6 +499,9 @@ where
                 hi: n,
                 chunk: n,
                 budget,
+                synchronous,
+                schedule,
+                crash_round: &crash_round,
                 rt: &mut rt,
                 stats: &mut stats,
                 senders: &senders,
@@ -477,6 +516,14 @@ where
                 sent, ev.sent,
                 "replay divergence: node {v} at round {e} emits different frames"
             );
+            if let Some(w) = effects.rearmed {
+                if let Some(c) = crash_round[v] {
+                    if c <= w {
+                        view.wake[v] = None;
+                        stats.crash_horizon = stats.crash_horizon.max(c);
+                    }
+                }
+            }
             stats.note_exec(e, v, delivered, sent, effects.status_changed, true);
         }
     }
@@ -489,25 +536,39 @@ where
         .min()
         .unwrap_or(u64::MAX);
     let rounds_done = stats.last_exec.map_or(0, |r| r + 1);
-    let termination = if r_next == u64::MAX {
+    let (termination, end_round) = if r_next == u64::MAX {
         if rounds_done >= cap {
-            Termination::RoundLimit
+            (Termination::RoundLimit, cap)
         } else {
-            Termination::Quiescent
+            (Termination::Quiescent, rounds_done)
         }
     } else {
         assert!(
             r_next >= cap,
             "replay: trace ended with an executable event at round {r_next} (cap {cap})"
         );
-        Termination::RoundLimit
+        (
+            Termination::RoundLimit,
+            if rounds_done >= cap { cap } else { r_next },
+        )
     };
-    let (outcome, mut events) = assemble(vec![stats], &store.statuses, termination);
+    let (mut outcome, mut events) = assemble(
+        vec![stats],
+        &store.statuses,
+        termination,
+        end_round,
+        &crash_round,
+        setup_horizon,
+    );
     events.sort_by_key(|e| (e.round, e.node));
-    Ok(AsyncRun {
+    if !config.watch_edges.is_empty() {
+        outcome.watch_hits =
+            reconstruct_watch_hits(graph, config, &events, synchronous, schedule, &crash_round);
+    }
+    AsyncRun {
         outcome,
         trace: DeliveryTrace { events },
-    })
+    }
 }
 
 /// Worker-pool size when the caller does not pin one: the machine's
@@ -537,8 +598,8 @@ fn lock(coord: &Mutex<Coord>) -> std::sync::MutexGuard<'_, Coord> {
 enum Packet<M> {
     /// One protocol message: the [`Frame`] carries the link sequence
     /// number (gated on arrival) and the delivery metadata
-    /// `[delivery round, sender, emission index]`; the protocol payload
-    /// rides alongside, untouched.
+    /// `[send round, delivery round, sender, emission index]`; the
+    /// protocol payload rides alongside, untouched.
     Payload {
         dest: NodeId,
         port: Port,
@@ -565,21 +626,26 @@ struct Coord {
     /// Per worker: latest executed round.
     last_exec: Vec<Option<u64>>,
     termination: Option<Termination>,
+    /// The engine's `end_round` at the arbiter's stop decision (the round
+    /// its loop would have broken at): `rounds_done` on quiescence, the
+    /// truncation round on a round-limit stop. Crash horizons extend it
+    /// during assembly, exactly as in `Ledger::finish`.
+    end_round: u64,
 }
 
 /// Horizon of each node's delivery calendar: under the lockstep model
 /// every delivery lands one round ahead, so a tiny ring suffices — and at
-/// `n = 10⁶+` nodes a per-node ring must stay small (the overflow tier
-/// catches anything beyond it).
+/// `n = 10⁶+` nodes a per-node ring must stay small (delay adversaries
+/// past the horizon land in the overflow tier).
 const NODE_CALENDAR_HORIZON: usize = 8;
 
 /// Per-node runtime state beyond the [`crate::exec::NodeStore`] entry.
 struct NodeRt<M> {
     /// Deliveries by round, in a flat calendar ring (the node's base round
-    /// advances as it executes); entries are `(sender, emission index,
-    /// port, message)`, sorted at activation into the engine's inbox
-    /// order.
-    pending: CalendarQueue<(NodeId, u64, Port, M)>,
+    /// advances as it executes); entries are `(send round, sender,
+    /// emission index, port, message)`, sorted at activation into the
+    /// engine's inbox order.
+    pending: CalendarQueue<(u64, NodeId, u64, Port, M)>,
     /// Per in-port clock: no delivery at or below this round is still in
     /// flight on that port.
     in_clock: Vec<u64>,
@@ -606,12 +672,23 @@ fn next_event_round<M>(wake: Option<u64>, rt: &mut NodeRt<M>) -> u64 {
 }
 
 /// Gates, decodes and queues one frame at its destination.
+///
+/// The port clock advances to `send round + 1`, not to the delivery
+/// round: per-directed-edge send rounds strictly increase (a node sends
+/// at most once per port per round), so after a frame sent at round `s`
+/// arrives, nothing still in flight on this port can be due at or before
+/// `s + 1` — even when a delay adversary scatters delivery rounds out of
+/// order.
 fn deliver_frame<M>(dest: &mut NodeRt<M>, port: Port, frame: &Frame, msg: M) {
     let words = dest.gate.accept(port, frame);
-    debug_assert_eq!(words.len(), 3, "delivery frame carries [round, src, emit]");
-    let (round, src, emit) = (words[0], words[1] as NodeId, words[2]);
-    dest.in_clock[port] = dest.in_clock[port].max(round);
-    dest.pending.push(round, (src, emit, port, msg));
+    debug_assert_eq!(
+        words.len(),
+        4,
+        "delivery frame carries [send round, deliver at, src, emit]"
+    );
+    let (send_round, at, src, emit) = (words[0], words[1], words[2] as NodeId, words[3]);
+    dest.in_clock[port] = dest.in_clock[port].max(send_round + 1);
+    dest.pending.push(at, (send_round, src, emit, port, msg));
 }
 
 /// Per-worker accounting, merged into the [`RunOutcome`] after the pool
@@ -626,10 +703,19 @@ struct WorkerStats {
     directed_message_counts: Vec<u64>,
     /// Outgoing link sequencers, by directed-edge index.
     link_seq: Vec<LinkSeq>,
-    /// Messages sent per round (for the cumulative `round_totals`).
+    /// Messages sent per round (for the cumulative `round_totals`);
+    /// dropped sends count, exactly as in the ledger.
     sends_per_round: BTreeMap<u64, u64>,
     /// Rounds in which any owned node ran (the active rounds).
     executed: BTreeSet<u64>,
+    /// Sends the adversary dropped or that would arrive at a crashed
+    /// destination (sender-side dead-on-arrival).
+    messages_dropped: u64,
+    /// Deliveries later than the synchronous `round + 1`, tallied by
+    /// delivery round.
+    late: BTreeMap<u64, u64>,
+    /// Latest crash round that suppressed a wakeup of an owned node.
+    crash_horizon: u64,
     last_status_change: Option<u64>,
     last_exec: Option<u64>,
     events: Vec<TraceEvent>,
@@ -647,6 +733,9 @@ impl WorkerStats {
             link_seq: (0..dcount).map(|_| LinkSeq::new()).collect(),
             sends_per_round: BTreeMap::new(),
             executed: BTreeSet::new(),
+            messages_dropped: 0,
+            late: BTreeMap::new(),
+            crash_horizon: 0,
             last_status_change: None,
             last_exec: None,
             events: Vec::new(),
@@ -690,13 +779,18 @@ struct ChannelSink<'a, M> {
     hi: NodeId,
     chunk: usize,
     budget: u64,
+    /// Fast path: under [`Adversary::Lockstep`] no fate is queried.
+    synchronous: bool,
+    schedule: &'a dyn Schedule,
+    crash_round: &'a [Option<u64>],
     rt: &'a mut [NodeRt<M>],
     stats: &'a mut WorkerStats,
     senders: &'a [Sender<Packet<M>>],
     coord: &'a Mutex<Coord>,
     /// Emission index within the current activation.
     emit: u64,
-    /// `(directed-edge index, frame seq)` log of the current activation.
+    /// `(directed-edge index, frame seq)` log of the current activation —
+    /// dropped sends included (the fate derivation recovers them).
     sent_log: Vec<(usize, u64)>,
     record_trace: bool,
 }
@@ -706,6 +800,10 @@ impl<M> SendSink<M> for ChannelSink<'_, M> {
         let emit = self.emit;
         self.emit += 1;
         let st = &mut *self.stats;
+        // The per-edge send index feeding the fate stream: the count
+        // *before* this send — the same coordinate the engine's ledger
+        // derives, and the value the link sequencer stamps next.
+        let edge_seq = st.directed_message_counts[send.didx];
         st.messages += 1;
         st.bits += send.bits;
         st.max_message_bits = st.max_message_bits.max(send.bits);
@@ -718,8 +816,64 @@ impl<M> SendSink<M> for ChannelSink<'_, M> {
         }
         *st.sends_per_round.entry(self.round).or_insert(0) += 1;
 
-        let deliver_at = self.round + 1;
-        let frame = st.link_seq[send.didx].stamp(vec![deliver_at, send.src as u64, emit]);
+        let deliver_at = if self.synchronous {
+            self.round + 1
+        } else {
+            let view = SendView {
+                round: self.round,
+                edge_seq,
+                src: send.src,
+                dest: send.dest,
+                didx: send.didx,
+            };
+            match self.schedule.message_fate(&view) {
+                Fate::Dropped => {
+                    // Dropped sends still consume their frame sequence
+                    // number so the receiving gate sees a gap, never a
+                    // regression; the seq is consumed by not stamping.
+                    let seq = st.link_seq[send.didx].stamp(Vec::new()).seq;
+                    debug_assert_eq!(seq, edge_seq);
+                    if self.record_trace {
+                        self.sent_log.push((send.didx, seq));
+                    }
+                    st.messages_dropped += 1;
+                    return;
+                }
+                Fate::Deliver { round: at } => {
+                    assert!(
+                        at > self.round,
+                        "schedule delivered a round-{} send at round {at}",
+                        self.round
+                    );
+                    at
+                }
+            }
+        };
+        // Sender-side crash check: a message into a node at or past its
+        // crash round is dead on arrival — same rule as the ledger.
+        if let Some(c) = self.crash_round[send.dest] {
+            if c <= deliver_at {
+                let seq = st.link_seq[send.didx].stamp(Vec::new()).seq;
+                debug_assert_eq!(seq, edge_seq);
+                if self.record_trace {
+                    self.sent_log.push((send.didx, seq));
+                }
+                st.messages_dropped += 1;
+                st.crash_horizon = st.crash_horizon.max(c);
+                return;
+            }
+        }
+        if deliver_at > self.round + 1 {
+            *st.late.entry(deliver_at).or_insert(0) += 1;
+        }
+
+        let frame = st.link_seq[send.didx].stamp(vec![
+            self.round,
+            deliver_at,
+            send.src as u64,
+            emit,
+        ]);
+        debug_assert_eq!(frame.seq, edge_seq);
         if self.record_trace {
             self.sent_log.push((send.didx, frame.seq));
         }
@@ -765,7 +919,10 @@ struct Worker<'env, P: Protocol> {
     budget: u64,
     n_workers: usize,
     record_trace: bool,
+    synchronous: bool,
     graph: &'env Graph,
+    schedule: &'env dyn Schedule,
+    crash_round: &'env [Option<u64>],
     store: StoreSliceMut<'env, P>,
     rt: Vec<NodeRt<P::Msg>>,
     stats: &'env mut WorkerStats,
@@ -851,18 +1008,22 @@ impl<P: Protocol> Worker<'_, P> {
     /// Executes node `lo + i` at round `e`.
     fn execute(&mut self, i: usize, e: u64) {
         let v = self.lo + i;
+        debug_assert!(
+            self.crash_round[v].is_none_or(|c| e < c),
+            "a crashed node became executable (arm/send-time filtering is broken)"
+        );
         let mut due = self.rt[i].pending.take_at(e);
-        // The engine's inbox order: ascending sender, then the sender's
-        // emission order.
-        due.sort_by_key(|a| (a.0, a.1));
+        // The engine's inbox order — the global send order: ascending send
+        // round, then sender, then the sender's emission order.
+        due.sort_by_key(|a| (a.0, a.1, a.2));
         let delivered: Vec<(Port, NodeId, u64)> = if self.record_trace {
             due.iter()
-                .map(|&(src, emit, port, _)| (port, src, emit))
+                .map(|&(_, src, emit, port, _)| (port, src, emit))
                 .collect()
         } else {
             Vec::new()
         };
-        self.store.inboxes[i].extend(due.drain(..).map(|(_, _, port, msg)| (port, msg)));
+        self.store.inboxes[i].extend(due.drain(..).map(|(_, _, _, port, msg)| (port, msg)));
         self.rt[i].pending.recycle(due);
         let mut sink = ChannelSink {
             round: e,
@@ -870,6 +1031,9 @@ impl<P: Protocol> Worker<'_, P> {
             hi: self.hi,
             chunk: self.chunk,
             budget: self.budget,
+            synchronous: self.synchronous,
+            schedule: self.schedule,
+            crash_round: self.crash_round,
             rt: &mut self.rt,
             stats: self.stats,
             senders: &self.senders,
@@ -888,6 +1052,16 @@ impl<P: Protocol> Worker<'_, P> {
             &mut sink,
         );
         let sent = std::mem::take(&mut sink.sent_log);
+        // A re-armed timer at or past the node's crash round is resolved
+        // eagerly, exactly as the engine's merge does.
+        if let Some(w) = effects.rearmed {
+            if let Some(c) = self.crash_round[v] {
+                if c <= w {
+                    self.store.wake[i] = None;
+                    self.stats.crash_horizon = self.stats.crash_horizon.max(c);
+                }
+            }
+        }
         self.stats.note_exec(
             e,
             v,
@@ -923,13 +1097,23 @@ impl<P: Protocol> Worker<'_, P> {
                     // the engine reports as a truncation.
                     if rounds_done >= self.cap {
                         c.termination = Some(Termination::RoundLimit);
+                        c.end_round = self.cap;
                         Decision::Stop
                     } else {
                         c.termination = Some(Termination::Quiescent);
+                        c.end_round = rounds_done;
                         Decision::Stop
                     }
                 } else if r_star >= self.cap {
                     c.termination = Some(Termination::RoundLimit);
+                    // The engine breaks as soon as its round counter
+                    // reaches the cap: right after an active round at
+                    // `cap - 1`, or after fast-forwarding to `r*`.
+                    c.end_round = if rounds_done >= self.cap {
+                        self.cap
+                    } else {
+                        r_star
+                    };
                     Decision::Stop
                 } else {
                     Decision::Advance(r_star)
@@ -991,11 +1175,17 @@ impl<P: Protocol> Worker<'_, P> {
 }
 
 /// Merges per-worker accounting into the [`RunOutcome`] (plus the raw,
-/// unsorted trace events).
+/// unsorted trace events). The crash finishing — horizon-extended end
+/// round, crashed roster, all-crashed downgrade — replicates
+/// `Ledger::finish` exactly. Watch hits are reconstructed by the caller
+/// (they need the sorted trace).
 fn assemble(
     stats: Vec<WorkerStats>,
     statuses: &[Status],
     termination: Termination,
+    end_round: u64,
+    crash_round: &[Option<u64>],
+    setup_horizon: u64,
 ) -> (RunOutcome, Vec<TraceEvent>) {
     let dcount = stats.first().map_or(0, |s| s.first_directed_use.len());
     let mut messages = 0u64;
@@ -1006,6 +1196,9 @@ fn assemble(
     let mut directed_message_counts = vec![0u64; dcount];
     let mut sends_per_round: BTreeMap<u64, u64> = BTreeMap::new();
     let mut executed: BTreeSet<u64> = BTreeSet::new();
+    let mut messages_dropped = 0u64;
+    let mut late: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut crash_horizon = setup_horizon;
     let mut last_status_change: Option<u64> = None;
     let mut last_exec: Option<u64> = None;
     let mut events: Vec<TraceEvent> = Vec::new();
@@ -1027,6 +1220,11 @@ fn assemble(
             *sends_per_round.entry(r).or_insert(0) += c;
         }
         executed.extend(st.executed);
+        messages_dropped += st.messages_dropped;
+        for (r, c) in st.late {
+            *late.entry(r).or_insert(0) += c;
+        }
+        crash_horizon = crash_horizon.max(st.crash_horizon);
         last_status_change = match (last_status_change, st.last_status_change) {
             (Some(a), Some(b)) => Some(a.max(b)),
             (a, b) => a.or(b),
@@ -1043,6 +1241,19 @@ fn assemble(
         cumulative += sends_per_round.get(&r).copied().unwrap_or(0);
         round_totals.push((r, cumulative));
     }
+    // `Ledger::finish`: every crash at or before the furthest round the
+    // run observed — including crashes only witnessed through suppressed
+    // wakeups or dead-on-arrival sends — is reported as crashed.
+    let end = end_round.max(crash_horizon);
+    let crashed: Vec<NodeId> = (0..crash_round.len())
+        .filter(|&v| crash_round[v].is_some_and(|c| c <= end))
+        .collect();
+    let n = crash_round.len();
+    let termination = if termination == Termination::Quiescent && n > 0 && crashed.len() == n {
+        Termination::AllCrashed
+    } else {
+        termination
+    };
     let outcome = RunOutcome {
         rounds: last_exec.map_or(0, |r| r + 1),
         messages,
@@ -1056,19 +1267,15 @@ fn assemble(
         directed_message_counts,
         last_status_change,
         round_totals,
-        crashed: Vec::new(),
-        messages_dropped: 0,
-        late_deliveries: Vec::new(),
+        crashed,
+        messages_dropped,
+        late_deliveries: late.into_iter().collect(),
     };
     (outcome, events)
 }
 
 #[cfg(test)]
 mod tests {
-    // The deprecated free functions (`run_async`, `run_on`) are exercised
-    // on purpose: they must keep working until removal.
-    #![allow(deprecated)]
-
     use super::*;
     use crate::config::Wakeup;
     use crate::engine::run_sim as run;
@@ -1144,8 +1351,7 @@ mod tests {
         for workers in [1, 2, 3, 8] {
             let a = AsyncRuntime::new()
                 .with_workers(workers)
-                .run(&g, &cfg(9, 3), mk(8))
-                .unwrap();
+                .run(&g, &cfg(9, 3), mk(8));
             assert_eq!(a.outcome, reference, "workers = {workers}");
         }
     }
@@ -1155,12 +1361,12 @@ mod tests {
         let g = gen::path(7).unwrap();
         let base = cfg(7, 0).with_wakeup(Wakeup::Adversarial(vec![0]));
         let reference = run(&g, &base, mk(10));
-        let a = run_async(&g, &base, mk(10)).unwrap();
+        let a = AsyncRuntime::new().run(&g, &base, mk(10));
         assert_eq!(a.outcome, reference);
         // Truncation: same snapshot, same verdict.
         let cut = base.clone().with_max_rounds(3);
         assert_eq!(
-            run_async(&g, &cut, mk(10)).unwrap().outcome,
+            AsyncRuntime::new().run(&g, &cut, mk(10)).outcome,
             run(&g, &cut, mk(10))
         );
     }
@@ -1170,39 +1376,116 @@ mod tests {
         let g = gen::torus(3, 3).unwrap();
         let recorded = AsyncRuntime::new()
             .with_workers(3)
-            .run(&g, &cfg(9, 11), mk(7))
-            .unwrap();
+            .run(&g, &cfg(9, 11), mk(7));
         assert!(!recorded.trace.events.is_empty());
-        let replayed = replay(&g, &cfg(9, 11), mk(7), &recorded.trace).unwrap();
+        let replayed = replay(&g, &cfg(9, 11), mk(7), &recorded.trace);
         assert_eq!(replayed, recorded);
     }
 
     #[test]
-    fn unsupported_configs_error_cleanly() {
-        let g = gen::path(3).unwrap();
-        let delayed = cfg(3, 0).with_adversary(Adversary::BoundedDelay { max_delay: 2 });
-        match run_async(&g, &delayed, mk(4)) {
-            Err(RtError::UnsupportedAdversary { adversary }) => {
-                assert!(adversary.contains("BoundedDelay"));
-            }
-            other => panic!("expected UnsupportedAdversary, got {other:?}"),
-        }
-        let watched = cfg(3, 0).watching(&[(0, 1)]);
-        assert_eq!(
-            run_async(&g, &watched, mk(4)).unwrap_err(),
-            RtError::UnsupportedWatchEdges
-        );
-        assert!(format!("{}", RtError::UnsupportedWatchEdges).contains("watch edges"));
-    }
-
-    #[test]
-    fn run_on_dispatches_both_runtimes() {
-        let g = gen::cycle(6).unwrap();
-        let sim = run_on(RuntimeKind::Sim, &g, &cfg(6, 2), mk(6)).unwrap();
-        let asy = run_on(RuntimeKind::Async, &g, &cfg(6, 2), mk(6)).unwrap();
-        assert_eq!(sim, asy);
+    fn runtime_kind_names_are_stable() {
         assert_eq!(RuntimeKind::Sim.name(), "sim");
         assert_eq!(RuntimeKind::Async.name(), "async");
+    }
+
+    /// Every adversary, engine-equal at several worker counts — the core
+    /// of the per-edge fate-stream refactor (`tests/async_conformance.rs`
+    /// covers the full registry; this is the in-crate smoke version).
+    #[test]
+    fn adversaries_conform_to_the_engine() {
+        let g = gen::torus(3, 3).unwrap();
+        let adversaries = [
+            Adversary::BoundedDelay { max_delay: 3 },
+            Adversary::CrashStop {
+                schedule: vec![(2, 4), (7, 6)],
+            },
+            Adversary::LinkFailure {
+                schedule: vec![((0, 1), 3), ((4, 5), 0)],
+            },
+            Adversary::Compose(vec![
+                Adversary::BoundedDelay { max_delay: 2 },
+                Adversary::CrashStop {
+                    schedule: vec![(5, 5)],
+                },
+                Adversary::LinkFailure {
+                    schedule: vec![((0, 3), 2)],
+                },
+            ]),
+        ];
+        for adv in adversaries {
+            let c = cfg(9, 5).with_adversary(adv.clone());
+            let reference = run(&g, &c, mk(12));
+            for workers in [1, 2, 4] {
+                let a = AsyncRuntime::new()
+                    .with_workers(workers)
+                    .run(&g, &c, mk(12));
+                assert_eq!(a.outcome, reference, "{adv:?}, workers = {workers}");
+            }
+        }
+    }
+
+    /// Delays past the per-node calendar horizon exercise the overflow
+    /// tier and the send-round-aware inbox sort.
+    #[test]
+    fn long_delays_past_the_calendar_horizon_conform() {
+        let g = gen::cycle(8).unwrap();
+        let c = cfg(8, 9)
+            .with_adversary(Adversary::BoundedDelay { max_delay: 40 })
+            .with_max_rounds(10_000);
+        let reference = run(&g, &c, mk(400));
+        for workers in [1, 3] {
+            let a = AsyncRuntime::new().with_workers(workers).run(&g, &c, mk(400));
+            assert_eq!(a.outcome, reference, "workers = {workers}");
+        }
+    }
+
+    /// Watch hits — a global-interleaving quantity — are reconstructed
+    /// from the trace and must equal the ledger's, adversary or not.
+    #[test]
+    fn watch_hits_are_reconstructed_exactly() {
+        let g = gen::torus(3, 3).unwrap();
+        for adv in [
+            Adversary::Lockstep,
+            Adversary::BoundedDelay { max_delay: 2 },
+            Adversary::Compose(vec![
+                Adversary::BoundedDelay { max_delay: 2 },
+                Adversary::LinkFailure {
+                    schedule: vec![((1, 2), 1)],
+                },
+            ]),
+        ] {
+            let c = cfg(9, 7).with_adversary(adv.clone()).watching(&[(0, 1), (4, 5)]);
+            let reference = run(&g, &c, mk(12));
+            assert!(reference.watch_hits.iter().any(|h| h.is_some()));
+            for workers in [1, 2] {
+                let a = AsyncRuntime::new().with_workers(workers).run(&g, &c, mk(12));
+                assert_eq!(a.outcome, reference, "{adv:?}, workers = {workers}");
+            }
+            // Reconstruction must also work when the public trace is off.
+            let quiet = AsyncRuntime::new().without_trace().run(&g, &c, mk(12));
+            assert_eq!(quiet.outcome, reference, "{adv:?}, without_trace");
+            assert!(quiet.trace.events.is_empty());
+        }
+    }
+
+    /// An adversarial replay reproduces the run — dropped sends included
+    /// (they are logged in the trace and re-derived on replay).
+    #[test]
+    fn adversarial_replay_reproduces_the_run() {
+        let g = gen::torus(3, 3).unwrap();
+        let c = cfg(9, 13).with_adversary(Adversary::Compose(vec![
+            Adversary::BoundedDelay { max_delay: 2 },
+            Adversary::CrashStop {
+                schedule: vec![(3, 4), (8, 7)],
+            },
+            Adversary::LinkFailure {
+                schedule: vec![((0, 1), 2)],
+            },
+        ]));
+        let recorded = AsyncRuntime::new().with_workers(3).run(&g, &c, mk(12));
+        let replayed = replay(&g, &c, mk(12), &recorded.trace);
+        assert_eq!(replayed, recorded);
+        assert_eq!(recorded.outcome, run(&g, &c, mk(12)));
     }
 
     /// A sleeper exercising the arbiter's fast-forward (round-free
@@ -1236,11 +1519,10 @@ mod tests {
         let c = SimConfig::seeded(0).with_max_rounds(u64::MAX);
         // ule-lint: allow(wall-clock, reason = "throughput timing of the arbiter fast-forward; elapsed time never reaches simulated state")
         let start = std::time::Instant::now();
-        let a = run_async(&g, &c, |_, _, _| Sleeper {
+        let a = AsyncRuntime::new().run(&g, &c, |_, _, _| Sleeper {
             until: 1_000_000_000,
             fired: false,
-        })
-        .unwrap();
+        });
         assert!(
             start.elapsed().as_secs() < 5,
             "advance failed to skip ahead"
@@ -1262,7 +1544,7 @@ mod tests {
             .with_model(crate::Model::Congest { factor: 1 })
             .with_max_rounds(100);
         let reference = run(&g, &c, mk(4));
-        let a = run_async(&g, &c, mk(4)).unwrap();
+        let a = AsyncRuntime::new().run(&g, &c, mk(4));
         assert_eq!(a.outcome, reference);
         assert!(a.outcome.congest_violations > 0);
     }

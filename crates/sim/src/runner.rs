@@ -2,26 +2,19 @@
 //! runtime.
 //!
 //! [`Runner`] replaces the historical sprawl of free functions
-//! (`engine::run`, `rt::run_async`, `rt::run_on` — all still present as
-//! deprecated shims): construct it from a graph and a [`SimConfig`],
-//! optionally select a runtime, and call [`Runner::run`]. Both runtimes
-//! execute the identical protocol code over the identical execution core
-//! ([`crate::exec`]), so for every configuration the async runtime
-//! supports, the two outcomes are equal field for field.
+//! (`engine::run`, `rt::run_async`, `rt::run_on` — all removed):
+//! construct it from a graph and a [`SimConfig`], optionally select a
+//! runtime, and call [`Runner::run`]. Both runtimes execute the identical
+//! protocol code over the identical execution core ([`crate::exec`]) and
+//! accept every configuration, so the two outcomes are equal field for
+//! field.
 
 use crate::config::SimConfig;
 use crate::exec::RunOutcome;
 use crate::protocol::{NodeSetup, Protocol};
-use crate::rt::{AsyncRuntime, RtError, RuntimeKind};
+use crate::rt::{AsyncRuntime, RuntimeKind};
 use rand::rngs::StdRng;
 use ule_graph::{Graph, NodeId};
-
-/// Why a run could not start: the selected runtime rejected the
-/// configuration. Currently identical to [`RtError`] — the sim runtime
-/// accepts every configuration, so only async-runtime restrictions can
-/// surface here. The alias keeps `Runner` signatures stable if
-/// runner-level failure modes are ever added.
-pub type RunError = RtError;
 
 /// The single entrypoint for executing a [`Protocol`]: a borrowed graph
 /// and config, a runtime selection, and [`Runner::run`].
@@ -44,10 +37,10 @@ pub type RunError = RtError;
 ///
 /// let g = gen::cycle(6)?;
 /// let cfg = SimConfig::seeded(0);
-/// let sim = Runner::new(&g, &cfg).run(|_, _, _| Ping { got: false })?;
+/// let sim = Runner::new(&g, &cfg).run(|_, _, _| Ping { got: false });
 /// let over_channels = Runner::new(&g, &cfg)
 ///     .runtime(RuntimeKind::Async)
-///     .run(|_, _, _| Ping { got: false })?;
+///     .run(|_, _, _| Ping { got: false });
 /// assert_eq!(sim, over_channels); // exact cross-runtime conformance
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
@@ -89,14 +82,6 @@ impl<'a> Runner<'a> {
     /// only where the harness legitimately distinguishes roles (e.g. the
     /// designated broadcast source); election protocols should ignore it.
     ///
-    /// # Errors
-    ///
-    /// The sim runtime never errors. The async runtime returns
-    /// [`RtError::UnsupportedAdversary`] for non-lockstep adversaries and
-    /// [`RtError::UnsupportedWatchEdges`] for watch edges — the same
-    /// variants [`SimConfig::builder`] reports at build time when the
-    /// runtime is declared there.
-    ///
     /// # Panics
     ///
     /// Panics if an explicit [`crate::IdMode`] assignment does not cover
@@ -105,16 +90,19 @@ impl<'a> Runner<'a> {
     /// graph, or an [`crate::Adversary`] schedule naming an out-of-range
     /// node or a non-edge), or on protocol API misuse (double-send on a
     /// port, past wakeups).
-    pub fn run<P, F>(self, factory: F) -> Result<RunOutcome, RunError>
+    pub fn run<P, F>(self, factory: F) -> RunOutcome
     where
         P: Protocol,
         F: FnMut(NodeId, &NodeSetup, &mut StdRng) -> P,
     {
         match self.kind {
-            RuntimeKind::Sim => Ok(crate::engine::run_sim(self.graph, self.config, factory)),
-            RuntimeKind::Async => AsyncRuntime::new()
-                .run(self.graph, self.config, factory)
-                .map(|r| r.outcome),
+            RuntimeKind::Sim => crate::engine::run_sim(self.graph, self.config, factory),
+            RuntimeKind::Async => {
+                AsyncRuntime::new()
+                    .without_trace()
+                    .run(self.graph, self.config, factory)
+                    .outcome
+            }
         }
     }
 }
@@ -155,20 +143,6 @@ mod tests {
     }
 
     #[test]
-    fn runner_matches_the_deprecated_entrypoints_exactly() {
-        let g = gen::cycle(8).unwrap();
-        let cfg = SimConfig::seeded(1);
-        let via_runner = Runner::new(&g, &cfg).run(mk).unwrap();
-        #[allow(deprecated)]
-        let via_run = crate::engine::run(&g, &cfg, mk);
-        assert_eq!(via_runner, via_run);
-        #[allow(deprecated)]
-        let via_run_on = crate::rt::run_on(RuntimeKind::Async, &g, &cfg, mk).unwrap();
-        let via_async_runner = Runner::new(&g, &cfg).runtime(RuntimeKind::Async).run(mk);
-        assert_eq!(via_async_runner.unwrap(), via_run_on);
-    }
-
-    #[test]
     fn runner_default_runtime_is_sim() {
         let g = gen::path(2).unwrap();
         let cfg = SimConfig::seeded(0);
@@ -181,32 +155,20 @@ mod tests {
     }
 
     #[test]
-    fn runner_surfaces_async_runtime_errors() {
+    fn runner_runs_adversaries_on_both_runtimes() {
         let g = gen::path(3).unwrap();
         let delayed = SimConfig::seeded(0).with_adversary(Adversary::BoundedDelay { max_delay: 2 });
-        // Sim accepts it; Async rejects it with the same error the typed
-        // builder would have raised at build time.
-        assert!(Runner::new(&g, &delayed).run(mk).is_ok());
-        match Runner::new(&g, &delayed)
-            .runtime(RuntimeKind::Async)
-            .run(mk)
-        {
-            Err(RunError::UnsupportedAdversary { adversary }) => {
-                assert!(adversary.contains("BoundedDelay"));
-            }
-            other => panic!("expected UnsupportedAdversary, got {other:?}"),
-        }
+        let sim = Runner::new(&g, &delayed).run(mk);
+        let asy = Runner::new(&g, &delayed).runtime(RuntimeKind::Async).run(mk);
+        assert_eq!(sim, asy);
     }
 
     #[test]
     fn runner_accepts_adversarial_wakeup_on_both_runtimes() {
         let g = gen::path(5).unwrap();
         let cfg = SimConfig::seeded(2).with_wakeup(Wakeup::Adversarial(vec![0]));
-        let sim = Runner::new(&g, &cfg).run(mk).unwrap();
-        let asy = Runner::new(&g, &cfg)
-            .runtime(RuntimeKind::Async)
-            .run(mk)
-            .unwrap();
+        let sim = Runner::new(&g, &cfg).run(mk);
+        let asy = Runner::new(&g, &cfg).runtime(RuntimeKind::Async).run(mk);
         assert_eq!(sim, asy);
     }
 }

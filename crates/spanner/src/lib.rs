@@ -390,7 +390,6 @@ impl Protocol for SpannerElect {
 pub fn elect(graph: &Graph, sim: &SimConfig, cfg: &SpannerConfig) -> RunOutcome {
     ule_sim::Runner::new(graph, sim)
         .run(|v, setup, _| SpannerElect::new(*cfg, v, setup.degree))
-        .expect("the sim runtime is infallible")
 }
 
 /// Runs the election with a probe attached and returns the outcome plus
@@ -402,8 +401,7 @@ pub fn elect_probed(
 ) -> (RunOutcome, Vec<(NodeId, NodeId)>) {
     let probe: SpannerProbe = Arc::new(Mutex::new(HashSet::new()));
     let out = ule_sim::Runner::new(graph, sim)
-        .run(|v, setup, _| SpannerElect::new(*cfg, v, setup.degree).with_probe(Arc::clone(&probe)))
-        .expect("the sim runtime is infallible");
+        .run(|v, setup, _| SpannerElect::new(*cfg, v, setup.degree).with_probe(Arc::clone(&probe)));
     let edges = probe_edges(graph, &probe);
     (out, edges)
 }

@@ -124,6 +124,12 @@ pub struct Report {
     /// Costs measured under different models are not comparable, so each
     /// entry is at least a warning.
     pub profile_mismatches: Vec<(String, String, String)>,
+    /// Matched cells whose recorded runtimes differ, as `(cell key,
+    /// baseline runtime, candidate runtime)`. Simulated costs conform
+    /// across runtimes, but wall-clock metrics do not — and a runtime
+    /// flip in a gate is almost always unintentional, so each entry is at
+    /// least a warning (exactly like an adversary-profile mismatch).
+    pub runtime_mismatches: Vec<(String, String, String)>,
 }
 
 impl Report {
@@ -140,7 +146,7 @@ impl Report {
             .map(|d| d.verdict)
             .max()
             .unwrap_or(Verdict::Pass);
-        if self.profile_mismatches.is_empty() {
+        if self.profile_mismatches.is_empty() && self.runtime_mismatches.is_empty() {
             worst
         } else {
             worst.max(Verdict::Warn)
@@ -173,6 +179,12 @@ impl Report {
             out.push_str(&format!(
                 "WARN {key:<40} adversary profile differs: {old_p} (baseline) vs {new_p} \
                  (candidate) — costs are not comparable across execution models\n"
+            ));
+        }
+        for (key, old_r, new_r) in &self.runtime_mismatches {
+            out.push_str(&format!(
+                "WARN {key:<40} runtime differs: {old_r} (baseline) vs {new_r} \
+                 (candidate) — wall-clock metrics are not comparable across runtimes\n"
             ));
         }
         for key in &self.only_old {
@@ -216,12 +228,21 @@ pub struct CellMetrics {
     /// (schema-1 / legacy files, which predate adversaries) is treated as
     /// `"lockstep"` — the only model those files could have run.
     pub adversary: Option<String>,
+    /// Runtime name the cell was recorded on. `None` (legacy files, and
+    /// every sim cell — the field is omitted for byte-stability) is
+    /// treated as `"sim"`.
+    pub runtime: Option<String>,
 }
 
 impl CellMetrics {
     /// The effective execution-model profile (absent = lockstep).
     fn profile(&self) -> &str {
         self.adversary.as_deref().unwrap_or("lockstep")
+    }
+
+    /// The effective runtime (absent = sim).
+    fn runtime_name(&self) -> &str {
+        self.runtime.as_deref().unwrap_or("sim")
     }
 }
 
@@ -308,6 +329,10 @@ pub fn parse_cells(v: &Json) -> Result<BTreeMap<String, CellMetrics>, XpError> {
                     .get("adversary")
                     .and_then(Json::as_str)
                     .map(str::to_string),
+                runtime: cell
+                    .get("runtime")
+                    .and_then(Json::as_str)
+                    .map(str::to_string),
             },
         );
     }
@@ -346,6 +371,7 @@ pub fn compare(
     let mut deltas = Vec::new();
     let mut matched = 0;
     let mut profile_mismatches = Vec::new();
+    let mut runtime_mismatches = Vec::new();
     for (key, o) in old {
         let Some(n) = new.get(key) else { continue };
         matched += 1;
@@ -354,6 +380,13 @@ pub fn compare(
                 key.clone(),
                 o.profile().to_string(),
                 n.profile().to_string(),
+            ));
+        }
+        if o.runtime_name() != n.runtime_name() {
+            runtime_mismatches.push((
+                key.clone(),
+                o.runtime_name().to_string(),
+                n.runtime_name().to_string(),
             ));
         }
         for (metric, ov, nv) in [
@@ -434,6 +467,7 @@ pub fn compare(
             .collect(),
         positional_pairs: old.keys().chain(new.keys()).any(|k| k.contains(" #")),
         profile_mismatches,
+        runtime_mismatches,
     }
 }
 
@@ -449,6 +483,7 @@ mod tests {
             peak_rss_bytes: None,
             success_rate: Some(1.0),
             adversary: None,
+            runtime: None,
         }
     }
 
@@ -693,6 +728,31 @@ mod tests {
             compare(&legacy, &faulty, &Tolerances::default()).verdict(),
             Verdict::Warn
         );
+    }
+
+    #[test]
+    fn runtime_mismatch_warns_exactly_like_a_profile_mismatch() {
+        let old = one("a @ w", cell(1000.0, 50.0, None));
+        let mut newer = one("a @ w", cell(1000.0, 50.0, None));
+        newer.get_mut("a @ w").unwrap().runtime = Some("async".into());
+        let report = compare(&old, &newer, &Tolerances::default());
+        assert_eq!(report.verdict(), Verdict::Warn);
+        assert_eq!(
+            report.runtime_mismatches,
+            vec![(
+                "a @ w".to_string(),
+                "sim".to_string(),
+                "async".to_string()
+            )]
+        );
+        assert!(report.render(false).contains("runtime differs"));
+        // An absent runtime means sim: legacy baseline vs an explicit sim
+        // candidate is *not* a mismatch.
+        let mut sim = one("a @ w", cell(1000.0, 50.0, None));
+        sim.get_mut("a @ w").unwrap().runtime = Some("sim".into());
+        let clean = compare(&old, &sim, &Tolerances::default());
+        assert_eq!(clean.verdict(), Verdict::Pass);
+        assert!(clean.runtime_mismatches.is_empty());
     }
 
     #[test]

@@ -36,8 +36,8 @@ USAGE:
                           and throughput change)
         --runtime R       override every group's runtime: sim (the round
                           engine) or async (the threads+channels runtime;
-                          lockstep groups only — same outcomes by the
-                          conformance contract)
+                          same outcomes under every adversary profile by
+                          the conformance contract)
 
   ule-xp compare BASELINE.json NEW.json [OPTIONS]
       Diff two result files (campaign format or legacy BENCH array).
@@ -162,23 +162,8 @@ fn cmd_run(args: &[String]) -> Result<ExitCode, XpError> {
         }
     }
     if let Some(r) = runtime {
-        // Mirror of the spec-level `runtime` field. Fail fast with the
-        // offending group rather than mid-campaign: the async runtime
-        // has no adversary support.
-        if r == ule_sim::RuntimeKind::Async {
-            if let Some(group) = spec
-                .groups
-                .iter()
-                .find(|g| g.adversary != ule_xp::spec::AdversaryProfile::Lockstep)
-            {
-                return Err(XpError::new(format!(
-                    "--runtime async: the async runtime supports only the lockstep execution \
-                     model, but a group uses adversary profile `{}`; rerun on --runtime sim or \
-                     drop the profile",
-                    group.adversary.name()
-                )));
-            }
-        }
+        // Mirror of the spec-level `runtime` field; every adversary
+        // profile runs on every runtime.
         for group in &mut spec.groups {
             group.runtime = r;
         }

@@ -136,10 +136,12 @@ pub struct CellResult {
     /// adversary *changes* measured costs, so `compare` warns when it
     /// diffs two cells recorded under different profiles.
     pub adversary: AdversaryProfile,
-    /// Runtime the cell ran on. Like `threads`, pure provenance: under
-    /// the lockstep model both runtimes measure identical costs (the
-    /// cross-runtime conformance contract), so sim and async cells stay
-    /// comparable and sim cells stay byte-stable without the field.
+    /// Runtime the cell ran on. Like `threads`, pure provenance: message
+    /// fates are a pure function of `(seed, directed edge, per-edge send
+    /// index)`, so both runtimes measure identical costs under *every*
+    /// adversary (the cross-runtime conformance contract) — sim and async
+    /// cells stay comparable and sim cells stay byte-stable without the
+    /// field.
     pub runtime: RuntimeKind,
 }
 
@@ -226,16 +228,6 @@ pub fn execute(
 ) -> Result<CampaignResult, XpError> {
     let mut cells = Vec::new();
     for group in &spec.groups {
-        // The spec parser enforces this too; re-check here so
-        // programmatically built specs fail with coordinates instead of
-        // panicking mid-grid inside a trial closure.
-        if group.runtime == RuntimeKind::Async && group.adversary != AdversaryProfile::Lockstep {
-            return Err(XpError::new(format!(
-                "group with adversary `{}`: the async runtime supports only the lockstep \
-                 execution model",
-                group.adversary.name()
-            )));
-        }
         for &family in &group.families {
             for &n in &group.sizes {
                 let g = workload_graph(spec.graph_seed, family, n).map_err(|e| {
@@ -266,9 +258,7 @@ pub fn execute(
                     let allocs_before = crate::metrics::alloc_count();
                     let start = Instant::now();
                     let outs = parallel_trials(group.trials, |t| {
-                        algorithm
-                            .run_on(group.runtime, &g, &cell_config(&job, &g, d, t))
-                            .expect("unsupported runtime/adversary combinations are rejected above")
+                        algorithm.run_on(group.runtime, &g, &cell_config(&job, &g, d, t))
                     });
                     let elapsed = start.elapsed().as_secs_f64();
                     let summary = Summary::from_outcomes(&outs);
@@ -559,12 +549,27 @@ mod tests {
     }
 
     #[test]
-    fn async_runtime_rejects_adversary_groups() {
-        let mut spec = tiny_spec();
-        spec.groups[0].runtime = RuntimeKind::Async;
-        spec.groups[0].adversary = AdversaryProfile::BoundedDelay { max_delay: 2 };
-        let err = execute(&spec, RunMeta::fixed(), false).unwrap_err();
-        assert!(err.to_string().contains("lockstep"), "{err}");
+    fn async_adversary_groups_reproduce_sim_cells() {
+        // Per-edge fate streams make every adversary runtime-agnostic: an
+        // async group under delays or crashes measures the same summary
+        // numbers as the identically-specced sim group.
+        let adversarial = |runtime| {
+            let mut spec = tiny_spec();
+            spec.groups[0].runtime = runtime;
+            spec.groups[0].adversary = AdversaryProfile::BoundedDelay { max_delay: 2 };
+            let mut crashing = spec.groups[0].clone();
+            crashing.adversary = AdversaryProfile::Crash {
+                permille: 200,
+                horizon: 8,
+            };
+            spec.groups.push(crashing);
+            execute(&spec, RunMeta::fixed(), false).unwrap()
+        };
+        let sim = adversarial(RuntimeKind::Sim);
+        let asynch = adversarial(RuntimeKind::Async);
+        for (s, a) in sim.cells.iter().zip(&asynch.cells) {
+            assert_eq!(s.summary, a.summary, "{} ({})", s.workload, s.adversary.name());
+        }
     }
 
     #[test]

@@ -154,8 +154,8 @@ pub struct JobGroup {
     /// Which runtime executes every cell in this group:
     /// [`RuntimeKind::Sim`] (the round engine; the default, omitted in
     /// JSON so legacy spec files serialize and hash byte-identically) or
-    /// [`RuntimeKind::Async`] (the threads+channels runtime — lockstep
-    /// profile only, same outcomes by the conformance contract).
+    /// [`RuntimeKind::Async`] (the threads+channels runtime — same
+    /// outcomes under every profile by the conformance contract).
     pub runtime: RuntimeKind,
 }
 
@@ -509,13 +509,6 @@ fn group_from_json(v: &Json) -> Result<JobGroup, XpError> {
             )))
         }
     };
-    if runtime == RuntimeKind::Async && adversary != AdversaryProfile::Lockstep {
-        return Err(XpError::new(format!(
-            "group: the async runtime supports only the lockstep execution model \
-             (got adversary profile `{}`); drop the `adversary` field or run on `\"runtime\": \"sim\"`",
-            adversary.name()
-        )));
-    }
     Ok(JobGroup {
         algorithms,
         families,
@@ -548,7 +541,7 @@ pub const BUILTIN_CAMPAIGNS: [(&str, &str); 4] = [
     ),
     (
         "resilience",
-        "execution-model sweep: floodmax/las-vegas/kingdom(D) on cycle/torus/expander under delay 0/2/8 and 1%/10% crashes",
+        "execution-model sweep: floodmax/las-vegas/kingdom(D) on cycle/torus/expander under delay 0/2/8 and 1%/10% crashes, on both runtimes",
     ),
 ];
 
@@ -728,7 +721,10 @@ pub fn builtin(name: &str, quick: bool) -> Option<CampaignSpec> {
             // deadline-driven (floodmax, kingdom(D)) and restart-driven
             // (las-vegas) algorithms under growing asynchrony and crash
             // rates. Delay 0 is the sanity anchor — its cells must equal a
-            // lockstep run of the same grid byte-for-byte.
+            // lockstep run of the same grid byte-for-byte. Each profile
+            // runs on both runtimes: fates are a pure function of
+            // `(seed, directed edge, per-edge send index)`, so the async
+            // groups must reproduce the sim groups' summaries exactly.
             let algorithms = || {
                 vec![
                     Algorithm::FloodMax,
@@ -737,7 +733,7 @@ pub fn builtin(name: &str, quick: bool) -> Option<CampaignSpec> {
                 ]
             };
             let families = || vec![Family::Cycle, Family::Torus, Family::Expander];
-            let group = |adversary: AdversaryProfile| JobGroup {
+            let group = |adversary: AdversaryProfile, runtime: RuntimeKind| JobGroup {
                 algorithms: algorithms(),
                 families: families(),
                 sizes: if quick { vec![64] } else { vec![64, 256] },
@@ -748,24 +744,36 @@ pub fn builtin(name: &str, quick: bool) -> Option<CampaignSpec> {
                 timed: false,
                 threads: None,
                 adversary,
-                runtime: RuntimeKind::Sim,
+                runtime,
             };
+            let profiles = || {
+                vec![
+                    AdversaryProfile::BoundedDelay { max_delay: 0 },
+                    AdversaryProfile::BoundedDelay { max_delay: 2 },
+                    AdversaryProfile::BoundedDelay { max_delay: 8 },
+                    AdversaryProfile::Crash {
+                        permille: 10,
+                        horizon: 32,
+                    },
+                    AdversaryProfile::Crash {
+                        permille: 100,
+                        horizon: 32,
+                    },
+                ]
+            };
+            let mut groups: Vec<JobGroup> = profiles()
+                .into_iter()
+                .map(|p| group(p, RuntimeKind::Sim))
+                .collect();
+            groups.extend(
+                profiles()
+                    .into_iter()
+                    .map(|p| group(p, RuntimeKind::Async)),
+            );
             CampaignSpec {
                 name: "resilience".into(),
                 graph_seed: WORKLOAD_BASE_SEED,
-                groups: vec![
-                    group(AdversaryProfile::BoundedDelay { max_delay: 0 }),
-                    group(AdversaryProfile::BoundedDelay { max_delay: 2 }),
-                    group(AdversaryProfile::BoundedDelay { max_delay: 8 }),
-                    group(AdversaryProfile::Crash {
-                        permille: 10,
-                        horizon: 32,
-                    }),
-                    group(AdversaryProfile::Crash {
-                        permille: 100,
-                        horizon: 32,
-                    }),
-                ],
+                groups,
             }
         }
         _ => return None,
@@ -870,15 +878,23 @@ mod tests {
         let explicit = text.replace("async", "sim");
         let spec = CampaignSpec::from_json(&Json::parse(&explicit).unwrap()).unwrap();
         assert_eq!(spec.groups[0].runtime, RuntimeKind::Sim);
-        // Unknown runtimes and async+adversary combinations are refused.
+        // Unknown runtimes are refused.
         let bad = text.replace("async", "tokio");
         let err = CampaignSpec::from_json(&Json::parse(&bad).unwrap()).unwrap_err();
         assert!(err.to_string().contains("sim | async"), "{err}");
-        let clash = r#"{"name":"r","groups":[{
+        // Async + adversary is a supported combination: fates are a pure
+        // function of the seed and the edge, not of runtime scheduling.
+        let combined = r#"{"name":"r","groups":[{
             "algorithms":["floodmax"],"families":["cycle"],"sizes":[16],"trials":1,
             "runtime":"async","adversary":{"kind":"bounded-delay","max_delay":2}}]}"#;
-        let err = CampaignSpec::from_json(&Json::parse(clash).unwrap()).unwrap_err();
-        assert!(err.to_string().contains("lockstep"), "{err}");
+        let spec = CampaignSpec::from_json(&Json::parse(combined).unwrap()).unwrap();
+        assert_eq!(spec.groups[0].runtime, RuntimeKind::Async);
+        assert_eq!(
+            spec.groups[0].adversary,
+            AdversaryProfile::BoundedDelay { max_delay: 2 }
+        );
+        let back = CampaignSpec::from_json(&spec.to_json()).unwrap();
+        assert_eq!(back, spec);
     }
 
     #[test]
@@ -951,19 +967,24 @@ mod tests {
     #[test]
     fn resilience_campaign_shape() {
         let spec = builtin("resilience", true).unwrap();
-        // 5 execution models × 3 algorithms × 3 families × 1 quick size.
-        assert_eq!(spec.jobs().len(), 5 * 3 * 3);
-        let profiles: Vec<String> = spec.groups.iter().map(|g| g.adversary.name()).collect();
-        assert_eq!(
-            profiles,
-            vec![
-                "delay-0",
-                "delay-2",
-                "delay-8",
-                "crash-10pm-32r",
-                "crash-100pm-32r"
-            ]
-        );
+        // 5 execution models × 2 runtimes × 3 algorithms × 3 families ×
+        // 1 quick size.
+        assert_eq!(spec.jobs().len(), 5 * 2 * 3 * 3);
+        let expected_profiles = vec![
+            "delay-0",
+            "delay-2",
+            "delay-8",
+            "crash-10pm-32r",
+            "crash-100pm-32r",
+        ];
+        let (sim, asynch): (Vec<_>, Vec<_>) = spec
+            .groups
+            .iter()
+            .partition(|g| g.runtime == RuntimeKind::Sim);
+        for half in [&sim, &asynch] {
+            let profiles: Vec<String> = half.iter().map(|g| g.adversary.name()).collect();
+            assert_eq!(profiles, expected_profiles);
+        }
         assert!(spec.groups.iter().all(|g| !g.timed && g.threads.is_none()));
     }
 

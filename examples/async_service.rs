@@ -43,8 +43,7 @@ fn main() {
         ule_core::size_estimate::SizeEstimateElect::new(setup.degree)
     };
     let service = AsyncRuntime::new()
-        .run(&g, &cfg, factory)
-        .expect("lockstep configs run over channels");
+        .run(&g, &cfg, factory);
     let leader = service
         .outcome
         .leader()
@@ -68,15 +67,14 @@ fn main() {
 
     // Deterministic-seed mode: the recorded delivery trace replays byte
     // for byte — same activations, same frames, same outcome.
-    let replayed = replay(&g, &cfg, factory, &service.trace).expect("same config replays");
+    let replayed = replay(&g, &cfg, factory, &service.trace);
     assert_eq!(replayed, service);
     println!("replay: delivery trace verified byte for byte");
 
     // And the channel execution reproduces the synchronous simulator
     // exactly — the cross-runtime conformance contract.
     let reference = alg
-        .run_on(RuntimeKind::Sim, &g, &cfg)
-        .expect("the sim runtime is infallible");
+        .run_on(RuntimeKind::Sim, &g, &cfg);
     assert_eq!(service.outcome, reference);
     println!("conformance: outcome equals the synchronous simulator's, field for field");
 }

@@ -1,7 +1,7 @@
 //! Faulty ring: a walking tour of the execution-model (adversary) layer.
 //!
 //! ```text
-//! cargo run --release --example faulty_ring
+//! cargo run --release --example faulty_ring [-- --runtime async]
 //! ```
 //!
 //! Runs the classical FloodMax election on one 16-node ring under four
@@ -12,12 +12,18 @@
 //! changes, which is the point of the pluggable layer: every algorithm ×
 //! every execution model is a runnable cell.
 //!
+//! Pass `--runtime async` to drive the identical tour over the async
+//! threads+channels runtime instead of the round engine. Message fates
+//! are a pure function of `(seed, directed edge, per-edge send index)`,
+//! so the table is byte-for-byte the same either way — the example
+//! asserts as much by running every model on both runtimes regardless.
+//!
 //! Everything here is seeded and deterministic: rerunning prints the same
 //! table, and so does replaying under any `Parallelism` setting.
 
-use ule_core::baseline::flood_max;
+use ule_core::baseline::flood_max_on;
 use ule_graph::{analysis, gen, IdAssignment};
-use ule_sim::{Adversary, Knowledge, RunOutcome, SimConfig, Termination};
+use ule_sim::{Adversary, Knowledge, RunOutcome, RuntimeKind, SimConfig, Termination};
 
 fn describe(label: &str, out: &RunOutcome) {
     let late: u64 = out.late_deliveries.iter().map(|&(_, c)| c).sum();
@@ -44,6 +50,27 @@ fn describe(label: &str, out: &RunOutcome) {
 }
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let kind = match args.as_slice() {
+        [] => RuntimeKind::Sim,
+        [flag, name] if flag == "--runtime" => match name.as_str() {
+            "sim" => RuntimeKind::Sim,
+            "async" => RuntimeKind::Async,
+            other => {
+                eprintln!("faulty_ring: unknown runtime `{other}` (sim | async)");
+                std::process::exit(2);
+            }
+        },
+        _ => {
+            eprintln!("usage: faulty_ring [--runtime sim|async]");
+            std::process::exit(2);
+        }
+    };
+    let other_kind = match kind {
+        RuntimeKind::Sim => RuntimeKind::Async,
+        RuntimeKind::Async => RuntimeKind::Sim,
+    };
+
     let n = 16;
     let g = gen::cycle(n).expect("a 16-ring is a valid graph");
     let d = analysis::diameter_exact(&g).expect("connected").max(1) as usize;
@@ -53,17 +80,32 @@ fn main() {
         .with_ids(IdAssignment::sequential(n))
         .with_knowledge(Knowledge::n_and_diameter(n, d));
 
-    println!("FloodMax on a {n}-ring (D = {d}), four execution models:\n");
+    println!(
+        "FloodMax on a {n}-ring (D = {d}), four execution models, {} runtime:\n",
+        kind.name()
+    );
     println!(
         "{:<22} {:>6} {:>8} {:>7} {:>7} {:>9} {:<11} leader",
         "model", "rounds", "msgs", "dropped", "late", "crashed", "termination"
     );
     println!("{}", "-".repeat(100));
 
+    // Each model runs on the selected runtime and is cross-checked
+    // against the other one: the table must not depend on the runtime.
+    let run = |label: &str, cfg: &SimConfig| -> RunOutcome {
+        let out = flood_max_on(kind, &g, cfg);
+        assert_eq!(
+            flood_max_on(other_kind, &g, cfg),
+            out,
+            "{label}: the two runtimes disagree"
+        );
+        describe(label, &out);
+        out
+    };
+
     // 1. Lockstep: the synchronous baseline — every message arrives next
     //    round, node 15 wins in D rounds.
-    let lockstep = flood_max(&g, &base);
-    describe("lockstep", &lockstep);
+    let lockstep = run("lockstep", &base);
     assert!(lockstep.election_succeeded());
 
     // 2. Bounded delay: each message is delayed by up to 3 extra rounds
@@ -74,31 +116,29 @@ fn main() {
     //    on the 64-ring of the `resilience` campaign the same delay makes
     //    the election fail outright, while `las-vegas(n,D)` — which
     //    restarts instead of trusting a deadline — absorbs it.
-    let delayed = flood_max(
-        &g,
+    run(
+        "bounded-delay(3)",
         &base
             .clone()
             .with_adversary(Adversary::BoundedDelay { max_delay: 3 }),
     );
-    describe("bounded-delay(3)", &delayed);
 
     // 3. Crash the would-be leader at round 1: its initial broadcast
     //    escapes (delivered-before-crash), so its id still floods and
     //    suppresses every other candidate — the ring ends leaderless. The
     //    crash-aware success predicate reports the failure.
-    let crashed = flood_max(
-        &g,
+    let crashed = run(
+        "crash leader@1",
         &base.clone().with_adversary(Adversary::CrashStop {
             schedule: vec![(15, 1)],
         }),
     );
-    describe("crash leader@1", &crashed);
     assert!(!crashed.election_succeeded());
 
     // 4. Compose delay and crash: the stack takes the most restrictive
     //    decision per message (drop dominates, latest delivery wins).
-    let both = flood_max(
-        &g,
+    run(
+        "delay(3) + crash@1",
         &base.clone().with_adversary(Adversary::Compose(vec![
             Adversary::BoundedDelay { max_delay: 3 },
             Adversary::CrashStop {
@@ -106,10 +146,11 @@ fn main() {
             },
         ])),
     );
-    describe("delay(3) + crash@1", &both);
 
     println!(
-        "\nSame protocol, same seed, same ring — only the adversary changed.\n\
-         Campaign-scale sweeps of exactly this grid: `ule-xp run --campaign resilience`."
+        "\nSame protocol, same seed, same ring — only the adversary changed,\n\
+         and the {} runtime reproduced every cell exactly.\n\
+         Campaign-scale sweeps of exactly this grid: `ule-xp run --campaign resilience`.",
+        other_kind.name()
     );
 }

@@ -364,6 +364,92 @@ proptest! {
     }
 
     #[test]
+    fn engine_and_async_agree_under_adversaries(
+        alg_idx in 0usize..12,
+        fam_idx in 0usize..6,
+        n in 8usize..48,
+        seed in 0u64..1000,
+        max_delay in 0u64..4,
+        crash_permille in 0u64..300,
+        threads in 1usize..5,
+    ) {
+        // The per-edge fate-stream contract, sampled: a message's fate is
+        // a pure function of (run seed, directed edge, per-edge send
+        // index), so the engine (at any shard thread count) and the async
+        // threads+channels runtime compute identical fates and identical
+        // RunOutcomes under bounded delays and fail-stop crashes alike.
+        // The round cap keeps crash-stalled deadline protocols fast;
+        // conformance is asserted on the truncated run all the same.
+        let alg = Algorithm::ALL[alg_idx];
+        let fam = [
+            gen::Family::Cycle,
+            gen::Family::Torus,
+            gen::Family::SparseRandom,
+            gen::Family::Star,
+            gen::Family::Hypercube,
+            gen::Family::Lollipop,
+        ][fam_idx];
+        let g = gen::workload_graph(seed, fam, n).unwrap();
+        let mut cfg = alg.config_for(&g, seed);
+        let cap = cfg.max_rounds.min(2_000);
+        cfg = cfg.with_max_rounds(cap);
+        for adversary in [
+            ule_sim::Adversary::BoundedDelay { max_delay },
+            ule_sim::Adversary::CrashStop {
+                schedule: ule_sim::adversary::sampled_crashes(
+                    seed, g.len(), crash_permille, 16,
+                ),
+            },
+        ] {
+            let mut faulty = cfg.clone();
+            faulty.adversary = adversary.clone();
+            faulty.parallelism = if threads == 1 {
+                ule_sim::Parallelism::Off
+            } else {
+                ule_sim::Parallelism::Threads(threads)
+            };
+            let engine = alg.run_with(&g, &faulty);
+            let over_channels = alg.run_on(ule_sim::RuntimeKind::Async, &g, &faulty);
+            prop_assert_eq!(
+                &over_channels, &engine,
+                "{} on {}/{} seed {} under {:?} diverged between runtimes",
+                alg, fam, n, seed, adversary
+            );
+        }
+    }
+
+    #[test]
+    fn async_replay_conforms_past_the_calendar_horizon(
+        n in 8usize..32,
+        seed in 0u64..500,
+        max_delay in 65u64..160,
+    ) {
+        // The async runtime's delivery calendar shares the engine's
+        // default ring horizon (64): delays past it route deliveries
+        // through the overflow tier. Across that boundary a recorded
+        // delivery trace must still replay byte-for-byte and the
+        // recorded outcome must still equal the engine's. FloodMax (with
+        // a stretched deadline) is the registry algorithm whose
+        // correctness survives arbitrary delays.
+        let alg = Algorithm::FloodMax;
+        let g = gen::workload_graph(seed, gen::Family::Cycle, n).unwrap();
+        let mut cfg = alg.config_for(&g, seed);
+        cfg.adversary = ule_sim::Adversary::BoundedDelay { max_delay };
+        cfg.knowledge.diameter = cfg
+            .knowledge
+            .diameter
+            .map(|d| d * (max_delay as usize + 1));
+        let factory = |_: usize, _: &ule_sim::NodeSetup, _: &mut rand::rngs::StdRng| {
+            ule_core::baseline::FloodMax::new()
+        };
+        let recorded = ule_sim::AsyncRuntime::new().run(&g, &cfg, factory);
+        let replayed = ule_sim::replay(&g, &cfg, factory, &recorded.trace);
+        prop_assert_eq!(&replayed, &recorded);
+        prop_assert_eq!(&recorded.outcome, &alg.run_with(&g, &cfg));
+        prop_assert!(recorded.outcome.election_succeeded());
+    }
+
+    #[test]
     fn truncation_never_reports_quiescence_early(g in arb_graph(), t in 1u64..10) {
         let mut cfg = Algorithm::LeastElAll.config_for(&g, 3);
         cfg.max_rounds = t;

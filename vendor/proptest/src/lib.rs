@@ -140,6 +140,8 @@ pub mod strategy {
     impl_tuple_strategy!(A, B, C, D);
     impl_tuple_strategy!(A, B, C, D, E);
     impl_tuple_strategy!(A, B, C, D, E, F);
+    impl_tuple_strategy!(A, B, C, D, E, F, G);
+    impl_tuple_strategy!(A, B, C, D, E, F, G, H);
 }
 
 /// Everything a proptest-style test needs in scope.
