@@ -21,7 +21,7 @@
 
 use crate::wave::{Key, Objective, WaveCore, WaveMsg, WaveOutcome};
 use rand::Rng;
-use ule_graph::{Graph, Id};
+use ule_graph::{Id, Topology};
 use ule_sim::message::{id_bits, Message, TAG_BITS};
 use ule_sim::{
     Context, PortOutbox, Protocol, RunOutcome, Runner, RuntimeKind, SimConfig, Status,
@@ -116,14 +116,14 @@ impl Protocol for FloodMax {
 /// assert!(out.election_succeeded());
 /// # Ok::<(), ule_graph::GraphError>(())
 /// ```
-pub fn flood_max(graph: &Graph, sim: &SimConfig) -> RunOutcome {
+pub fn flood_max<T: Topology>(graph: &T, sim: &SimConfig) -> RunOutcome {
     flood_max_on(RuntimeKind::Sim, graph, sim)
 }
 
 /// [`flood_max`] on a caller-selected runtime.
-pub fn flood_max_on(
+pub fn flood_max_on<T: Topology>(
     kind: RuntimeKind,
-    graph: &Graph,
+    graph: &T,
     sim: &SimConfig,
 ) -> RunOutcome {
     Runner::new(graph, sim)
@@ -194,12 +194,12 @@ impl Protocol for Tole {
 /// assert_eq!(out.leader(), Some(11)); // maximum identifier
 /// # Ok::<(), ule_graph::GraphError>(())
 /// ```
-pub fn tole(graph: &Graph, sim: &SimConfig) -> RunOutcome {
+pub fn tole<T: Topology>(graph: &T, sim: &SimConfig) -> RunOutcome {
     tole_on(RuntimeKind::Sim, graph, sim)
 }
 
 /// [`tole`] on a caller-selected runtime.
-pub fn tole_on(kind: RuntimeKind, graph: &Graph, sim: &SimConfig) -> RunOutcome {
+pub fn tole_on<T: Topology>(kind: RuntimeKind, graph: &T, sim: &SimConfig) -> RunOutcome {
     Runner::new(graph, sim)
         .runtime(kind)
         .run(|_, setup, _| Tole::new(setup.degree))
@@ -248,14 +248,14 @@ impl Protocol for CoinFlip {
 }
 
 /// Runs the coin-flip algorithm (`sim` must grant `n`).
-pub fn coin_flip(graph: &Graph, sim: &SimConfig) -> RunOutcome {
+pub fn coin_flip<T: Topology>(graph: &T, sim: &SimConfig) -> RunOutcome {
     coin_flip_on(RuntimeKind::Sim, graph, sim)
 }
 
 /// [`coin_flip`] on a caller-selected runtime.
-pub fn coin_flip_on(
+pub fn coin_flip_on<T: Topology>(
     kind: RuntimeKind,
-    graph: &Graph,
+    graph: &T,
     sim: &SimConfig,
 ) -> RunOutcome {
     Runner::new(graph, sim)
@@ -268,7 +268,7 @@ mod tests {
     use super::*;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
-    use ule_graph::{analysis, gen, IdSpace};
+    use ule_graph::{analysis, gen, Graph, IdSpace};
     use ule_sim::harness::{parallel_trials, Summary};
     use ule_sim::Knowledge;
 

@@ -13,7 +13,7 @@
 //! `NonLeader`, so [`informed_count`] can read coverage off a (possibly
 //! truncated) [`RunOutcome`].
 
-use ule_graph::{Graph, NodeId};
+use ule_graph::{NodeId, Topology};
 use ule_sim::message::{Message, TAG_BITS};
 use ule_sim::{Context, Protocol, RunOutcome, SimConfig, Status};
 
@@ -99,8 +99,8 @@ pub fn majority_informed(outcome: &RunOutcome) -> bool {
 /// assert_eq!(out.messages, 2 * 10 - (10 - 1)); // 2m − (n−1) on a cycle
 /// # Ok::<(), ule_graph::GraphError>(())
 /// ```
-pub fn flood_broadcast(graph: &Graph, sim: &SimConfig, source: NodeId) -> RunOutcome {
-    assert!(source < graph.len(), "source out of range");
+pub fn flood_broadcast<T: Topology>(graph: &T, sim: &SimConfig, source: NodeId) -> RunOutcome {
+    assert!(source < graph.n(), "source out of range");
     ule_sim::Runner::new(graph, sim)
         .run(|v, _, _| FloodBroadcast::new(v == source))
 }

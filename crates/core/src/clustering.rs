@@ -35,7 +35,7 @@
 use crate::wave::{rank_space, Key, WaveCore, WaveMsg, WaveOutcome};
 use rand::Rng;
 use std::collections::BTreeMap;
-use ule_graph::Graph;
+use ule_graph::Topology;
 use ule_sim::message::{id_bits, Message, TAG_BITS};
 use ule_sim::{Context, Model, PortOutbox, Protocol, RunOutcome, SimConfig, Status};
 
@@ -392,14 +392,14 @@ impl Protocol for Clustering {
 /// assert!(out.election_succeeded());
 /// # Ok::<(), ule_graph::GraphError>(())
 /// ```
-pub fn elect(graph: &Graph, sim: &SimConfig) -> RunOutcome {
+pub fn elect<T: Topology>(graph: &T, sim: &SimConfig) -> RunOutcome {
     elect_on(ule_sim::RuntimeKind::Sim, graph, sim)
 }
 
 /// [`elect`] on a caller-selected runtime.
-pub fn elect_on(
+pub fn elect_on<T: Topology>(
     kind: ule_sim::RuntimeKind,
-    graph: &Graph,
+    graph: &T,
     sim: &SimConfig,
 ) -> RunOutcome {
     let mut sim = sim.clone();

@@ -22,7 +22,7 @@
 //! simulable: engine work is proportional to agent *moves*, not rounds.
 
 use std::collections::BTreeMap;
-use ule_graph::{Graph, Id};
+use ule_graph::{Id, Topology};
 use ule_sim::message::{id_bits, Message, TAG_BITS};
 use ule_sim::{Context, PortOutbox, Protocol, RunOutcome, SimConfig, Status};
 
@@ -302,14 +302,14 @@ impl Protocol for DfsAgent {
 /// assert!(out.messages <= 4 * g.edge_count() as u64 + 2 * 8);
 /// # Ok::<(), ule_graph::GraphError>(())
 /// ```
-pub fn elect(graph: &Graph, sim: &SimConfig, send_wakeup: bool) -> RunOutcome {
+pub fn elect<T: Topology>(graph: &T, sim: &SimConfig, send_wakeup: bool) -> RunOutcome {
     elect_on(ule_sim::RuntimeKind::Sim, graph, sim, send_wakeup)
 }
 
 /// [`elect`] on a caller-selected runtime.
-pub fn elect_on(
+pub fn elect_on<T: Topology>(
     kind: ule_sim::RuntimeKind,
-    graph: &Graph,
+    graph: &T,
     sim: &SimConfig,
     send_wakeup: bool,
 ) -> RunOutcome {

@@ -17,7 +17,7 @@ use crate::least_el::LeastElConfig;
 use crate::wave::{Key, WaveCore, WaveMsg, WaveOutcome};
 use rand::Rng;
 use std::sync::{Arc, Mutex};
-use ule_graph::{Graph, Id, NodeId};
+use ule_graph::{Id, NodeId, Topology};
 use ule_sim::message::{id_bits, Message, TAG_BITS};
 use ule_sim::{Context, PortOutbox, Protocol, RunOutcome, SimConfig, Status};
 
@@ -169,12 +169,12 @@ impl Protocol for ExplicitElect {
 /// assert!(learned.iter().all(|l| *l == Some(leader as u64 + 1)));
 /// # Ok::<(), ule_graph::GraphError>(())
 /// ```
-pub fn elect_explicit(
-    graph: &Graph,
+pub fn elect_explicit<T: Topology>(
+    graph: &T,
     sim: &SimConfig,
     cfg: &LeastElConfig,
 ) -> (RunOutcome, Vec<Option<Id>>) {
-    let probe: LeaderProbe = Arc::new(Mutex::new(vec![None; graph.len()]));
+    let probe: LeaderProbe = Arc::new(Mutex::new(vec![None; graph.n()]));
     let out = ule_sim::Runner::new(graph, sim)
         .run(|v, setup, _| {
             ExplicitElect::new(cfg.clone(), v, setup.degree).with_probe(Arc::clone(&probe))
@@ -188,7 +188,7 @@ mod tests {
     use super::*;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
-    use ule_graph::{gen, IdSpace};
+    use ule_graph::{gen, Graph, IdSpace};
     use ule_sim::{Knowledge, Termination};
 
     fn cfg(g: &Graph, seed: u64) -> SimConfig {

@@ -38,7 +38,7 @@
 //! i.e. the kingdom does not span the graph yet.
 
 use std::fmt;
-use ule_graph::{Graph, Id};
+use ule_graph::{Id, Topology};
 use ule_sim::message::{id_bits, uint_bits, Message, TAG_BITS};
 use ule_sim::{Context, PortOutbox, Protocol, RunOutcome, SimConfig, Status};
 
@@ -456,14 +456,14 @@ impl Protocol for Kingdom {
 /// assert_eq!(out.leader(), Some(8)); // the maximum identifier wins
 /// # Ok::<(), ule_graph::GraphError>(())
 /// ```
-pub fn elect_known_diameter(graph: &Graph, sim: &SimConfig) -> RunOutcome {
+pub fn elect_known_diameter<T: Topology>(graph: &T, sim: &SimConfig) -> RunOutcome {
     elect_known_diameter_on(ule_sim::RuntimeKind::Sim, graph, sim)
 }
 
 /// [`elect_known_diameter`] on a caller-selected runtime.
-pub fn elect_known_diameter_on(
+pub fn elect_known_diameter_on<T: Topology>(
     kind: ule_sim::RuntimeKind,
-    graph: &Graph,
+    graph: &T,
     sim: &SimConfig,
 ) -> RunOutcome {
     ule_sim::Runner::new(graph, sim)
@@ -481,14 +481,14 @@ pub fn elect_known_diameter_on(
 /// `m`, or `D`; `O(m log n)` messages; `O(n + D log n)` rounds (see the
 /// module documentation for why the synchronized variant pays the `O(n)`
 /// term).
-pub fn elect_doubling(graph: &Graph, sim: &SimConfig) -> RunOutcome {
+pub fn elect_doubling<T: Topology>(graph: &T, sim: &SimConfig) -> RunOutcome {
     elect_doubling_on(ule_sim::RuntimeKind::Sim, graph, sim)
 }
 
 /// [`elect_doubling`] on a caller-selected runtime.
-pub fn elect_doubling_on(
+pub fn elect_doubling_on<T: Topology>(
     kind: ule_sim::RuntimeKind,
-    graph: &Graph,
+    graph: &T,
     sim: &SimConfig,
 ) -> RunOutcome {
     ule_sim::Runner::new(graph, sim)

@@ -24,7 +24,7 @@
 
 use crate::wave::{rank_space, Key, WaveCore, WaveMsg, WaveOutcome};
 use rand::Rng;
-use ule_graph::Graph;
+use ule_graph::Topology;
 use ule_sim::{Context, PortOutbox, Protocol, RunOutcome, SimConfig, Status};
 
 /// Configuration of the Las Vegas election.
@@ -164,14 +164,14 @@ impl Protocol for LasVegasElect {
 /// assert!(out.election_succeeded());
 /// # Ok::<(), ule_graph::GraphError>(())
 /// ```
-pub fn elect(graph: &Graph, sim: &SimConfig, cfg: &LasVegasConfig) -> RunOutcome {
+pub fn elect<T: Topology>(graph: &T, sim: &SimConfig, cfg: &LasVegasConfig) -> RunOutcome {
     elect_on(ule_sim::RuntimeKind::Sim, graph, sim, cfg)
 }
 
 /// [`elect`] on a caller-selected runtime.
-pub fn elect_on(
+pub fn elect_on<T: Topology>(
     kind: ule_sim::RuntimeKind,
-    graph: &Graph,
+    graph: &T,
     sim: &SimConfig,
     cfg: &LasVegasConfig,
 ) -> RunOutcome {

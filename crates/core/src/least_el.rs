@@ -26,7 +26,7 @@
 use crate::wave::{Key, WaveCore, WaveMsg, WaveOutcome};
 use rand::rngs::StdRng;
 use rand::Rng;
-use ule_graph::Graph;
+use ule_graph::Topology;
 use ule_sim::{Context, PortOutbox, Protocol, RunOutcome, SimConfig, Status};
 
 /// How many candidates to expect (the paper's `f(n)`).
@@ -207,14 +207,14 @@ impl Protocol for LeastEl {
 /// assert!(out.election_succeeded());
 /// # Ok::<(), ule_graph::GraphError>(())
 /// ```
-pub fn elect(graph: &Graph, sim: &SimConfig, cfg: &LeastElConfig) -> RunOutcome {
+pub fn elect<T: Topology>(graph: &T, sim: &SimConfig, cfg: &LeastElConfig) -> RunOutcome {
     elect_on(ule_sim::RuntimeKind::Sim, graph, sim, cfg)
 }
 
 /// [`elect`] on a caller-selected runtime.
-pub fn elect_on(
+pub fn elect_on<T: Topology>(
     kind: ule_sim::RuntimeKind,
-    graph: &Graph,
+    graph: &T,
     sim: &SimConfig,
     cfg: &LeastElConfig,
 ) -> RunOutcome {
@@ -237,7 +237,7 @@ pub fn random_key(n: usize, tie: Option<u64>, rng: &mut StdRng) -> Key {
 mod tests {
     use super::*;
     use rand::SeedableRng;
-    use ule_graph::{gen, IdAssignment, IdSpace};
+    use ule_graph::{gen, Graph, IdAssignment, IdSpace};
     use ule_sim::harness::{parallel_trials, Summary};
     use ule_sim::{Knowledge, Model, Termination, Wakeup};
 

@@ -9,7 +9,7 @@
 use crate::{baseline, clustering, dfs_agent, kingdom, las_vegas, least_el, size_estimate};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use ule_graph::{analysis, Graph, IdAssignment, IdSpace};
+use ule_graph::{analysis, Graph, IdAssignment, IdSpace, Topology};
 use ule_sim::{Knowledge, RunOutcome, RuntimeKind, SimConfig};
 
 /// Every election algorithm implemented from the paper (the spanner-based
@@ -257,18 +257,39 @@ impl Algorithm {
     /// (sequential for [`Algorithm::DfsAgent`], whose running time is
     /// exponential in the smallest identifier), and a permissive round cap.
     pub fn config_for(self, graph: &Graph, seed: u64) -> SimConfig {
+        let d = self.spec().needs_diameter.then(|| {
+            analysis::diameter_exact(graph)
+                .expect("graph must be connected")
+                .max(1) as usize
+        });
+        self.config_with_diameter(graph.len(), d, seed)
+    }
+
+    /// [`Algorithm::config_for`] for any [`Topology`], including implicit
+    /// ones with no adjacency arrays to sweep: the diameter, when this
+    /// algorithm requires it, comes from the topology's closed form
+    /// ([`Topology::diameter_hint`]) instead of a BFS over `n` nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the algorithm needs the diameter but the topology offers
+    /// no closed form (e.g. a materialized [`Graph`], whose hint is
+    /// `None` — use [`Algorithm::config_for`] there).
+    pub fn config_for_topo<T: Topology>(self, topo: &T, seed: u64) -> SimConfig {
+        let d = self.spec().needs_diameter.then(|| {
+            topo.diameter_hint()
+                .expect("topology offers no closed-form diameter")
+                .max(1)
+        });
+        self.config_with_diameter(topo.n(), d, seed)
+    }
+
+    /// Shared tail of [`Algorithm::config_for`] and
+    /// [`Algorithm::config_for_topo`]: everything past diameter discovery
+    /// depends only on `n`.
+    fn config_with_diameter(self, n: usize, d: Option<usize>, seed: u64) -> SimConfig {
         let spec = self.spec();
         let mut cfg = SimConfig::seeded(seed);
-        let n = graph.len();
-        let d = if spec.needs_diameter {
-            Some(
-                analysis::diameter_exact(graph)
-                    .expect("graph must be connected")
-                    .max(1) as usize,
-            )
-        } else {
-            None
-        };
         cfg.knowledge = Knowledge {
             n: spec.needs_n.then_some(n),
             m: None,
@@ -296,8 +317,10 @@ impl Algorithm {
     }
 
     /// Runs one trial under a caller-provided configuration (which must
-    /// satisfy [`AlgorithmSpec`]'s requirements).
-    pub fn run_with(self, graph: &Graph, cfg: &SimConfig) -> RunOutcome {
+    /// satisfy [`AlgorithmSpec`]'s requirements). Generic over
+    /// [`Topology`]: pass an [`ule_graph::ImplicitTopology`] to run on a
+    /// structured family without materializing it.
+    pub fn run_with<T: Topology>(self, graph: &T, cfg: &SimConfig) -> RunOutcome {
         self.run_on(RuntimeKind::Sim, graph, cfg)
     }
 
@@ -305,10 +328,10 @@ impl Algorithm {
     /// protocol code runs on the lockstep engine or over channels
     /// ([`ule_sim::rt`]), and under [`ule_sim::Adversary::Lockstep`] both
     /// produce the same [`RunOutcome`].
-    pub fn run_on(
+    pub fn run_on<T: Topology>(
         self,
         kind: RuntimeKind,
-        graph: &Graph,
+        graph: &T,
         cfg: &SimConfig,
     ) -> RunOutcome {
         match self {
@@ -349,6 +372,20 @@ impl std::fmt::Display for Algorithm {
 mod tests {
     use super::*;
     use ule_graph::gen;
+
+    #[test]
+    fn config_for_topo_and_implicit_runs_match_materialized() {
+        let imp = ule_graph::ImplicitTopology::Torus { rows: 4, cols: 4 };
+        let g = imp.materialize();
+        for alg in Algorithm::ALL {
+            let cfg = alg.config_for(&g, 9);
+            let topo_cfg = alg.config_for_topo(&imp, 9);
+            assert_eq!(cfg.knowledge, topo_cfg.knowledge, "{alg}");
+            assert_eq!(cfg.ids, topo_cfg.ids, "{alg}");
+            assert_eq!(cfg.max_rounds, topo_cfg.max_rounds, "{alg}");
+            assert_eq!(alg.run_with(&g, &cfg), alg.run_with(&imp, &topo_cfg), "{alg}");
+        }
+    }
 
     #[test]
     fn every_algorithm_runs_and_most_elect() {

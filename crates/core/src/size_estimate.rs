@@ -17,7 +17,7 @@
 
 use crate::wave::{Key, WaveCore, WaveMsg, WaveOutcome};
 use rand::Rng;
-use ule_graph::Graph;
+use ule_graph::Topology;
 use ule_sim::message::{uint_bits, Message, TAG_BITS};
 use ule_sim::{Context, PortOutbox, Protocol, RunOutcome, SimConfig, Status};
 
@@ -184,14 +184,14 @@ impl Protocol for SizeEstimateElect {
 /// assert!(out.election_succeeded());
 /// # Ok::<(), ule_graph::GraphError>(())
 /// ```
-pub fn elect(graph: &Graph, sim: &SimConfig) -> RunOutcome {
+pub fn elect<T: Topology>(graph: &T, sim: &SimConfig) -> RunOutcome {
     elect_on(ule_sim::RuntimeKind::Sim, graph, sim)
 }
 
 /// [`elect`] on a caller-selected runtime.
-pub fn elect_on(
+pub fn elect_on<T: Topology>(
     kind: ule_sim::RuntimeKind,
-    graph: &Graph,
+    graph: &T,
     sim: &SimConfig,
 ) -> RunOutcome {
     ule_sim::Runner::new(graph, sim)

@@ -431,6 +431,14 @@ impl Family {
         }
     }
 
+    /// The O(1)-memory procedural counterpart of [`Family::build`], when
+    /// the family has one: same node count (after size rounding), same
+    /// port numbering, same directed-edge indices, no CSR arrays. `None`
+    /// for the random families and sizes the generator rejects.
+    pub fn implicit(self, n: usize) -> Option<crate::topo::ImplicitTopology> {
+        crate::topo::ImplicitTopology::from_family(self, n)
+    }
+
     /// Short human-readable name for tables. [`Family::from_name`] accepts
     /// exactly these strings, so campaign specs can sweep families by name.
     pub fn name(self) -> &'static str {

@@ -345,8 +345,21 @@ impl Graph {
     }
 
     /// The port of `v` that leads to `u`, if the edge exists.
+    ///
+    /// Scans the *sparser* endpoint's neighbour list and resolves through
+    /// `rev_ports`, so the cost is `O(min(deg(v), deg(u)))` — on dense
+    /// families (stars, cliques) asking a leaf/hub question no longer pays
+    /// the hub's full degree.
     pub fn port_to(&self, v: NodeId, u: NodeId) -> Option<Port> {
-        self.neighbors_of(v).iter().position(|&w| w == u)
+        if u >= self.len() {
+            return None;
+        }
+        if self.degree(u) < self.degree(v) {
+            let q = self.neighbors_of(u).iter().position(|&w| w == v)?;
+            Some(self.rev_ports[self.offsets[u] + q])
+        } else {
+            self.neighbors_of(v).iter().position(|&w| w == u)
+        }
     }
 
     /// Canonical sorted edge list (`u < v` within each pair).
@@ -562,6 +575,19 @@ mod tests {
         assert_eq!(g.edge_id(1, 0), Some(0));
         assert_eq!(g.port_to(0, 2), Some(1));
         assert_eq!(g.port_to(1, 1), None);
+        assert_eq!(g.port_to(1, 9), None);
+    }
+
+    #[test]
+    fn port_to_resolves_through_the_sparser_endpoint() {
+        // Star: the hub query takes the leaf's O(1) list either way around.
+        let g = Graph::from_edges(5, &[(0, 1), (0, 2), (0, 3), (0, 4)]).unwrap();
+        for leaf in 1..5 {
+            let p = g.port_to(0, leaf).unwrap();
+            assert_eq!(g.neighbor(0, p), leaf);
+            assert_eq!(g.port_to(leaf, 0), Some(0));
+        }
+        assert_eq!(g.port_to(1, 2), None);
     }
 
     #[test]

@@ -76,6 +76,14 @@ impl IdAssignment {
         self.ids.iter()
     }
 
+    /// The identifiers as a node-indexed slice — the zero-copy view the
+    /// simulator reads per-activation instead of materializing a per-node
+    /// `Option<Id>` column.
+    #[inline]
+    pub fn as_slice(&self) -> &[Id] {
+        &self.ids
+    }
+
     /// The node index holding the minimum identifier.
     pub fn argmin(&self) -> NodeId {
         self.ids

@@ -41,6 +41,8 @@ pub mod dumbbell;
 pub mod gen;
 mod graph;
 mod ids;
+pub mod topo;
 
 pub use graph::{EdgeId, Graph, GraphError, NodeId, Port};
 pub use ids::{Id, IdAssignment, IdSpace};
+pub use topo::{ImplicitTopology, Topology};

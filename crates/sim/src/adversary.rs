@@ -58,7 +58,7 @@
 
 use crate::engine::splitmix64;
 use std::collections::{BTreeMap, BTreeSet};
-use ule_graph::{Graph, NodeId};
+use ule_graph::{NodeId, Topology};
 
 /// Domain-separation tag for the [`BoundedDelay`] delay stream (distinct
 /// from per-node RNG streams, which chain over node indices).
@@ -227,7 +227,7 @@ impl LinkFailure {
     /// # Panics
     ///
     /// Panics when a scheduled edge is not an edge of `graph`.
-    pub fn new(graph: &Graph, schedule: &[((NodeId, NodeId), u64)]) -> LinkFailure {
+    pub fn new<T: Topology>(graph: &T, schedule: &[((NodeId, NodeId), u64)]) -> LinkFailure {
         let mut death = BTreeMap::new();
         for &((u, v), r) in schedule {
             assert!(
@@ -370,11 +370,11 @@ impl Adversary {
     ///
     /// Panics when a crash schedule names a node outside the graph or a
     /// link-failure schedule names a non-edge.
-    pub fn build(&self, seed: u64, graph: &Graph) -> Box<dyn Schedule> {
+    pub fn build<T: Topology>(&self, seed: u64, graph: &T) -> Box<dyn Schedule> {
         match self {
             Adversary::Lockstep => Box::new(Lockstep),
             Adversary::BoundedDelay { max_delay } => Box::new(BoundedDelay::new(seed, *max_delay)),
-            Adversary::CrashStop { schedule } => Box::new(CrashStop::new(graph.len(), schedule)),
+            Adversary::CrashStop { schedule } => Box::new(CrashStop::new(graph.n(), schedule)),
             Adversary::LinkFailure { schedule } => Box::new(LinkFailure::new(graph, schedule)),
             Adversary::Compose(parts) => Box::new(Compose::new(
                 parts.iter().map(|p| p.build(seed, graph)).collect(),

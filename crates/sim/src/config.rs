@@ -188,6 +188,14 @@ pub struct SimConfig {
     /// failures. Seeded by [`SimConfig::seed`] and deterministic at any
     /// thread count — see [`crate::adversary`].
     pub adversary: Adversary,
+    /// Whether to materialize the per-directed-edge statistics arrays
+    /// ([`crate::RunOutcome::first_directed_use`] and
+    /// [`crate::RunOutcome::directed_message_counts`], `O(m)` memory
+    /// each). Default `true` — the historical behaviour. Disabling them
+    /// empties both arrays in the outcome and is the memory-diet setting
+    /// for runs whose graph is too large to afford `2m` extra words;
+    /// everything else in the outcome is unaffected.
+    pub edge_stats: bool,
 }
 
 impl Default for SimConfig {
@@ -202,6 +210,7 @@ impl Default for SimConfig {
             watch_edges: Vec::new(),
             parallelism: Parallelism::Auto,
             adversary: Adversary::Lockstep,
+            edge_stats: true,
         }
     }
 }
@@ -267,6 +276,13 @@ impl SimConfig {
     /// Builder-style: set the execution-model adversary.
     pub fn with_adversary(mut self, adversary: Adversary) -> Self {
         self.adversary = adversary;
+        self
+    }
+
+    /// Builder-style: enable or disable the per-directed-edge statistics
+    /// arrays (default on; see [`SimConfig::edge_stats`]).
+    pub fn with_edge_stats(mut self, edge_stats: bool) -> Self {
+        self.edge_stats = edge_stats;
         self
     }
 }
@@ -348,6 +364,13 @@ impl SimConfigBuilder {
         self
     }
 
+    /// Per-directed-edge statistics arrays (default on; see
+    /// [`SimConfig::edge_stats`]).
+    pub fn edge_stats(mut self, edge_stats: bool) -> Self {
+        self.config.edge_stats = edge_stats;
+        self
+    }
+
     /// Returns the finished configuration. Infallible: graph-dependent
     /// validation (wakeup sets, watch edges, adversary schedules) happens
     /// at run start, where the graph is known.
@@ -391,6 +414,7 @@ mod tests {
         assert!(matches!(cfg.ids, IdMode::Anonymous));
         assert_eq!(cfg.parallelism, Parallelism::Auto);
         assert_eq!(cfg.adversary, Adversary::Lockstep);
+        assert!(cfg.edge_stats);
     }
 
     #[test]
@@ -448,9 +472,11 @@ mod tests {
             .wakeup(Wakeup::Adversarial(vec![0]))
             .parallelism(Parallelism::Off)
             .adversary(Adversary::BoundedDelay { max_delay: 1 })
+            .edge_stats(false)
             .watching(&[(0, 1)])
             .build();
         assert_eq!(cfg.seed, 3);
+        assert!(!cfg.edge_stats);
         assert_eq!(cfg.knowledge.n, Some(9));
         assert_eq!(cfg.max_rounds, 50);
         assert_eq!(cfg.model, Model::Local);

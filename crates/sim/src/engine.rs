@@ -14,6 +14,12 @@
 //! steps and how staged sends reach their destination inboxes: the active
 //! set, the wakeup heap, fast-forward, and the shard/merge machinery.
 //!
+//! The engine is generic over [`Topology`], so the structured families run
+//! off `O(1)`-memory procedural topologies ([`ule_graph::ImplicitTopology`])
+//! with no CSR arrays at all; a materialized [`ule_graph::Graph`] is just
+//! the `Topology` everybody else passes. Monomorphization keeps the
+//! neighbour-resolution arithmetic inline either way.
+//!
 //! # Event-driven scheduling
 //!
 //! The paper's algorithms are mostly *sparsely active* — the Theorem 4.1
@@ -39,17 +45,28 @@
 //! deterministic and `RunOutcome`s are reproducible across engine versions
 //! (see `tests/scheduler_equivalence.rs`).
 //!
-//! # Flat-memory hot path
+//! # Flat-memory hot path, on a diet
 //!
-//! The per-round machinery walks flat arrays, not pointer-chased trees:
-//! deliveries queue in the ledger's [`crate::calendar::CalendarQueue`]
-//! (a power-of-two ring of buckets indexed by `delivery_round & mask`,
-//! with a `BTreeMap` overflow tier only for deliveries beyond the ring
-//! horizon), node bookkeeping is struct-of-arrays
-//! ([`crate::exec::NodeStore`]: timers, started bits, statuses and
-//! inboxes as parallel flat arrays), and the sharded path's per-shard
-//! outboxes and scratch buffers are arenas owned by the engine and reused
-//! across rounds — a steady-state round allocates nothing per message.
+//! The per-round machinery walks flat arrays, not pointer-chased trees,
+//! and the per-node footprint is kept to scalar columns so graph-scale
+//! runs fit in memory:
+//!
+//! * deliveries queue in the ledger's [`crate::calendar::CalendarQueue`]
+//!   (a power-of-two ring of buckets indexed by `delivery_round & mask`,
+//!   with a `BTreeMap` overflow tier only for deliveries beyond the ring
+//!   horizon), with destination and port compacted to `u32`;
+//! * the round's inbound messages live in a shared **inbox arena** — one
+//!   `u32` slot per node threading a linked chain through a single
+//!   message pool — instead of `n` separate `Vec` inboxes (24 bytes per
+//!   node of pointer triple, plus per-node heap blocks);
+//! * node bookkeeping is struct-of-arrays ([`crate::exec::NodeStore`]):
+//!   timers are a dense `u64` column (`NO_WAKE` sentinel, not
+//!   `Option<u64>`), started bits live in an engine-owned bitmap (one
+//!   bit per node), statuses are one byte per node, and the RNG column
+//!   starts lazy — materialized only if some node actually draws;
+//! * the sharded path's per-shard outboxes and scratch buffers are arenas
+//!   owned by the engine and reused across rounds — a steady-state round
+//!   allocates nothing per message.
 //!
 //! # Round counting under fast-forward
 //!
@@ -67,15 +84,16 @@
 //! in shard order reproduces the sequential ascending-node-index order);
 //! each shard steps its nodes into a *shard-local* outbox arena — protocol
 //! execution, coin flips, and message construction all run off the main
-//! thread — and then a sequential **merge phase** walks the shards in
-//! stable shard order, performing every piece of global accounting
-//! (message/bit totals, CONGEST checks, watch-edge crossings with their
-//! `messages_before` counts, per-directed-edge statistics, wakeup-heap
-//! pushes, inbox delivery, next-round activation) exactly as the
-//! sequential engine interleaves it. Because node state (including each
-//! node's private RNG) is owned by its shard and the merge order equals
-//! the sequential order, a run is **byte-for-byte identical at any thread
-//! count** — `Parallelism::Off` remains the reference code path, and
+//! thread, reading the round's deliveries from the shared inbox arena —
+//! and then a sequential **merge phase** walks the shards in stable shard
+//! order, performing every piece of global accounting (message/bit totals,
+//! CONGEST checks, watch-edge crossings with their `messages_before`
+//! counts, per-directed-edge statistics, wakeup-heap pushes, inbox
+//! delivery, next-round activation) exactly as the sequential engine
+//! interleaves it. Because node state (including each node's private RNG)
+//! is owned by its shard and the merge order equals the sequential order,
+//! a run is **byte-for-byte identical at any thread count** —
+//! `Parallelism::Off` remains the reference code path, and
 //! `tests/scheduler_equivalence.rs` pins the parallel engine against it.
 //! Rounds whose active set is too small to amortize thread coordination
 //! are stepped inline on the main thread (same code as `Off`).
@@ -84,8 +102,8 @@ use crate::adversary::Schedule;
 use crate::config::SimConfig;
 pub(crate) use crate::exec::splitmix64;
 use crate::exec::{
-    init_store, step_node, validate_wakeup, Ledger, LedgerSink, ShardOut, StepScratch,
-    StoreSliceMut,
+    ids_slice, init_store, step_node, validate_wakeup, InboxArena, Ledger, LedgerSink, RngCol,
+    RunCtx, ShardOut, StepScratch, StoreSliceMut, NO_WAKE,
 };
 #[allow(unused_imports)] // re-exported for in-crate users of the old paths
 pub use crate::exec::{node_rng_seed, RunOutcome, Termination, WatchHit};
@@ -93,7 +111,33 @@ use crate::protocol::{NodeSetup, Protocol};
 use rand::rngs::StdRng;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
-use ule_graph::{Graph, NodeId};
+use ule_graph::{NodeId, Port, Topology};
+
+/// One bit per node: has this node ever been activated? Replaces the
+/// byte-per-node `started` column (a `Vec<bool>`), and — because within a
+/// round every active node steps exactly once — can be updated *after*
+/// the stepping loop, which is what lets shard threads share it immutably.
+struct Bitmap {
+    words: Vec<u64>,
+}
+
+impl Bitmap {
+    fn new(n: usize) -> Self {
+        Bitmap {
+            words: vec![0u64; n.div_ceil(64)],
+        }
+    }
+
+    #[inline]
+    fn get(&self, i: usize) -> bool {
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    #[inline]
+    fn set(&mut self, i: usize) {
+        self.words[i / 64] |= 1 << (i % 64);
+    }
+}
 
 /// Steps the active nodes of one shard for one round.
 ///
@@ -101,35 +145,47 @@ use ule_graph::{Graph, NodeId};
 /// range, offset by `base` (`nodes` are ascending global indices, all
 /// within `base..base + store len`). Mirrors the sequential stepping loop
 /// exactly, except that global accounting is deferred to the merge phase
-/// via `out`. `scratch` and `out` are per-shard arenas owned by the
-/// caller, reused across rounds.
-fn step_shard<P: Protocol>(
-    graph: &Graph,
+/// via `out`. `scratch`, `inbox_buf` and `out` are per-shard arenas owned
+/// by the caller, reused across rounds; `arena` and `started` are the
+/// round's shared read-only delivery and first-activation state.
+#[allow(clippy::too_many_arguments)] // engine-internal; mirrors the inline loop's locals
+fn step_shard<T: Topology, P: Protocol>(
+    rc: &RunCtx<'_, T>,
     round: u64,
     base: NodeId,
     mut store: StoreSliceMut<'_, P>,
     nodes: &[NodeId],
+    arena: &InboxArena<P::Msg>,
+    started: &Bitmap,
+    inbox_buf: &mut Vec<(Port, P::Msg)>,
     scratch: &mut StepScratch<P::Msg>,
     out: &mut ShardOut<P::Msg>,
 ) {
     for &v in nodes {
+        inbox_buf.clear();
+        arena.fill(v, inbox_buf);
         let effects = step_node(
-            graph,
+            rc,
             round,
             v,
             &mut store,
             v - base,
+            !started.get(v),
+            inbox_buf,
             scratch,
             &mut out.sends,
         );
         if let Some(w) = effects.rearmed {
             out.wakes.push((w, v));
         }
+        if let Some(rng) = effects.drew {
+            out.drawn.push((v, rng));
+        }
         out.status_changed |= effects.status_changed;
     }
 }
 
-/// Runs `factory`-created protocol instances on `graph` under `config`.
+/// Runs `factory`-created protocol instances on `topo` under `config`.
 ///
 /// This is the engine behind [`crate::Runner`] on
 /// [`crate::RuntimeKind::Sim`]; see the `Runner` docs for the public
@@ -139,7 +195,8 @@ fn step_shard<P: Protocol>(
 /// Under [`crate::Parallelism`] settings other than `Off`, rounds with enough
 /// active nodes are stepped by several shard threads and merged
 /// deterministically (see the module docs); the outcome is byte-for-byte
-/// identical at any thread count.
+/// identical at any thread count — and identical between a materialized
+/// [`ule_graph::Graph`] and the equivalent implicit topology.
 ///
 /// # Panics
 ///
@@ -149,20 +206,27 @@ fn step_shard<P: Protocol>(
 /// [`crate::Adversary`] schedule naming an out-of-range node or a
 /// non-edge), or on protocol API misuse (double-send on a port, past
 /// wakeups).
-pub(crate) fn run_sim<P, F>(graph: &Graph, config: &SimConfig, factory: F) -> RunOutcome
+pub(crate) fn run_sim<T, P, F>(topo: &T, config: &SimConfig, factory: F) -> RunOutcome
 where
+    T: Topology,
     P: Protocol,
     F: FnMut(NodeId, &NodeSetup, &mut StdRng) -> P,
 {
-    let n = graph.len();
+    let n = topo.n();
     let threads = config.parallelism.effective_threads(n);
     let min_shard_nodes = config.parallelism.min_shard_nodes();
 
-    let mut store = init_store(graph, config, factory);
+    let mut store = init_store(topo, config, factory);
+    let rc = RunCtx {
+        topo,
+        ids: ids_slice(config, n),
+        knowledge: config.knowledge,
+        seed: config.seed,
+    };
 
     // Pending wakeups, min-first. Entries are lazily invalidated: an entry
-    // `(w, v)` is genuine iff `store.wake[v] == Some(w)` when popped (a
-    // node that re-arms its timer leaves the superseded entry behind).
+    // `(w, v)` is genuine iff `store.wake[v] == w` when popped (a node
+    // that re-arms its timer leaves the superseded entry behind).
     let mut wake_heap: BinaryHeap<Reverse<(u64, NodeId)>> = BinaryHeap::new();
 
     // Legacy wakeup validation: the panic messages are part of the API.
@@ -178,30 +242,42 @@ where
     // semantics (pinned by `tests/properties.rs`).
     let mut wakeup_schedule = config.wakeup.as_schedule();
 
-    let mut ledger: Ledger<P::Msg> = Ledger::new(graph, config);
+    let mut ledger: Ledger<P::Msg> = Ledger::new(topo, config);
 
     let mut last_status_change: Option<u64> = None;
     let mut round_totals: Vec<(u64, u64)> = Vec::new();
 
     let mut scratch: StepScratch<P::Msg> = StepScratch::default();
+    let mut inbox_buf: Vec<(Port, P::Msg)> = Vec::new();
     // Per-shard arenas for the parallel path, reused across rounds: a
     // steady-state sharded round reuses each shard's send/wake capacity
-    // and scratch buffers instead of allocating fresh ones.
+    // and scratch/inbox buffers instead of allocating fresh ones.
     let mut outs: Vec<ShardOut<P::Msg>> = (0..threads).map(|_| ShardOut::new()).collect();
     let mut scratches: Vec<StepScratch<P::Msg>> =
         (0..threads).map(|_| StepScratch::default()).collect();
+    let mut bufs: Vec<Vec<(Port, P::Msg)>> = (0..threads).map(|_| Vec::new()).collect();
     // The round's active set (small for sparse protocols) and the dedup
     // bitmap guarding it; due deliveries and wakeups join at the top of
     // the loop.
     let mut active: Vec<NodeId> = Vec::new();
     let mut in_active: Vec<bool> = vec![false; n];
+    // The shared two-round delivery arena and the ever-started bitmap.
+    // `prepared` is the round whose calendar bucket was pre-drained into
+    // the arena's *next* side (`u64::MAX` = none): it is set just before
+    // a round steps and consumed by the rotation at the top of the next
+    // iteration, so at the loop head it is either `MAX` or `== round`.
+    let mut arena: InboxArena<P::Msg> = InboxArena::new(n);
+    let mut prepared: u64 = u64::MAX;
+    let mut started = Bitmap::new(n);
+    // Lazy-RNG draws observed this round (empty once the column is dense).
+    let mut drawn: Vec<(NodeId, StdRng)> = Vec::new();
 
     // Arm the spontaneous wakeups the schedule grants. Round-0 wakeups
     // seed the active set directly: routing them through the heap would be
     // wasted work (under simultaneous wakeup that is n pushes + n pops),
-    // and the round-0 execution clears the `wake = Some(0)` markers before
-    // any heap lookup could expect entries for them. A node that crashes
-    // at or before its wakeup round never participates at all.
+    // and the round-0 execution clears the `wake = 0` markers before any
+    // heap lookup could expect entries for them. A node that crashes at or
+    // before its wakeup round never participates at all.
     #[allow(clippy::needless_range_loop)] // v is a node id indexing parallel columns
     for v in 0..n {
         // The Compose rule for wakeups, inlined over the two-schedule
@@ -218,7 +294,7 @@ where
                     continue;
                 }
             }
-            store.wake[v] = Some(w);
+            store.wake[v] = w;
             if w == 0 {
                 if !in_active[v] {
                     in_active[v] = true;
@@ -241,24 +317,36 @@ where
         }
 
         // Deliver every message due this round and schedule the
-        // recipients. `advance_to` anchors the calendar ring at the
-        // current round (migrating any overflow-tier deliveries that just
-        // entered the horizon); the drained bucket holds the round's
-        // messages in global send order — delayed messages queued in
-        // earlier rounds precede last round's synchronous batch, each in
-        // send order. Deliveries into crashed nodes were already discarded
-        // at fate time.
+        // recipients. The common case was staged while the previous round
+        // stepped: its bucket was pre-drained into the arena's *next*
+        // side and the synchronous sends appended directly behind it
+        // (`prepared == round`), so this round's bucket is already empty.
+        // Only after a fast-forward jump does the bucket still hold the
+        // round's deliveries — drain it into *next* here, in global send
+        // order (deliveries into crashed nodes were already discarded at
+        // fate time). Either way one rotation promotes *next* to the
+        // round being stepped, and the arena chains preserve send order
+        // per destination.
         ledger.queue.advance_to(round);
         if ledger.queue.next_event_round() == Some(round) {
+            debug_assert!(
+                prepared != round,
+                "a prepared round's bucket must have been pre-drained"
+            );
             let mut batch = ledger.queue.take_at(round);
             for (dest, port, msg) in batch.drain(..) {
-                store.inboxes[dest].push((port, msg));
-                if !in_active[dest] {
-                    in_active[dest] = true;
-                    active.push(dest);
-                }
+                arena.deliver_next(dest as usize, port, msg);
             }
             ledger.queue.recycle(batch);
+        }
+        prepared = u64::MAX;
+        arena.rotate();
+        for &d in arena.recipients() {
+            let d = d as usize;
+            if !in_active[d] {
+                in_active[d] = true;
+                active.push(d);
+            }
         }
 
         // Admit every wakeup due this round; drop superseded entries.
@@ -270,7 +358,7 @@ where
                 break;
             }
             wake_heap.pop();
-            if store.wake[v] == Some(w) && !in_active[v] {
+            if store.wake[v] == w && !in_active[v] {
                 in_active[v] = true;
                 active.push(v);
             }
@@ -282,7 +370,7 @@ where
             let next_delivery = ledger.queue.next_event_round();
             let mut next_wake = None;
             while let Some(&Reverse((w, v))) = wake_heap.peek() {
-                if store.wake[v] != Some(w) {
+                if store.wake[v] != w {
                     wake_heap.pop();
                     continue;
                 }
@@ -324,6 +412,22 @@ where
             1
         };
 
+        // Stage the next round before stepping: messages already queued
+        // for `round + 1` (delayed fates decided in earlier rounds) go
+        // into the arena's *next* side first, in push order; the stepping
+        // below appends its synchronous sends directly behind them —
+        // reproducing exactly the order the calendar bucket used to hold.
+        // Synchronous sends thereby skip the queue entirely, so at burst
+        // scale no round's messages are ever held twice.
+        prepared = round + 1;
+        if ledger.queue.next_event_round() == Some(round + 1) {
+            let mut batch = ledger.queue.take_at(round + 1);
+            for (dest, port, msg) in batch.drain(..) {
+                arena.deliver_next(dest as usize, port, msg);
+            }
+            ledger.queue.recycle(batch);
+        }
+
         if shards > 1 {
             // Contiguous chunks of the sorted active list: shard s covers
             // an ascending, disjoint node-index range, so handing each
@@ -335,26 +439,40 @@ where
             std::thread::scope(|scope| {
                 let mut rest = store.as_mut();
                 let mut base: NodeId = 0;
-                for ((nodes, out), scratch) in active
+                let rc_ref = &rc;
+                let arena_ref = &arena;
+                let started_ref = &started;
+                for (((nodes, out), scratch), buf) in active
                     .chunks(chunk)
                     .zip(outs.iter_mut())
                     .zip(scratches.iter_mut())
+                    .zip(bufs.iter_mut())
                 {
                     let hi = nodes[nodes.len() - 1] + 1;
                     let (mine, rem) = rest.split_at_mut(hi - base);
                     rest = rem;
                     let lo = base;
                     base = hi;
-                    let graph_ref = graph;
-                    scope
-                        .spawn(move || step_shard(graph_ref, round, lo, mine, nodes, scratch, out));
+                    scope.spawn(move || {
+                        step_shard(
+                            rc_ref, round, lo, mine, nodes, arena_ref, started_ref, buf, scratch,
+                            out,
+                        )
+                    });
                 }
             });
+            // Every inbox was cloned into a shard buffer during the
+            // scope, so the round's chains are dead: return them to the
+            // pool before the merge routes this round's sends, letting
+            // the entries be reused in place.
+            for &v in &active {
+                arena.free(v);
+            }
             // Deterministic merge, stable shard order: all global
             // accounting — including every adversary fate decision —
             // happens here, in exactly the order the sequential engine
-            // interleaves it. Each arena is cleared (capacity kept) for
-            // the next round.
+            // interleaves it. Each shard report is cleared (capacity
+            // kept) for the next round.
             for out in &mut outs[..used] {
                 if out.status_changed {
                     last_status_change = Some(round);
@@ -367,25 +485,44 @@ where
                     match ledger.crash_round[v] {
                         Some(c) if c <= w => {
                             ledger.crash_horizon = ledger.crash_horizon.max(c);
-                            store.wake[v] = None;
+                            store.wake[v] = NO_WAKE;
                         }
                         _ => wake_heap.push(Reverse((w, v))),
                     }
                 }
                 for s in out.sends.drain(..) {
-                    ledger.record(round, s);
+                    if let Some((at, dest, port, msg)) = ledger.route(round, s) {
+                        if at == round + 1 {
+                            arena.deliver_next(dest as usize, port, msg);
+                        } else {
+                            ledger.queue.push(at, (dest, port, msg));
+                        }
+                    }
+                }
+                for (v, rng) in out.drawn.drain(..) {
+                    drawn.push((v, rng));
                 }
                 out.clear();
             }
         } else {
             let mut view = store.as_mut();
             for &v in &active {
+                inbox_buf.clear();
+                arena.fill(v, &mut inbox_buf);
+                // The inbox is cloned out; free the chain now so the
+                // node's own sends (and every later node's) reuse the
+                // entries in place.
+                arena.free(v);
+                let first = !started.get(v);
                 let effects = {
                     let mut sink = LedgerSink {
                         ledger: &mut ledger,
                         round,
+                        arena: &mut arena,
                     };
-                    step_node(graph, round, v, &mut view, v, &mut scratch, &mut sink)
+                    step_node(
+                        &rc, round, v, &mut view, v, first, &inbox_buf, &mut scratch, &mut sink,
+                    )
                 };
                 // A changed timer needs a heap entry; the stale entry for
                 // the previously armed round (if any) stays in the heap.
@@ -394,7 +531,7 @@ where
                     match ledger.crash_round[v] {
                         Some(c) if c <= w => {
                             ledger.crash_horizon = ledger.crash_horizon.max(c);
-                            view.wake[v] = None;
+                            view.wake[v] = NO_WAKE;
                         }
                         _ => wake_heap.push(Reverse((w, v))),
                     }
@@ -402,13 +539,32 @@ where
                 if effects.status_changed {
                     last_status_change = Some(round);
                 }
+                if let Some(rng) = effects.drew {
+                    drawn.push((v, rng));
+                }
             }
         }
 
+        // Everyone active this round has now run once: set their started
+        // bits and release their dedup flags. (The round's inbox chains
+        // were already freed at fill time; the rotation at the top of the
+        // next iteration promotes the staged side.)
         for &v in &active {
+            started.set(v);
             in_active[v] = false;
         }
         active.clear();
+        // First draws observed on a lazy RNG column: materialize it (all
+        // other nodes are still pristine, so fresh streams are exact) and
+        // persist the drawn states.
+        if !drawn.is_empty() {
+            store.densify_rngs(config.seed);
+            if let RngCol::Dense(dense) = &mut store.rngs {
+                for (v, rng) in drawn.drain(..) {
+                    dense[v] = rng;
+                }
+            }
+        }
 
         round_totals.push((round, ledger.messages));
         round += 1;
@@ -431,7 +587,7 @@ mod tests {
     use crate::config::{Model, Parallelism, SimConfig, Wakeup};
     use crate::message::{id_bits, Message, Signal};
     use crate::protocol::{Context, Knowledge, Protocol, Status};
-    use ule_graph::{gen, IdAssignment};
+    use ule_graph::{gen, IdAssignment, ImplicitTopology};
 
     /// Floods the maximum identifier for `deadline` rounds (mini FloodMax).
     #[derive(Debug)]
@@ -1156,5 +1312,150 @@ mod tests {
         );
         assert_eq!(par, seq);
         assert!(par.watch_hits.iter().all(Option::is_some));
+    }
+
+    #[test]
+    fn implicit_topology_matches_the_materialized_graph() {
+        // The same run on the procedural cycle and on its CSR
+        // materialization must agree field for field, inline and sharded.
+        let g = gen::cycle(16).unwrap();
+        let t = ImplicitTopology::Cycle { n: 16 };
+        let mk = |_: NodeId, _: &NodeSetup, _: &mut StdRng| MiniFloodMax {
+            best: 0,
+            deadline: 12,
+            decided: Status::Undecided,
+        };
+        for cfg in [
+            flood_cfg(16, 12, 9),
+            flood_cfg(16, 12, 9).with_parallelism(Parallelism::Threads(3)),
+            flood_cfg(16, 12, 9).with_adversary(crate::adversary::Adversary::BoundedDelay {
+                max_delay: 2,
+            }),
+        ] {
+            assert_eq!(run(&t, &cfg, mk), run(&g, &cfg, mk));
+        }
+    }
+
+    #[test]
+    fn edge_stats_off_empties_only_the_per_edge_arrays() {
+        use crate::adversary::Adversary;
+        let g = gen::cycle(10).unwrap();
+        let mk = |_: NodeId, _: &NodeSetup, _: &mut StdRng| MiniFloodMax {
+            best: 0,
+            deadline: 8,
+            decided: Status::Undecided,
+        };
+        let blank = |mut o: RunOutcome| {
+            o.first_directed_use = Vec::new();
+            o.directed_message_counts = Vec::new();
+            o
+        };
+        let on = run(&g, &flood_cfg(10, 8, 2), mk);
+        assert!(!on.first_directed_use.is_empty());
+        let off = run(&g, &flood_cfg(10, 8, 2).with_edge_stats(false), mk);
+        assert!(off.first_directed_use.is_empty());
+        assert!(off.directed_message_counts.is_empty());
+        assert_eq!(off, blank(on));
+        // Asynchronous fates consume per-edge send indices internally even
+        // when the outcome omits the arrays — delays must be unchanged.
+        let adv = Adversary::BoundedDelay { max_delay: 3 };
+        let don = run(&g, &flood_cfg(10, 8, 2).with_adversary(adv.clone()), mk);
+        let doff = run(
+            &g,
+            &flood_cfg(10, 8, 2)
+                .with_adversary(adv)
+                .with_edge_stats(false),
+            mk,
+        );
+        assert_eq!(doff, blank(don));
+    }
+
+    /// Draws from the node RNG only from round 2 on, so the lazy column
+    /// densifies mid-run; each draw is checked against the values a
+    /// pristine stream yields, pinning that lazy derivation plus the
+    /// densify write-back reproduce a dense column's streams exactly.
+    struct LateCoin {
+        expect: [u64; 2],
+        got: u64,
+        done: bool,
+    }
+    impl Protocol for LateCoin {
+        type Msg = Signal;
+        fn on_round(&mut self, ctx: &mut Context<'_, Signal>, _inbox: &[(usize, Signal)]) {
+            use rand::Rng;
+            match ctx.round() {
+                0 | 1 => ctx.wake_next(),
+                2 => {
+                    if ctx.rng().gen::<u64>() == self.expect[0] {
+                        self.got += 1;
+                    }
+                    ctx.wake_next();
+                }
+                3 => {
+                    if ctx.rng().gen::<u64>() == self.expect[1] {
+                        self.got += 1;
+                    }
+                    self.done = true;
+                }
+                r => panic!("unexpected activation at round {r}"),
+            }
+        }
+        fn status(&self) -> Status {
+            if self.done && self.got == 2 {
+                Status::NonLeader
+            } else {
+                Status::Undecided
+            }
+        }
+    }
+
+    #[test]
+    fn lazy_rng_column_densifies_with_exact_streams() {
+        use rand::Rng;
+        let g = gen::cycle(8).unwrap();
+        let cfg = SimConfig::seeded(77).with_max_rounds(100);
+        // The factory snapshots the stream's first two values *without*
+        // drawing from the real RNG (a clone draws instead), so the store
+        // stays lazy until the protocols draw at rounds 2 and 3.
+        let mk = |_: NodeId, _: &NodeSetup, rng: &mut StdRng| {
+            let mut probe = rng.clone();
+            LateCoin {
+                expect: [probe.gen(), probe.gen()],
+                got: 0,
+                done: false,
+            }
+        };
+        let out = run(&g, &cfg, mk);
+        assert_eq!(
+            out.undecided_count(),
+            0,
+            "every node's lazy draws must match its pristine stream"
+        );
+        // And the whole thing is thread-count invariant.
+        let par = run(&g, &cfg.clone().with_parallelism(Parallelism::Threads(3)), mk);
+        assert_eq!(par, out);
+    }
+
+    /// Factories that draw densify the column at init time.
+    #[test]
+    fn factory_draws_densify_at_init() {
+        use rand::Rng;
+        let g = gen::cycle(6).unwrap();
+        let cfg = SimConfig::seeded(5).with_max_rounds(100);
+        // Node 3's factory draws; later factories continue on a dense
+        // column. Each node then verifies its post-factory stream state.
+        let mk = |v: NodeId, _: &NodeSetup, rng: &mut StdRng| {
+            if v >= 3 {
+                let _burn: u64 = rng.gen();
+            }
+            let mut probe = rng.clone();
+            LateCoin {
+                expect: [probe.gen(), probe.gen()],
+                got: 0,
+                done: false,
+            }
+        };
+        let out = run(&g, &cfg, mk);
+        assert_eq!(out.undecided_count(), 0);
     }
 }

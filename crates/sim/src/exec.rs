@@ -7,20 +7,26 @@
 //!
 //! * **node-state storage** — `NodeStore`: struct-of-arrays bookkeeping
 //!   for every node (protocol instances, private RNG streams seeded by
-//!   [`node_rng_seed`], setups, wakeup timers, inboxes and statuses as
-//!   parallel flat arrays), constructed identically by every runtime
-//!   (`init_store`) and sliced contiguously across shard/worker threads
-//!   (`StoreSliceMut`);
+//!   [`node_rng_seed`], wakeup timers and statuses as parallel flat
+//!   arrays), constructed identically by every runtime (`init_store`) and
+//!   sliced contiguously across shard/worker threads (`StoreSliceMut`).
+//!   The store is on a memory diet for graph-scale runs: per-node setups
+//!   are rebuilt on the stack from a shared `RunCtx` at each activation,
+//!   timers are a dense `u64` column with a `NO_WAKE` sentinel, and the
+//!   RNG column starts lazy (`RngCol::Lazy`) — nothing is allocated until some
+//!   node actually draws (most deterministic protocols never do);
 //! * **protocol stepping** — `step_node`: the one activation sequence
-//!   (clear a due timer, consume the inbox in place, run `on_round`,
-//!   report re-armed timers and status changes, stage sends),
-//!   parameterized over a `SendSink` so each runtime decides where staged
-//!   sends go without re-implementing the stepping rules;
+//!   (clear a due timer, hand the caller-gathered inbox to the protocol,
+//!   run `on_round`, report re-armed timers and status changes, stage
+//!   sends), parameterized over a `SendSink` so each runtime decides where
+//!   staged sends go without re-implementing the stepping rules, and over
+//!   a [`Topology`] so implicit (procedural) graphs never materialize;
 //! * **message accounting** — `Ledger`: message/bit totals, CONGEST
-//!   budget checks, per-directed-edge statistics, watch-edge crossings,
-//!   adversary fates, and delivery queueing through a flat
-//!   [`CalendarQueue`] (ring buffer for the near-future window, `BTreeMap`
-//!   overflow tier for far-future deliveries);
+//!   budget checks, per-directed-edge statistics (lazily allocated, see
+//!   [`crate::SimConfig::edge_stats`]), watch-edge crossings, adversary
+//!   fates, and delivery queueing through a flat [`CalendarQueue`] (ring
+//!   buffer for the near-future window, `BTreeMap` overflow tier for
+//!   far-future deliveries);
 //! * **outcome assembly** — [`RunOutcome`] and the final crash/termination
 //!   bookkeeping (`Ledger::finish`).
 //!
@@ -38,12 +44,12 @@ use crate::adversary::{Adversary, Fate, Schedule, SendView};
 use crate::calendar::CalendarQueue;
 use crate::config::{IdMode, SimConfig, Wakeup};
 use crate::message::Message;
-use crate::protocol::{Context, NodeSetup, Protocol, Status};
+use crate::protocol::{Context, Knowledge, NodeSetup, Protocol, Status};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 // ule-lint: allow(unordered-iter, reason = "HashMap import used only for watch_index, which is lookup-only (see its suppressions)")
 use std::collections::HashMap;
-use ule_graph::{Graph, NodeId, Port};
+use ule_graph::{Id, NodeId, Port, Topology};
 
 /// Why the run stopped.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -89,10 +95,12 @@ pub struct RunOutcome {
     /// crossing, if any.
     pub watch_hits: Vec<Option<WatchHit>>,
     /// Round of first use of each directed edge (`u64::MAX` = never),
-    /// indexed by [`Graph::directed_index`]. Drives the Lemma 3.5
-    /// edge-ordering experiment.
+    /// indexed by [`ule_graph::Graph::directed_index`]. Drives the
+    /// Lemma 3.5 edge-ordering experiment. Empty when the run disabled
+    /// per-edge statistics ([`crate::SimConfig::edge_stats`]).
     pub first_directed_use: Vec<u64>,
-    /// Message count per directed edge, same indexing.
+    /// Message count per directed edge, same indexing (and same
+    /// [`crate::SimConfig::edge_stats`] caveat).
     pub directed_message_counts: Vec<u64>,
     /// The last round in which any node changed status (`None` if no node
     /// ever decided).
@@ -208,22 +216,100 @@ pub fn node_rng_seed(seed: u64, node: NodeId) -> u64 {
     splitmix64(splitmix64(seed).wrapping_add(node as u64))
 }
 
+/// Sentinel in the dense wakeup column meaning "no timer armed". A
+/// protocol calling `wake_at(u64::MAX)` is asking never to be woken, which
+/// is exactly what the sentinel encodes, so [`step_node`] normalizes that
+/// request to a disarmed timer.
+pub(crate) const NO_WAKE: u64 = u64::MAX;
+
+/// Run-wide facts shared by every activation: the topology, the
+/// identifier column (a zero-copy view into the configured
+/// [`ule_graph::IdAssignment`]), the knowledge grant, and the run seed
+/// (for deriving RNG streams lazily). `step_node` rebuilds a node's
+/// [`NodeSetup`] on the stack from this instead of the store carrying an
+/// `n`-sized setup column.
+#[derive(Debug)]
+pub(crate) struct RunCtx<'a, T> {
+    pub(crate) topo: &'a T,
+    pub(crate) ids: Option<&'a [Id]>,
+    pub(crate) knowledge: Knowledge,
+    pub(crate) seed: u64,
+}
+
+// Manual impls: the derived ones would demand `T: Copy`, and the context
+// only holds a reference to the topology.
+impl<T> Clone for RunCtx<'_, T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for RunCtx<'_, T> {}
+
+/// The identifier column of `config` as a zero-copy slice (`None` for
+/// anonymous runs).
+///
+/// # Panics
+///
+/// Panics if an explicit assignment does not cover the graph (the panic
+/// message is part of the API, shared with [`init_store`]).
+pub(crate) fn ids_slice(config: &SimConfig, n: usize) -> Option<&[Id]> {
+    match &config.ids {
+        IdMode::Anonymous => None,
+        IdMode::Explicit(a) => {
+            assert_eq!(a.len(), n, "identifier assignment does not cover the graph");
+            Some(a.as_slice())
+        }
+    }
+}
+
+/// The per-node RNG column. Starts `Lazy` — no allocation, streams derived
+/// on the fly from [`node_rng_seed`] at each activation — and densifies to
+/// one materialized `StdRng` per node the moment any node actually draws
+/// (a drawn stream has state that must persist across activations).
+/// Deterministic protocols like FloodMax never draw, so graph-scale runs
+/// never pay the `32n`-byte column.
+pub(crate) enum RngCol {
+    /// No node has drawn yet; streams are derived per activation.
+    Lazy,
+    /// Materialized streams, one per node.
+    Dense(Vec<StdRng>),
+}
+
+/// A by-reference view of [`RngCol`] over a contiguous node range.
+pub(crate) enum RngSliceMut<'a> {
+    /// See [`RngCol::Lazy`].
+    Lazy,
+    /// See [`RngCol::Dense`].
+    Dense(&'a mut [StdRng]),
+}
+
+impl<'a> RngSliceMut<'a> {
+    fn split_at_mut(self, mid: usize) -> (RngSliceMut<'a>, RngSliceMut<'a>) {
+        match self {
+            RngSliceMut::Lazy => (RngSliceMut::Lazy, RngSliceMut::Lazy),
+            RngSliceMut::Dense(s) => {
+                let (l, r) = s.split_at_mut(mid);
+                (RngSliceMut::Dense(l), RngSliceMut::Dense(r))
+            }
+        }
+    }
+}
+
 /// Struct-of-arrays node bookkeeping: everything a runtime must store per
 /// node between activations, as parallel flat arrays indexed by node.
-/// Protocol state stays boxed behind `protos[v]` (a protocol is arbitrary
-/// user data), but the fields the scheduler actually touches per event —
-/// timers, started bits, statuses, inboxes — are contiguous, so a
-/// round's delivery/wakeup sweep walks flat memory instead of hopping
-/// through an array of structs. Runtime-independent: both the lockstep
-/// engine and the async runtime drive a `NodeStore<P>` built by
-/// [`init_store`].
+/// Protocol state stays behind `protos[v]` (a protocol is arbitrary user
+/// data); timers and statuses are dense scalar columns (`u64` with the
+/// [`NO_WAKE`] sentinel, one-byte `Status`), and the RNG column is lazy
+/// ([`RngCol`]). Per-node setups and inboxes deliberately do **not** live
+/// here: setups are rebuilt on the stack from [`RunCtx`] and inboxes are
+/// gathered per round by the runtime (the engine's inbox arena, the async
+/// runtime's per-worker calendar), so idle nodes cost 0 bytes of either.
+/// Runtime-independent: both the lockstep engine and the async runtime
+/// drive a `NodeStore<P>` built by [`init_store`].
 pub(crate) struct NodeStore<P: Protocol> {
     pub(crate) protos: Vec<P>,
-    pub(crate) setups: Vec<NodeSetup>,
-    pub(crate) rngs: Vec<StdRng>,
-    pub(crate) started: Vec<bool>,
-    pub(crate) wake: Vec<Option<u64>>,
-    pub(crate) inboxes: Vec<Vec<(Port, P::Msg)>>,
+    pub(crate) rngs: RngCol,
+    pub(crate) wake: Vec<u64>,
     pub(crate) statuses: Vec<Status>,
 }
 
@@ -232,12 +318,28 @@ impl<P: Protocol> NodeStore<P> {
     pub(crate) fn as_mut(&mut self) -> StoreSliceMut<'_, P> {
         StoreSliceMut {
             protos: &mut self.protos,
-            setups: &self.setups,
-            rngs: &mut self.rngs,
-            started: &mut self.started,
+            rngs: match &mut self.rngs {
+                RngCol::Lazy => RngSliceMut::Lazy,
+                RngCol::Dense(v) => RngSliceMut::Dense(v),
+            },
             wake: &mut self.wake,
-            inboxes: &mut self.inboxes,
             statuses: &mut self.statuses,
+        }
+    }
+
+    /// Materializes the lazy RNG column: every node gets the fresh stream
+    /// [`node_rng_seed`] derives for it. Correct exactly when no node has
+    /// drawn yet (fresh streams *are* their current state); callers that
+    /// observed a draw write the drawn state back afterwards. No-op on an
+    /// already-dense column.
+    pub(crate) fn densify_rngs(&mut self, seed: u64) {
+        if matches!(self.rngs, RngCol::Lazy) {
+            let n = self.statuses.len();
+            self.rngs = RngCol::Dense(
+                (0..n)
+                    .map(|v| StdRng::seed_from_u64(node_rng_seed(seed, v)))
+                    .collect(),
+            );
         }
     }
 }
@@ -248,11 +350,8 @@ impl<P: Protocol> NodeStore<P> {
 /// splitting a `&mut [NodeSlot]`.
 pub(crate) struct StoreSliceMut<'a, P: Protocol> {
     pub(crate) protos: &'a mut [P],
-    pub(crate) setups: &'a [NodeSetup],
-    pub(crate) rngs: &'a mut [StdRng],
-    pub(crate) started: &'a mut [bool],
-    pub(crate) wake: &'a mut [Option<u64>],
-    pub(crate) inboxes: &'a mut [Vec<(Port, P::Msg)>],
+    pub(crate) rngs: RngSliceMut<'a>,
+    pub(crate) wake: &'a mut [u64],
     pub(crate) statuses: &'a mut [Status],
 }
 
@@ -261,29 +360,20 @@ impl<'a, P: Protocol> StoreSliceMut<'a, P> {
     /// array split at the same index).
     pub(crate) fn split_at_mut(self, mid: usize) -> (StoreSliceMut<'a, P>, StoreSliceMut<'a, P>) {
         let (protos_l, protos_r) = self.protos.split_at_mut(mid);
-        let (setups_l, setups_r) = self.setups.split_at(mid);
         let (rngs_l, rngs_r) = self.rngs.split_at_mut(mid);
-        let (started_l, started_r) = self.started.split_at_mut(mid);
         let (wake_l, wake_r) = self.wake.split_at_mut(mid);
-        let (inboxes_l, inboxes_r) = self.inboxes.split_at_mut(mid);
         let (statuses_l, statuses_r) = self.statuses.split_at_mut(mid);
         (
             StoreSliceMut {
                 protos: protos_l,
-                setups: setups_l,
                 rngs: rngs_l,
-                started: started_l,
                 wake: wake_l,
-                inboxes: inboxes_l,
                 statuses: statuses_l,
             },
             StoreSliceMut {
                 protos: protos_r,
-                setups: setups_r,
                 rngs: rngs_r,
-                started: started_r,
                 wake: wake_r,
-                inboxes: inboxes_r,
                 statuses: statuses_r,
             },
         )
@@ -316,6 +406,9 @@ pub(crate) struct ShardOut<M> {
     pub(crate) sends: Vec<StagedSend<M>>,
     /// `(round, node)` wakeup-heap entries armed by this shard's nodes.
     pub(crate) wakes: Vec<(u64, NodeId)>,
+    /// Nodes that drew from a lazily-derived RNG stream this round, with
+    /// the drawn state (triggers densification at the merge).
+    pub(crate) drawn: Vec<(NodeId, StdRng)>,
     /// Whether any node in the shard changed status this round.
     pub(crate) status_changed: bool,
 }
@@ -325,6 +418,7 @@ impl<M> ShardOut<M> {
         ShardOut {
             sends: Vec::new(),
             wakes: Vec::new(),
+            drawn: Vec::new(),
             status_changed: false,
         }
     }
@@ -333,6 +427,7 @@ impl<M> ShardOut<M> {
     pub(crate) fn clear(&mut self) {
         self.sends.clear();
         self.wakes.clear();
+        self.drawn.clear();
         self.status_changed = false;
     }
 }
@@ -354,22 +449,188 @@ impl<M> SendSink<M> for Vec<StagedSend<M>> {
     }
 }
 
-/// The inline-path sink: every send goes straight to [`Ledger::record`],
-/// exactly as the historical sequential engine interleaved it.
+/// "No entry" sentinel for [`InboxArena`] chain links and slot heads.
+pub(crate) const NO_SLOT: u32 = u32::MAX;
+
+/// Entries per pool block: 64 Ki keeps blocks ≈1 MiB for an 8-byte
+/// message, so the pool grows in flat increments with no realloc copy —
+/// at burst scale (10⁷ nodes all sending at once) a doubling `Vec` would
+/// briefly hold ~1.5× the pool in live memory.
+const ARENA_CHUNK_BITS: u32 = 16;
+const ARENA_CHUNK: usize = 1 << ARENA_CHUNK_BITS;
+
+/// One queued delivery: the hearing port, the previous entry in the same
+/// inbox's chain (chains grow at the head; [`InboxArena::fill`] restores
+/// insertion order), and the message.
+struct InboxEntry<M> {
+    port: u32,
+    prev: u32,
+    msg: M,
+}
+
+/// Two rounds of inbound messages for the whole graph — the round being
+/// stepped (*cur*) and the one being staged (*next*) — as per-node chains
+/// threaded through one shared entry pool. Replaces the per-node
+/// `Vec<Vec<(Port, M)>>` inbox column — 24 bytes of pointer triple per
+/// node plus a heap block per non-empty inbox — with one `u32` head per
+/// node per side plus a pool sized by the round's message count.
+///
+/// The pool is chunked (fixed ~1 MiB blocks, never reallocated) and
+/// free-listed: the engine frees a node's chain as soon as its inbox is
+/// cloned out, so entries consumed from *cur* are immediately reused for
+/// deliveries into *next* and the pool's footprint stays at roughly one
+/// round's messages even though two rounds are addressable. A freed
+/// entry's message is dropped only on slot reuse — fine for the plain-data
+/// message types protocols send.
+///
+/// Chain order per inbox is insertion order, i.e. exactly the historical
+/// per-inbox push order (deliveries happen on the sequential control
+/// thread in global send order). Stepping threads read *cur* immutably
+/// ([`InboxArena::fill`] clones each message once into the shard's
+/// reusable inbox buffer); *next* is written only from the control thread
+/// (the inline sink, the shard merge, and the calendar drains).
+pub(crate) struct InboxArena<M> {
+    /// Fixed-size pool blocks; entry `j` lives at
+    /// `blocks[j >> CHUNK_BITS][j & (CHUNK - 1)]`.
+    blocks: Vec<Vec<InboxEntry<M>>>,
+    /// Head of the free list, threaded through `prev`.
+    free: u32,
+    /// Persistent `n × u32` chain heads for the round being stepped.
+    cur_slot: Vec<u32>,
+    /// Chain heads for the round being staged.
+    next_slot: Vec<u32>,
+    /// Nodes with at least one delivery in *cur*, in first-delivery order.
+    cur_recipients: Vec<u32>,
+    /// Nodes with at least one delivery in *next*.
+    next_recipients: Vec<u32>,
+}
+
+impl<M: Message> InboxArena<M> {
+    pub(crate) fn new(n: usize) -> Self {
+        InboxArena {
+            blocks: Vec::new(),
+            free: NO_SLOT,
+            cur_slot: vec![NO_SLOT; n],
+            next_slot: vec![NO_SLOT; n],
+            cur_recipients: Vec::new(),
+            next_recipients: Vec::new(),
+        }
+    }
+
+    /// Places `e` in a pool slot (free list first) and returns its index.
+    fn alloc(&mut self, e: InboxEntry<M>) -> u32 {
+        if self.free != NO_SLOT {
+            let j = self.free;
+            let b = (j >> ARENA_CHUNK_BITS) as usize;
+            let o = (j as usize) & (ARENA_CHUNK - 1);
+            self.free = self.blocks[b][o].prev;
+            self.blocks[b][o] = e;
+            return j;
+        }
+        if self.blocks.last().map_or(true, |b| b.len() == ARENA_CHUNK) {
+            assert!(
+                self.blocks.len() < (NO_SLOT as usize >> ARENA_CHUNK_BITS),
+                "inbox arena exhausted its u32 index space"
+            );
+            self.blocks.push(Vec::with_capacity(ARENA_CHUNK));
+        }
+        let b = self.blocks.len() - 1;
+        let block = &mut self.blocks[b];
+        let j = ((b << ARENA_CHUNK_BITS) + block.len()) as u32;
+        block.push(e);
+        j
+    }
+
+    /// Appends one delivery to `dest`'s *next*-round chain.
+    pub(crate) fn deliver_next(&mut self, dest: usize, port: u32, msg: M) {
+        let head = self.next_slot[dest];
+        if head == NO_SLOT {
+            self.next_recipients.push(dest as u32);
+        }
+        let j = self.alloc(InboxEntry {
+            port,
+            prev: head,
+            msg,
+        });
+        self.next_slot[dest] = j;
+    }
+
+    /// Promotes *next* to *cur*. The outgoing *cur* must already be fully
+    /// consumed (every chain freed); its recipient list is recycled as the
+    /// new staging list.
+    pub(crate) fn rotate(&mut self) {
+        #[cfg(debug_assertions)]
+        for &v in &self.cur_recipients {
+            debug_assert!(
+                self.cur_slot[v as usize] == NO_SLOT,
+                "arena rotated with an unconsumed inbox chain at node {v}"
+            );
+        }
+        std::mem::swap(&mut self.cur_slot, &mut self.next_slot);
+        std::mem::swap(&mut self.cur_recipients, &mut self.next_recipients);
+        self.next_recipients.clear();
+    }
+
+    /// The nodes with deliveries this round, in first-delivery order.
+    pub(crate) fn recipients(&self) -> &[u32] {
+        &self.cur_recipients
+    }
+
+    /// Clones `v`'s current-round chain into `out` in insertion order
+    /// (no-op for nodes without deliveries this round).
+    pub(crate) fn fill(&self, v: usize, out: &mut Vec<(Port, M)>) {
+        let start = out.len();
+        let mut j = self.cur_slot[v];
+        while j != NO_SLOT {
+            let e = &self.blocks[(j >> ARENA_CHUNK_BITS) as usize][(j as usize) & (ARENA_CHUNK - 1)];
+            out.push((e.port as usize, e.msg.clone()));
+            j = e.prev;
+        }
+        out[start..].reverse();
+    }
+
+    /// Returns `v`'s current-round chain to the free list (no-op when
+    /// empty). Call once the inbox has been cloned out — from this moment
+    /// the slots feed deliveries into *next*.
+    pub(crate) fn free(&mut self, v: usize) {
+        let mut j = self.cur_slot[v];
+        self.cur_slot[v] = NO_SLOT;
+        while j != NO_SLOT {
+            let b = (j >> ARENA_CHUNK_BITS) as usize;
+            let o = (j as usize) & (ARENA_CHUNK - 1);
+            let after = self.blocks[b][o].prev;
+            self.blocks[b][o].prev = self.free;
+            self.free = j;
+            j = after;
+        }
+    }
+}
+
+/// The inline-path sink: every send is routed straight through
+/// [`Ledger::route`] — synchronous fates into the arena's *next* side,
+/// delayed fates into the calendar — exactly as the historical sequential
+/// engine interleaved its accounting.
 pub(crate) struct LedgerSink<'a, M> {
     pub(crate) ledger: &'a mut Ledger<M>,
     pub(crate) round: u64,
+    pub(crate) arena: &'a mut InboxArena<M>,
 }
 
-impl<M> SendSink<M> for LedgerSink<'_, M> {
+impl<M: Message> SendSink<M> for LedgerSink<'_, M> {
     fn accept(&mut self, send: StagedSend<M>) {
-        self.ledger.record(self.round, send);
+        if let Some((at, dest, port, msg)) = self.ledger.route(self.round, send) {
+            if at == self.round + 1 {
+                self.arena.deliver_next(dest as usize, port, msg);
+            } else {
+                self.ledger.queue.push(at, (dest, port, msg));
+            }
+        }
     }
 }
 
 /// Reusable per-step buffers, so stepping a node allocates nothing in the
-/// steady state. (The inbox needs no buffer: [`step_node`] hands the
-/// node's own inbox array to the protocol in place, then clears it.)
+/// steady state. (The inbox is a separate caller-owned buffer, filled per
+/// activation and handed to [`step_node`] by shared reference.)
 pub(crate) struct StepScratch<M> {
     pub(crate) outbox: Vec<(Port, M)>,
     pub(crate) sent_on: Vec<bool>,
@@ -393,53 +654,87 @@ pub(crate) struct StepEffects {
     pub(crate) rearmed: Option<u64>,
     /// Whether the node's status changed this round.
     pub(crate) status_changed: bool,
+    /// `Some(state)` iff the store's RNG column is lazy and this node drew
+    /// from its stream — the runtime must densify the column and persist
+    /// `state` before the node's next activation. Always `None` on a dense
+    /// column (the stream mutates in place).
+    pub(crate) drew: Option<StdRng>,
 }
 
 /// Executes one activation of node `v` at `round`: the single stepping
 /// sequence every runtime shares. `i` indexes `v` within `store` (a view
-/// that may cover a sub-range of the nodes). Clears a due timer, hands the
-/// inbox to the protocol in place (no copy) and clears it afterwards, runs
-/// the protocol, reports re-armed timers and status changes, and stages
-/// each send (with its destination endpoint and wire size resolved) into
-/// `sink`, in emission order.
-pub(crate) fn step_node<P: Protocol, S: SendSink<P::Msg>>(
-    graph: &Graph,
+/// that may cover a sub-range of the nodes); `first_activation` and the
+/// gathered `inbox` are caller-provided (the runtime owns the started
+/// bitmap and the per-round inbox staging). Clears a due timer, rebuilds
+/// the node's setup on the stack from `rc`, runs the protocol, reports
+/// re-armed timers, status changes and lazy RNG draws, and stages each
+/// send (with its destination endpoint and wire size resolved through the
+/// topology) into `sink`, in emission order.
+#[allow(clippy::too_many_arguments)] // crate-internal; the args are the runtime's per-activation state
+pub(crate) fn step_node<T: Topology, P: Protocol, S: SendSink<P::Msg>>(
+    rc: &RunCtx<'_, T>,
     round: u64,
     v: NodeId,
     store: &mut StoreSliceMut<'_, P>,
     i: usize,
+    first_activation: bool,
+    inbox: &[(Port, P::Msg)],
     scratch: &mut StepScratch<P::Msg>,
     sink: &mut S,
 ) -> StepEffects {
-    if store.wake[i].is_some_and(|w| w <= round) {
-        store.wake[i] = None;
+    if store.wake[i] != NO_WAKE && store.wake[i] <= round {
+        store.wake[i] = NO_WAKE;
     }
     let armed_wake = store.wake[i];
-    let first_activation = !store.started[i];
-    store.started[i] = true;
+    let setup = NodeSetup {
+        degree: rc.topo.degree(v),
+        id: rc.ids.map(|ids| ids[v]),
+        knowledge: rc.knowledge,
+    };
 
     scratch.outbox.clear();
     scratch.sent_on.clear();
-    scratch.sent_on.resize(store.setups[i].degree, false);
-    let mut wake = store.wake[i];
+    scratch.sent_on.resize(setup.degree, false);
+    let mut wake = if armed_wake == NO_WAKE {
+        None
+    } else {
+        Some(armed_wake)
+    };
+    // With a lazy RNG column the stream is derived fresh; a pristine twin
+    // detects whether the protocol drew (in which case the worked state
+    // must be persisted by the runtime — see `StepEffects::drew`).
+    let mut lazy_rng: Option<(StdRng, StdRng)> = None;
     {
+        let rng: &mut StdRng = match &mut store.rngs {
+            RngSliceMut::Dense(s) => &mut s[i],
+            RngSliceMut::Lazy => {
+                let fresh = StdRng::seed_from_u64(node_rng_seed(rc.seed, v));
+                let slot = lazy_rng.insert((fresh.clone(), fresh));
+                &mut slot.0
+            }
+        };
         let mut ctx = Context {
             round,
-            setup: &store.setups[i],
+            setup: &setup,
             first_activation,
-            rng: &mut store.rngs[i],
+            rng,
             outbox: &mut scratch.outbox,
             sent_on: &mut scratch.sent_on,
             wake: &mut wake,
         };
-        store.protos[i].on_round(&mut ctx, &store.inboxes[i]);
+        store.protos[i].on_round(&mut ctx, inbox);
     }
-    store.inboxes[i].clear();
-    store.wake[i] = wake;
+    // `wake_at(u64::MAX)` means "never": normalize to a disarmed timer so
+    // the sentinel column cannot alias a genuine wakeup.
+    if wake == Some(u64::MAX) {
+        wake = None;
+    }
+    store.wake[i] = wake.unwrap_or(NO_WAKE);
     let rearmed = match wake {
-        Some(w) if armed_wake != Some(w) => Some(w),
+        Some(w) if armed_wake != w => Some(w),
         _ => None,
     };
+    let drew = lazy_rng.and_then(|(worked, pristine)| (worked != pristine).then_some(worked));
 
     let new_status = store.protos[i].status();
     let status_changed = new_status != store.statuses[i];
@@ -448,7 +743,7 @@ pub(crate) fn step_node<P: Protocol, S: SendSink<P::Msg>>(
     }
 
     for (port, msg) in scratch.outbox.drain(..) {
-        let (dest, dest_port, didx) = graph.endpoint_indexed(v, port);
+        let (dest, dest_port, didx) = rc.topo.endpoint_indexed(v, port);
         sink.accept(StagedSend {
             src: v,
             dest,
@@ -462,53 +757,63 @@ pub(crate) fn step_node<P: Protocol, S: SendSink<P::Msg>>(
     StepEffects {
         rearmed,
         status_changed,
+        drew,
     }
 }
 
-/// Builds the node store for a run: resolves identifiers, seeds each
-/// node's private RNG stream and calls `factory` once per node **in index
-/// order** — the order is part of the determinism contract, shared by every
-/// runtime, so a protocol's coin flips are identical wherever it runs.
+/// Builds the node store for a run: resolves identifiers and calls
+/// `factory` once per node **in index order** — the order is part of the
+/// determinism contract, shared by every runtime, so a protocol's coin
+/// flips are identical wherever it runs. The RNG column starts lazy; a
+/// factory that draws densifies it on the spot (every stream up to that
+/// node is still pristine, so fresh derivation reproduces them exactly).
 ///
 /// # Panics
 ///
 /// Panics if an explicit [`IdMode`] assignment does not cover the graph.
-pub(crate) fn init_store<P, F>(graph: &Graph, config: &SimConfig, mut factory: F) -> NodeStore<P>
+pub(crate) fn init_store<T, P, F>(topo: &T, config: &SimConfig, mut factory: F) -> NodeStore<P>
 where
+    T: Topology,
     P: Protocol,
     F: FnMut(NodeId, &NodeSetup, &mut StdRng) -> P,
 {
-    let n = graph.len();
-    let ids: Vec<Option<u64>> = match &config.ids {
-        IdMode::Anonymous => vec![None; n],
-        IdMode::Explicit(a) => {
-            assert_eq!(a.len(), n, "identifier assignment does not cover the graph");
-            a.iter().map(|&id| Some(id)).collect()
-        }
-    };
-    let mut store = NodeStore {
-        protos: Vec::with_capacity(n),
-        setups: Vec::with_capacity(n),
-        rngs: Vec::with_capacity(n),
-        started: vec![false; n],
-        wake: vec![None; n],
-        inboxes: (0..n).map(|_| Vec::new()).collect(),
-        statuses: vec![Status::Undecided; n],
-    };
-    #[allow(clippy::needless_range_loop)] // v is a node id indexing parallel columns
+    let n = topo.n();
+    let ids = ids_slice(config, n);
+    let mut protos = Vec::with_capacity(n);
+    let mut rngs = RngCol::Lazy;
     for v in 0..n {
         let setup = NodeSetup {
-            degree: graph.degree(v),
-            id: ids[v],
+            degree: topo.degree(v),
+            id: ids.map(|ids| ids[v]),
             knowledge: config.knowledge,
         };
         let mut rng = StdRng::seed_from_u64(node_rng_seed(config.seed, v));
-        let proto = factory(v, &setup, &mut rng);
-        store.protos.push(proto);
-        store.setups.push(setup);
-        store.rngs.push(rng);
+        match &mut rngs {
+            RngCol::Lazy => {
+                let pristine = rng.clone();
+                protos.push(factory(v, &setup, &mut rng));
+                if rng != pristine {
+                    // The factory draws: materialize the column. Nodes
+                    // before `v` never drew, so fresh streams are exact.
+                    let mut dense: Vec<StdRng> = (0..v)
+                        .map(|u| StdRng::seed_from_u64(node_rng_seed(config.seed, u)))
+                        .collect();
+                    dense.push(rng);
+                    rngs = RngCol::Dense(dense);
+                }
+            }
+            RngCol::Dense(dense) => {
+                protos.push(factory(v, &setup, &mut rng));
+                dense.push(rng);
+            }
+        }
     }
-    store
+    NodeStore {
+        protos,
+        rngs,
+        wake: vec![NO_WAKE; n],
+        statuses: vec![Status::Undecided; n],
+    }
 }
 
 /// Legacy wakeup validation, shared by every runtime: the panic messages
@@ -539,22 +844,34 @@ pub(crate) struct Ledger<M> {
     pub(crate) bits: u64,
     pub(crate) congest_violations: u64,
     pub(crate) max_message_bits: u64,
+    /// Whether the run materializes the two per-directed-edge arrays in
+    /// its outcome (see [`crate::SimConfig::edge_stats`]).
+    pub(crate) edge_stats: bool,
+    /// Allocated iff `edge_stats` (empty = off).
     pub(crate) first_directed_use: Vec<u64>,
+    /// Allocated iff `edge_stats` *or* the run is asynchronous (fates
+    /// consume the per-edge send index even when the outcome won't report
+    /// it). Empty only when neither needs it.
     pub(crate) directed_message_counts: Vec<u64>,
     /// Normalized watched edge → indices into `watch_hits` (duplicates
     /// supported: one crossing fills them all).
     // ule-lint: allow(unordered-iter, reason = "lookup-only per-message hot path (get); never iterated, so order cannot reach a RunOutcome")
     pub(crate) watch_index: HashMap<(NodeId, NodeId), Vec<usize>>,
     pub(crate) watch_hits: Vec<Option<WatchHit>>,
-    /// The delivery queue: a flat calendar (ring + overflow tier) keyed by
-    /// delivery round. Within a round, item order is push order, and
-    /// pushes happen on the sequential control thread in global send
-    /// order; items delayed into a round from earlier stepping rounds
-    /// migrate in before any same-round push can reach the ring (see
-    /// [`CalendarQueue`]), so the drained batch reproduces the historical
-    /// inbox order exactly: delayed messages first, then last round's
-    /// synchronous batch, each in send order.
-    pub(crate) queue: CalendarQueue<(NodeId, Port, M)>,
+    /// The *delayed*-delivery queue: a flat calendar (ring + overflow
+    /// tier) keyed by delivery round. Only fates beyond `round + 1` land
+    /// here — the synchronous common case goes straight into the
+    /// [`InboxArena`]'s *next* side, so at burst scale the queue never
+    /// holds a full round of messages. Within a round, item order is push
+    /// order, and pushes happen on the sequential control thread in
+    /// global send order; the engine drains a round's bucket into the
+    /// arena *before* stepping the round that feeds it, so per inbox the
+    /// historical order is reproduced exactly: messages delayed into the
+    /// round from earlier rounds first, then the preceding round's
+    /// synchronous batch, each in send order. Destination and port are
+    /// compacted to `u32` — half the queue footprint at graph scale (the
+    /// node count is asserted to fit at ledger construction).
+    pub(crate) queue: CalendarQueue<(u32, u32, M)>,
     pub(crate) messages_dropped: u64,
     pub(crate) late: Vec<(u64, u64)>,
     /// True under the default [`Adversary::Lockstep`]: every fate is the
@@ -573,18 +890,23 @@ pub(crate) struct Ledger<M> {
     pub(crate) crash_horizon: u64,
 }
 
-impl<M> Ledger<M> {
-    /// A fresh ledger for a run of `config` on `graph`: builds the
+impl<M: Message> Ledger<M> {
+    /// A fresh ledger for a run of `config` on `topo`: builds the
     /// adversary schedule, precomputes crash rounds, normalizes and
     /// indexes the watched edges.
     ///
     /// # Panics
     ///
     /// Panics if a watched edge is not an edge of the graph (the panic
-    /// message is part of the API).
-    pub(crate) fn new(graph: &Graph, config: &SimConfig) -> Self {
-        let n = graph.len();
-        let mut schedule: Box<dyn Schedule> = config.adversary.build(config.seed, graph);
+    /// message is part of the API), or if the node count exceeds `u32`
+    /// (the delivery queue compacts node indices).
+    pub(crate) fn new<T: Topology>(topo: &T, config: &SimConfig) -> Self {
+        let n = topo.n();
+        assert!(
+            n as u64 <= u32::MAX as u64,
+            "the engine's delivery queue addresses nodes as u32; {n} nodes exceed that"
+        );
+        let mut schedule: Box<dyn Schedule> = config.adversary.build(config.seed, topo);
         let crash_round: Vec<Option<u64>> = (0..n).map(|v| schedule.crash_round(v)).collect();
 
         let watch: Vec<(NodeId, NodeId)> = config
@@ -599,36 +921,56 @@ impl<M> Ledger<M> {
         let mut watch_index: HashMap<(NodeId, NodeId), Vec<usize>> = HashMap::new();
         for (i, &(a, b)) in watch.iter().enumerate() {
             assert!(
-                graph.has_edge(a, b),
+                topo.has_edge(a, b),
                 "watch edge ({a}, {b}) is not an edge of the graph"
             );
             watch_index.entry((a, b)).or_default().push(i);
         }
 
+        let synchronous = config.adversary == Adversary::Lockstep;
+        let edge_stats = config.edge_stats;
+        let dcount = topo.directed_edge_count();
         Ledger {
             budget: config.model.bit_budget(n),
             messages: 0,
             bits: 0,
             congest_violations: 0,
             max_message_bits: 0,
-            first_directed_use: vec![u64::MAX; graph.directed_edge_count()],
-            directed_message_counts: vec![0u64; graph.directed_edge_count()],
+            edge_stats,
+            first_directed_use: if edge_stats {
+                vec![u64::MAX; dcount]
+            } else {
+                Vec::new()
+            },
+            directed_message_counts: if edge_stats || !synchronous {
+                vec![0u64; dcount]
+            } else {
+                Vec::new()
+            },
             watch_index,
             watch_hits: vec![None; watch.len()],
             queue: CalendarQueue::new(),
             messages_dropped: 0,
             late: Vec::new(),
-            synchronous: config.adversary == Adversary::Lockstep,
+            synchronous,
             schedule,
             crash_round,
             crash_horizon: 0,
         }
     }
 
-    /// Accounts one send and decides its fate. Mirrors the historical
-    /// sequential accounting exactly when every fate is "deliver next
-    /// round".
-    pub(crate) fn record(&mut self, round: u64, s: StagedSend<M>) {
+    /// Accounts one send and decides its fate: `Some((at, dest, port,
+    /// msg))` for a delivery at round `at`, `None` for a dropped message.
+    /// The caller routes the delivery — the engine sends synchronous
+    /// fates (`at == round + 1`, the overwhelmingly common case) straight
+    /// into the inbox arena's *next* side and only delayed fates through
+    /// the calendar queue. Mirrors the historical sequential accounting
+    /// exactly when every fate is "deliver next round".
+    pub(crate) fn route(
+        &mut self,
+        round: u64,
+        s: StagedSend<M>,
+    ) -> Option<(u64, u32, u32, M)> {
         self.messages += 1;
         self.bits += s.bits;
         self.max_message_bits = self.max_message_bits.max(s.bits);
@@ -638,10 +980,16 @@ impl<M> Ledger<M> {
         // The per-edge send index (how many sends this directed edge saw
         // before this one) — the schedule's stream coordinate. Captured
         // before the increment so it matches the async runtime's `LinkSeq`
-        // frame counters exactly.
-        let edge_seq = self.directed_message_counts[s.didx];
-        self.directed_message_counts[s.didx] += 1;
-        if self.first_directed_use[s.didx] == u64::MAX {
+        // frame counters exactly. The counts column is empty only on
+        // synchronous edge-stats-off runs, where no fate consumes it.
+        let edge_seq = if self.directed_message_counts.is_empty() {
+            0
+        } else {
+            let e = self.directed_message_counts[s.didx];
+            self.directed_message_counts[s.didx] += 1;
+            e
+        };
+        if !self.first_directed_use.is_empty() && self.first_directed_use[s.didx] == u64::MAX {
             self.first_directed_use[s.didx] = round;
         }
         let at = if self.synchronous {
@@ -659,7 +1007,7 @@ impl<M> Ledger<M> {
             let at = match fate {
                 Fate::Dropped => {
                     self.messages_dropped += 1;
-                    return;
+                    return None;
                 }
                 Fate::Deliver { round: at } => at,
             };
@@ -673,7 +1021,7 @@ impl<M> Ledger<M> {
                     // before the delivery round.
                     self.messages_dropped += 1;
                     self.crash_horizon = self.crash_horizon.max(c);
-                    return;
+                    return None;
                 }
             }
             if at > round + 1 {
@@ -704,7 +1052,7 @@ impl<M> Ledger<M> {
                 }
             }
         }
-        self.queue.push(at, (s.dest, s.dest_port, s.msg));
+        Some((at, s.dest as u32, s.dest_port as u32, s.msg))
     }
 
     /// Final crash/termination bookkeeping and outcome assembly, shared by
@@ -740,8 +1088,16 @@ impl<M> Ledger<M> {
             congest_violations: self.congest_violations,
             max_message_bits: self.max_message_bits,
             watch_hits: self.watch_hits,
-            first_directed_use: self.first_directed_use,
-            directed_message_counts: self.directed_message_counts,
+            first_directed_use: if self.edge_stats {
+                self.first_directed_use
+            } else {
+                Vec::new()
+            },
+            directed_message_counts: if self.edge_stats {
+                self.directed_message_counts
+            } else {
+                Vec::new()
+            },
             last_status_change,
             round_totals,
             crashed,

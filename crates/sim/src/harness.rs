@@ -36,7 +36,7 @@ pub(crate) fn in_trial_fanout() -> bool {
 }
 
 /// Runs `trials` independent executions of `f` (typically a closure that
-/// builds a seeded [`crate::SimConfig`] and calls [`crate::run`]), in
+/// builds a seeded [`crate::SimConfig`] and calls [`crate::Runner::run`]), in
 /// parallel, preserving trial order in the result.
 ///
 /// `f` receives the trial index; use it as the seed (or to derive one) so

@@ -11,9 +11,10 @@
 ///
 /// Messages must be [`Send`]: the sharded-parallel engine stages them in
 /// shard-local outboxes on worker threads before the merge phase delivers
-/// them (see [`crate::Parallelism`]). Plain-data message types get this
-/// for free.
-pub trait Message: Clone + std::fmt::Debug + Send {
+/// them (see [`crate::Parallelism`]). They must also be [`Sync`]: shard
+/// threads read the round's deliveries out of one shared inbox arena by
+/// reference. Plain-data message types get both for free.
+pub trait Message: Clone + std::fmt::Debug + Send + Sync {
     /// The wire size of this message in bits.
     ///
     /// Implementations should count what an actual encoding would need:

@@ -70,8 +70,8 @@ use crate::adversary::{Adversary, Fate, Schedule, SendView};
 use crate::calendar::CalendarQueue;
 use crate::config::SimConfig;
 use crate::exec::{
-    init_store, step_node, validate_wakeup, RunOutcome, SendSink, StagedSend, StepScratch,
-    StoreSliceMut, Termination, WatchHit,
+    ids_slice, init_store, step_node, validate_wakeup, RunCtx, RunOutcome, SendSink, StagedSend,
+    StepScratch, StoreSliceMut, Termination, WatchHit, NO_WAKE,
 };
 use crate::protocol::{NodeSetup, Protocol, Status};
 use crate::transport::{Frame, LinkGate, LinkSeq};
@@ -79,7 +79,7 @@ use rand::rngs::StdRng;
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::mpsc::{channel, Receiver, Sender, TryRecvError};
 use std::sync::Mutex;
-use ule_graph::{Graph, NodeId, Port};
+use ule_graph::{NodeId, Port, Topology};
 
 /// Which runtime drives a run: the lockstep round simulator or the async
 /// threads+channels runtime. Both execute the identical protocol code.
@@ -180,15 +180,20 @@ impl AsyncRuntime {
     ///
     /// As the engine: invalid configs and protocol API misuse panic
     /// (the panic surfaces on the main thread).
-    pub fn run<P, F>(&self, graph: &Graph, config: &SimConfig, factory: F) -> AsyncRun
+    pub fn run<T, P, F>(&self, graph: &T, config: &SimConfig, factory: F) -> AsyncRun
     where
+        T: Topology,
         P: Protocol,
         F: FnMut(NodeId, &NodeSetup, &mut StdRng) -> P,
     {
-        let n = graph.len();
+        let n = graph.n();
         validate_wakeup(config, n);
         validate_watch_edges(graph, config);
         let mut store = init_store(graph, config, factory);
+        // The lazy RNG column is an engine-side diet: its first-draw
+        // write-back protocol lives in the engine's merge phase, so this
+        // runtime materializes the identical streams up front instead.
+        store.densify_rngs(config.seed);
         if n == 0 {
             return AsyncRun {
                 outcome: assemble(Vec::new(), &store.statuses, Termination::Quiescent, 0, &[], 0).0,
@@ -214,12 +219,18 @@ impl AsyncRuntime {
             if let Some(w) = wake {
                 match crash_round[v] {
                     Some(c) if c <= w => setup_horizon = setup_horizon.max(c),
-                    _ => store.wake[v] = Some(w),
+                    _ => store.wake[v] = w,
                 }
             }
         }
         let schedule: &dyn Schedule = &*schedule;
         let crash_round = &crash_round[..];
+        let rc = RunCtx {
+            topo: graph,
+            ids: ids_slice(config, n),
+            knowledge: config.knowledge,
+            seed: config.seed,
+        };
 
         let workers = self.workers.unwrap_or_else(|| default_workers(n)).min(n);
         let chunk = n.div_ceil(workers);
@@ -268,11 +279,13 @@ impl AsyncRuntime {
                         n_workers,
                         record_trace,
                         synchronous,
-                        graph,
+                        rc,
                         schedule,
                         crash_round,
                         store: mine,
                         rt: (lo..hi).map(|v| NodeRt::new(graph.degree(v))).collect(),
+                        started: vec![false; hi - lo],
+                        inbox: Vec::new(),
                         stats: stat,
                         senders,
                         coord,
@@ -309,6 +322,10 @@ impl AsyncRuntime {
                 events.clear();
             }
         }
+        if !config.edge_stats {
+            outcome.first_directed_use = Vec::new();
+            outcome.directed_message_counts = Vec::new();
+        }
         AsyncRun {
             outcome,
             trace: DeliveryTrace { events },
@@ -318,7 +335,7 @@ impl AsyncRuntime {
 
 /// Panics (like the engine's ledger) if a configured watch edge is not an
 /// edge of `graph`.
-fn validate_watch_edges(graph: &Graph, config: &SimConfig) {
+fn validate_watch_edges<T: Topology>(graph: &T, config: &SimConfig) {
     for &(a, b) in &config.watch_edges {
         assert!(
             graph.has_edge(a, b),
@@ -337,8 +354,8 @@ fn validate_watch_edges(graph: &Graph, config: &SimConfig) {
 /// engine's global send order; `messages_before` counts every send —
 /// delivered or not — strictly before the first delivered crossing, which
 /// is what the ledger counts too.
-fn reconstruct_watch_hits(
-    graph: &Graph,
+fn reconstruct_watch_hits<T: Topology>(
+    graph: &T,
     config: &SimConfig,
     events: &[TraceEvent],
     synchronous: bool,
@@ -348,7 +365,7 @@ fn reconstruct_watch_hits(
     // Directed-edge index -> (src, dest), and normalized undirected edge
     // -> positions in `config.watch_edges` (duplicates all resolve).
     let mut endpoints = vec![(0 as NodeId, 0 as NodeId); graph.directed_edge_count()];
-    for v in 0..graph.len() {
+    for v in 0..graph.n() {
         for p in 0..graph.degree(v) {
             let (dest, _rev, didx) = graph.endpoint_indexed(v, p);
             endpoints[didx] = (v, dest);
@@ -418,15 +435,17 @@ fn reconstruct_watch_hits(
 ///
 /// Panics if the trace does not match the execution (a divergence means
 /// the trace, the config or the protocol changed since recording).
-pub fn replay<P, F>(graph: &Graph, config: &SimConfig, factory: F, trace: &DeliveryTrace) -> AsyncRun
+pub fn replay<T, P, F>(graph: &T, config: &SimConfig, factory: F, trace: &DeliveryTrace) -> AsyncRun
 where
+    T: Topology,
     P: Protocol,
     F: FnMut(NodeId, &NodeSetup, &mut StdRng) -> P,
 {
-    let n = graph.len();
+    let n = graph.n();
     validate_wakeup(config, n);
     validate_watch_edges(graph, config);
     let mut store = init_store(graph, config, factory);
+    store.densify_rngs(config.seed);
     let mut schedule = config.adversary.build(config.seed, graph);
     let synchronous = config.adversary == Adversary::Lockstep;
     let crash_round: Vec<Option<u64>> = (0..n).map(|v| schedule.crash_round(v)).collect();
@@ -440,16 +459,24 @@ where
         if let Some(w) = wake {
             match crash_round[v] {
                 Some(c) if c <= w => setup_horizon = setup_horizon.max(c),
-                _ => store.wake[v] = Some(w),
+                _ => store.wake[v] = w,
             }
         }
     }
     let schedule: &dyn Schedule = &*schedule;
+    let rc = RunCtx {
+        topo: graph,
+        ids: ids_slice(config, n),
+        knowledge: config.knowledge,
+        seed: config.seed,
+    };
     let cap = config.max_rounds;
     let budget = config.model.bit_budget(n);
     let mut rt: Vec<NodeRt<P::Msg>> = (0..n).map(|v| NodeRt::new(graph.degree(v))).collect();
     let mut stats = WorkerStats::new(graph.directed_edge_count());
     let mut scratch: StepScratch<P::Msg> = StepScratch::default();
+    let mut inbox: Vec<(Port, P::Msg)> = Vec::new();
+    let mut started = vec![false; n];
     // A replay is a one-worker execution with no channels: every delivery
     // is local, so the sink's sender list and arbiter are never touched.
     let senders: Vec<Sender<Packet<P::Msg>>> = Vec::new();
@@ -478,8 +505,7 @@ where
             due.sort_by_key(|a| (a.0, a.1, a.2));
             if due.is_empty() {
                 assert_eq!(
-                    view.wake[v],
-                    Some(e),
+                    view.wake[v], e,
                     "replay: node {v} has no delivery and no timer due at round {e}"
                 );
             }
@@ -491,7 +517,8 @@ where
                 delivered, ev.delivered,
                 "replay divergence: node {v} at round {e} consumes different deliveries"
             );
-            view.inboxes[v].extend(due.drain(..).map(|(_, _, _, port, msg)| (port, msg)));
+            inbox.clear();
+            inbox.extend(due.drain(..).map(|(_, _, _, port, msg)| (port, msg)));
             rt[v].pending.recycle(due);
             let mut sink = ChannelSink {
                 round: e,
@@ -510,7 +537,10 @@ where
                 sent_log: Vec::new(),
                 record_trace: true,
             };
-            let effects = step_node(graph, e, v, &mut view, v, &mut scratch, &mut sink);
+            let effects = step_node(
+                &rc, e, v, &mut view, v, !started[v], &inbox, &mut scratch, &mut sink,
+            );
+            started[v] = true;
             let sent = std::mem::take(&mut sink.sent_log);
             assert_eq!(
                 sent, ev.sent,
@@ -519,7 +549,7 @@ where
             if let Some(w) = effects.rearmed {
                 if let Some(c) = crash_round[v] {
                     if c <= w {
-                        view.wake[v] = None;
+                        view.wake[v] = NO_WAKE;
                         stats.crash_horizon = stats.crash_horizon.max(c);
                     }
                 }
@@ -564,6 +594,10 @@ where
     if !config.watch_edges.is_empty() {
         outcome.watch_hits =
             reconstruct_watch_hits(graph, config, &events, synchronous, schedule, &crash_round);
+    }
+    if !config.edge_stats {
+        outcome.first_directed_use = Vec::new();
+        outcome.directed_message_counts = Vec::new();
     }
     AsyncRun {
         outcome,
@@ -663,10 +697,10 @@ impl<M> NodeRt<M> {
     }
 }
 
-/// The earliest round a node has any reason to run: its timer (`wake`) or
-/// its earliest queued delivery.
-fn next_event_round<M>(wake: Option<u64>, rt: &mut NodeRt<M>) -> u64 {
-    let wake = wake.unwrap_or(u64::MAX);
+/// The earliest round a node has any reason to run: its timer (`wake`,
+/// with [`NO_WAKE`] `== u64::MAX` meaning none) or its earliest queued
+/// delivery.
+fn next_event_round<M>(wake: u64, rt: &mut NodeRt<M>) -> u64 {
     let delivery = rt.pending.next_event_round().unwrap_or(u64::MAX);
     wake.min(delivery)
 }
@@ -910,7 +944,7 @@ enum Decision {
 }
 
 /// One pool worker: owns the contiguous node range `lo..hi`.
-struct Worker<'env, P: Protocol> {
+struct Worker<'env, T: Topology, P: Protocol> {
     w: usize,
     lo: NodeId,
     hi: NodeId,
@@ -920,18 +954,22 @@ struct Worker<'env, P: Protocol> {
     n_workers: usize,
     record_trace: bool,
     synchronous: bool,
-    graph: &'env Graph,
+    rc: RunCtx<'env, T>,
     schedule: &'env dyn Schedule,
     crash_round: &'env [Option<u64>],
     store: StoreSliceMut<'env, P>,
     rt: Vec<NodeRt<P::Msg>>,
+    /// Ever-activated flags for the owned range (indexed by `v - lo`).
+    started: Vec<bool>,
+    /// Reusable inbox buffer for the node currently stepping.
+    inbox: Vec<(Port, P::Msg)>,
     stats: &'env mut WorkerStats,
     senders: Vec<Sender<Packet<P::Msg>>>,
     coord: &'env Mutex<Coord>,
     scratch: StepScratch<P::Msg>,
 }
 
-impl<P: Protocol> Worker<'_, P> {
+impl<T: Topology, P: Protocol> Worker<'_, T, P> {
     fn run(mut self, rx: Receiver<Packet<P::Msg>>) {
         // A protocol panic must not strand the peers in `recv` forever:
         // broadcast Stop, then let the panic propagate through the scope.
@@ -1023,8 +1061,11 @@ impl<P: Protocol> Worker<'_, P> {
         } else {
             Vec::new()
         };
-        self.store.inboxes[i].extend(due.drain(..).map(|(_, _, _, port, msg)| (port, msg)));
+        self.inbox.clear();
+        self.inbox
+            .extend(due.drain(..).map(|(_, _, _, port, msg)| (port, msg)));
         self.rt[i].pending.recycle(due);
+        let first = !self.started[i];
         let mut sink = ChannelSink {
             round: e,
             lo: self.lo,
@@ -1043,21 +1084,24 @@ impl<P: Protocol> Worker<'_, P> {
             record_trace: self.record_trace,
         };
         let effects = step_node(
-            self.graph,
+            &self.rc,
             e,
             v,
             &mut self.store,
             i,
+            first,
+            &self.inbox,
             &mut self.scratch,
             &mut sink,
         );
+        self.started[i] = true;
         let sent = std::mem::take(&mut sink.sent_log);
         // A re-armed timer at or past the node's crash round is resolved
         // eagerly, exactly as the engine's merge does.
         if let Some(w) = effects.rearmed {
             if let Some(c) = self.crash_round[v] {
                 if c <= w {
-                    self.store.wake[i] = None;
+                    self.store.wake[i] = NO_WAKE;
                     self.stats.crash_horizon = self.stats.crash_horizon.max(c);
                 }
             }

@@ -14,7 +14,7 @@ use crate::exec::RunOutcome;
 use crate::protocol::{NodeSetup, Protocol};
 use crate::rt::{AsyncRuntime, RuntimeKind};
 use rand::rngs::StdRng;
-use ule_graph::{Graph, NodeId};
+use ule_graph::{Graph, NodeId, Topology};
 
 /// The single entrypoint for executing a [`Protocol`]: a borrowed graph
 /// and config, a runtime selection, and [`Runner::run`].
@@ -44,17 +44,31 @@ use ule_graph::{Graph, NodeId};
 /// assert_eq!(sim, over_channels); // exact cross-runtime conformance
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-#[derive(Debug, Clone, Copy)]
-pub struct Runner<'a> {
-    graph: &'a Graph,
+///
+/// The runner is generic over [`Topology`], defaulting to a materialized
+/// [`Graph`]: pass an [`ule_graph::ImplicitTopology`] to run a structured
+/// family procedurally, with no adjacency arrays in memory at all. The
+/// outcome is byte-for-byte identical either way.
+#[derive(Debug)]
+pub struct Runner<'a, T: Topology = Graph> {
+    graph: &'a T,
     config: &'a SimConfig,
     kind: RuntimeKind,
 }
 
-impl<'a> Runner<'a> {
+// Manual impls: derived ones would demand `T: Clone` / `T: Copy`, and the
+// runner only holds a reference.
+impl<T: Topology> Clone for Runner<'_, T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T: Topology> Copy for Runner<'_, T> {}
+
+impl<'a, T: Topology> Runner<'a, T> {
     /// A runner for `graph` under `config`, on the default runtime
     /// ([`RuntimeKind::Sim`]).
-    pub fn new(graph: &'a Graph, config: &'a SimConfig) -> Self {
+    pub fn new(graph: &'a T, config: &'a SimConfig) -> Self {
         Runner {
             graph,
             config,

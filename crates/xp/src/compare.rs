@@ -21,6 +21,15 @@
 //!   beyond the warn factor warns; an optional fail factor (CI's
 //!   engine-scale gate passes `--fail-rss 1.5`) makes it a hard failure.
 //!   Growth-only, like throughput — shrinking memory never regresses.
+//! * **per-node RSS** (`bytes_per_node`, timed cells that recorded RSS):
+//!   the same growth-only band under the same `--warn-rss`/`--fail-rss`
+//!   factors, but size-normalized — it keeps gating the engine's memory
+//!   footprint even when a campaign's grid sizes change between
+//!   baselines.
+//! * **allocations** (`allocs_per_message`, `count-allocs` builds only):
+//!   an absolute per-message budget via `--fail-allocs` (off by default;
+//!   CI's count-allocs leg passes a flat ceiling). Not a growth band —
+//!   baselines recorded without the feature carry no value to grow from.
 //! * **success rate**: a drop of more than 0.1 warns.
 //!
 //! Inputs may be campaign records ([`crate::run::CampaignResult`] JSON) or
@@ -51,6 +60,12 @@ pub struct Tolerances {
     /// growth never fails; CI's engine-scale gate opts in with
     /// `--fail-rss`).
     pub fail_rss: Option<f64>,
+    /// Fail when a *new* cell's `allocs_per_message` exceeds this absolute
+    /// ceiling (`None` = not checked). Absolute, not a growth factor: the
+    /// metric only exists in `count-allocs` builds, baselines recorded
+    /// without the feature have nothing to grow from, and allocations per
+    /// message is machine-independent — a flat budget is the honest gate.
+    pub fail_allocs: Option<f64>,
 }
 
 impl Default for Tolerances {
@@ -62,6 +77,7 @@ impl Default for Tolerances {
             fail_cost: None,
             warn_rss: 1.25,
             fail_rss: None,
+            fail_allocs: None,
         }
     }
 }
@@ -222,6 +238,13 @@ pub struct CellMetrics {
     /// Peak RSS in bytes, when the cell recorded it (schema ≥ 3 timed
     /// cells on Linux).
     pub peak_rss_bytes: Option<f64>,
+    /// Peak RSS divided by node count, when the cell recorded it. The
+    /// size-normalized twin of `peak_rss_bytes`: its band keeps holding
+    /// when a campaign's grid sizes change between baselines.
+    pub bytes_per_node: Option<f64>,
+    /// Allocator calls per message, when the cell was recorded by a
+    /// `count-allocs` build.
+    pub allocs_per_message: Option<f64>,
     /// Empirical success rate, when trial counts are known.
     pub success_rate: Option<f64>,
     /// Execution-model profile name the cell was recorded under. `None`
@@ -324,6 +347,8 @@ pub fn parse_cells(v: &Json) -> Result<BTreeMap<String, CellMetrics>, XpError> {
                 mean_messages,
                 msgs_per_s: cell.get("msgs_per_s").and_then(Json::as_f64),
                 peak_rss_bytes: cell.get("peak_rss_bytes").and_then(Json::as_f64),
+                bytes_per_node: cell.get("bytes_per_node").and_then(Json::as_f64),
+                allocs_per_message: cell.get("allocs_per_message").and_then(Json::as_f64),
                 success_rate,
                 adversary: cell
                     .get("adversary")
@@ -440,6 +465,33 @@ pub fn compare(
                 ),
             });
         }
+        if let (Some(ceiling), Some(na)) = (tol.fail_allocs, n.allocs_per_message) {
+            // Absolute budget, checked on the new result alone (see
+            // `Tolerances::fail_allocs`). `old` shows the baseline's value
+            // when it has one, else the ceiling itself.
+            deltas.push(Delta {
+                cell: key.clone(),
+                metric: "allocs_per_message",
+                old: o.allocs_per_message.unwrap_or(ceiling),
+                new: na,
+                verdict: band(na > ceiling, false),
+            });
+        }
+        if let (Some(ob), Some(nb)) = (o.bytes_per_node, n.bytes_per_node) {
+            // Same growth-only RSS band, but per node: this is the metric
+            // that stays comparable when the baseline's grid sizes move.
+            let growth = nb / ob.max(f64::MIN_POSITIVE);
+            deltas.push(Delta {
+                cell: key.clone(),
+                metric: "bytes_per_node",
+                old: ob,
+                new: nb,
+                verdict: band(
+                    tol.fail_rss.is_some_and(|f| growth > f),
+                    growth > tol.warn_rss,
+                ),
+            });
+        }
         if let (Some(os), Some(ns)) = (o.success_rate, n.success_rate) {
             if ns < os - 0.1 {
                 deltas.push(Delta {
@@ -481,6 +533,8 @@ mod tests {
             mean_messages: messages,
             msgs_per_s: tput,
             peak_rss_bytes: None,
+            bytes_per_node: None,
+            allocs_per_message: None,
             success_rate: Some(1.0),
             adversary: None,
             runtime: None,
@@ -601,6 +655,80 @@ mod tests {
         let bare = one("a @ w", cell(1000.0, 50.0, None));
         assert_eq!(
             compare(&bare, &with_rss(9e9), &gated).verdict(),
+            Verdict::Pass
+        );
+    }
+
+    #[test]
+    fn allocs_ceiling_is_absolute_and_opt_in() {
+        let with_allocs = |apm: Option<f64>| {
+            let mut m = one("a @ w", cell(1000.0, 50.0, None));
+            m.get_mut("a @ w").unwrap().allocs_per_message = apm;
+            m
+        };
+        let old = with_allocs(None); // baseline recorded without count-allocs
+        let budget = Tolerances {
+            fail_allocs: Some(0.5),
+            ..Tolerances::default()
+        };
+        assert_eq!(
+            compare(&old, &with_allocs(Some(0.1)), &budget).verdict(),
+            Verdict::Pass
+        );
+        let report = compare(&old, &with_allocs(Some(0.8)), &budget);
+        assert_eq!(report.verdict(), Verdict::Fail);
+        assert_eq!(
+            report
+                .deltas
+                .iter()
+                .find(|d| d.verdict == Verdict::Fail)
+                .unwrap()
+                .metric,
+            "allocs_per_message"
+        );
+        // Off by default: the metric alone never gates.
+        assert_eq!(
+            compare(&old, &with_allocs(Some(0.8)), &Tolerances::default()).verdict(),
+            Verdict::Pass
+        );
+    }
+
+    #[test]
+    fn bytes_per_node_shares_the_rss_band() {
+        // The size-normalized gate: per-node growth trips the same
+        // --warn-rss/--fail-rss factors even when absolute RSS shrank
+        // (e.g. the new baseline ran a smaller grid).
+        let with_bpn = |bpn: f64, rss: f64| {
+            let mut m = one("a @ w", cell(1000.0, 50.0, None));
+            let c = m.get_mut("a @ w").unwrap();
+            c.bytes_per_node = Some(bpn);
+            c.peak_rss_bytes = Some(rss);
+            m
+        };
+        let old = with_bpn(100.0, 1.0e9);
+        let gated = Tolerances {
+            fail_rss: Some(1.5),
+            ..Tolerances::default()
+        };
+        // Absolute RSS halved, but per node the engine got 1.6x fatter.
+        let report = compare(&old, &with_bpn(160.0, 0.5e9), &gated);
+        assert_eq!(report.verdict(), Verdict::Fail);
+        assert_eq!(
+            report
+                .deltas
+                .iter()
+                .find(|d| d.verdict == Verdict::Fail)
+                .unwrap()
+                .metric,
+            "bytes_per_node"
+        );
+        // Warn band without the opt-in; shrinking per-node memory passes.
+        assert_eq!(
+            compare(&old, &with_bpn(140.0, 1.0e9), &Tolerances::default()).verdict(),
+            Verdict::Warn
+        );
+        assert_eq!(
+            compare(&old, &with_bpn(60.0, 1.0e9), &gated).verdict(),
             Verdict::Pass
         );
     }

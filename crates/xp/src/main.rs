@@ -6,7 +6,7 @@
 //! ule-xp run --spec my-campaign.json [...]
 //! ule-xp compare BASELINE.json NEW.json [--fail-throughput 2.0] [--warn-throughput 1.25]
 //!                [--warn-cost 0.10] [--fail-cost R] [--warn-rss 1.25] [--fail-rss F]
-//!                [--verbose]
+//!                [--fail-allocs A] [--verbose]
 //! ```
 //!
 //! Exit codes: `0` success (including warnings), `1` regression
@@ -48,6 +48,9 @@ USAGE:
                               in either direction (default off)
         --warn-rss F          warn when peak RSS grows more than F x (default 1.25)
         --fail-rss F          fail when peak RSS grows more than F x (default off)
+                              (both RSS bands also gate the per-node bytes_per_node)
+        --fail-allocs A       fail when a new cell's allocs_per_message exceeds
+                              the absolute budget A (count-allocs builds; default off)
         --verbose             print passing deltas too
 
 Exit codes: 0 ok, 1 regression detected, 2 usage/I-O error.
@@ -246,6 +249,12 @@ fn cmd_compare(args: &[String]) -> Result<ExitCode, XpError> {
                 tol.fail_rss = Some(parse_f(
                     take_value(args, &mut i, "--fail-rss")?,
                     "--fail-rss",
+                )?)
+            }
+            "--fail-allocs" => {
+                tol.fail_allocs = Some(parse_f(
+                    take_value(args, &mut i, "--fail-allocs")?,
+                    "--fail-allocs",
                 )?)
             }
             "--verbose" => verbose = true,

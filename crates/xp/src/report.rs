@@ -103,6 +103,7 @@ mod tests {
                 threads: None,
                 adversary: AdversaryProfile::Lockstep,
                 runtime: ule_sim::RuntimeKind::Sim,
+                implicit: false,
             }],
         };
         let result = execute(&spec, RunMeta::fixed(), false).unwrap();

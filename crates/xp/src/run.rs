@@ -12,7 +12,7 @@ use crate::XpError;
 use std::time::Instant;
 use ule_core::Algorithm;
 use ule_graph::gen::{workload_graph, Family};
-use ule_graph::{analysis, Graph, IdAssignment, IdSpace};
+use ule_graph::{analysis, Graph, IdAssignment, IdSpace, ImplicitTopology, Topology};
 use ule_sim::harness::{parallel_trials, Summary};
 use ule_sim::{Knowledge, Parallelism, RuntimeKind, SimConfig, Wakeup};
 
@@ -20,8 +20,10 @@ use ule_sim::{Knowledge, Parallelism, RuntimeKind, SimConfig, Wakeup};
 /// `compare` can refuse mismatched inputs. Version 2 added the per-cell
 /// `adversary` execution-model profile (absent = lockstep); version 3
 /// added the optional memory metrics on timed cells (`peak_rss_bytes`,
-/// `allocs_per_message`). `compare` still accepts files of every earlier
-/// version ([`crate::compare::parse_cells`]).
+/// `allocs_per_message`, the derived `bytes_per_node`) and the `implicit`
+/// provenance marker — all additive and omitted when absent/off, so no
+/// bump. `compare` still accepts files of every earlier version
+/// ([`crate::compare::parse_cells`]).
 pub const SCHEMA_VERSION: u64 = 3;
 
 /// Provenance stamped into every result record.
@@ -122,6 +124,12 @@ pub struct CellResult {
     /// first cell to touch a new peak is the one that pays for it — see
     /// [`crate::metrics::peak_rss_bytes`].
     pub peak_rss_bytes: Option<u64>,
+    /// `peak_rss_bytes / n` — the per-node memory footprint the diet
+    /// optimizes, stamped whenever the RSS probe reported. Derived rather
+    /// than independently measured, but recorded explicitly so `compare`
+    /// can band it directly (a size-normalized gate survives grid
+    /// resizing where the absolute one would silently loosen).
+    pub bytes_per_node: Option<f64>,
     /// Heap allocations per simulated message across the cell's trials
     /// (timed groups only, and only in `count-allocs` builds — see
     /// [`crate::metrics::alloc_count`]).
@@ -143,6 +151,12 @@ pub struct CellResult {
     /// cells stay comparable and sim cells stay byte-stable without the
     /// field.
     pub runtime: RuntimeKind,
+    /// Whether the cell ran on the procedural topology with per-edge
+    /// stats off (see [`crate::spec::JobGroup::implicit`]). Provenance, like
+    /// `threads`: summaries conform, but memory metrics measured in the
+    /// two regimes are different quantities, and this field is how a
+    /// reader tells them apart.
+    pub implicit: bool,
 }
 
 /// A completed campaign: the spec that produced it, provenance, and every
@@ -167,12 +181,16 @@ pub struct CampaignResult {
 /// parity the legacy binaries rely on) without the redundant `O(n·m)`
 /// work. Other regimes mirror the legacy `scale` binary's hand-built
 /// configs (sampled ids from `seed ^ 0x1D5`, permissive round cap).
-fn cell_config(job: &Job<'_>, g: &Graph, d: usize, trial: u64) -> SimConfig {
+fn cell_config(job: &Job<'_>, n: usize, d: usize, trial: u64) -> SimConfig {
     let group = job.group;
     let alg = job.algorithm;
     let spec = alg.spec();
-    let n = g.len();
     let mut cfg = SimConfig::seeded(trial);
+    // Implicit groups run the memory diet end to end: no adjacency arrays
+    // (the topology side) and no O(m) per-edge outcome arrays either.
+    if group.implicit {
+        cfg.edge_stats = false;
+    }
     // `config_for` parity: only the DFS agent needs an effectively
     // unbounded budget; upper-bound (engine-scale) regimes keep the legacy
     // scale binary's permissive cap everywhere.
@@ -214,13 +232,21 @@ fn cell_config(job: &Job<'_>, g: &Graph, d: usize, trial: u64) -> SimConfig {
     cfg
 }
 
+/// The graph side of one cell: a materialized CSR graph, or the
+/// O(1)-memory procedural topology for `implicit` groups.
+enum CellTopo {
+    Materialized(Graph),
+    Implicit(ImplicitTopology),
+}
+
 /// Runs a whole campaign. `progress` mirrors the legacy binaries' stderr
 /// cell-by-cell narration (stdout stays clean for tables/JSON).
 ///
 /// # Errors
 ///
-/// Fails if a cell's graph cannot be built (family too small for `n`) or
-/// is disconnected — a spec bug, reported with the cell coordinates.
+/// Fails if a cell's graph cannot be built (family too small for `n`),
+/// is disconnected, or an `implicit` group names a family with no
+/// procedural form — a spec bug, reported with the cell coordinates.
 pub fn execute(
     spec: &CampaignSpec,
     meta: RunMeta,
@@ -230,17 +256,42 @@ pub fn execute(
     for group in &spec.groups {
         for &family in &group.families {
             for &n in &group.sizes {
-                let g = workload_graph(spec.graph_seed, family, n).map_err(|e| {
-                    XpError::new(format!("cell {family}/{n}: graph build failed: {e}"))
-                })?;
-                let d = match group.diameter {
-                    DiameterMode::Exact => analysis::diameter_exact(&g),
-                    DiameterMode::UpperBound => {
-                        analysis::diameter_double_sweep(&g, 0).map(|e| 2 * e)
+                let cell_topo = if group.implicit {
+                    CellTopo::Implicit(family.implicit(n).ok_or_else(|| {
+                        XpError::new(format!(
+                            "cell {family}/{n}: family has no implicit (procedural) form"
+                        ))
+                    })?)
+                } else {
+                    CellTopo::Materialized(workload_graph(spec.graph_seed, family, n).map_err(
+                        |e| XpError::new(format!("cell {family}/{n}: graph build failed: {e}")),
+                    )?)
+                };
+                let (actual_n, m, d) = match &cell_topo {
+                    CellTopo::Materialized(g) => {
+                        let d = match group.diameter {
+                            DiameterMode::Exact => analysis::diameter_exact(g),
+                            DiameterMode::UpperBound => {
+                                analysis::diameter_double_sweep(g, 0).map(|e| 2 * e)
+                            }
+                        }
+                        .ok_or_else(|| {
+                            XpError::new(format!("cell {family}/{n}: graph disconnected"))
+                        })?
+                        .max(1) as usize;
+                        (g.len(), g.edge_count(), d)
                     }
-                }
-                .ok_or_else(|| XpError::new(format!("cell {family}/{n}: graph disconnected")))?
-                .max(1) as usize;
+                    // Structured families have closed-form diameters, so
+                    // both diameter modes resolve to the exact value with
+                    // no BFS over n nodes.
+                    CellTopo::Implicit(t) => {
+                        let d = t
+                            .diameter_hint()
+                            .expect("implicit families have closed-form diameters")
+                            .max(1);
+                        (t.n(), t.directed_edge_count() / 2, d)
+                    }
+                };
                 for &algorithm in &group.algorithms {
                     let job = Job {
                         group,
@@ -250,39 +301,45 @@ pub fn execute(
                     };
                     if progress {
                         eprintln!(
-                            "running {algorithm} on {family}/{} ({} trials) ...",
-                            g.len(),
+                            "running {algorithm} on {family}/{actual_n} ({} trials) ...",
                             group.trials
                         );
                     }
                     let allocs_before = crate::metrics::alloc_count();
                     let start = Instant::now();
                     let outs = parallel_trials(group.trials, |t| {
-                        algorithm.run_on(group.runtime, &g, &cell_config(&job, &g, d, t))
+                        let cfg = cell_config(&job, actual_n, d, t);
+                        match &cell_topo {
+                            CellTopo::Materialized(g) => algorithm.run_on(group.runtime, g, &cfg),
+                            CellTopo::Implicit(topo) => algorithm.run_on(group.runtime, topo, &cfg),
+                        }
                     });
                     let elapsed = start.elapsed().as_secs_f64();
                     let summary = Summary::from_outcomes(&outs);
-                    let (ts, ms) = algorithm.claimed_shape(g.len(), g.edge_count(), d);
+                    let (ts, ms) = algorithm.claimed_shape(actual_n, m, d);
                     let total_messages = summary.mean_messages * summary.trials as f64;
                     let allocs_per_message = crate::metrics::alloc_count()
                         .zip(allocs_before)
                         .map(|(after, before)| (after - before) as f64 / total_messages.max(1.0));
+                    let peak_rss_bytes = if group.timed {
+                        crate::metrics::peak_rss_bytes()
+                    } else {
+                        None
+                    };
                     cells.push(CellResult {
                         algorithm,
                         family,
-                        workload: format!("{family}/{}", g.len()),
-                        n: g.len(),
-                        m: g.edge_count(),
+                        workload: format!("{family}/{actual_n}"),
+                        n: actual_n,
+                        m,
                         d,
                         time_ratio: summary.mean_rounds / ts,
                         msg_ratio: summary.mean_messages / ms,
                         elapsed_s: group.timed.then_some(elapsed),
                         msgs_per_s: group.timed.then_some(total_messages / elapsed.max(1e-9)),
-                        peak_rss_bytes: if group.timed {
-                            crate::metrics::peak_rss_bytes()
-                        } else {
-                            None
-                        },
+                        peak_rss_bytes,
+                        bytes_per_node: peak_rss_bytes
+                            .map(|rss| rss as f64 / actual_n.max(1) as f64),
                         allocs_per_message: if group.timed {
                             allocs_per_message
                         } else {
@@ -291,6 +348,7 @@ pub fn execute(
                         threads: group.threads,
                         adversary: group.adversary,
                         runtime: group.runtime,
+                        implicit: group.implicit,
                         summary,
                     });
                 }
@@ -356,6 +414,9 @@ impl CellResult {
         if let Some(rss) = self.peak_rss_bytes {
             fields.push(("peak_rss_bytes".into(), Json::Num(rss as f64)));
         }
+        if let Some(bpn) = self.bytes_per_node {
+            fields.push(("bytes_per_node".into(), Json::Num(bpn)));
+        }
         if let Some(apm) = self.allocs_per_message {
             fields.push(("allocs_per_message".into(), Json::Num(apm)));
         }
@@ -369,6 +430,11 @@ impl CellResult {
         // Same rule: sim cells stay byte-identical to pre-runtime results.
         if self.runtime == RuntimeKind::Async {
             fields.push(("runtime".into(), Json::Str(self.runtime.name().into())));
+        }
+        // Same rule: materialized cells stay byte-identical to
+        // pre-implicit results.
+        if self.implicit {
+            fields.push(("implicit".into(), Json::Bool(true)));
         }
         Json::Obj(fields)
     }
@@ -420,6 +486,7 @@ mod tests {
                 threads: None,
                 adversary: AdversaryProfile::Lockstep,
                 runtime: RuntimeKind::Sim,
+                implicit: false,
             }],
         }
     }
@@ -601,6 +668,7 @@ mod tests {
                 threads: None,
                 adversary: AdversaryProfile::Lockstep,
                 runtime: RuntimeKind::Sim,
+                implicit: false,
             }],
         };
         let result = execute(&spec, RunMeta::fixed(), false).unwrap();
@@ -608,6 +676,69 @@ mod tests {
         // Double-sweep upper bound on a cycle: 2 × ecc(0) = 2 × 16 = 32.
         assert_eq!(cell.d, 32);
         assert_eq!(cell.summary.successes, 1);
+    }
+
+    #[test]
+    fn implicit_groups_reproduce_materialized_summaries() {
+        // The campaign face of the topology conformance contract: an
+        // implicit group measures the same summary numbers as the
+        // materialized group on every structured family — and stamps the
+        // `implicit` provenance marker, while materialized cells stay
+        // byte-stable without it. (The diameter differs by mode — double
+        // sweep vs closed form — so pin both regimes to Exact semantics
+        // by comparing on families where they coincide is fragile;
+        // instead run the implicit group's closed-form d through the
+        // materialized side by using Exact mode, whose BFS finds the same
+        // true diameter.)
+        let structured = vec![Family::Cycle, Family::Star, Family::Torus];
+        let mk = |implicit: bool| {
+            let mut spec = tiny_spec();
+            spec.groups[0].families = structured.clone();
+            spec.groups[0].diameter = DiameterMode::Exact;
+            spec.groups[0].implicit = implicit;
+            execute(&spec, RunMeta::fixed(), false).unwrap()
+        };
+        let materialized = mk(false);
+        let implicit = mk(true);
+        assert_eq!(materialized.cells.len(), implicit.cells.len());
+        for (m, i) in materialized.cells.iter().zip(&implicit.cells) {
+            assert_eq!(m.summary, i.summary, "{}", m.workload);
+            assert_eq!(m.d, i.d, "{}", m.workload);
+            assert_eq!((m.n, m.m), (i.n, i.m), "{}", m.workload);
+            assert!(!m.implicit && i.implicit);
+            assert!(m.to_json().get("implicit").is_none());
+            assert_eq!(i.to_json().get("implicit").and_then(Json::as_bool), Some(true));
+        }
+    }
+
+    #[test]
+    fn implicit_random_family_is_refused_with_coordinates() {
+        let mut spec = tiny_spec();
+        spec.groups[0].families = vec![Family::SparseRandom];
+        spec.groups[0].implicit = true;
+        let err = execute(&spec, RunMeta::fixed(), false).unwrap_err();
+        assert!(err.to_string().contains("no implicit"), "{err}");
+        assert!(err.to_string().contains("sparse-rnd/12"), "{err}");
+    }
+
+    #[test]
+    fn timed_cells_stamp_bytes_per_node() {
+        let mut spec = tiny_spec();
+        spec.groups[0].timed = true;
+        let result = execute(&spec, RunMeta::fixed(), false).unwrap();
+        for cell in &result.cells {
+            if let Some(rss) = cell.peak_rss_bytes {
+                let bpn = cell.bytes_per_node.unwrap();
+                assert!((bpn - rss as f64 / cell.n as f64).abs() < 1e-9);
+                assert!(cell.to_json().get("bytes_per_node").is_some());
+            }
+        }
+        // Untimed cells carry neither metric.
+        let untimed = execute(&tiny_spec(), RunMeta::fixed(), false).unwrap();
+        assert!(untimed
+            .cells
+            .iter()
+            .all(|c| c.bytes_per_node.is_none() && c.to_json().get("bytes_per_node").is_none()));
     }
 
     #[test]

@@ -157,6 +157,19 @@ pub struct JobGroup {
     /// [`RuntimeKind::Async`] (the threads+channels runtime — same
     /// outcomes under every profile by the conformance contract).
     pub runtime: RuntimeKind,
+    /// Run every cell on the family's O(1)-memory procedural topology
+    /// ([`ule_graph::ImplicitTopology`]) instead of materializing CSR
+    /// adjacency arrays, and drop the `O(m)` per-directed-edge outcome
+    /// arrays too (`SimConfig::edge_stats = false`) — the memory-diet
+    /// regime for node counts where adjacency and side arrays dominate
+    /// RSS. Summaries are identical to the materialized run (the topology
+    /// conformance contract); only memory and the diameter discovery
+    /// differ (implicit cells use the family's closed form instead of a
+    /// BFS sweep). Only structured families have implicit forms;
+    /// [`crate::execute`] refuses the random ones. Default `false`
+    /// (omitted in JSON, so legacy spec files serialize and hash
+    /// byte-identically).
+    pub implicit: bool,
 }
 
 /// A whole campaign: named, seeded, and a union of job groups.
@@ -347,6 +360,11 @@ fn group_to_json(g: &JobGroup) -> Json {
     if g.runtime == RuntimeKind::Async {
         fields.push(("runtime".into(), Json::Str("async".into())));
     }
+    // Same byte-stability rule: materialized graphs are the default and
+    // the knob is never emitted when off.
+    if g.implicit {
+        fields.push(("implicit".into(), Json::Bool(true)));
+    }
     // Same byte-stability rule: lockstep (the only pre-adversary model) is
     // the default and is never emitted.
     match g.adversary {
@@ -509,6 +527,7 @@ fn group_from_json(v: &Json) -> Result<JobGroup, XpError> {
             )))
         }
     };
+    let implicit = v.get("implicit").and_then(Json::as_bool).unwrap_or(false);
     Ok(JobGroup {
         algorithms,
         families,
@@ -521,6 +540,7 @@ fn group_from_json(v: &Json) -> Result<JobGroup, XpError> {
         threads,
         adversary,
         runtime,
+        implicit,
     })
 }
 
@@ -537,7 +557,7 @@ pub const BUILTIN_CAMPAIGNS: [(&str, &str); 4] = [
     ),
     (
         "engine-scale",
-        "engine-throughput baseline: FloodMax up to n = 10^6 (sequential + sharded-parallel + bounded-delay), DFS agent on paths (perf gate)",
+        "engine-throughput baseline: FloodMax up to n = 10^6 (sequential + sharded-parallel + bounded-delay), DFS agent on paths, implicit-topology 10^7 cycle headline (perf gate)",
     ),
     (
         "resilience",
@@ -561,6 +581,7 @@ pub fn builtin(name: &str, quick: bool) -> Option<CampaignSpec> {
             threads: None,
             adversary: AdversaryProfile::Lockstep,
             runtime: RuntimeKind::Sim,
+            implicit: false,
         };
     let spec = match name {
         "table1" => CampaignSpec {
@@ -620,6 +641,7 @@ pub fn builtin(name: &str, quick: bool) -> Option<CampaignSpec> {
                     threads: None,
                     adversary: AdversaryProfile::Lockstep,
                     runtime: RuntimeKind::Sim,
+                    implicit: false,
                 },
                 JobGroup {
                     algorithms: vec![Algorithm::DfsAgent],
@@ -637,6 +659,7 @@ pub fn builtin(name: &str, quick: bool) -> Option<CampaignSpec> {
                     threads: None,
                     adversary: AdversaryProfile::Lockstep,
                     runtime: RuntimeKind::Sim,
+                    implicit: false,
                 },
                 // The sharded-parallel counterpart of the FloodMax torus
                 // cells above: identical outcomes (the engine's
@@ -665,6 +688,7 @@ pub fn builtin(name: &str, quick: bool) -> Option<CampaignSpec> {
                     threads: Some(2),
                     adversary: AdversaryProfile::Lockstep,
                     runtime: RuntimeKind::Sim,
+                    implicit: false,
                 },
                 // The bounded-delay counterpart (occurrence #3 of the
                 // torus key in both grids): same workload, sequential
@@ -688,13 +712,15 @@ pub fn builtin(name: &str, quick: bool) -> Option<CampaignSpec> {
                     threads: None,
                     adversary: AdversaryProfile::BoundedDelay { max_delay: 2 },
                     runtime: RuntimeKind::Sim,
+                    implicit: false,
                 },
             ];
             // The flat-memory headline cell, full grid only: FloodMax on a
-            // 10⁷-node cycle. Feasible precisely because the engine's hot
-            // path is flat (calendar delivery ring, SoA node store, arena
-            // outboxes); its `peak_rss_bytes` is what CI's `--fail-rss`
-            // gate anchors on.
+            // 10⁷-node cycle with *no adjacency arrays at all* — the
+            // topology is procedural (`implicit: true`) and the per-edge
+            // outcome arrays are off, so the cell's `peak_rss_bytes` (and
+            // derived `bytes_per_node`) measure the engine's true
+            // per-node footprint. CI's `--fail-rss` gate anchors on it.
             if !quick {
                 groups.push(JobGroup {
                     algorithms: vec![Algorithm::FloodMax],
@@ -708,6 +734,7 @@ pub fn builtin(name: &str, quick: bool) -> Option<CampaignSpec> {
                     threads: None,
                     adversary: AdversaryProfile::Lockstep,
                     runtime: RuntimeKind::Sim,
+                    implicit: true,
                 });
             }
             CampaignSpec {
@@ -745,6 +772,7 @@ pub fn builtin(name: &str, quick: bool) -> Option<CampaignSpec> {
                 threads: None,
                 adversary,
                 runtime,
+                implicit: false,
             };
             let profiles = || {
                 vec![
@@ -895,6 +923,26 @@ mod tests {
         );
         let back = CampaignSpec::from_json(&spec.to_json()).unwrap();
         assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn implicit_field_round_trips_and_defaults_off() {
+        let text = r#"{"name":"i","groups":[{
+            "algorithms":["floodmax"],"families":["cycle"],"sizes":[16],
+            "trials":1,"timed":true,"implicit":true}]}"#;
+        let spec = CampaignSpec::from_json(&Json::parse(text).unwrap()).unwrap();
+        assert!(spec.groups[0].implicit);
+        let back = CampaignSpec::from_json(&spec.to_json()).unwrap();
+        assert_eq!(back, spec);
+        // Specs that never mention the knob serialize without it, so
+        // legacy files and their hashes stay byte-stable.
+        let spec = builtin("table1", true).unwrap();
+        assert!(spec.groups.iter().all(|g| !g.implicit));
+        assert!(!spec.to_json().compact().contains("implicit"));
+        // The full engine-scale grid carries the implicit headline cell.
+        let full = builtin("engine-scale", false).unwrap();
+        assert!(full.groups.iter().any(|g| g.implicit));
+        assert!(full.to_json().compact().contains("\"implicit\":true"));
     }
 
     #[test]

@@ -31,6 +31,7 @@ fn golden_spec() -> CampaignSpec {
             threads: None,
             adversary: AdversaryProfile::Lockstep,
             runtime: ule_sim::RuntimeKind::Sim,
+            implicit: false,
         }],
     }
 }

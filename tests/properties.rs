@@ -463,3 +463,64 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    // Fewer cases than the blocks above: each case sweeps every node of a
+    // graph up to n = 4096, so the work per case is already substantial.
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn implicit_topology_is_indistinguishable_from_materialized(
+        fam_idx in 0usize..gen::Family::ALL.len(),
+        n in 1usize..=4096,
+        probe_seed in 0u64..1000,
+    ) {
+        use ule_graph::Topology;
+
+        let fam = gen::Family::ALL[fam_idx];
+        // Random families (and sizes the generator rejects) have no
+        // procedural form — nothing to conform.
+        let Some(topo) = fam.implicit(n) else { return Ok(()) };
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let g = fam.build(n, &mut rng).unwrap();
+
+        prop_assert_eq!(topo.n(), g.len(), "{}", fam);
+        prop_assert_eq!(topo.directed_edge_count(), g.directed_edge_count());
+        prop_assert_eq!(Topology::max_degree(&topo), g.max_degree());
+        for v in 0..g.len() {
+            prop_assert_eq!(topo.degree(v), g.degree(v), "degree of {} on {}", v, fam);
+        }
+
+        // Every port of a seeded node sample (every node when small):
+        // endpoint, reverse port round trip, and the flat directed index
+        // the adversary keys message fates by.
+        let mut probe = rand::rngs::StdRng::seed_from_u64(probe_seed);
+        use rand::Rng;
+        let nodes: Vec<usize> = if g.len() <= 256 {
+            (0..g.len()).collect()
+        } else {
+            (0..64).map(|_| probe.gen_range(0..g.len())).collect()
+        };
+        for &v in &nodes {
+            for p in 0..g.degree(v) {
+                let (u, q, idx) = topo.endpoint_indexed(v, p);
+                prop_assert_eq!((u, q, idx), g.endpoint_indexed(v, p), "port ({}, {}) on {}", v, p, fam);
+                prop_assert_eq!(topo.endpoint(u, q), (v, p), "round trip ({}, {}) on {}", v, p, fam);
+                prop_assert_eq!(topo.directed_index(v, p), idx);
+            }
+        }
+        for _ in 0..64 {
+            let u = probe.gen_range(0..g.len());
+            let v = probe.gen_range(0..g.len());
+            prop_assert_eq!(topo.has_edge(u, v), g.has_edge(u, v), "has_edge({}, {}) on {}", u, v, fam);
+        }
+
+        // The closed-form diameter matches all-pairs BFS (kept to small n:
+        // diameter_exact is O(n·m)).
+        if g.len() <= 128 {
+            let exact = analysis::diameter_exact(&g).map(|d| d as usize);
+            prop_assert_eq!(topo.diameter_hint(), exact, "diameter of {}", fam);
+        }
+    }
+}
